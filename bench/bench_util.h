@@ -1,0 +1,69 @@
+#ifndef VADASA_BENCH_BENCH_UTIL_H_
+#define VADASA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+#include "core/risk.h"
+
+namespace vadasa::bench {
+
+/// Prints an aligned table: header row + string cells.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+/// Runs the standard experimental cycle of Section 5.1: k-anonymity risk,
+/// local suppression, T = 0.5, less-significant-first routing,
+/// most-risky-first QI choice. Returns the stats; `table` is consumed.
+inline core::CycleStats RunStandardCycle(core::MicrodataTable table, int k,
+                                         core::NullSemantics semantics,
+                                         core::RiskTransform transform = nullptr) {
+  core::KAnonymityRisk risk;
+  core::LocalSuppression anon;
+  core::CycleOptions options;
+  options.threshold = 0.5;
+  options.risk.k = k;
+  options.risk.semantics = semantics;
+  options.tuple_order = core::TupleOrder::kLessSignificantFirst;
+  options.qi_choice = core::QiChoice::kMostRiskyFirst;
+  options.risk_transform = std::move(transform);
+  core::AnonymizationCycle cycle(&risk, &anon, options);
+  auto stats = cycle.Run(&table);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "cycle failed: %s\n", stats.status().ToString().c_str());
+    return {};
+  }
+  return *stats;
+}
+
+}  // namespace vadasa::bench
+
+#endif  // VADASA_BENCH_BENCH_UTIL_H_

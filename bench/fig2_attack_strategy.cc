@@ -1,0 +1,90 @@
+// Figure 2: the attack strategy (blocking against the identity oracle along
+// the quasi-identifiers, then matching) — executed against a raw release and
+// against the Vada-SA anonymized release, showing how suppression blows up
+// the blocking cohorts and defeats re-identification.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/attack.h"
+#include "core/linkage.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  IdentityOracle::Options oracle_options;
+  oracle_options.population = 50000;
+  oracle_options.num_qi = 4;
+  oracle_options.distribution = DistributionKind::kUnbalanced;
+  oracle_options.seed = 2021;
+  const IdentityOracle oracle = IdentityOracle::Generate(oracle_options);
+  auto sample = oracle.SampleMicrodata(2000, 66);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("identity oracle: %zu entities; released microdata: %zu tuples\n",
+              oracle.size(), sample->table.num_rows());
+
+  const AttackResult raw = RunLinkageAttack(
+      sample->table, sample->table.QuasiIdentifierColumns(), oracle, sample->truth, 1);
+
+  MicrodataTable anonymized = sample->table;
+  {
+    KAnonymityRisk risk;
+    LocalSuppression anon;
+    CycleOptions options;
+    options.risk.k = 2;
+    AnonymizationCycle cycle(&risk, &anon, options);
+    auto stats = cycle.Run(&anonymized);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("anonymization: %zu risky tuples, %zu nulls injected, info loss %.3f\n",
+                stats->initial_risky, stats->nulls_injected, stats->information_loss);
+  }
+  const AttackResult after = RunLinkageAttack(
+      anonymized, anonymized.QuasiIdentifierColumns(), oracle, sample->truth, 1);
+
+  bench::PrintTable(
+      "Figure 2: record-linkage attack before/after anonymization",
+      {"release", "attempted", "exact blocks", "avg block size", "re-identified",
+       "success rate"},
+      {{"raw", std::to_string(raw.attempted), std::to_string(raw.exact_blocks),
+        bench::Fmt(raw.avg_block_size, 1), std::to_string(raw.reidentified),
+        bench::Fmt(raw.success_rate, 4)},
+       {"anonymized", std::to_string(after.attempted),
+        std::to_string(after.exact_blocks), bench::Fmt(after.avg_block_size, 1),
+        std::to_string(after.reidentified), bench::Fmt(after.success_rate, 4)}});
+  std::printf("\nexpected shape: anonymized release has no exact blocks among the "
+              "previously risky tuples, larger cohorts, lower success rate.\n");
+
+  // Section 2.2: the real disclosure risk depends on the subset q̂ of
+  // quasi-identifiers the attacker knows; the full-QI case is the upper
+  // bound. Sweep the attacker's knowledge on both releases.
+  std::vector<std::vector<std::string>> sweep_rows;
+  for (const auto& [label, release] :
+       std::vector<std::pair<std::string, const MicrodataTable*>>{
+           {"raw", &sample->table}, {"anonymized", &anonymized}}) {
+    auto sweep = SweepAttackerKnowledge(*release, oracle, sample->truth, 5);
+    if (!sweep.ok()) {
+      std::fprintf(stderr, "%s\n", sweep.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t known = 0; known < sweep->size(); ++known) {
+      const LinkageResult& r = (*sweep)[known];
+      sweep_rows.push_back({label, std::to_string(known + 1),
+                            bench::Fmt(r.avg_block_size, 1),
+                            std::to_string(r.correct), bench::Fmt(r.recall, 4)});
+    }
+  }
+  bench::PrintTable(
+      "Section 2.2: attack power by attacker knowledge (subset q̂ of QIs)",
+      {"release", "QIs known", "avg block size", "re-identified", "recall"},
+      sweep_rows);
+  std::printf("\nexpected shape: blocks shrink and re-identifications grow with the\n"
+              "attacker's knowledge; anonymization caps the full-knowledge case.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 4: the metadata dictionary (Attribute + Category tables) for the
+// I&G microdata DB, with the Category facts produced by the Algorithm-1
+// categorizer rather than hand-written — including the declarative run
+// through the Vadalog engine.
+
+#include <cstdio>
+
+#include "core/categorize.h"
+#include "core/datagen.h"
+#include "core/vadalog_bridge.h"
+#include "vadalog/engine.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  MicrodataTable t = Figure1Microdata();
+  // Forget the schema's categories; re-derive them from experience.
+  for (const Attribute& a : std::vector<Attribute>(t.attributes())) {
+    (void)t.SetCategory(a.name, AttributeCategory::kNonIdentifying);
+  }
+  AttributeCategorizer categorizer = AttributeCategorizer::WithDefaultExperience();
+  MetadataDictionary dictionary;
+  auto decisions = categorizer.CategorizeTable(&t, &dictionary);
+  if (!decisions.ok()) {
+    std::fprintf(stderr, "%s\n", decisions.status().ToString().c_str());
+    return 1;
+  }
+  dictionary.IngestTable(t, /*include_categories=*/true);
+  std::printf("%s\n", dictionary.ToText("I&G").c_str());
+
+  std::printf("categorization decisions (Algorithm 1):\n");
+  for (const auto& d : *decisions) {
+    const std::string why =
+        d.defaulted ? "[defaulted: no similar experience]"
+                    : "[~ \"" + d.matched_entry + "\", sim " +
+                          std::to_string(d.similarity).substr(0, 4) + "]";
+    std::printf("  %-18s -> %-18s %s\n", d.attribute.c_str(),
+                AttributeCategoryToString(d.category).c_str(), why.c_str());
+  }
+
+  // The same categorization as a reasoning task (Rule 1 existential + Rule 2
+  // similarity borrow + Rule 3 feedback + Rule 4 EGD).
+  vadalog::Engine engine;
+  VadalogBridge bridge;
+  bridge.RegisterExternals(&engine, nullptr);
+  vadalog::Database db;
+  for (const Attribute& a : t.attributes()) {
+    db.AddFact("att", {Value::String("I&G"), Value::String(a.name)});
+  }
+  for (const auto& [name, cat] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"id", "Identifier"},
+           {"area", "Quasi-identifier"},
+           {"sector", "Quasi-identifier"},
+           {"employees", "Quasi-identifier"},
+           {"residential revenue", "Quasi-identifier"},
+           {"export revenue", "Quasi-identifier"},
+           {"growth", "Non-identifying"},
+           {"sampling weight", "Sampling Weight"}}) {
+    db.AddFact("expbase", {Value::String(name), Value::String(cat)});
+  }
+  auto stats = vadalog::RunSource(VadalogBridge::CategorizationProgram(), &db, &engine);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndeclarative run (Vadalog engine, %zu facts derived, %zu EGD "
+              "unifications):\n%s",
+              stats->facts_derived, stats->egd_substitutions,
+              db.DumpPredicate("cat").c_str());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 5: local suppression with labelled nulls and global recoding on the
+// 7-row example — reproducing the before/after tables including the
+// frequency columns (1,2,2,2,2,1,1 -> 5,3,3,3,3,2,2).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/group_index.h"
+
+namespace {
+
+void PrintWithFrequencies(const vadasa::core::MicrodataTable& t, const char* title) {
+  using namespace vadasa;
+  using namespace vadasa::core;
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  std::vector<std::vector<std::string>> rows;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    std::vector<std::string> row = {std::to_string(r + 1)};
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      row.push_back(t.cell(r, c).ToString());
+    }
+    row.push_back(bench::Fmt(stats.frequency[r], 0));
+    rows.push_back(std::move(row));
+  }
+  std::vector<std::string> header = {"#"};
+  for (const auto& a : t.attributes()) header.push_back(a.name);
+  header.push_back("F");
+  bench::PrintTable(title, header, rows);
+}
+
+}  // namespace
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  MicrodataTable t = Figure5Microdata();
+  PrintWithFrequencies(t, "Figure 5a: original microdata DB");
+
+  // Local suppression on tuple 1's Sector (the most-risky-first choice).
+  LocalSuppression suppress;
+  auto step = suppress.Apply(&t, 0, 2);
+  if (!step.ok()) return 1;
+  std::printf("\nstep: %s\n", step->ToString(t).c_str());
+
+  // Global recoding of the geography: Milano/Torino -> North; Roma -> Center.
+  Hierarchy h = Hierarchy::ItalianGeography();
+  h.SetAttributeType("Area", "City");
+  GlobalRecoding recode(&h);
+  for (const size_t row : {5u, 6u, 1u}) {
+    if (recode.CanApply(t, row, 1)) {
+      auto s = recode.Apply(&t, row, 1);
+      if (s.ok()) std::printf("step: %s\n", s->ToString(t).c_str());
+    }
+  }
+  PrintWithFrequencies(t, "Figure 5b: after suppression + recoding");
+  std::printf("\nexpected shape: tuple 1 now matches the whole Roma/Center block "
+              "(F=5); tuples 6-7 collapse into one North group (F=2).\n");
+  return 0;
+}

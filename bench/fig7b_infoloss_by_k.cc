@@ -1,0 +1,35 @@
+// Figure 7b: information loss (injected nulls weighted by the maximum number
+// of theoretically removable values — the QI cells of the risky tuples) by
+// k-anonymity threshold, on R25A4W / R25A4U / R25A4V.
+//
+// Expected shape (paper): W and U roughly flat and below ~20%; V higher at
+// high tolerance but *dropping* at stricter runs, because risky tuples
+// collapse into shared null groups.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const char* name : {"R25A4W", "R25A4U", "R25A4V"}) {
+    auto spec = FindDataset(name);
+    if (!spec.ok()) return 1;
+    const MicrodataTable base = GenerateDataset(*spec);
+    std::vector<std::string> row = {name};
+    for (int k = 2; k <= 5; ++k) {
+      const CycleStats stats =
+          bench::RunStandardCycle(base, k, NullSemantics::kMaybeMatch);
+      row.push_back(bench::Fmt(100.0 * stats.information_loss, 1) + "%");
+    }
+    rows.push_back(std::move(row));
+  }
+  bench::PrintTable("Figure 7b: information loss by k-anonymity threshold",
+                    {"dataset", "k=2", "k=3", "k=4", "k=5"}, rows);
+  std::printf("\nexpected shape: W/U mostly flat and modest; V highest, with the\n"
+              "greedy suppression amortizing as k (and the risky set) grows.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 7c: maybe-matching (=⊥) vs the standard Skolem labelled-null
+// semantics. Under the standard semantics a fresh null never matches
+// anything, so suppression cannot enlarge a tuple's group: the cycle keeps
+// suppressing until every quasi-identifier of every risky tuple is gone —
+// the "proliferation of symbols" that makes the standard semantics unusable.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  std::vector<std::vector<std::string>> rows;
+  for (const char* name : {"R25A4W", "R25A4U", "R25A4V"}) {
+    auto spec = FindDataset(name);
+    if (!spec.ok()) return 1;
+    const MicrodataTable base = GenerateDataset(*spec);
+    for (int k = 2; k <= 5; ++k) {
+      const CycleStats maybe =
+          bench::RunStandardCycle(base, k, NullSemantics::kMaybeMatch);
+      const CycleStats standard =
+          bench::RunStandardCycle(base, k, NullSemantics::kStandard);
+      rows.push_back({name, std::to_string(k), std::to_string(maybe.nulls_injected),
+                      std::to_string(standard.nulls_injected),
+                      std::to_string(standard.unresolved),
+                      bench::Fmt(static_cast<double>(standard.nulls_injected) /
+                                     std::max<size_t>(1, maybe.nulls_injected),
+                                 1) +
+                          "x"});
+    }
+  }
+  bench::PrintTable(
+      "Figure 7c: nulls injected — maybe-match vs standard null semantics",
+      {"dataset", "k", "maybe-match", "standard", "standard unresolved", "blowup"},
+      rows);
+  std::printf("\nexpected shape: the standard semantics injects #risky x #QI nulls and\n"
+              "still leaves every risky tuple unresolved — far above maybe-match.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 7f: execution time by number of quasi-identifiers (datasets
+// R50A4W-R50A9W, 50k tuples, real-world-like distribution) for individual
+// risk, k-anonymity and SUDA.
+//
+// Expected shape (paper): individual risk and k-anonymity are only marginally
+// affected by the number of quasi-identifiers (they group on the full
+// combination); SUDA inspects combinations of at most k attributes, so it
+// grows — but the minimality pruning preempts redundant combinations and no
+// combinatorial blowup appears. Compare the "suda-exhaustive" series, which
+// disables the pruning (the ablation of DESIGN.md §5.3).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+#include "core/suda.h"
+
+namespace {
+
+using namespace vadasa;
+using namespace vadasa::core;
+
+const MicrodataTable& CachedDataset(const std::string& name) {
+  static std::map<std::string, MicrodataTable>* cache =
+      new std::map<std::string, MicrodataTable>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    auto spec = FindDataset(name);
+    it = cache->emplace(name, GenerateDataset(*spec)).first;
+  }
+  return it->second;
+}
+
+void BM_CycleByQis(benchmark::State& state, const std::string& dataset,
+                   const std::string& technique) {
+  const MicrodataTable& base = CachedDataset(dataset);
+  for (auto _ : state) {
+    MicrodataTable table = base;
+    std::unique_ptr<RiskMeasure> measure;
+    if (technique == "suda") {
+      measure = std::make_unique<SudaRisk>();
+    } else if (technique == "suda-exhaustive") {
+      SudaOptions suda_options;
+      suda_options.exhaustive = true;
+      measure = std::make_unique<SudaRisk>(suda_options);
+    } else {
+      measure = std::move(MakeRiskMeasure(technique).value());
+    }
+    LocalSuppression anon;
+    CycleOptions options;
+    options.threshold = 0.5;
+    options.risk.k = technique.rfind("suda", 0) == 0 ? 3 : 2;
+    if (technique == "individual") options.risk.posterior_draws = 32;
+    AnonymizationCycle cycle(measure.get(), &anon, options);
+    auto stats = cycle.Run(&table);
+    if (!stats.ok()) {
+      state.SkipWithError(stats.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(stats->total_seconds);
+    state.counters["RiskSeconds"] = stats->risk_eval_seconds;
+    state.counters["Nulls"] = static_cast<double>(stats->nulls_injected);
+    state.counters["QIs"] =
+        static_cast<double>(base.QuasiIdentifierColumns().size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* dataset : {"R50A4W", "R50A5W", "R50A6W", "R50A8W", "R50A9W"}) {
+    for (const char* technique :
+         {"individual", "k-anonymity", "suda", "suda-exhaustive"}) {
+      benchmark::RegisterBenchmark(
+          (std::string("fig7f/") + dataset + "/" + technique).c_str(),
+          [dataset, technique](benchmark::State& state) {
+            BM_CycleByQis(state, dataset, technique);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Anti-money-laundering data exchange — one of the paper's motivating
+// settings (§1): an FIU shares suspicious-activity features with an external
+// analytics unit. The analysts need the high-level features (amount bands,
+// channels, sectors); the identities of the involved subjects must stay with
+// the FIU until a judicial act authorizes disclosure.
+//
+// This example composes most of the framework: control-relationship closure
+// on the reasoning engine, cluster risk propagation (Algorithm 9), the
+// audited anonymization cycle, and a linkage-attack evaluation of the final
+// exchange file.
+
+#include <cstdio>
+
+#include "core/business.h"
+#include "core/linkage.h"
+#include "core/report.h"
+#include "vadalog/engine.h"
+
+namespace {
+
+using namespace vadasa;
+using namespace vadasa::core;
+
+/// Suspicious-activity features, one row per reported subject.
+MicrodataTable SuspiciousActivity() {
+  MicrodataTable t("suspicious-activity",
+                   {{"Subject", "Subject identifier", AttributeCategory::kIdentifier},
+                    {"Area", "", AttributeCategory::kQuasiIdentifier},
+                    {"Sector", "", AttributeCategory::kQuasiIdentifier},
+                    {"Channel", "Payment channel", AttributeCategory::kQuasiIdentifier},
+                    {"Amount", "Band of flagged volume", AttributeCategory::kQuasiIdentifier},
+                    {"Score", "Internal alert score", AttributeCategory::kNonIdentifying},
+                    {"Weight", "", AttributeCategory::kWeight}});
+  const struct {
+    const char* subject;
+    const char* area;
+    const char* sector;
+    const char* channel;
+    const char* amount;
+    int score;
+    int weight;
+  } kRows[] = {
+      {"s01", "North", "Commerce", "wire", "10-50k", 12, 90},
+      {"s02", "North", "Commerce", "wire", "10-50k", 48, 90},
+      {"s03", "North", "Commerce", "cash", "10-50k", 33, 60},
+      {"s04", "South", "Construction", "cash", "50-250k", 71, 40},
+      {"s05", "South", "Construction", "cash", "50-250k", 64, 40},
+      {"s06", "Center", "Gambling", "crypto", "250k+", 95, 2},   // The outlier.
+      {"s07", "North", "Financial", "wire", "50-250k", 58, 25},
+      {"s08", "North", "Financial", "wire", "50-250k", 41, 25},
+      {"s09", "South", "Commerce", "cash", "10-50k", 22, 70},
+      {"s10", "South", "Commerce", "cash", "10-50k", 19, 70},
+  };
+  for (const auto& r : kRows) {
+    (void)t.AddRow({Value::String(r.subject), Value::String(r.area),
+                    Value::String(r.sector), Value::String(r.channel),
+                    Value::String(r.amount), Value::Int(r.score),
+                    Value::Int(r.weight)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  const MicrodataTable activity = SuspiciousActivity();
+  std::printf("%s\n", activity.ToText().c_str());
+
+  // 1. The FIU's intelligence: ownership links among reported subjects,
+  //    closed into control clusters on the reasoning engine (§4.4 rules).
+  vadalog::Engine engine;
+  vadalog::Database kb;
+  auto stats = vadalog::RunSource(
+      "own(s06, shell1, 0.9). own(shell1, s07, 0.4). own(s06, shell2, 0.8).\n"
+      "own(shell2, s07, 0.3). own(s06, s08, 0.6).\n"
+      "rel(X, Y) :- own(X, Y, W), W > 0.5.\n"
+      "rel(X, Y) :- rel(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5.",
+      &kb, &engine);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("derived control relationships (via shells, joint stakes):\n%s\n",
+              kb.DumpPredicate("rel").c_str());
+
+  OwnershipGraph graph;
+  for (const auto& row : kb.Rows("rel")) {
+    // Feed the closure back as direct control edges for clustering.
+    graph.AddOwnership(row[0].ToString(), row[1].ToString(), 1.0);
+  }
+
+  // 2. Audited anonymization with cluster risk propagation: the gambling
+  //    outlier s06 drags its controlled subjects s07/s08 into anonymization.
+  MicrodataTable release = activity;
+  KAnonymityRisk measure;
+  LocalSuppression anonymizer;
+  CycleOptions options;
+  options.risk.k = 2;
+  options.risk_transform = MakeClusterRiskTransform(&graph, "Subject");
+  auto audit = RunAuditedRelease(&release, measure, &anonymizer, options);
+  if (!audit.ok()) {
+    std::fprintf(stderr, "%s\n", audit.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", audit->ToText().c_str());
+  std::printf("exchange file:\n%s\n", release.ToText().c_str());
+
+  // 3. Adversarial check: a mock identity oracle the size of the sector
+  //    registry; the exchanged file must not link back.
+  IdentityOracle::Options oracle_options;
+  oracle_options.population = 20000;
+  oracle_options.num_qi = 4;
+  oracle_options.seed = 5;
+  const IdentityOracle oracle = IdentityOracle::Generate(oracle_options);
+  LinkageConfig config;
+  // Ground truth unknown here; measure cohort sizes only.
+  std::vector<size_t> no_truth;
+  auto linkage = RunLinkage(release, oracle, no_truth, config);
+  if (linkage.ok()) {
+    std::printf("linkage probe vs %zu-entity registry: %s\n", oracle.size(),
+                linkage->ToString().c_str());
+  }
+  std::printf("\nreading: the alert scores (the analytically useful signal) are\n"
+              "exchanged intact; identities and the outlier's selective profile\n"
+              "are not. The cluster rule anonymized the outlier's network, not\n"
+              "just the outlier.\n");
+  return 0;
+}

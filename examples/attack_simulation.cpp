@@ -1,0 +1,63 @@
+// Adversarial evaluation: synthesize an identity oracle, sample a microdata
+// DB from it (sampling weights = population combination counts, Section 2.1),
+// and run the Figure-2 record-linkage attack against increasingly strict
+// releases — raw, 2-anonymous, 3-anonymous, 5-anonymous — printing the
+// privacy/utility frontier.
+
+#include <cstdio>
+
+#include "core/attack.h"
+#include "core/cycle.h"
+#include "core/infoloss.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  IdentityOracle::Options oracle_options;
+  oracle_options.population = 40000;
+  oracle_options.num_qi = 4;
+  oracle_options.distribution = DistributionKind::kUnbalanced;
+  oracle_options.seed = 7;
+  const IdentityOracle oracle = IdentityOracle::Generate(oracle_options);
+  auto sample = oracle.SampleMicrodata(1500, 99);
+  if (!sample.ok()) {
+    std::fprintf(stderr, "%s\n", sample.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("oracle population: %zu entities\nreleased sample:   %zu tuples\n\n",
+              oracle.size(), sample->table.num_rows());
+  std::printf("%-12s  %-8s  %-12s  %-14s  %-12s  %-10s\n", "release", "nulls",
+              "exact blocks", "avg block size", "reidentified", "info loss");
+
+  auto report = [&](const char* label, const MicrodataTable& release,
+                    size_t nulls) {
+    const AttackResult attack = RunLinkageAttack(
+        release, release.QuasiIdentifierColumns(), oracle, sample->truth, 13);
+    const InformationLoss loss =
+        MeasureInformationLoss(sample->table, release, nullptr);
+    std::printf("%-12s  %-8zu  %-12zu  %-14.1f  %-12zu  %.2f%%\n", label, nulls,
+                attack.exact_blocks, attack.avg_block_size, attack.reidentified,
+                100.0 * loss.suppressed_cell_fraction);
+  };
+
+  report("raw", sample->table, 0);
+  for (const int k : {2, 3, 5}) {
+    MicrodataTable release = sample->table;
+    KAnonymityRisk risk;
+    LocalSuppression anon;
+    CycleOptions options;
+    options.risk.k = k;
+    AnonymizationCycle cycle(&risk, &anon, options);
+    auto stats = cycle.Run(&release);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+      return 1;
+    }
+    const std::string label = "k=" + std::to_string(k);
+    report(label.c_str(), release, stats->nulls_injected);
+  }
+  std::printf("\nreading: stricter k removes the exactly-blockable tuples while the\n"
+              "suppressed-cell fraction (statistical damage) stays small.\n");
+  return 0;
+}

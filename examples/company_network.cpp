@@ -1,0 +1,89 @@
+// Business-knowledge-aware anonymization (Section 4.4 / Algorithm 9): company
+// control relationships propagate disclosure risk along ownership chains —
+// re-identifying one member of a group effectively re-identifies the others.
+// Shows the control-closure rules both natively and on the Vadalog engine,
+// then compares anonymization with and without the business knowledge.
+
+#include <cstdio>
+
+#include "core/business.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+#include "vadalog/engine.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  // A small ownership network: holding h controls a and (jointly) b.
+  OwnershipGraph graph;
+  graph.AddOwnership("h", "a", 0.7);
+  graph.AddOwnership("h", "s1", 0.9);
+  graph.AddOwnership("h", "s2", 0.6);
+  graph.AddOwnership("s1", "b", 0.3);
+  graph.AddOwnership("s2", "b", 0.3);
+  graph.AddOwnership("z", "w", 0.2);  // Minority stake: no control.
+
+  std::printf("control closure (native):\n");
+  for (const auto& [x, y] : graph.ComputeControl()) {
+    std::printf("  %s controls %s\n", x.c_str(), y.c_str());
+  }
+
+  // The same two rules, verbatim, on the reasoning engine.
+  vadalog::Engine engine;
+  vadalog::Database db;
+  auto stats = vadalog::RunSource(
+      "own(h, a, 0.7). own(h, s1, 0.9). own(h, s2, 0.6).\n"
+      "own(s1, b, 0.3). own(s2, b, 0.3). own(z, w, 0.2).\n"
+      "rel(X, Y) :- own(X, Y, W), W > 0.5.\n"
+      "rel(X, Y) :- rel(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5.",
+      &db, &engine);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ncontrol closure (Vadalog engine):\n%s", db.DumpPredicate("rel").c_str());
+
+  // Risk propagation on a microdata DB whose Id column names these companies.
+  MicrodataTable t("network", {{"Id", "Company", AttributeCategory::kIdentifier},
+                               {"Area", "", AttributeCategory::kQuasiIdentifier},
+                               {"Sector", "", AttributeCategory::kQuasiIdentifier}});
+  const struct {
+    const char* id;
+    const char* area;
+    const char* sector;
+  } kRows[] = {
+      {"h", "North", "Financial"},   // Unique: risky outlier.
+      {"a", "North", "Commerce"},    // Shares a pair: safe alone.
+      {"a2", "North", "Commerce"},
+      {"b", "South", "Commerce"},    // Shares a pair: safe alone.
+      {"b2", "South", "Commerce"},
+      {"z", "Center", "Textiles"},   // Unique but unlinked.
+      {"z2", "Center", "Energy"},
+  };
+  for (const auto& r : kRows) {
+    (void)t.AddRow({Value::String(r.id), Value::String(r.area), Value::String(r.sector)});
+  }
+
+  for (const bool with_knowledge : {false, true}) {
+    MicrodataTable copy = t;
+    KAnonymityRisk risk;
+    LocalSuppression anon;
+    CycleOptions options;
+    options.risk.k = 2;
+    options.log_steps = true;
+    if (with_knowledge) {
+      options.risk_transform = MakeClusterRiskTransform(&graph, "Id");
+    }
+    AnonymizationCycle cycle(&risk, &anon, options);
+    auto run = cycle.Run(&copy);
+    if (!run.ok()) return 1;
+    std::printf("\n%s business knowledge: %zu risky, %zu nulls\n",
+                with_knowledge ? "WITH" : "without", run->initial_risky,
+                run->nulls_injected);
+    for (const auto& line : run->log) std::printf("  %s\n", line.c_str());
+  }
+  std::printf("\nreading: once h is linked to a and b, their cluster inherits h's\n"
+              "risk (1 - Π(1-ρ)) and gets anonymized too.\n");
+  return 0;
+}

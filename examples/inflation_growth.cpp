@@ -1,0 +1,67 @@
+// The paper's running example end-to-end: the Figure-1 Inflation & Growth
+// microdata DB, its metadata dictionary (Figure 4), per-tuple risks
+// (Section 2.2), and a fully explained anonymization run — including the
+// declarative execution through the Vadalog engine with #risk/#anonymize
+// plug-ins (Algorithm 2).
+
+#include <cstdio>
+
+#include "core/cycle.h"
+#include "core/datagen.h"
+#include "core/metadata.h"
+#include "core/vadalog_bridge.h"
+
+int main() {
+  using namespace vadasa;
+  using namespace vadasa::core;
+
+  MicrodataTable table = Figure1Microdata();
+  std::printf("%s\n", table.ToText(20).c_str());
+
+  MetadataDictionary dictionary;
+  dictionary.IngestTable(table, /*include_categories=*/true);
+  std::printf("%s\n", dictionary.ToText("I&G").c_str());
+
+  // Per-tuple re-identification risk (Section 2.2).
+  ReidentificationRisk reid;
+  RiskContext ctx;
+  auto risks = reid.ComputeRisks(table, ctx);
+  if (!risks.ok()) return 1;
+  std::printf("re-identification risk: max %.4f (tuple 15), min %.4f (tuple 7)\n\n",
+              (*risks)[14], (*risks)[6]);
+
+  // Native anonymization cycle with explanations.
+  {
+    MicrodataTable t = table;
+    KAnonymityRisk risk;
+    LocalSuppression anon;
+    CycleOptions options;
+    options.risk.k = 2;
+    options.log_steps = true;
+    AnonymizationCycle cycle(&risk, &anon, options);
+    auto stats = cycle.Run(&t);
+    if (!stats.ok()) return 1;
+    std::printf("native cycle (k=2): %zu risky, %zu nulls\n", stats->initial_risky,
+                stats->nulls_injected);
+    for (const auto& line : stats->log) std::printf("  %s\n", line.c_str());
+  }
+
+  // The same cycle as a pure reasoning task on the Vadalog engine.
+  {
+    VadalogBridge bridge;
+    std::printf("\ndeclarative cycle program:\n%s\n", bridge.CycleProgram().c_str());
+    vadalog::RunStats stats;
+    auto out = bridge.RunDeclarativeCycle(table, nullptr, &stats);
+    if (!out.ok()) {
+      std::fprintf(stderr, "%s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("engine run: %zu rounds, %zu facts derived, %zu nulls created, "
+                "%zu #anonymize invocations\n",
+                stats.rounds, stats.facts_derived, stats.nulls_created,
+                stats.action_invocations);
+    std::printf("\nanonymized release (identifiers dropped):\n%s",
+                out->ToText(20).c_str());
+  }
+  return 0;
+}

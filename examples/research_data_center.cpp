@@ -1,0 +1,97 @@
+// The industrial setting of Section 2: a Research Data Center receiving
+// microdata DBs from several business domains, each with its own (unknown)
+// schema. The framework's schema independence in action: every dataset goes
+// through the same metadata dictionary, Algorithm-1 categorization, audited
+// anonymization cycle and file-level sign-off — no per-schema code.
+
+#include <cstdio>
+
+#include "core/datagen.h"
+#include "core/rdc.h"
+
+namespace {
+
+using namespace vadasa;
+using namespace vadasa::core;
+
+/// A microdata DB from a different business domain than the I&G survey:
+/// household finance, with its own attribute vocabulary.
+MicrodataTable HouseholdSurvey() {
+  MicrodataTable t("household-finance",
+                   {{"Fiscal Code", "Respondent fiscal code", AttributeCategory::kNonIdentifying},
+                    {"Region", "Region of residence", AttributeCategory::kNonIdentifying},
+                    {"Age", "Age band", AttributeCategory::kNonIdentifying},
+                    {"Occupation", "Occupation group", AttributeCategory::kNonIdentifying},
+                    {"Notes", "Interviewer notes", AttributeCategory::kNonIdentifying},
+                    {"Sampling Weight", "", AttributeCategory::kNonIdentifying}});
+  const struct {
+    const char* code;
+    const char* region;
+    const char* age;
+    const char* job;
+    const char* notes;
+    int weight;
+  } kRows[] = {
+      {"RSSMRA80A01H501U", "North", "30-45", "Clerk", "n/a", 120},
+      {"VRDLGU75B02F205X", "North", "30-45", "Clerk", "n/a", 120},
+      {"BNCGNN60C03L219Y", "South", "60+", "Retired", "n/a", 200},
+      {"NREPLA85D04H501Z", "South", "60+", "Retired", "n/a", 200},
+      {"GLLMRC90E05F839W", "Center", "18-29", "Astronaut", "rare job", 2},
+      {"FRRLNZ70F06G273V", "North", "46-60", "Teacher", "n/a", 150},
+      {"CSTSFN82G07H501T", "North", "46-60", "Teacher", "n/a", 150},
+  };
+  for (const auto& r : kRows) {
+    (void)t.AddRow({Value::String(r.code), Value::String(r.region),
+                    Value::String(r.age), Value::String(r.job),
+                    Value::String(r.notes), Value::Int(r.weight)});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // The RDC: one release policy, one dictionary, one experience base.
+  RdcPolicy policy;
+  policy.k = 2;
+  ResearchDataCenter rdc(policy);
+
+  // Domain experts extend the experience base without touching any code
+  // (desideratum (vii): business-friendly extensibility).
+  rdc.AddExperience("fiscal code", AttributeCategory::kIdentifier);
+  rdc.AddExperience("notes", AttributeCategory::kNonIdentifying);
+
+  for (Status st : {rdc.Ingest(Figure1Microdata()), rdc.Ingest(HouseholdSurvey())}) {
+    if (!st.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& conflict : rdc.conflicts()) {
+    std::printf("!! category conflict on %s: %s vs %s (manual review)\n",
+                conflict.attribute.c_str(),
+                AttributeCategoryToString(conflict.first).c_str(),
+                AttributeCategoryToString(conflict.second).c_str());
+  }
+
+  auto audits = rdc.ProcessAll();
+  if (!audits.ok()) {
+    std::fprintf(stderr, "release failed: %s\n", audits.status().ToString().c_str());
+    return 1;
+  }
+  for (const ReleaseAudit& audit : *audits) {
+    std::printf("=============================================================\n");
+    std::printf("%s\n", rdc.dictionary().ToText(audit.microdb).c_str());
+    std::printf("%s\n", audit.ToText().c_str());
+    auto release = rdc.Release(audit.microdb);
+    if (release.ok()) {
+      std::printf("released table (first rows):\n%s\n", (*release)->ToText(8).c_str());
+    }
+  }
+  std::printf("=============================================================\n");
+  std::printf("catalog: %zu microdata DBs processed by the identical pipeline —\n"
+              "the schema independence of the metadata-dictionary approach "
+              "(Section 4.1).\n",
+              rdc.Catalog().size());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// A small shell for the Vadalog dialect: run a program from a file (or stdin)
+// and dump the derived facts — with optional provenance explanations.
+//
+//   ./vadalog_shell program.vada [--explain predicate] [--dot predicate]
+//                   [--save directory] [--warded]
+//
+// Example program:
+//   own(a,b,0.6). own(b,c,0.6).
+//   rel(X,Y) :- own(X,Y,W), W > 0.5.
+//   rel(X,Z) :- rel(X,Y), rel(Y,Z).
+//   @output("rel").
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "vadalog/analysis.h"
+#include "vadalog/bindings.h"
+#include "vadalog/engine.h"
+#include "vadalog/explain.h"
+#include "vadalog/parser.h"
+#include "vadalog/storage.h"
+
+int main(int argc, char** argv) {
+  using namespace vadasa;
+  using namespace vadasa::vadalog;
+
+  std::string source;
+  std::string explain_predicate;
+  std::string dot_predicate;
+  std::string save_directory;
+  bool check_warded = false;
+  bool from_stdin = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--explain" && i + 1 < argc) {
+      explain_predicate = argv[++i];
+    } else if (arg == "--dot" && i + 1 < argc) {
+      dot_predicate = argv[++i];
+    } else if (arg == "--save" && i + 1 < argc) {
+      save_directory = argv[++i];
+    } else if (arg == "--warded") {
+      check_warded = true;
+    } else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+      from_stdin = false;
+    }
+  }
+  if (from_stdin) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    source = buf.str();
+  }
+
+  auto program = Parse(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  if (check_warded) {
+    const WardednessReport report = AnalyzeWardedness(*program);
+    std::printf("wardedness: %s\n", report.program_warded ? "warded" : "NOT warded");
+    for (size_t i = 0; i < report.rules.size(); ++i) {
+      if (!report.rules[i].warded) {
+        std::printf("  rule %zu: %s\n", i + 1, report.rules[i].diagnostic.c_str());
+      }
+    }
+  }
+
+  Engine engine;
+  Database db;
+  if (const Status bound = LoadBindings(*program, &db); !bound.ok()) {
+    std::fprintf(stderr, "binding failed: %s\n", bound.ToString().c_str());
+    return 1;
+  }
+  auto stats = engine.Run(*program, &db);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "chase failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("chase: %zu rounds, %zu facts derived, %zu nulls, %zu EGD "
+              "substitutions\n\n",
+              stats->rounds, stats->facts_derived, stats->nulls_created,
+              stats->egd_substitutions);
+
+  const auto outputs =
+      program->outputs.empty() ? db.Predicates() : program->outputs;
+  for (const std::string& predicate : outputs) {
+    std::printf("%s", db.DumpPredicate(predicate).c_str());
+  }
+
+  if (!explain_predicate.empty()) {
+    const Relation* rel = db.relation(explain_predicate);
+    if (rel != nullptr && rel->size() > 0) {
+      std::printf("\nexplanation of the first %s fact:\n%s", explain_predicate.c_str(),
+                  ExplainFact(db, *program, rel->fact_id(0)).c_str());
+    }
+  }
+  if (!dot_predicate.empty()) {
+    const Relation* rel = db.relation(dot_predicate);
+    if (rel != nullptr && rel->size() > 0) {
+      std::printf("\n%s", ExplainFactDot(db, *program, rel->fact_id(0)).c_str());
+    }
+  }
+  if (!save_directory.empty()) {
+    const Status saved = SaveDatabase(db, save_directory);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nsaved derived database to %s\n", save_directory.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace vadasa {
+
+namespace {
+
+/// Parses one CSV record starting at *pos; advances *pos past the record's
+/// trailing newline (if any).
+std::vector<std::string> ParseRecord(std::string_view text, size_t* pos) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else if (c == '\r') {
+      // Swallow; \r\n handled by the \n branch on the next char.
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  *pos = i;
+  return fields;
+}
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string* out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text) {
+  CsvTable table;
+  size_t pos = 0;
+  if (text.empty()) return Status::ParseError("empty CSV document");
+  table.header = ParseRecord(text, &pos);
+  size_t line = 1;
+  while (pos < text.size()) {
+    ++line;
+    auto row = ParseRecord(text, &pos);
+    if (row.size() == 1 && row[0].empty()) continue;  // Trailing blank line.
+    if (row.size() != table.header.size()) {
+      return Status::ParseError("CSV row " + std::to_string(line) + " has " +
+                                std::to_string(row.size()) + " fields, header has " +
+                                std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendField(&out, table.header[i]);
+  }
+  out += '\n';
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      AppendField(&out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << WriteCsv(table);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Value CellToValue(std::string_view cell) {
+  const std::string_view trimmed = TrimView(cell);
+  for (std::string_view prefix : {std::string_view("NULL_"), std::string_view("⊥_")}) {
+    if (StartsWith(trimmed, prefix)) {
+      const std::string_view rest = trimmed.substr(prefix.size());
+      uint64_t label = 0;
+      auto [ptr, ec] = std::from_chars(rest.data(), rest.data() + rest.size(), label);
+      if (ec == std::errc() && ptr == rest.data() + rest.size()) {
+        return Value::Null(label);
+      }
+    }
+  }
+  if (LooksLikeInt(trimmed)) {
+    int64_t v = 0;
+    std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+    return Value::Int(v);
+  }
+  if (LooksLikeDouble(trimmed)) {
+    double v = 0;
+    std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+    return Value::Double(v);
+  }
+  return Value::String(std::string(trimmed));
+}
+
+}  // namespace vadasa

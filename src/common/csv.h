@@ -1,0 +1,40 @@
+#ifndef VADASA_COMMON_CSV_H_
+#define VADASA_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace vadasa {
+
+/// A parsed CSV document: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// RFC-4180-ish CSV parsing: quoted fields with embedded commas, quotes
+/// doubled inside quoted fields, \r\n or \n row separators. The first row is
+/// the header. Rows whose width differs from the header are an error.
+Result<CsvTable> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes to CSV, quoting fields when needed.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes a CSV file to disk.
+Status WriteCsvFile(const std::string& path, const CsvTable& table);
+
+/// Converts a cell to a Value: integers and doubles are detected, the literal
+/// token "NULL_k" (or "⊥_k") becomes a labelled null, everything else stays a
+/// string.
+Value CellToValue(std::string_view cell);
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_CSV_H_

@@ -1,0 +1,193 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vadasa {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextGaussian() {
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextGamma(double shape, double scale) {
+  if (shape < 1.0) {
+    // Ahrens–Dieter boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+    const double u = std::max(NextDouble(), 1e-300);
+    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia–Tsang.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = NextGaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (std::log(std::max(u, 1e-300)) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double l = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the data
+  // generator's large-mean regime.
+  const double x = mean + std::sqrt(mean) * NextGaussian() + 0.5;
+  return x < 0.0 ? 0 : static_cast<uint64_t>(x);
+}
+
+uint64_t Rng::NextNegativeBinomial(double r, double p) {
+  if (r <= 0.0 || p <= 0.0) return 0;
+  if (p >= 1.0) return 0;
+  const double lambda = NextGamma(r, (1.0 - p) / p);
+  return NextPoisson(lambda);
+}
+
+size_t Rng::NextCategorical(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) return 0;
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= std::max(weights[i], 0.0);
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+size_t Rng::NextZipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return static_cast<size_t>(NextBelow(n));
+  // Cumulative inversion; n is small (category domains) in this codebase.
+  double total = 0.0;
+  for (size_t i = 1; i <= n; ++i) total += 1.0 / std::pow(static_cast<double>(i), s);
+  double x = NextDouble() * total;
+  for (size_t i = 1; i <= n; ++i) {
+    x -= 1.0 / std::pow(static_cast<double>(i), s);
+    if (x < 0.0) return i - 1;
+  }
+  return n - 1;
+}
+
+namespace stats {
+
+double NegBinomialPosteriorRiskClosedForm(double sample_freq, double weight_sum) {
+  // The paper (Algorithm 5) poses λ = ΣW_t / f_q̂ and estimates ρ = 1/λ =
+  // f / ΣW. We clamp to [0,1]: a combination cannot be more than certainly
+  // re-identified.
+  if (weight_sum <= 0.0) return 1.0;
+  return std::min(1.0, sample_freq / weight_sum);
+}
+
+double NegBinomialPosteriorRiskSampled(double sample_freq, double weight_sum,
+                                       int draws, Rng* rng) {
+  if (weight_sum <= 0.0 || draws <= 0) return 1.0;
+  // Sample population frequencies F ~ NegBin with mean ΣW (the expected
+  // number of population entities sharing the combination), then average 1/F.
+  // The success probability is chosen so that E[F] = weight_sum with
+  // dispersion r = sample_freq (more sample evidence, tighter posterior).
+  const double r = std::max(sample_freq, 1.0);
+  const double mean = std::max(weight_sum, sample_freq);
+  const double p = r / (r + mean);
+  double acc = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double population = std::max<double>(
+        sample_freq, static_cast<double>(rng->NextNegativeBinomial(r, p)));
+    // f sample units among F population units: the respondent's
+    // re-identification odds are f/F, matching the closed form f/ΣW in
+    // expectation (Jensen puts the MC estimate slightly above).
+    acc += sample_freq / std::max(1.0, population);
+  }
+  return std::min(1.0, acc / draws);
+}
+
+double BenedettiFranconiRisk(double sample_freq, double weight_sum) {
+  if (weight_sum <= 0.0 || sample_freq <= 0.0) return 1.0;
+  const double pi = sample_freq / weight_sum;
+  if (pi >= 1.0) return 1.0;
+  if (pi <= 0.0) return 0.0;
+  const double odds = pi / (1.0 - pi);
+  const double log_term = std::log(1.0 / pi);
+  double risk;
+  if (sample_freq <= 1.0) {
+    risk = odds * log_term;
+  } else if (sample_freq <= 2.0) {
+    risk = odds - odds * odds * log_term;
+  } else if (sample_freq <= 3.0) {
+    risk = odds * (odds * odds * log_term - odds + 0.5);
+  } else {
+    risk = pi;
+  }
+  if (risk < 0.0) return 0.0;
+  return std::min(1.0, risk);
+}
+
+}  // namespace stats
+
+}  // namespace vadasa

@@ -1,0 +1,93 @@
+#ifndef VADASA_COMMON_RANDOM_H_
+#define VADASA_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vadasa {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All experiments in the bench
+/// harness fix seeds so that every run regenerates identical datasets.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Gamma(shape, scale) via Marsaglia–Tsang (with Ahrens–Dieter boost for
+  /// shape < 1).
+  double NextGamma(double shape, double scale);
+
+  /// Poisson(mean) — inversion for small means, PTRS-style normal
+  /// approximation fallback for large means.
+  uint64_t NextPoisson(double mean);
+
+  /// Negative binomial with size r and success probability p, sampled as a
+  /// Gamma–Poisson mixture: Poisson(Gamma(r, (1-p)/p)). This is the sampler
+  /// the individual-risk experiment plugs in (Section 5.2).
+  uint64_t NextNegativeBinomial(double r, double p);
+
+  /// Index drawn from an (unnormalized) weight vector.
+  size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 → uniform).
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Probability mass/aggregate helpers used by the individual-risk estimator.
+namespace stats {
+
+/// Mean of 1/F where F ~ posterior of the population frequency given sample
+/// frequency f and summed weights w, under the paper's negative-binomial
+/// assumption. Closed form used for the estimator; the bench's "library" mode
+/// instead Monte-Carlo samples it through Rng::NextNegativeBinomial.
+double NegBinomialPosteriorRiskClosedForm(double sample_freq, double weight_sum);
+
+/// Monte-Carlo estimate of E[f/F] with `draws` samples from the posterior of
+/// the population frequency F (clamped to F >= sample_freq). Deterministic
+/// given the Rng.
+double NegBinomialPosteriorRiskSampled(double sample_freq, double weight_sum,
+                                       int draws, Rng* rng);
+
+/// The exact Benedetti–Franconi individual-risk estimator (the formulas
+/// µ-Argus and sdcMicro implement, [7][22]): with π = f/ΣW the estimated
+/// sampling rate of the combination,
+///   f = 1:  ρ = π/(1−π) · ln(1/π)
+///   f = 2:  ρ = π/(1−π) − (π/(1−π))² · ln(1/π)
+///   f = 3:  ρ = π/(1−π) · [ (π/(1−π))² · ln(1/π) − π/(1−π) + 1/2 ]  (BF84-style)
+///   f > 3:  ρ ≈ π (the simple estimator, adequate for non-unique tuples)
+/// Clamped to [0,1]; π → 1 yields ρ = 1.
+double BenedettiFranconiRisk(double sample_freq, double weight_sum);
+
+}  // namespace stats
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_RANDOM_H_

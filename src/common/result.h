@@ -1,0 +1,79 @@
+#ifndef VADASA_COMMON_RESULT_H_
+#define VADASA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace vadasa {
+
+/// A value-or-error holder in the Arrow idiom: either a T or a non-OK Status.
+///
+/// Accessing the value of a failed Result is a programming error (asserted in
+/// debug builds). Use `ok()` / `status()` before dereferencing, or the
+/// VADASA_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Intentionally implicit
+  /// so functions can `return Status::...;`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this result failed.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+#define VADASA_CONCAT_IMPL(a, b) a##b
+#define VADASA_CONCAT(a, b) VADASA_CONCAT_IMPL(a, b)
+
+/// `VADASA_ASSIGN_OR_RETURN(auto x, MakeX());` — unwraps a Result or
+/// propagates its error status to the caller.
+#define VADASA_ASSIGN_OR_RETURN(decl, expr)                        \
+  auto VADASA_CONCAT(_res_, __LINE__) = (expr);                    \
+  if (!VADASA_CONCAT(_res_, __LINE__).ok())                        \
+    return VADASA_CONCAT(_res_, __LINE__).status();                \
+  decl = std::move(VADASA_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_RESULT_H_

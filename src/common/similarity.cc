@@ -1,0 +1,144 @@
+#include "common/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace vadasa {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    size_t prev = row[0];
+    row[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      const size_t cur = row[i];
+      const size_t sub = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+      prev = cur;
+    }
+  }
+  return row[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  const size_t m = std::max(a.size(), b.size());
+  if (m == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / static_cast<double>(m);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t match_window =
+      std::max<size_t>(1, std::max(a.size(), b.size()) / 2) - 1;
+  std::vector<bool> a_matched(a.size(), false);
+  std::vector<bool> b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const size_t lo = i > match_window ? i - match_window : 0;
+    const size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t t = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++t;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - t / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b) {
+  const double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  const size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+namespace {
+
+std::vector<std::string> Tokens(std::string_view s) {
+  std::string lowered = ToLower(s);
+  for (char& c : lowered) {
+    if (c == '_' || c == '-' || c == '.' || c == '/') c = ' ';
+  }
+  auto toks = SplitWhitespace(lowered);
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+
+}  // namespace
+
+double TokenJaccardSimilarity(std::string_view a, std::string_view b) {
+  const auto ta = Tokens(a);
+  const auto tb = Tokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::vector<std::string> inter;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(inter));
+  const size_t uni = ta.size() + tb.size() - inter.size();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter.size()) / static_cast<double>(uni);
+}
+
+std::string Soundex(std::string_view s) {
+  auto code = [](char c) -> char {
+    switch (std::tolower(static_cast<unsigned char>(c))) {
+      case 'b': case 'f': case 'p': case 'v': return '1';
+      case 'c': case 'g': case 'j': case 'k': case 'q': case 's': case 'x':
+      case 'z': return '2';
+      case 'd': case 't': return '3';
+      case 'l': return '4';
+      case 'm': case 'n': return '5';
+      case 'r': return '6';
+      default: return '0';  // Vowels, h, w, and non-letters.
+    }
+  };
+  // Skip to the first alphabetic character.
+  size_t start = 0;
+  while (start < s.size() && !std::isalpha(static_cast<unsigned char>(s[start]))) {
+    ++start;
+  }
+  if (start == s.size()) return "0000";
+  std::string out(1, static_cast<char>(std::toupper(static_cast<unsigned char>(s[start]))));
+  char prev = code(s[start]);
+  for (size_t i = start + 1; i < s.size() && out.size() < 4; ++i) {
+    const char c = s[i];
+    if (!std::isalpha(static_cast<unsigned char>(c))) {
+      prev = '0';
+      continue;
+    }
+    const char digit = code(c);
+    const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower == 'h' || lower == 'w') continue;  // Transparent for adjacency.
+    if (digit != '0' && digit != prev) out += digit;
+    prev = digit;
+  }
+  while (out.size() < 4) out += '0';
+  return out;
+}
+
+double AttributeNameSimilarity(std::string_view a, std::string_view b) {
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  return std::max(JaroWinklerSimilarity(la, lb), TokenJaccardSimilarity(la, lb));
+}
+
+}  // namespace vadasa

@@ -1,0 +1,44 @@
+#ifndef VADASA_COMMON_SIMILARITY_H_
+#define VADASA_COMMON_SIMILARITY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace vadasa {
+
+/// String-similarity functions in [0,1], used by the attribute categorizer
+/// (the pluggable `∼` relation of Algorithm 1) and by the record-linkage
+/// attack's matching step.
+
+/// Levenshtein edit distance (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - dist/max(len); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler with standard prefix scale 0.1 (prefix capped at 4).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Jaccard similarity over lower-cased whitespace/underscore tokens. Useful
+/// for attribute names like "residential_revenue" vs "Residential Rev.".
+double TokenJaccardSimilarity(std::string_view a, std::string_view b);
+
+/// Case-insensitive composite similarity used as the default `∼` of the
+/// attribute categorizer: max of Jaro–Winkler and token Jaccard on the
+/// lower-cased inputs.
+double AttributeNameSimilarity(std::string_view a, std::string_view b);
+
+/// American Soundex code ("Robert" -> "R163"); empty input -> "0000".
+/// Used by phonetic blocking in the record-linkage attack.
+std::string Soundex(std::string_view s);
+
+/// A pluggable similarity function type.
+using SimilarityFn = std::function<double(std::string_view, std::string_view)>;
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_SIMILARITY_H_

@@ -1,0 +1,100 @@
+#ifndef VADASA_COMMON_STATUS_H_
+#define VADASA_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vadasa {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kTypeError,
+  kEgdViolation,     ///< An equality-generating dependency failed on constants.
+  kLimitExceeded,    ///< A chase/termination limit was hit.
+  kIoError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "ParseError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail, in the Arrow/RocksDB idiom.
+///
+/// Functions in this codebase do not throw; fallible operations return a
+/// Status (or a Result<T>, see result.h). The OK status is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EgdViolation(std::string msg) {
+    return Status(StatusCode::kEgdViolation, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define VADASA_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::vadasa::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef VADASA_COMMON_STRING_UTIL_H_
+#define VADASA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vadasa {
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimView(std::string_view s);
+std::string Trim(std::string_view s);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if `s` parses fully as an integer / floating literal.
+bool LooksLikeInt(std::string_view s);
+bool LooksLikeDouble(std::string_view s);
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_STRING_UTIL_H_

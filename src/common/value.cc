@@ -1,0 +1,169 @@
+#include "common/value.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace vadasa {
+
+namespace {
+
+size_t HashCombine(size_t seed, size_t h) {
+  // Boost-style combiner.
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = ValueKind::kString;
+  v.str_ = std::make_shared<const std::string>(std::move(s));
+  return v;
+}
+
+Value Value::List(std::vector<Value> items) {
+  Value v;
+  v.kind_ = ValueKind::kList;
+  v.items_ = std::make_shared<const std::vector<Value>>(std::move(items));
+  return v;
+}
+
+Value Value::Set(std::vector<Value> items) {
+  std::sort(items.begin(), items.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const Value& a, const Value& b) {
+                            return a.Compare(b) == 0;
+                          }),
+              items.end());
+  Value v;
+  v.kind_ = ValueKind::kSet;
+  v.items_ = std::make_shared<const std::vector<Value>>(std::move(items));
+  return v;
+}
+
+Result<double> Value::ToNumeric() const {
+  if (is_int()) return static_cast<double>(int_);
+  if (is_double()) return double_;
+  return Status::TypeError("value is not numeric: " + ToString());
+}
+
+bool Value::Equals(const Value& other) const { return Compare(other) == 0; }
+
+bool Value::MaybeEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return true;
+  return Equals(other);
+}
+
+int Value::Compare(const Value& other) const {
+  // Cross-kind numeric comparison so Int(2) == Double(2.0).
+  if (is_numeric() && other.is_numeric()) {
+    const double a = as_double();
+    const double b = other.as_double();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  switch (kind_) {
+    case ValueKind::kNull:
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+      if (int_ < other.int_) return -1;
+      if (int_ > other.int_) return 1;
+      return 0;
+    case ValueKind::kDouble: {
+      if (double_ < other.double_) return -1;
+      if (double_ > other.double_) return 1;
+      return 0;
+    }
+    case ValueKind::kString:
+      return str_->compare(*other.str_);
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      const auto& a = *items_;
+      const auto& b = *other.items_;
+      const size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() < b.size()) return -1;
+      if (a.size() > b.size()) return 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = 0;
+  switch (kind_) {
+    case ValueKind::kNull:
+      seed = HashCombine(1, std::hash<int64_t>()(int_));
+      break;
+    case ValueKind::kBool:
+      seed = HashCombine(2, std::hash<int64_t>()(int_));
+      break;
+    case ValueKind::kInt:
+      // Hash ints through double so Int(2) and Double(2.0) collide, matching
+      // Compare()'s cross-kind numeric equality.
+      seed = HashCombine(3, std::hash<double>()(static_cast<double>(int_)));
+      break;
+    case ValueKind::kDouble:
+      seed = HashCombine(3, std::hash<double>()(double_));
+      break;
+    case ValueKind::kString:
+      seed = HashCombine(4, std::hash<std::string>()(*str_));
+      break;
+    case ValueKind::kList:
+    case ValueKind::kSet:
+      seed = kind_ == ValueKind::kList ? 5 : 6;
+      for (const Value& v : *items_) seed = HashCombine(seed, v.Hash());
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "⊥_" + std::to_string(int_);
+    case ValueKind::kBool:
+      return int_ ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kDouble: {
+      // Render integral doubles without a trailing ".0" explosion, but keep
+      // precision for the rest.
+      std::ostringstream os;
+      os << double_;
+      return os.str();
+    }
+    case ValueKind::kString:
+      return *str_;
+    case ValueKind::kList:
+    case ValueKind::kSet: {
+      std::string out = kind_ == ValueKind::kList ? "(" : "{";
+      for (size_t i = 0; i < items_->size(); ++i) {
+        if (i > 0) out += ",";
+        out += (*items_)[i].ToString();
+      }
+      out += kind_ == ValueKind::kList ? ")" : "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t HashValues(const std::vector<Value>& values) {
+  size_t seed = values.size();
+  for (const Value& v : values) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+}  // namespace vadasa

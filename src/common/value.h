@@ -1,0 +1,131 @@
+#ifndef VADASA_COMMON_VALUE_H_
+#define VADASA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vadasa {
+
+/// Runtime type tag of a Value.
+enum class ValueKind : uint8_t {
+  kNull = 0,  ///< A labelled null ⊥_id (not SQL NULL: nulls are distinguishable).
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kList,  ///< An ordered tuple of values.
+  kSet,   ///< A canonically sorted, duplicate-free collection of values.
+};
+
+/// A dynamically typed value: the domain of microdata cells and Vadalog terms.
+///
+/// Labelled nulls carry a numeric label so that ⊥_1 ≠ ⊥_2 under the standard
+/// (Skolem-chase) semantics, while the *maybe-match* semantics of the paper
+/// (Section 4.3) lets a null match anything; see MaybeEquals().
+///
+/// Values are small, copyable and totally ordered (ordering first by kind,
+/// then by payload), so they can serve as keys in maps and sets.
+class Value {
+ public:
+  /// Default-constructs the labelled null ⊥_0.
+  Value() : kind_(ValueKind::kNull), int_(0) {}
+
+  static Value Null(uint64_t label) {
+    Value v;
+    v.kind_ = ValueKind::kNull;
+    v.int_ = static_cast<int64_t>(label);
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.kind_ = ValueKind::kBool;
+    v.int_ = b ? 1 : 0;
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.kind_ = ValueKind::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.kind_ = ValueKind::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static Value String(std::string s);
+  /// Builds an ordered tuple.
+  static Value List(std::vector<Value> items);
+  /// Builds a set: items are sorted and deduplicated.
+  static Value Set(std::vector<Value> items);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_bool() const { return kind_ == ValueKind::kBool; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_double() const { return kind_ == ValueKind::kDouble; }
+  bool is_numeric() const { return is_int() || is_double(); }
+  bool is_string() const { return kind_ == ValueKind::kString; }
+  bool is_list() const { return kind_ == ValueKind::kList; }
+  bool is_set() const { return kind_ == ValueKind::kSet; }
+  bool is_collection() const { return is_list() || is_set(); }
+
+  uint64_t null_label() const { return static_cast<uint64_t>(int_); }
+  bool as_bool() const { return int_ != 0; }
+  int64_t as_int() const { return int_; }
+  double as_double() const {
+    return kind_ == ValueKind::kDouble ? double_ : static_cast<double>(int_);
+  }
+  const std::string& as_string() const { return *str_; }
+  const std::vector<Value>& items() const { return *items_; }
+
+  /// Numeric value of an int or double; TypeError otherwise.
+  Result<double> ToNumeric() const;
+
+  /// Strict equality: labelled nulls are equal iff their labels are equal;
+  /// ints and doubles compare numerically.
+  bool Equals(const Value& other) const;
+
+  /// The paper's =⊥ maybe-match relation: values match if strictly equal or
+  /// if either side is a labelled null (any null, regardless of label).
+  bool MaybeEquals(const Value& other) const;
+
+  /// Total order for container keys: by kind, then payload. Numerics of
+  /// different kinds (int vs double) are ordered by numeric value first.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+  /// Renders the value: nulls as "⊥_k", strings unquoted, lists as (a,b),
+  /// sets as {a,b}. For diagnostics and golden tests.
+  std::string ToString() const;
+
+ private:
+  ValueKind kind_;
+  union {
+    int64_t int_;
+    double double_;
+  };
+  std::shared_ptr<const std::string> str_;
+  std::shared_ptr<const std::vector<Value>> items_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash/equality over tuples of values (rows, grouping keys).
+size_t HashValues(const std::vector<Value>& values);
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_VALUE_H_

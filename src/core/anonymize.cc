@@ -1,0 +1,174 @@
+#include "core/anonymize.h"
+
+namespace vadasa::core {
+
+std::string AnonymizationStep::ToString(const MicrodataTable& table) const {
+  std::string out = method + ": row " + std::to_string(row) + ", " +
+                    table.attributes()[column].name + ": " + before.ToString() +
+                    " -> " + after.ToString();
+  if (affected_rows > 1) {
+    out += " (" + std::to_string(affected_rows) + " rows)";
+  }
+  return out;
+}
+
+bool LocalSuppression::CanApply(const MicrodataTable& table, size_t row,
+                                size_t column) const {
+  if (row >= table.num_rows() || column >= table.num_columns()) return false;
+  if (table.attributes()[column].category != AttributeCategory::kQuasiIdentifier) {
+    return false;
+  }
+  return !table.cell(row, column).is_null();
+}
+
+Result<AnonymizationStep> LocalSuppression::Apply(MicrodataTable* table, size_t row,
+                                                  size_t column) {
+  if (!CanApply(*table, row, column)) {
+    return Status::FailedPrecondition("local suppression not applicable to row " +
+                                      std::to_string(row) + " column " +
+                                      std::to_string(column));
+  }
+  AnonymizationStep step;
+  step.row = row;
+  step.column = column;
+  step.before = table->cell(row, column);
+  step.after = Value::Null(next_label_++);
+  step.method = name();
+  step.nulls_injected = 1;
+  table->set_cell(row, column, step.after);
+  return step;
+}
+
+bool GlobalRecoding::CanApply(const MicrodataTable& table, size_t row,
+                              size_t column) const {
+  if (row >= table.num_rows() || column >= table.num_columns()) return false;
+  if (table.attributes()[column].category != AttributeCategory::kQuasiIdentifier) {
+    return false;
+  }
+  const Value& v = table.cell(row, column);
+  if (v.is_null()) return false;
+  return hierarchy_->CanGeneralize(table.attributes()[column].name, v);
+}
+
+Result<AnonymizationStep> GlobalRecoding::Apply(MicrodataTable* table, size_t row,
+                                                size_t column) {
+  if (!CanApply(*table, row, column)) {
+    return Status::FailedPrecondition("global recoding not applicable to row " +
+                                      std::to_string(row) + " column " +
+                                      std::to_string(column));
+  }
+  const std::string& attr = table->attributes()[column].name;
+  const Value before = table->cell(row, column);
+  VADASA_ASSIGN_OR_RETURN(const Value after, hierarchy_->Generalize(attr, before));
+  AnonymizationStep step;
+  step.row = row;
+  step.column = column;
+  step.before = before;
+  step.after = after;
+  step.method = name();
+  step.affected_rows = 0;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    if (table->cell(r, column).Equals(before)) {
+      table->set_cell(r, column, after);
+      ++step.affected_rows;
+    }
+  }
+  return step;
+}
+
+bool PramPerturbation::CanApply(const MicrodataTable& table, size_t row,
+                                size_t column) const {
+  if (row >= table.num_rows() || column >= table.num_columns()) return false;
+  if (table.attributes()[column].category != AttributeCategory::kQuasiIdentifier) {
+    return false;
+  }
+  if (table.cell(row, column).is_null()) return false;
+  // Needs at least one other value in the column to draw from.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& v = table.cell(r, column);
+    if (!v.is_null() && !v.Equals(table.cell(row, column))) return true;
+  }
+  return false;
+}
+
+Result<AnonymizationStep> PramPerturbation::Apply(MicrodataTable* table, size_t row,
+                                                  size_t column) {
+  if (!CanApply(*table, row, column)) {
+    return Status::FailedPrecondition("PRAM not applicable to row " +
+                                      std::to_string(row) + " column " +
+                                      std::to_string(column));
+  }
+  const Value before = table->cell(row, column);
+  // Empirical marginal of the column, current value excluded.
+  std::vector<Value> values;
+  std::vector<double> weights;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const Value& v = table->cell(r, column);
+    if (v.is_null() || v.Equals(before)) continue;
+    bool found = false;
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (values[i].Equals(v)) {
+        weights[i] += 1.0;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      values.push_back(v);
+      weights.push_back(1.0);
+    }
+  }
+  const Value after = values[rng_.NextCategorical(weights)];
+  AnonymizationStep step;
+  step.row = row;
+  step.column = column;
+  step.before = before;
+  step.after = after;
+  step.method = name();
+  table->set_cell(row, column, after);
+  return step;
+}
+
+bool RecordSuppression::CanApply(const MicrodataTable& table, size_t row,
+                                 size_t column) const {
+  if (row >= table.num_rows() || column >= table.num_columns()) return false;
+  // Applicable while the row still has any visible quasi-identifier.
+  for (const size_t c : table.QuasiIdentifierColumns()) {
+    if (!table.cell(row, c).is_null()) return true;
+  }
+  return false;
+}
+
+Result<AnonymizationStep> RecordSuppression::Apply(MicrodataTable* table, size_t row,
+                                                   size_t column) {
+  if (!CanApply(*table, row, column)) {
+    return Status::FailedPrecondition("record suppression not applicable to row " +
+                                      std::to_string(row));
+  }
+  AnonymizationStep step;
+  step.row = row;
+  step.column = column;
+  step.before = table->cell(row, column);
+  step.method = name();
+  step.affected_rows = 1;
+  for (const size_t c : table->QuasiIdentifierColumns()) {
+    if (table->cell(row, c).is_null()) continue;
+    table->set_cell(row, c, Value::Null(next_label_++));
+    ++step.nulls_injected;
+  }
+  step.after = table->cell(row, column);
+  return step;
+}
+
+bool RecodeThenSuppress::CanApply(const MicrodataTable& table, size_t row,
+                                  size_t column) const {
+  return recode_.CanApply(table, row, column) || suppress_.CanApply(table, row, column);
+}
+
+Result<AnonymizationStep> RecodeThenSuppress::Apply(MicrodataTable* table, size_t row,
+                                                    size_t column) {
+  if (recode_.CanApply(*table, row, column)) return recode_.Apply(table, row, column);
+  return suppress_.Apply(table, row, column);
+}
+
+}  // namespace vadasa::core

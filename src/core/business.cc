@@ -1,0 +1,119 @@
+#include "core/business.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vadasa::core {
+
+int OwnershipGraph::InternId(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(companies_.size());
+  ids_.emplace(name, id);
+  companies_.push_back(name);
+  return id;
+}
+
+int OwnershipGraph::FindId(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+void OwnershipGraph::AddOwnership(const std::string& owner, const std::string& owned,
+                                  double share) {
+  Edge e;
+  e.owner = InternId(owner);
+  e.owned = InternId(owned);
+  e.share = share;
+  edges_.push_back(e);
+}
+
+std::vector<std::pair<std::string, std::string>> OwnershipGraph::ComputeControl() const {
+  const int n = static_cast<int>(companies_.size());
+  // Outgoing ownership per company.
+  std::vector<std::vector<std::pair<int, double>>> own(n);
+  for (const Edge& e : edges_) own[e.owner].push_back({e.owned, e.share});
+
+  std::vector<std::pair<std::string, std::string>> out;
+  for (int x = 0; x < n; ++x) {
+    // Fixpoint: controlled set of x; joint shares via controlled companies.
+    std::set<int> controlled;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<double> total(n, 0.0);
+      auto accumulate = [&](int holder) {
+        for (const auto& [y, w] : own[holder]) total[y] += w;
+      };
+      accumulate(x);
+      for (const int z : controlled) accumulate(z);
+      for (int y = 0; y < n; ++y) {
+        if (y == x || total[y] <= 0.5) continue;
+        if (controlled.insert(y).second) changed = true;
+      }
+    }
+    for (const int y : controlled) {
+      out.emplace_back(companies_[x], companies_[y]);
+    }
+  }
+  return out;
+}
+
+std::unordered_map<std::string, int> OwnershipGraph::ComputeClusters() const {
+  const int n = static_cast<int>(companies_.size());
+  std::vector<int> parent(n);
+  for (int i = 0; i < n; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int a) {
+    while (parent[a] != a) {
+      parent[a] = parent[parent[a]];
+      a = parent[a];
+    }
+    return a;
+  };
+  for (const auto& [x, y] : ComputeControl()) {
+    const int a = find(FindId(x));
+    const int b = find(FindId(y));
+    if (a != b) parent[a] = b;
+  }
+  std::unordered_map<std::string, int> out;
+  for (int i = 0; i < n; ++i) out[companies_[i]] = find(i);
+  return out;
+}
+
+bool OwnershipGraph::SameCluster(const std::string& a, const std::string& b) const {
+  if (a == b) return true;
+  const auto clusters = ComputeClusters();
+  auto ia = clusters.find(a);
+  auto ib = clusters.find(b);
+  if (ia == clusters.end() || ib == clusters.end()) return false;
+  return ia->second == ib->second;
+}
+
+RiskTransform MakeClusterRiskTransform(const OwnershipGraph* graph,
+                                       std::string id_column) {
+  // Clusters are computed once; the transform applies them per evaluation.
+  auto clusters = std::make_shared<std::unordered_map<std::string, int>>(
+      graph->ComputeClusters());
+  return [clusters, id_column = std::move(id_column)](const MicrodataTable& table,
+                                                      std::vector<double>* risks) {
+    const int id_col = table.ColumnIndex(id_column);
+    if (id_col < 0) return;
+    // cluster id -> Π (1 - ρ_c)
+    std::unordered_map<int, double> survive;
+    std::vector<int> row_cluster(table.num_rows(), -1);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      auto it = clusters->find(table.cell(r, static_cast<size_t>(id_col)).ToString());
+      if (it == clusters->end()) continue;
+      row_cluster[r] = it->second;
+      auto [sit, inserted] = survive.try_emplace(it->second, 1.0);
+      (void)inserted;
+      sit->second *= 1.0 - std::min(1.0, std::max(0.0, (*risks)[r]));
+    }
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (row_cluster[r] < 0) continue;
+      (*risks)[r] = std::max((*risks)[r], 1.0 - survive[row_cluster[r]]);
+    }
+  };
+}
+
+}  // namespace vadasa::core

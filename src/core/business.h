@@ -1,0 +1,63 @@
+#ifndef VADASA_CORE_BUSINESS_H_
+#define VADASA_CORE_BUSINESS_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "core/cycle.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// Company-ownership knowledge and the control closure of Section 4.4:
+///
+///   (1) Own(X,Y,W), W > 0.5 → rel(X,Y).
+///   (2) rel(X,Z), Own(Z,Y,W), msum(W,⟨Z⟩) > 0.5 → rel(X,Y).
+///
+/// i.e. X controls Y when it owns a majority directly, or when the companies
+/// it controls (plus itself) jointly own a majority of Y.
+class OwnershipGraph {
+ public:
+  /// Declares that `owner` holds `share` ∈ (0,1] of `owned`.
+  void AddOwnership(const std::string& owner, const std::string& owned, double share);
+
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<std::string>& companies() const { return companies_; }
+
+  /// All (controller, controlled) pairs under the closure above.
+  std::vector<std::pair<std::string, std::string>> ComputeControl() const;
+
+  /// Cluster id per company: connected components of the control relation
+  /// (companies without control links form singletons).
+  std::unordered_map<std::string, int> ComputeClusters() const;
+
+  /// True if `a` and `b` are in the same cluster.
+  bool SameCluster(const std::string& a, const std::string& b) const;
+
+ private:
+  struct Edge {
+    int owner;
+    int owned;
+    double share;
+  };
+  int InternId(const std::string& name);
+  int FindId(const std::string& name) const;
+
+  std::vector<std::string> companies_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<Edge> edges_;
+};
+
+/// A RiskTransform implementing Algorithm 9: every entity in a control
+/// cluster receives the cluster risk 1 − Π_c (1 − ρ_c) — the probability
+/// that at least one member is re-identified. `id_column` names the direct
+/// identifier whose value is the company id of a row.
+RiskTransform MakeClusterRiskTransform(const OwnershipGraph* graph,
+                                       std::string id_column);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_BUSINESS_H_

@@ -1,0 +1,135 @@
+#include "core/cycle.h"
+
+#include <chrono>
+
+#include "core/infoloss.h"
+
+namespace vadasa::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+std::vector<Value> QiPattern(const MicrodataTable& table,
+                             const std::vector<size_t>& qis, size_t row) {
+  std::vector<Value> p;
+  p.reserve(qis.size());
+  for (const size_t c : qis) p.push_back(table.cell(row, c));
+  return p;
+}
+
+bool MaybeMatchesAny(const std::vector<Value>& pattern,
+                     const std::vector<std::vector<Value>>& others) {
+  for (const auto& o : others) {
+    bool match = true;
+    for (size_t i = 0; i < pattern.size() && match; ++i) {
+      match = pattern[i].MaybeEquals(o[i]);
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
+  const auto t_start = std::chrono::steady_clock::now();
+  CycleStats stats;
+  VADASA_RETURN_NOT_OK(table->Validate());
+  const std::vector<size_t> qis = options_.risk.ResolveQiColumns(*table);
+  if (qis.empty()) {
+    return Status::FailedPrecondition("microdata DB " + table->name() +
+                                      " has no quasi-identifier columns");
+  }
+  std::vector<bool> unresolvable(table->num_rows(), false);
+
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    ++stats.iterations;
+    // --- Risk evaluation (the component Fig. 7e singles out). ---
+    const auto t_risk = std::chrono::steady_clock::now();
+    VADASA_ASSIGN_OR_RETURN(std::vector<double> risks,
+                            risk_->ComputeRisks(*table, options_.risk));
+    // Rows whose risk was raised by the business-knowledge transform carry
+    // non-local risk: the group-touch skip below must not apply to them.
+    std::vector<bool> cluster_elevated(risks.size(), false);
+    if (options_.risk_transform) {
+      const std::vector<double> base_risks = risks;
+      options_.risk_transform(*table, &risks);
+      for (size_t r = 0; r < risks.size(); ++r) {
+        cluster_elevated[r] = risks[r] > base_risks[r] + 1e-12;
+      }
+    }
+    ++stats.risk_evaluations;
+    stats.risk_eval_seconds += SecondsSince(t_risk);
+
+    std::vector<size_t> risky;
+    for (size_t r = 0; r < risks.size(); ++r) {
+      if (risks[r] > options_.threshold && !unresolvable[r]) risky.push_back(r);
+    }
+    if (iter == 0) {
+      for (size_t r = 0; r < risks.size(); ++r) {
+        if (risks[r] > options_.threshold) ++stats.initial_risky;
+      }
+    }
+    if (risky.empty()) break;
+
+    const std::vector<size_t> order =
+        OrderRiskyTuples(*table, risky, risks, options_.tuple_order);
+    const PatternUniverse universe(*table, qis, options_.risk.semantics);
+    std::vector<std::vector<Value>> touched_patterns;
+    bool progressed = false;
+
+    for (const size_t r : order) {
+      if (!options_.single_step && !cluster_elevated[r] &&
+          options_.risk.semantics == NullSemantics::kMaybeMatch &&
+          MaybeMatchesAny(QiPattern(*table, qis, r), touched_patterns)) {
+        // An earlier step this iteration may already have widened this
+        // tuple's group; re-check at the next risk evaluation.
+        continue;
+      }
+      auto col = ChooseQiColumn(*table, qis, r, options_.qi_choice, *anonymizer_,
+                                universe);
+      if (!col.ok()) {
+        if (col.status().code() == StatusCode::kNotFound) {
+          unresolvable[r] = true;
+          if (options_.log_steps) {
+            stats.log.push_back("row " + std::to_string(r) +
+                                ": risky but no anonymization applicable; giving up");
+          }
+          continue;
+        }
+        return col.status();
+      }
+      // Explain against the pre-step state: why was this tuple risky?
+      std::string why;
+      if (options_.log_steps) {
+        why = risk_->Explain(*table, options_.risk, r, risks[r]);
+      }
+      VADASA_ASSIGN_OR_RETURN(const AnonymizationStep step,
+                              anonymizer_->Apply(table, r, *col));
+      ++stats.anonymization_steps;
+      stats.nulls_injected += step.nulls_injected;
+      if (step.nulls_injected == 0) stats.cells_recoded += step.affected_rows;
+      progressed = true;
+      if (options_.log_steps) {
+        stats.log.push_back(step.ToString(*table) + "  [" + why + "]");
+      }
+      if (options_.single_step) break;  // Paper-literal: back to risk eval.
+      if (step.affected_rows > 1) break;  // Global recoding: groups shifted broadly.
+      touched_patterns.push_back(QiPattern(*table, qis, r));
+    }
+    if (!progressed) break;  // Only unresolvable risky tuples remain.
+  }
+
+  for (const bool u : unresolvable) {
+    if (u) ++stats.unresolved;
+  }
+  stats.information_loss =
+      PaperInformationLoss(stats.nulls_injected, stats.initial_risky, qis.size());
+  stats.total_seconds = SecondsSince(t_start);
+  return stats;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,81 @@
+#ifndef VADASA_CORE_CYCLE_H_
+#define VADASA_CORE_CYCLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/anonymize.h"
+#include "core/heuristics.h"
+#include "core/microdata.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+
+/// Optional hook that rewrites the per-row risk vector after the base
+/// estimation — the business-knowledge injection point of Algorithm 9 (e.g.
+/// cluster risk propagation along company-control links).
+using RiskTransform =
+    std::function<void(const MicrodataTable& table, std::vector<double>* risks)>;
+
+/// Configuration of the anonymization cycle (Algorithm 2).
+struct CycleOptions {
+  /// Risk threshold T in [0,1]; a tuple is anonymized while its risk > T.
+  double threshold = 0.5;
+  RiskContext risk;
+  TupleOrder tuple_order = TupleOrder::kLessSignificantFirst;
+  QiChoice qi_choice = QiChoice::kMostRiskyFirst;
+  /// Outer-iteration guard.
+  size_t max_iterations = 10000;
+  /// Paper-literal mode: re-evaluate risk after every single anonymization
+  /// step. Slower; the default batches steps within an iteration and skips
+  /// tuples whose group was already touched, which yields the same greedy
+  /// minimality up to ties.
+  bool single_step = false;
+  /// Record a human-readable justification for every step.
+  bool log_steps = false;
+  RiskTransform risk_transform;
+};
+
+/// Outcome and accounting of a cycle run.
+struct CycleStats {
+  size_t iterations = 0;
+  size_t risk_evaluations = 0;
+  size_t anonymization_steps = 0;
+  size_t nulls_injected = 0;
+  size_t cells_recoded = 0;
+  /// Tuples over threshold at the first evaluation.
+  size_t initial_risky = 0;
+  /// Tuples still risky but with no applicable anonymization left (e.g. all
+  /// quasi-identifiers already suppressed under standard null semantics).
+  size_t unresolved = 0;
+  /// The paper's Fig. 7b loss metric: nulls / (initial_risky × #QI).
+  double information_loss = 0.0;
+  double risk_eval_seconds = 0.0;
+  double total_seconds = 0.0;
+  /// Step-by-step explanations (log_steps only).
+  std::vector<std::string> log;
+};
+
+/// The anonymization cycle: iterative risk evaluation + minimal anonymization
+/// until every tuple's statistical disclosure risk is within the threshold
+/// (or provably cannot be reduced further).
+class AnonymizationCycle {
+ public:
+  AnonymizationCycle(const RiskMeasure* risk, Anonymizer* anonymizer,
+                     CycleOptions options)
+      : risk_(risk), anonymizer_(anonymizer), options_(std::move(options)) {}
+
+  /// Runs in place on `table`.
+  Result<CycleStats> Run(MicrodataTable* table);
+
+ private:
+  const RiskMeasure* risk_;
+  Anonymizer* anonymizer_;
+  CycleOptions options_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_CYCLE_H_

@@ -1,0 +1,393 @@
+#include "core/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace vadasa::core {
+
+std::string DistributionKindToString(DistributionKind d) {
+  switch (d) {
+    case DistributionKind::kRealWorld:
+      return "W";
+    case DistributionKind::kUnbalanced:
+      return "U";
+    case DistributionKind::kVeryUnbalanced:
+      return "V";
+  }
+  return "?";
+}
+
+std::vector<DatasetSpec> Figure6Corpus() {
+  using D = DistributionKind;
+  return {
+      {"R6A4U", 4, 6000, D::kUnbalanced, true},
+      {"R12A4U", 4, 12000, D::kUnbalanced, true},
+      {"R25A4W", 4, 25000, D::kRealWorld, false},
+      {"R25A4U", 4, 25000, D::kUnbalanced, false},
+      {"R25A4V", 4, 25000, D::kVeryUnbalanced, false},
+      {"R50A4W", 4, 50000, D::kRealWorld, true},
+      {"R50A4U", 4, 50000, D::kUnbalanced, true},
+      {"R50A5W", 5, 50000, D::kRealWorld, true},
+      {"R50A6W", 6, 50000, D::kRealWorld, true},
+      {"R50A8W", 8, 50000, D::kRealWorld, true},
+      {"R50A9W", 9, 50000, D::kRealWorld, true},
+      {"R100A4U", 4, 100000, D::kUnbalanced, true},
+  };
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : Figure6Corpus()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no Fig. 6 dataset named " + name);
+}
+
+namespace {
+
+/// Candidate quasi-identifier attributes; the first `num_qi` are used.
+struct QiDomain {
+  const char* name;
+  const char* description;
+  std::vector<const char*> values;
+};
+
+const std::vector<QiDomain>& QiDomains() {
+  static const std::vector<QiDomain>* kDomains = new std::vector<QiDomain>{
+      {"Area", "Geographic Area", {"North", "Center", "South"}},
+      {"Sector",
+       "Product Sector",
+       {"Commerce", "Public Service", "Construction", "Textiles", "Other",
+        "Financial", "Agriculture", "Energy"}},
+      {"Employees", "Num. of employees", {"50-200", "201-1000", "1000+"}},
+      {"Residential Rev.", "Rev. from internal market", {"0-30", "30-60", "60-90", "90+"}},
+      {"Export Rev.", "Rev. from external market", {"0-30", "30-60", "60-90", "90+"}},
+      {"Export to DE", "Rev. from DE market", {"0-30", "30-60", "60-90", "90+"}},
+      {"Legal Form", "Company legal form", {"SpA", "Srl", "Coop", "Partnership", "Other"}},
+      {"Age", "Years since foundation", {"0-5", "6-15", "16-40", "40+"}},
+      {"Listed", "Stock-exchange listing", {"Unlisted", "Listed", "Delisted"}},
+  };
+  return *kDomains;
+}
+
+/// Per-category sampling weights for a domain of `n` values under a
+/// distribution shape. Heavier tails create more selective (rare)
+/// combinations — the paper's "risky tuples".
+std::vector<double> CategoryWeights(size_t n, DistributionKind dist) {
+  std::vector<double> w(n);
+  double s = 0.0;
+  switch (dist) {
+    case DistributionKind::kRealWorld:
+      s = 0.8;  // Mild skew.
+      break;
+    case DistributionKind::kUnbalanced:
+      s = 1.8;
+      break;
+    case DistributionKind::kVeryUnbalanced:
+      s = 2.4;
+      break;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return w;
+}
+
+/// The structured rarity model. Real survey data owes its risky tuples to
+/// three patterns, which the three Fig. 6 distribution shapes dose
+/// differently (counts are per 25k tuples and scale with the dataset size):
+///
+///  - *isolated single-niche outliers*: one rare value in one attribute —
+///    a single suppression fixes them (1 null each);
+///  - *isolated double-niche outliers*: rare values in two attributes —
+///    two suppressions needed (the >25% information loss of R25A4V at k=2);
+///  - *outlier families*: 2-4 respondents sharing a common profile except
+///    for distinct niche values in one attribute — one suppression covers
+///    the whole family at k=2, and progressively more members need nulls as
+///    k grows (the ~linear null growth of Fig. 7a and the amortization that
+///    makes V's information loss *drop* at stricter k in Fig. 7b).
+struct OutlierPlan {
+  size_t isolated_single = 0;
+  size_t isolated_double = 0;
+  size_t families = 0;
+  /// Niche clusters: a shared base profile with 3 distinct niche values in
+  /// one column, each repeated 3 times (9 rows). Safe at k<=3; at stricter k
+  /// a couple of wildcards cover the whole cluster — the amortization that
+  /// keeps the W information loss flat in Fig. 7b.
+  size_t clusters = 0;
+};
+
+OutlierPlan PlanFor(DistributionKind dist, size_t num_tuples) {
+  OutlierPlan plan;
+  switch (dist) {
+    case DistributionKind::kRealWorld:
+      plan = {4, 0, 3, 2};
+      break;
+    case DistributionKind::kUnbalanced:
+      plan = {60, 10, 25, 6};
+      break;
+    case DistributionKind::kVeryUnbalanced:
+      plan = {20, 150, 10, 4};
+      break;
+  }
+  const double scale = static_cast<double>(num_tuples) / 25000.0;
+  plan.isolated_single = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(plan.isolated_single * scale)));
+  plan.isolated_double =
+      static_cast<size_t>(std::llround(plan.isolated_double * scale));
+  plan.families =
+      static_cast<size_t>(std::llround(std::max(1.0, plan.families * scale)));
+  plan.clusters = static_cast<size_t>(std::llround(plan.clusters * scale));
+  return plan;
+}
+
+}  // namespace
+
+MicrodataTable GenerateInflationGrowth(const std::string& name, size_t num_tuples,
+                                       int num_qi, DistributionKind distribution,
+                                       uint64_t seed) {
+  const auto& domains = QiDomains();
+  const int q = std::min<int>(num_qi, static_cast<int>(domains.size()));
+
+  std::vector<Attribute> attrs;
+  attrs.push_back({"Id", "Company Identifier", AttributeCategory::kIdentifier});
+  for (int i = 0; i < q; ++i) {
+    attrs.push_back(
+        {domains[i].name, domains[i].description, AttributeCategory::kQuasiIdentifier});
+  }
+  attrs.push_back({"Growth", "Rev. growth last 6 mths", AttributeCategory::kNonIdentifying});
+  attrs.push_back({"Weight", "Sampling Weight", AttributeCategory::kWeight});
+  MicrodataTable table(name, std::move(attrs));
+
+  Rng rng(seed);
+  // Per-attribute category weights; the category order is shuffled per
+  // attribute so the skews of different attributes do not align on the same
+  // index (which would make all tails co-occur).
+  std::vector<std::vector<double>> weights(q);
+  std::vector<std::vector<size_t>> order(q);
+  double combo_space = 1.0;
+  for (int i = 0; i < q; ++i) {
+    weights[i] = CategoryWeights(domains[i].values.size(), distribution);
+    order[i].resize(domains[i].values.size());
+    for (size_t j = 0; j < order[i].size(); ++j) order[i][j] = j;
+    rng.Shuffle(&order[i]);
+    combo_space *= static_cast<double>(domains[i].values.size());
+  }
+  // Population scale: the identity oracle is ~40x the sample, so a
+  // combination carried by f sample tuples has expected population mass 40f.
+  const double population_scale = 40.0 * static_cast<double>(num_tuples);
+
+  // Attributes beyond the core four are functionally derived from them:
+  // survey attributes correlate strongly, and this keeps the set of risky
+  // tuples stable as the attribute count grows — the property Fig. 7f
+  // depends on ("individual risk and k-anonymity are only marginally
+  // affected by the increased number of quasi-identifiers").
+  auto derived_pick = [&](int attr, const std::vector<Value>& core) -> size_t {
+    uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(attr) * 0x9e3779b9ULL;
+    for (const Value& v : core) {
+      for (const char c : v.ToString()) {
+        h = (h ^ static_cast<uint64_t>(c)) * 0x100000001b3ULL;
+      }
+    }
+    return h % domains[attr].values.size();
+  };
+
+  for (size_t t = 0; t < num_tuples; ++t) {
+    std::vector<Value> row;
+    row.reserve(table.num_columns());
+    row.push_back(Value::Int(rng.NextInt(100000, 999999)));
+    double combo_prob = 1.0;
+    std::vector<Value> core;
+    for (int i = 0; i < q; ++i) {
+      size_t pick;
+      if (i < 4) {
+        pick = rng.NextCategorical(weights[i]);
+        double total = 0.0;
+        for (const double w : weights[i]) total += w;
+        combo_prob *= weights[i][pick] / total;
+        pick = order[i][pick];
+      } else {
+        pick = derived_pick(i, core);
+      }
+      Value v = Value::String(domains[i].values[pick]);
+      if (static_cast<int>(core.size()) < std::min(q, 4)) core.push_back(v);
+      row.push_back(std::move(v));
+    }
+    row.push_back(Value::Int(rng.NextInt(-30, 300)));  // Growth, non-identifying.
+    // Sampling weight: expected number of population entities with this
+    // combination, with ±20% multiplicative noise, at least 1.
+    const double noise = 0.8 + 0.4 * rng.NextDouble();
+    const double w = std::max(1.0, std::round(population_scale * combo_prob * noise));
+    row.push_back(Value::Int(static_cast<int64_t>(w)));
+    Status st = table.AddRow(std::move(row));
+    (void)st;
+  }
+
+  // Plant the structured outliers over randomly chosen rows.
+  const OutlierPlan plan = PlanFor(distribution, num_tuples);
+  std::vector<size_t> slots(num_tuples);
+  for (size_t i = 0; i < num_tuples; ++i) slots[i] = i;
+  rng.Shuffle(&slots);
+  size_t next_slot = 0;
+  size_t niche_counter = 0;
+  auto niche_value = [&](int attr) {
+    return Value::String(std::string(domains[attr].name) + "-niche-" +
+                         std::to_string(niche_counter++));
+  };
+  auto common_value = [&](int attr) {
+    const size_t pick = rng.NextCategorical(weights[attr]);
+    return Value::String(domains[attr].values[order[attr][pick]]);
+  };
+  // Outlier profiles: draw the core four, derive the rest (as above).
+  auto common_profile = [&]() {
+    std::vector<Value> values;
+    for (int i = 0; i < std::min(q, 4); ++i) values.push_back(common_value(i));
+    for (int i = 4; i < q; ++i) {
+      values.push_back(Value::String(domains[i].values[derived_pick(i, values)]));
+    }
+    return values;
+  };
+  auto plant = [&](const std::vector<Value>& qi_values) {
+    if (next_slot >= slots.size()) return;
+    const size_t r = slots[next_slot++];
+    for (int i = 0; i < q; ++i) table.set_cell(r, 1 + i, qi_values[i]);
+    // Outliers are rare by construction: minimal population mass.
+    table.set_cell(r, table.num_columns() - 1, Value::Int(rng.NextInt(1, 3)));
+  };
+  for (size_t o = 0; o < plan.isolated_single + plan.isolated_double; ++o) {
+    std::vector<Value> values = common_profile();
+    const int first = static_cast<int>(rng.NextBelow(q));
+    values[first] = niche_value(first);
+    if (o >= plan.isolated_single && q > 1) {
+      const int second = (first + 1 + static_cast<int>(rng.NextBelow(q - 1))) % q;
+      values[second] = niche_value(second);
+    }
+    plant(values);
+  }
+  for (size_t f = 0; f < plan.families; ++f) {
+    std::vector<Value> base = common_profile();
+    const int col = static_cast<int>(rng.NextBelow(q));
+    const size_t members = 2 + rng.NextBelow(3);  // 2-4 respondents.
+    for (size_t m = 0; m < members; ++m) {
+      std::vector<Value> values = base;
+      values[col] = niche_value(col);
+      plant(values);
+    }
+  }
+  for (size_t c = 0; c < plan.clusters; ++c) {
+    std::vector<Value> base = common_profile();
+    const int col = static_cast<int>(rng.NextBelow(q));
+    for (int v = 0; v < 3; ++v) {
+      const Value niche = niche_value(col);
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        std::vector<Value> values = base;
+        values[col] = niche;
+        plant(values);
+      }
+    }
+  }
+  return table;
+}
+
+MicrodataTable GenerateDataset(const DatasetSpec& spec) {
+  // Seed derived from the dataset name: stable across runs and machines.
+  uint64_t seed = 0xcbf29ce484222325ULL;
+  for (const char c : spec.name) seed = (seed ^ static_cast<uint64_t>(c)) * 0x100000001b3ULL;
+  return GenerateInflationGrowth(spec.name, spec.num_tuples, spec.num_qi,
+                                 spec.distribution, seed);
+}
+
+MicrodataTable Figure1Microdata() {
+  std::vector<Attribute> attrs = {
+      {"Id", "Company Identifier", AttributeCategory::kIdentifier},
+      {"Area", "Geographic Area", AttributeCategory::kQuasiIdentifier},
+      {"Sector", "Product Sector", AttributeCategory::kQuasiIdentifier},
+      {"Employees", "Num. of employees", AttributeCategory::kQuasiIdentifier},
+      {"Residential Rev.", "Rev. from internal market", AttributeCategory::kQuasiIdentifier},
+      {"Export Rev.", "Rev. from external market", AttributeCategory::kQuasiIdentifier},
+      {"Export to DE", "Rev. from DE market", AttributeCategory::kNonIdentifying},
+      {"Growth", "Rev. growth last 6 mths", AttributeCategory::kNonIdentifying},
+      {"Weight", "Sampling Weight", AttributeCategory::kWeight},
+  };
+  MicrodataTable table("I&G", std::move(attrs));
+  struct RowSpec {
+    int id;
+    const char* area;
+    const char* sector;
+    const char* employees;
+    const char* res;
+    const char* exp;
+    const char* de;
+    int growth;
+    int weight;
+  };
+  const RowSpec kRows[] = {
+      {612276, "North", "Public Service", "50-200", "0-30", "0-30", "30-60", 2, 230},
+      {737536, "South", "Commerce", "201-1000", "0-30", "90+", "0-30", -1, 190},
+      {971906, "Center", "Commerce", "1000+", "0-30", "30-60", "0-30", 4, 70},
+      {589681, "North", "Textiles", "1000+", "90+", "0-30", "0-30", 30, 60},
+      {419410, "North", "Construction", "1000+", "90+", "0-30", "0-30", 300, 50},
+      {972915, "North", "Other", "1000+", "0-30", "0-30", "30-60", 50, 70},
+      {501118, "North", "Other", "201-1000", "60-90", "90+", "90+", -20, 300},
+      {815363, "North", "Textiles", "201-1000", "60-90", "30-60", "90+", 2, 230},
+      {490065, "South", "Public Service", "50-200", "0-30", "0-30", "0-30", 12, 123},
+      {415487, "South", "Commerce", "1000+", "0-30", "0-30", "90+", 3, 145},
+      {399087, "South", "Commerce", "50-200", "30-60", "0-30", "30-60", 2, 70},
+      {170034, "Center", "Commerce", "1000+", "60-90", "0-30", "0-30", 45, 90},
+      {724905, "Center", "Construction", "201-1000", "0-30", "30-60", "0-30", 2, 200},
+      {554475, "Center", "Other", "50-200", "0-30", "90+", "0-30", 0, 104},
+      {946251, "Center", "Public Service", "201-1000", "30-60", "90+", "90+", 150, 30},
+      {581077, "North", "Textiles", "50-200", "0-30", "60-90", "30-60", -20, 160},
+      {765562, "South", "Textiles", "50-200", "0-30", "60-90", "0-30", -7, 200},
+      {154840, "Center", "Commerce", "201-1000", "0-30", "60-90", "0-30", 4, 220},
+      {600837, "Center", "Construction", "50-200", "0-30", "60-90", "0-30", 20, 190},
+      {220712, "Center", "Financial", "1000+", "30-60", "60-90", "30-60", -30, 90},
+  };
+  for (const RowSpec& r : kRows) {
+    Status st = table.AddRow({Value::Int(r.id), Value::String(r.area),
+                              Value::String(r.sector), Value::String(r.employees),
+                              Value::String(r.res), Value::String(r.exp),
+                              Value::String(r.de), Value::Int(r.growth),
+                              Value::Int(r.weight)});
+    (void)st;
+  }
+  return table;
+}
+
+MicrodataTable Figure5Microdata() {
+  std::vector<Attribute> attrs = {
+      {"Id", "Company Identifier", AttributeCategory::kIdentifier},
+      {"Area", "City", AttributeCategory::kQuasiIdentifier},
+      {"Sector", "Product Sector", AttributeCategory::kQuasiIdentifier},
+      {"Employees", "Num. of employees", AttributeCategory::kQuasiIdentifier},
+      {"Residential Revenue", "Rev. from internal market",
+       AttributeCategory::kQuasiIdentifier},
+  };
+  MicrodataTable table("Fig5", std::move(attrs));
+  struct RowSpec {
+    const char* id;
+    const char* area;
+    const char* sector;
+    const char* employees;
+    const char* res;
+  };
+  const RowSpec kRows[] = {
+      {"099876", "Roma", "Textiles", "1000+", "0-30"},
+      {"765389", "Roma", "Commerce", "1000+", "0-30"},
+      {"231654", "Roma", "Commerce", "1000+", "0-30"},
+      {"097302", "Roma", "Financial", "1000+", "0-30"},
+      {"120967", "Roma", "Financial", "1000+", "0-30"},
+      {"232498", "Milano", "Construction", "0-200", "60-90"},
+      {"340901", "Torino", "Construction", "0-200", "60-90"},
+  };
+  for (const RowSpec& r : kRows) {
+    Status st = table.AddRow({Value::String(r.id), Value::String(r.area),
+                              Value::String(r.sector), Value::String(r.employees),
+                              Value::String(r.res)});
+    (void)st;
+  }
+  return table;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,59 @@
+#ifndef VADASA_CORE_DATAGEN_H_
+#define VADASA_CORE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// Value-distribution shapes of the Fig. 6 corpus.
+enum class DistributionKind {
+  kRealWorld,       ///< "W": mildly skewed, fitted to the I&G survey shape.
+  kUnbalanced,      ///< "U": heavy-tailed, many selective combinations.
+  kVeryUnbalanced,  ///< "V": extreme tail, many sample uniques.
+};
+
+std::string DistributionKindToString(DistributionKind d);
+
+/// One row of Figure 6.
+struct DatasetSpec {
+  std::string name;     ///< e.g. "R25A4W"
+  int num_qi = 4;       ///< Number of quasi-identifier attributes.
+  size_t num_tuples = 0;
+  DistributionKind distribution = DistributionKind::kRealWorld;
+  bool synthetic = true;  ///< false = "Real-world"/"Realistic" per the paper.
+};
+
+/// The twelve datasets of Figure 6 (R6A4U ... R100A4U).
+std::vector<DatasetSpec> Figure6Corpus();
+
+/// Finds a Fig. 6 dataset by name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates an Inflation-&-Growth-style microdata DB with `num_qi`
+/// quasi-identifiers, an Id direct identifier, a non-identifying growth
+/// column and a sampling weight. The weight of a tuple estimates the number
+/// of population entities sharing its QI combination (Section 2.1), i.e.
+/// population_scale × P(combination), with mild multiplicative noise.
+MicrodataTable GenerateInflationGrowth(const std::string& name, size_t num_tuples,
+                                       int num_qi, DistributionKind distribution,
+                                       uint64_t seed);
+
+/// Generates a dataset from its Fig. 6 spec (seed fixed per dataset name so
+/// every bench run sees identical data).
+MicrodataTable GenerateDataset(const DatasetSpec& spec);
+
+/// The exact 20-tuple Inflation & Growth fragment of Figure 1, with the
+/// paper's attribute categorization.
+MicrodataTable Figure1Microdata();
+
+/// The 7-row local-suppression / global-recoding example of Figure 5a.
+MicrodataTable Figure5Microdata();
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_DATAGEN_H_

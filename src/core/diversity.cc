@@ -1,0 +1,182 @@
+#include "core/diversity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "core/group_index.h"
+
+namespace vadasa::core {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
+};
+struct VecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+bool PatternsCompatible(const std::vector<Value>& a, const std::vector<Value>& b,
+                        NullSemantics semantics) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    const bool match = semantics == NullSemantics::kMaybeMatch
+                           ? a[i].MaybeEquals(b[i])
+                           : a[i].Equals(b[i]);
+    if (!match) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SensitiveStats> ComputeSensitiveStats(const MicrodataTable& table,
+                                             const std::vector<size_t>& qi_columns,
+                                             size_t sensitive_column,
+                                             NullSemantics semantics) {
+  if (sensitive_column >= table.num_columns()) {
+    return Status::OutOfRange("sensitive column out of range");
+  }
+  for (const size_t c : qi_columns) {
+    if (c == sensitive_column) {
+      return Status::InvalidArgument(
+          "the sensitive attribute cannot be a quasi-identifier");
+    }
+  }
+  const size_t n = table.num_rows();
+  SensitiveStats stats;
+  stats.distinct_values.assign(n, 0);
+  stats.distribution_distance.assign(n, 0.0);
+  if (n == 0) return stats;
+
+  // Collapse rows into distinct QI patterns, collecting per-pattern sensitive
+  // histograms; sensitive domains are small, so cross-pattern merges are
+  // cheap.
+  struct Pattern {
+    std::vector<Value> values;
+    std::map<Value, double> sensitive;
+    double count = 0.0;
+  };
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> ids;
+  std::vector<Pattern> patterns;
+  std::vector<size_t> row_pattern(n);
+  std::map<Value, double> global;
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Value> p;
+    p.reserve(qi_columns.size());
+    for (const size_t c : qi_columns) p.push_back(table.cell(r, c));
+    auto it = ids.find(p);
+    size_t id;
+    if (it == ids.end()) {
+      id = patterns.size();
+      ids.emplace(p, id);
+      Pattern pat;
+      pat.values = std::move(p);
+      patterns.push_back(std::move(pat));
+    } else {
+      id = it->second;
+    }
+    const Value& s = table.cell(r, sensitive_column);
+    patterns[id].sensitive[s] += 1.0;
+    patterns[id].count += 1.0;
+    global[s] += 1.0;
+    row_pattern[r] = id;
+  }
+
+  // Per pattern: merge the histograms of every compatible pattern. Quadratic
+  // in #patterns, which collapse heavily on categorical microdata.
+  std::vector<std::map<Value, double>> merged(patterns.size());
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (!PatternsCompatible(patterns[i].values, patterns[j].values, semantics)) {
+        continue;
+      }
+      for (const auto& [value, count] : patterns[j].sensitive) {
+        merged[i][value] += count;
+      }
+    }
+  }
+
+  const double total = static_cast<double>(n);
+  for (size_t r = 0; r < n; ++r) {
+    const auto& hist = merged[row_pattern[r]];
+    stats.distinct_values[r] = hist.size();
+    double mass = 0.0;
+    for (const auto& [value, count] : hist) {
+      (void)value;
+      mass += count;
+    }
+    double tv = 0.0;
+    for (const auto& [value, gcount] : global) {
+      auto it = hist.find(value);
+      const double p_group = it == hist.end() ? 0.0 : it->second / mass;
+      tv += std::fabs(p_group - gcount / total);
+    }
+    stats.distribution_distance[r] = tv / 2.0;
+  }
+  return stats;
+}
+
+namespace {
+
+Result<size_t> ResolveSensitiveColumn(const MicrodataTable& table,
+                                      const std::string& attribute) {
+  const int col = table.ColumnIndex(attribute);
+  if (col < 0) return Status::NotFound("no attribute named " + attribute);
+  return static_cast<size_t>(col);
+}
+
+}  // namespace
+
+Result<std::vector<double>> LDiversityRisk::ComputeRisks(
+    const MicrodataTable& table, const RiskContext& context) const {
+  VADASA_ASSIGN_OR_RETURN(const size_t col,
+                          ResolveSensitiveColumn(table, sensitive_attribute_));
+  VADASA_ASSIGN_OR_RETURN(
+      const SensitiveStats stats,
+      ComputeSensitiveStats(table, context.ResolveQiColumns(table), col,
+                            context.semantics));
+  std::vector<double> risks(table.num_rows());
+  for (size_t r = 0; r < risks.size(); ++r) {
+    risks[r] = stats.distinct_values[r] < static_cast<size_t>(l_) ? 1.0 : 0.0;
+  }
+  return risks;
+}
+
+std::string LDiversityRisk::Explain(const MicrodataTable& table,
+                                    const RiskContext& context, size_t row,
+                                    double risk) const {
+  auto col = ResolveSensitiveColumn(table, sensitive_attribute_);
+  if (!col.ok()) return col.status().ToString();
+  auto stats = ComputeSensitiveStats(table, context.ResolveQiColumns(table), *col,
+                                     context.semantics);
+  if (!stats.ok()) return stats.status().ToString();
+  return "QI group exposes " + std::to_string(stats->distinct_values[row]) +
+         " distinct value(s) of " + sensitive_attribute_ + "; l=" + std::to_string(l_) +
+         (risk > 0.5 ? " -> homogeneous group, risky" : " -> diverse enough");
+}
+
+Result<std::vector<double>> TClosenessRisk::ComputeRisks(
+    const MicrodataTable& table, const RiskContext& context) const {
+  VADASA_ASSIGN_OR_RETURN(const size_t col,
+                          ResolveSensitiveColumn(table, sensitive_attribute_));
+  VADASA_ASSIGN_OR_RETURN(
+      const SensitiveStats stats,
+      ComputeSensitiveStats(table, context.ResolveQiColumns(table), col,
+                            context.semantics));
+  std::vector<double> risks(table.num_rows());
+  for (size_t r = 0; r < risks.size(); ++r) {
+    risks[r] = stats.distribution_distance[r] > t_ ? 1.0 : 0.0;
+  }
+  return risks;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,74 @@
+#ifndef VADASA_CORE_DIVERSITY_H_
+#define VADASA_CORE_DIVERSITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+
+/// Attribute-disclosure risk measures from the wider SDC toolbox (ARX ships
+/// both): beyond re-identification, an attacker who narrows a respondent to
+/// a QI group learns the *sensitive* attribute if the group is homogeneous.
+/// The paper's plug-in architecture (polymorphic #risk) is exactly where
+/// such measures slot in; these two are the standard representatives.
+
+/// Per-row sensitive-attribute statistics over the row's (maybe-match) QI
+/// group.
+struct SensitiveStats {
+  /// Distinct sensitive values among the rows matching this row's QIs.
+  std::vector<size_t> distinct_values;
+  /// Total variation distance between the group's sensitive-value
+  /// distribution and the whole table's.
+  std::vector<double> distribution_distance;
+};
+
+/// Computes both statistics in one pass. `sensitive_column` must not be a
+/// quasi-identifier.
+Result<SensitiveStats> ComputeSensitiveStats(const MicrodataTable& table,
+                                             const std::vector<size_t>& qi_columns,
+                                             size_t sensitive_column,
+                                             NullSemantics semantics);
+
+/// Distinct l-diversity: a tuple is risky (risk 1) when its QI group carries
+/// fewer than `l` distinct values of the sensitive attribute — the attacker
+/// learns the attribute (near-)certainly even without re-identification.
+class LDiversityRisk : public RiskMeasure {
+ public:
+  /// `sensitive_attribute` names the column to protect; `l` >= 2.
+  LDiversityRisk(std::string sensitive_attribute, int l)
+      : sensitive_attribute_(std::move(sensitive_attribute)), l_(l) {}
+
+  std::string name() const override { return "l-diversity"; }
+  Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                           const RiskContext& context) const override;
+  std::string Explain(const MicrodataTable& table, const RiskContext& context,
+                      size_t row, double risk) const override;
+
+ private:
+  std::string sensitive_attribute_;
+  int l_;
+};
+
+/// t-closeness: a tuple is risky when the distribution of the sensitive
+/// attribute within its QI group strays more than `t` (total variation) from
+/// the table-wide distribution — the group leaks a skewed posterior.
+class TClosenessRisk : public RiskMeasure {
+ public:
+  TClosenessRisk(std::string sensitive_attribute, double t)
+      : sensitive_attribute_(std::move(sensitive_attribute)), t_(t) {}
+
+  std::string name() const override { return "t-closeness"; }
+  Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                           const RiskContext& context) const override;
+
+ private:
+  std::string sensitive_attribute_;
+  double t_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_DIVERSITY_H_

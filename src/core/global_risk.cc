@@ -1,0 +1,59 @@
+#include "core/global_risk.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/group_index.h"
+
+namespace vadasa::core {
+
+std::string GlobalRiskReport::ToString() const {
+  std::ostringstream os;
+  os << "expected re-identifications (tau1): " << expected_reidentifications
+     << "; global rate (tau2): " << global_risk_rate
+     << "; over threshold: " << tuples_over_threshold << "; max risk: " << max_risk
+     << "; sample uniques: " << sample_uniques;
+  return os.str();
+}
+
+Result<GlobalRiskReport> ComputeGlobalRisk(const MicrodataTable& table,
+                                           const RiskMeasure& measure,
+                                           const RiskContext& context,
+                                           double threshold) {
+  GlobalRiskReport report;
+  VADASA_ASSIGN_OR_RETURN(const std::vector<double> risks,
+                          measure.ComputeRisks(table, context));
+  for (const double r : risks) {
+    report.expected_reidentifications += r;
+    report.max_risk = std::max(report.max_risk, r);
+    if (r > threshold) ++report.tuples_over_threshold;
+  }
+  if (!risks.empty()) {
+    report.global_risk_rate =
+        report.expected_reidentifications / static_cast<double>(risks.size());
+  }
+  const GroupStats stats = ComputeGroupStats(table, context.ResolveQiColumns(table),
+                                             context.semantics);
+  for (const double f : stats.frequency) {
+    if (f == 1.0) ++report.sample_uniques;
+  }
+  return report;
+}
+
+Result<double> InferThreshold(const MicrodataTable& table, const RiskMeasure& measure,
+                              const RiskContext& context, double quantile) {
+  if (quantile <= 0.0 || quantile >= 1.0) {
+    return Status::InvalidArgument("quantile must be in (0, 1)");
+  }
+  VADASA_ASSIGN_OR_RETURN(std::vector<double> risks,
+                          measure.ComputeRisks(table, context));
+  if (risks.empty()) {
+    return Status::FailedPrecondition("cannot infer a threshold from an empty table");
+  }
+  std::sort(risks.begin(), risks.end());
+  size_t index = static_cast<size_t>(quantile * static_cast<double>(risks.size()));
+  if (index >= risks.size()) index = risks.size() - 1;
+  return risks[index];
+}
+
+}  // namespace vadasa::core

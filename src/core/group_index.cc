@@ -1,0 +1,279 @@
+#include "core/group_index.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+namespace vadasa::core {
+
+namespace {
+
+struct PatternInfo {
+  std::vector<Value> pattern;
+  uint32_t null_mask = 0;  // Bit i set iff pattern[i] is a labelled null.
+  double count = 0.0;
+  double weight_sum = 0.0;
+  std::vector<uint32_t> rows;
+};
+
+struct VecLess {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
+};
+struct VecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Projection of a pattern onto the positions NOT in `mask`.
+std::vector<Value> ProjectOut(const std::vector<Value>& pattern, uint32_t mask) {
+  std::vector<Value> out;
+  out.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if ((mask & (1u << i)) == 0) out.push_back(pattern[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+GroupStats ComputeGroupStats(const MicrodataTable& table,
+                             const std::vector<size_t>& qi_columns,
+                             NullSemantics semantics) {
+  const size_t n = table.num_rows();
+  GroupStats stats;
+  stats.frequency.assign(n, 0.0);
+  stats.weight_sum.assign(n, 0.0);
+
+  // 1. Collapse rows into distinct patterns (strict equality; null labels
+  //    distinguish). Under kStandard this already yields the answer.
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> pattern_ids;
+  pattern_ids.reserve(n * 2);
+  std::vector<PatternInfo> patterns;
+  std::vector<size_t> row_pattern(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Value> p;
+    p.reserve(qi_columns.size());
+    uint32_t mask = 0;
+    for (size_t i = 0; i < qi_columns.size(); ++i) {
+      const Value& v = table.cell(r, qi_columns[i]);
+      if (v.is_null()) mask |= (1u << i);
+      p.push_back(v);
+    }
+    auto it = pattern_ids.find(p);
+    size_t id;
+    if (it == pattern_ids.end()) {
+      id = patterns.size();
+      pattern_ids.emplace(p, id);
+      PatternInfo info;
+      info.pattern = std::move(p);
+      info.null_mask = semantics == NullSemantics::kMaybeMatch ? mask : 0;
+      patterns.push_back(std::move(info));
+    } else {
+      id = it->second;
+    }
+    patterns[id].count += 1.0;
+    patterns[id].weight_sum += table.RowWeight(r);
+    patterns[id].rows.push_back(static_cast<uint32_t>(r));
+    row_pattern[r] = id;
+  }
+
+  std::vector<double> pat_freq(patterns.size(), 0.0);
+  std::vector<double> pat_wsum(patterns.size(), 0.0);
+
+  if (semantics == NullSemantics::kStandard) {
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      pat_freq[p] = patterns[p].count;
+      pat_wsum[p] = patterns[p].weight_sum;
+    }
+  } else {
+    // 2. Maybe-match: group patterns by null-mask class.
+    std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      classes[patterns[p].null_mask].push_back(p);
+    }
+    // For every ordered pair of classes (S1 receives from S2): patterns agree
+    // iff their projections outside S1 ∪ S2 are equal.
+    for (const auto& [mask1, pats1] : classes) {
+      for (const auto& [mask2, pats2] : classes) {
+        const uint32_t u = mask1 | mask2;
+        // Index class-2 patterns by projection outside u.
+        std::map<std::vector<Value>, std::pair<double, double>, VecLess> index;
+        for (const size_t p2 : pats2) {
+          auto key = ProjectOut(patterns[p2].pattern, u);
+          auto& agg = index[std::move(key)];
+          agg.first += patterns[p2].count;
+          agg.second += patterns[p2].weight_sum;
+        }
+        for (const size_t p1 : pats1) {
+          auto key = ProjectOut(patterns[p1].pattern, u);
+          auto it = index.find(key);
+          if (it != index.end()) {
+            pat_freq[p1] += it->second.first;
+            pat_wsum[p1] += it->second.second;
+          }
+        }
+      }
+    }
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    stats.frequency[r] = pat_freq[row_pattern[r]];
+    stats.weight_sum[r] = pat_wsum[row_pattern[r]];
+  }
+  return stats;
+}
+
+EquivalenceClassStats ComputeEquivalenceClasses(
+    const MicrodataTable& table, const std::vector<size_t>& qi_columns) {
+  EquivalenceClassStats stats;
+  stats.histogram.assign(10, 0);
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> classes;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(qi_columns.size());
+    for (const size_t c : qi_columns) key.push_back(table.cell(r, c));
+    classes[std::move(key)]++;
+  }
+  stats.num_classes = classes.size();
+  if (classes.empty()) return stats;
+  stats.min_class_size = table.num_rows();
+  for (const auto& [key, size] : classes) {
+    (void)key;
+    if (size == 1) ++stats.uniques;
+    stats.min_class_size = std::min(stats.min_class_size, size);
+    stats.max_class_size = std::max(stats.max_class_size, size);
+    stats.histogram[std::min<size_t>(size, 10) - 1]++;
+  }
+  stats.mean_class_size =
+      static_cast<double>(table.num_rows()) / static_cast<double>(classes.size());
+  return stats;
+}
+
+struct PatternUniverse::Impl {
+  NullSemantics semantics = NullSemantics::kMaybeMatch;
+  size_t width = 0;
+  struct Pat {
+    std::vector<Value> values;
+    uint32_t mask = 0;
+    double count = 0.0;
+    double weight = 0.0;
+  };
+  std::vector<Pat> patterns;
+  // Null-mask class -> pattern ids.
+  std::map<uint32_t, std::vector<size_t>> classes;
+  // Exact-match index (kStandard fast path).
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> exact;
+  // Memoized projection indexes: (class mask, union mask) -> proj -> mass.
+  mutable std::map<std::pair<uint32_t, uint32_t>,
+                   std::unordered_map<std::vector<Value>, std::pair<double, double>,
+                                      VecHash, VecEq>>
+      proj_indexes;
+};
+
+PatternUniverse::PatternUniverse(const MicrodataTable& table,
+                                 std::vector<size_t> qi_columns,
+                                 NullSemantics semantics) {
+  impl_ = std::make_shared<Impl>();
+  impl_->semantics = semantics;
+  impl_->width = qi_columns.size();
+  auto& exact = impl_->exact;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> p;
+    p.reserve(qi_columns.size());
+    uint32_t mask = 0;
+    for (size_t i = 0; i < qi_columns.size(); ++i) {
+      const Value& v = table.cell(r, qi_columns[i]);
+      if (v.is_null() && i < 32) mask |= (1u << i);
+      p.push_back(v);
+    }
+    auto it = exact.find(p);
+    size_t id;
+    if (it == exact.end()) {
+      id = impl_->patterns.size();
+      exact.emplace(p, id);
+      Impl::Pat pat;
+      pat.values = std::move(p);
+      pat.mask = semantics == NullSemantics::kMaybeMatch ? mask : 0;
+      impl_->patterns.push_back(std::move(pat));
+      impl_->classes[impl_->patterns.back().mask].push_back(id);
+    } else {
+      id = it->second;
+    }
+    impl_->patterns[id].count += 1.0;
+    impl_->patterns[id].weight += table.RowWeight(r);
+  }
+  pattern_count_ = impl_->patterns.size();
+}
+
+PatternUniverse::Mass PatternUniverse::Query(const std::vector<Value>& pattern) const {
+  Mass mass;
+  if (pattern.size() != impl_->width) return mass;
+  if (impl_->semantics == NullSemantics::kStandard) {
+    auto it = impl_->exact.find(pattern);
+    if (it != impl_->exact.end()) {
+      mass.count = impl_->patterns[it->second].count;
+      mass.weight = impl_->patterns[it->second].weight;
+    }
+    return mass;
+  }
+  uint32_t qmask = 0;
+  for (size_t i = 0; i < pattern.size() && i < 32; ++i) {
+    if (pattern[i].is_null()) qmask |= (1u << i);
+  }
+  for (const auto& [cmask, ids] : impl_->classes) {
+    const uint32_t u = qmask | cmask;
+    auto key = std::make_pair(cmask, u);
+    auto it = impl_->proj_indexes.find(key);
+    if (it == impl_->proj_indexes.end()) {
+      auto& index = impl_->proj_indexes[key];
+      for (const size_t id : ids) {
+        auto proj = ProjectOut(impl_->patterns[id].values, u);
+        auto& agg = index[std::move(proj)];
+        agg.first += impl_->patterns[id].count;
+        agg.second += impl_->patterns[id].weight;
+      }
+      it = impl_->proj_indexes.find(key);
+    }
+    const auto proj = ProjectOut(pattern, u);
+    auto hit = it->second.find(proj);
+    if (hit != it->second.end()) {
+      mass.count += hit->second.first;
+      mass.weight += hit->second.second;
+    }
+  }
+  return mass;
+}
+
+double CountMatches(const MicrodataTable& table, const std::vector<size_t>& qi_columns,
+                    const std::vector<Value>& pattern, NullSemantics semantics) {
+  double count = 0.0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    bool match = true;
+    for (size_t i = 0; i < qi_columns.size() && match; ++i) {
+      const Value& cell = table.cell(r, qi_columns[i]);
+      match = semantics == NullSemantics::kMaybeMatch ? cell.MaybeEquals(pattern[i])
+                                                      : cell.Equals(pattern[i]);
+    }
+    if (match) count += 1.0;
+  }
+  return count;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,98 @@
+#ifndef VADASA_CORE_GROUP_INDEX_H_
+#define VADASA_CORE_GROUP_INDEX_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/value.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// How labelled nulls compare when forming aggregation groups (Section 4.3).
+enum class NullSemantics {
+  /// The paper's =⊥ maybe-match: a null matches anything, so a tuple with
+  /// nulls joins every group it may belong to (groups stop partitioning).
+  kMaybeMatch,
+  /// Standard (Skolem-chase) semantics: ⊥_i = ⊥_j iff i == j. The Fig. 7c
+  /// baseline that makes suppression ineffective.
+  kStandard,
+};
+
+/// Per-row group statistics over a quasi-identifier projection.
+struct GroupStats {
+  /// Number of rows whose QI projection matches this row's (including it).
+  std::vector<double> frequency;
+  /// Sum of sampling weights over those matching rows.
+  std::vector<double> weight_sum;
+};
+
+/// Computes, for every row, the frequency and weight mass of its
+/// quasi-identifier combination under the chosen null semantics.
+///
+/// Under kStandard this is a plain hash partition. Under kMaybeMatch the
+/// computation groups patterns by their null-position sets and matches
+/// projections, so the cost is
+/// O(#rows + #null-set-classes^2 · #patterns · |qi|) rather than the naive
+/// O(#rows^2 · |qi|).
+GroupStats ComputeGroupStats(const MicrodataTable& table,
+                             const std::vector<size_t>& qi_columns,
+                             NullSemantics semantics);
+
+/// Counts rows of `table` whose QI projection maybe-matches `pattern`
+/// (`pattern` has one entry per qi_column; nulls are wildcards). Under
+/// kStandard, nulls match only nulls with the same label. Linear scan —
+/// intended for small tables and tests; the heuristics use PatternUniverse.
+double CountMatches(const MicrodataTable& table, const std::vector<size_t>& qi_columns,
+                    const std::vector<Value>& pattern, NullSemantics semantics);
+
+/// Equivalence-class statistics of a QI projection — the file-level summary
+/// SDC tools (sdcMicro, ARX) report next to the per-tuple risks.
+struct EquivalenceClassStats {
+  size_t num_classes = 0;
+  size_t uniques = 0;            ///< Classes of size 1.
+  double mean_class_size = 0.0;
+  size_t min_class_size = 0;
+  size_t max_class_size = 0;
+  /// histogram[k] = number of classes of size k+1, up to size 10 (larger
+  /// classes are accumulated in the last bucket).
+  std::vector<size_t> histogram;
+};
+
+/// Computes the partition statistics under *strict* equality (equivalence
+/// classes are a partition; the maybe-match relation is not transitive, so
+/// class statistics are only defined for the strict semantics).
+EquivalenceClassStats ComputeEquivalenceClasses(const MicrodataTable& table,
+                                                const std::vector<size_t>& qi_columns);
+
+/// A compiled snapshot of the distinct QI patterns of a table supporting fast
+/// what-if queries: "how many rows would maybe-match this (possibly
+/// null-bearing) pattern?". Used by the most-risky-first quasi-identifier
+/// heuristic (Section 4.4) to score candidate suppressions without rescanning
+/// the table. Projection indexes are built lazily per (null-class, query
+/// mask) pair and memoized.
+class PatternUniverse {
+ public:
+  PatternUniverse(const MicrodataTable& table, std::vector<size_t> qi_columns,
+                  NullSemantics semantics);
+
+  /// Row count and weight mass compatible with `pattern` (one entry per qi
+  /// column of the constructor).
+  struct Mass {
+    double count = 0.0;
+    double weight = 0.0;
+  };
+  Mass Query(const std::vector<Value>& pattern) const;
+
+  size_t num_patterns() const { return pattern_count_; }
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  size_t pattern_count_ = 0;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_GROUP_INDEX_H_

@@ -1,0 +1,175 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+namespace vadasa::core {
+
+void Hierarchy::SetAttributeType(const std::string& attribute, const std::string& type) {
+  attribute_type_[attribute] = type;
+}
+
+void Hierarchy::AddSubType(const std::string& type, const std::string& supertype) {
+  supertype_[type] = supertype;
+}
+
+void Hierarchy::AddInstance(const Value& value, const std::string& type) {
+  instance_types_[value].insert(type);
+}
+
+void Hierarchy::AddIsA(const Value& child, const Value& parent) {
+  isa_.insert_or_assign(child, parent);
+}
+
+void Hierarchy::AddScopedIsA(const std::string& child_type, const Value& child,
+                             const Value& parent) {
+  scoped_isa_.insert_or_assign({child_type, child.ToString()}, parent);
+}
+
+std::string Hierarchy::AttributeType(const std::string& attribute) const {
+  auto it = attribute_type_.find(attribute);
+  return it == attribute_type_.end() ? "" : it->second;
+}
+
+std::string Hierarchy::SuperType(const std::string& type) const {
+  auto it = supertype_.find(type);
+  return it == supertype_.end() ? "" : it->second;
+}
+
+bool Hierarchy::IsInstanceOf(const Value& value, const std::string& type) const {
+  auto it = instance_types_.find(value);
+  return it != instance_types_.end() && it->second.count(type) > 0;
+}
+
+std::string Hierarchy::ValueTypeFor(const std::string& attribute,
+                                    const Value& value) const {
+  // Walk the attribute's type chain and keep the highest level the value
+  // belongs to: bands carried over unchanged across levels (odd merges) must
+  // be read at their top-most membership so they keep climbing.
+  const std::string base = AttributeType(attribute);
+  std::string best = base;
+  std::string type = base;
+  int guard = 0;
+  while (!type.empty() && guard++ < 32) {
+    if (IsInstanceOf(value, type)) best = type;
+    type = SuperType(type);
+  }
+  return best;
+}
+
+Result<Value> Hierarchy::Generalize(const std::string& attribute,
+                                    const Value& value) const {
+  const std::string base = AttributeType(attribute);
+  if (base.empty()) {
+    return Status::NotFound("attribute " + attribute + " has no declared type");
+  }
+  // The value may already sit above the attribute's base type; read it at
+  // the level it actually belongs to.
+  const std::string value_type = ValueTypeFor(attribute, value);
+  const std::string super = SuperType(value_type);
+  if (super.empty()) {
+    return Status::NotFound("type " + value_type + " has no supertype");
+  }
+  const Value* parent = nullptr;
+  auto scoped = scoped_isa_.find({value_type, value.ToString()});
+  if (scoped != scoped_isa_.end()) {
+    parent = &scoped->second;
+  } else {
+    auto global = isa_.find(value);
+    if (global != isa_.end()) parent = &global->second;
+  }
+  if (parent == nullptr) {
+    return Status::NotFound("no IsA parent known for " + value.ToString());
+  }
+  if (!IsInstanceOf(*parent, super)) {
+    return Status::NotFound("IsA parent " + parent->ToString() +
+                            " is not an instance of " + super);
+  }
+  return *parent;
+}
+
+bool Hierarchy::CanGeneralize(const std::string& attribute, const Value& value) const {
+  return Generalize(attribute, value).ok();
+}
+
+int Hierarchy::GeneralizationHeight(const std::string& attribute,
+                                    const Value& value) const {
+  int height = 0;
+  Value cur = value;
+  while (height < 32) {
+    auto up = Generalize(attribute, cur);
+    if (!up.ok()) break;
+    cur = std::move(up).value();
+    ++height;
+  }
+  return height;
+}
+
+void Hierarchy::AddIntervalHierarchy(const std::string& attribute,
+                                     const std::vector<std::string>& ordered_bands,
+                                     size_t fan_in) {
+  if (ordered_bands.empty()) return;
+  if (fan_in < 2) fan_in = 2;
+  const std::string base_type = attribute + "/L0";
+  SetAttributeType(attribute, base_type);
+  std::vector<std::string> level = ordered_bands;
+  for (const std::string& band : level) {
+    AddInstance(Value::String(band), base_type);
+  }
+  int depth = 0;
+  while (level.size() > 1) {
+    const std::string cur_type = attribute + "/L" + std::to_string(depth);
+    const std::string up_type = attribute + "/L" + std::to_string(depth + 1);
+    AddSubType(cur_type, up_type);
+    std::vector<std::string> next;
+    for (size_t i = 0; i < level.size(); i += fan_in) {
+      const size_t end = std::min(level.size(), i + fan_in);
+      if (end - i == 1) {
+        // A lone band carries over to the next level unchanged (no self
+        // roll-up); it merges with neighbours one level further up.
+        AddInstance(Value::String(level[i]), up_type);
+        next.push_back(level[i]);
+        continue;
+      }
+      std::string merged;
+      for (size_t j = i; j < end; ++j) {
+        if (!merged.empty()) merged += "|";
+        merged += level[j];
+      }
+      AddInstance(Value::String(merged), up_type);
+      for (size_t j = i; j < end; ++j) {
+        AddScopedIsA(cur_type, Value::String(level[j]), Value::String(merged));
+      }
+      next.push_back(std::move(merged));
+    }
+    level = std::move(next);
+    ++depth;
+  }
+}
+
+Hierarchy Hierarchy::ItalianGeography() {
+  Hierarchy h;
+  h.AddSubType("City", "Region");
+  h.AddSubType("Region", "Country");
+  const struct {
+    const char* city;
+    const char* region;
+  } kCities[] = {
+      {"Milano", "North"},  {"Torino", "North"},   {"Genova", "North"},
+      {"Venezia", "North"}, {"Bologna", "North"},  {"Roma", "Center"},
+      {"Firenze", "Center"}, {"Ancona", "Center"}, {"Perugia", "Center"},
+      {"Napoli", "South"},  {"Bari", "South"},     {"Palermo", "South"},
+      {"Catania", "South"}, {"Cagliari", "South"},
+  };
+  for (const auto& [city, region] : kCities) {
+    h.AddInstance(Value::String(city), "City");
+    h.AddIsA(Value::String(city), Value::String(region));
+  }
+  for (const char* region : {"North", "Center", "South"}) {
+    h.AddInstance(Value::String(region), "Region");
+    h.AddIsA(Value::String(region), Value::String("Italy"));
+  }
+  h.AddInstance(Value::String("Italy"), "Country");
+  return h;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,98 @@
+#ifndef VADASA_CORE_HIERARCHY_H_
+#define VADASA_CORE_HIERARCHY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace vadasa::core {
+
+/// The domain-knowledge component of the Vada-SA KB used by global recoding
+/// (Algorithm 8): attribute types, a type hierarchy and value roll-ups.
+///
+///   Att(I&G, Area).  TypeOf(Area, City).  SubTypeOf(City, Region).
+///   InstOf(Milano, City).  InstOf(North, Region).  IsA(Milano, North).
+///
+/// Generalizing an attribute value climbs one level: the value's IsA parent,
+/// checked to be an instance of the value type's direct supertype. Values may
+/// belong to several types (e.g. the band "0-30" in two revenue attributes);
+/// roll-ups can be scoped to a type to keep such attributes independent.
+class Hierarchy {
+ public:
+  /// Declares that attribute `attribute` draws its values from `type`.
+  void SetAttributeType(const std::string& attribute, const std::string& type);
+
+  /// Declares `type` ⊑ `supertype` (one level).
+  void AddSubType(const std::string& type, const std::string& supertype);
+
+  /// Declares that `value` is an instance of `type` (a value may be an
+  /// instance of several types).
+  void AddInstance(const Value& value, const std::string& type);
+
+  /// Declares the roll-up `child` IsA `parent`, valid whatever type the
+  /// child is read at.
+  void AddIsA(const Value& child, const Value& parent);
+
+  /// Declares the roll-up `child` IsA `parent` only when the child is read
+  /// as an instance of `child_type`. Scoped roll-ups win over global ones.
+  void AddScopedIsA(const std::string& child_type, const Value& child,
+                    const Value& parent);
+
+  /// The type of an attribute ("" if undeclared).
+  std::string AttributeType(const std::string& attribute) const;
+
+  /// The direct supertype of a type ("" if top).
+  std::string SuperType(const std::string& type) const;
+
+  /// True if `value` was declared an instance of `type`.
+  bool IsInstanceOf(const Value& value, const std::string& type) const;
+
+  /// Rolls the value of `attribute` one level up. Fails (NotFound) when no
+  /// parent is known, the attribute has no type, or the parent is not an
+  /// instance of the supertype — mirroring the join in Algorithm 8.
+  Result<Value> Generalize(const std::string& attribute, const Value& value) const;
+
+  /// True if Generalize would succeed.
+  bool CanGeneralize(const std::string& attribute, const Value& value) const;
+
+  /// Number of roll-ups still applicable to `value` for `attribute` (0 when
+  /// at the top). Used by information-loss accounting.
+  int GeneralizationHeight(const std::string& attribute, const Value& value) const;
+
+  /// Declares an interval hierarchy for a banded attribute: the ordered band
+  /// labels are merged `fan_in` at a time into coarser bands named
+  /// "b1|b2|..." (joined labels), level by level, up to a single top. E.g.
+  /// bands {0-30, 30-60, 60-90, 90+} with fan_in 2 produce 0-30|30-60 and
+  /// 60-90|90+, then the single top band. This is how SDC tools generalize
+  /// numeric range attributes; roll-ups are type-scoped, so two attributes
+  /// sharing band labels stay independent.
+  void AddIntervalHierarchy(const std::string& attribute,
+                            const std::vector<std::string>& ordered_bands,
+                            size_t fan_in = 2);
+
+  /// A ready-made Italian geography KB: cities → macro-areas (North, Center,
+  /// South) → "Italy"; used by the Fig. 5 example and tests.
+  static Hierarchy ItalianGeography();
+
+ private:
+  /// Resolves which type `value` should be read at for `attribute`: the
+  /// first type in the attribute's type chain that `value` is an instance
+  /// of; falls back to the attribute's base type.
+  std::string ValueTypeFor(const std::string& attribute, const Value& value) const;
+
+  std::unordered_map<std::string, std::string> attribute_type_;
+  std::unordered_map<std::string, std::string> supertype_;
+  std::unordered_map<Value, std::set<std::string>, ValueHash> instance_types_;
+  std::unordered_map<Value, Value, ValueHash> isa_;
+  std::map<std::pair<std::string, std::string>, Value> scoped_isa_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_HIERARCHY_H_

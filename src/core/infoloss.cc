@@ -1,0 +1,49 @@
+#include "core/infoloss.h"
+
+namespace vadasa::core {
+
+double PaperInformationLoss(size_t nulls_injected, size_t initial_risky_tuples,
+                            size_t num_quasi_identifiers) {
+  const double denom = static_cast<double>(initial_risky_tuples) *
+                       static_cast<double>(num_quasi_identifiers);
+  if (denom <= 0.0) return 0.0;
+  const double loss = static_cast<double>(nulls_injected) / denom;
+  return loss > 1.0 ? 1.0 : loss;
+}
+
+InformationLoss MeasureInformationLoss(const MicrodataTable& original,
+                                       const MicrodataTable& anonymized,
+                                       const Hierarchy* hierarchy) {
+  InformationLoss loss;
+  const auto qis = anonymized.QuasiIdentifierColumns();
+  if (qis.empty() || anonymized.num_rows() == 0) return loss;
+
+  size_t suppressed = 0;
+  double height_used = 0.0;
+  double height_total = 0.0;
+  const bool comparable = original.num_rows() == anonymized.num_rows() &&
+                          original.num_columns() == anonymized.num_columns();
+  for (size_t r = 0; r < anonymized.num_rows(); ++r) {
+    for (const size_t c : qis) {
+      const Value& v = anonymized.cell(r, c);
+      if (v.is_null()) ++suppressed;
+      if (hierarchy != nullptr && comparable) {
+        const std::string& attr = anonymized.attributes()[c].name;
+        const Value& o = original.cell(r, c);
+        const int h0 = hierarchy->GeneralizationHeight(attr, o);
+        height_total += h0;
+        if (!v.is_null() && !v.Equals(o)) {
+          const int h1 = hierarchy->GeneralizationHeight(attr, v);
+          if (h1 < h0) height_used += h0 - h1;
+        }
+      }
+    }
+  }
+  loss.suppressed_cell_fraction =
+      static_cast<double>(suppressed) /
+      (static_cast<double>(anonymized.num_rows()) * static_cast<double>(qis.size()));
+  if (height_total > 0.0) loss.generalization_loss = height_used / height_total;
+  return loss;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,36 @@
+#ifndef VADASA_CORE_INFOLOSS_H_
+#define VADASA_CORE_INFOLOSS_H_
+
+#include <cstddef>
+
+#include "core/hierarchy.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// Information-loss accounting (Section 5.1, Fig. 7b).
+struct InformationLoss {
+  /// Paper metric: injected nulls weighted by the maximum number of values
+  /// that could theoretically be removed — the quasi-identifier cells of the
+  /// initially risky tuples. In [0,1] (0 when nothing was risky).
+  double paper_metric = 0.0;
+  /// Fraction of all quasi-identifier cells that are suppressed.
+  double suppressed_cell_fraction = 0.0;
+  /// Average generalization height consumed by recoding, normalized by the
+  /// total available height (0 when no hierarchy provided).
+  double generalization_loss = 0.0;
+};
+
+/// Computes the paper's loss metric from cycle counters.
+double PaperInformationLoss(size_t nulls_injected, size_t initial_risky_tuples,
+                            size_t num_quasi_identifiers);
+
+/// Full scan of an anonymized table against its original.
+/// `hierarchy` may be nullptr (generalization_loss stays 0).
+InformationLoss MeasureInformationLoss(const MicrodataTable& original,
+                                       const MicrodataTable& anonymized,
+                                       const Hierarchy* hierarchy);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_INFOLOSS_H_

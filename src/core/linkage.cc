@@ -1,0 +1,130 @@
+#include "core/linkage.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/random.h"
+#include "common/similarity.h"
+
+namespace vadasa::core {
+
+namespace {
+
+/// Value agreement for matching: strict for non-strings, fuzzy for strings.
+bool Agrees(const Value& released, const Value& oracle_value) {
+  if (released.is_null()) return false;  // Suppressed cells carry no signal.
+  if (released.is_string() && oracle_value.is_string()) {
+    return JaroWinklerSimilarity(released.as_string(), oracle_value.as_string()) >= 0.9;
+  }
+  return released.Equals(oracle_value);
+}
+
+}  // namespace
+
+std::string LinkageResult::ToString() const {
+  std::ostringstream os;
+  os << "attempted=" << attempted << " claimed=" << claimed << " correct=" << correct
+     << " precision=" << precision << " recall=" << recall
+     << " avg_block_size=" << avg_block_size;
+  return os.str();
+}
+
+Result<LinkageResult> RunLinkage(const MicrodataTable& released,
+                                 const IdentityOracle& oracle,
+                                 const std::vector<size_t>& truth,
+                                 const LinkageConfig& config) {
+  const std::vector<size_t> release_qis = released.QuasiIdentifierColumns();
+  if (release_qis.size() != oracle.qi_columns().size()) {
+    return Status::InvalidArgument(
+        "release and oracle disagree on the number of quasi-identifiers");
+  }
+  const size_t known =
+      config.known_qis == 0
+          ? release_qis.size()
+          : std::min(config.known_qis, release_qis.size());
+  // Split the known QIs into blocking vs scoring positions.
+  std::vector<size_t> blocking = config.blocking_positions;
+  if (blocking.empty()) {
+    for (size_t i = 0; i < known; ++i) blocking.push_back(i);
+  }
+  for (const size_t b : blocking) {
+    if (b >= known) {
+      return Status::InvalidArgument("blocking position beyond attacker knowledge");
+    }
+  }
+  std::vector<size_t> scoring;
+  for (size_t i = 0; i < known; ++i) {
+    if (std::find(blocking.begin(), blocking.end(), i) == blocking.end()) {
+      scoring.push_back(i);
+    }
+  }
+
+  LinkageResult result;
+  Rng rng(config.seed);
+  double block_total = 0.0;
+  for (size_t r = 0; r < released.num_rows(); ++r) {
+    ++result.attempted;
+    // --- Blocking: oracle rows matching the blocked QIs (nulls wildcard,
+    // i.e. carry no blocking power). ---
+    std::vector<Value> pattern(release_qis.size(), Value::Null(0));
+    for (const size_t b : blocking) {
+      pattern[b] = released.cell(r, release_qis[b]);
+    }
+    const std::vector<size_t> block = oracle.Block(pattern);
+    block_total += static_cast<double>(block.size());
+    if (block.empty()) continue;
+
+    // --- Matching: score candidates on the remaining known attributes. ---
+    double best_score = -1.0;
+    std::vector<size_t> best;
+    for (const size_t candidate : block) {
+      double agreements = 0.0;
+      for (const size_t s : scoring) {
+        if (Agrees(released.cell(r, release_qis[s]),
+                   oracle.population().cell(candidate, oracle.qi_columns()[s]))) {
+          agreements += 1.0;
+        }
+      }
+      const double score =
+          scoring.empty() ? 1.0 : agreements / static_cast<double>(scoring.size());
+      if (score > best_score) {
+        best_score = score;
+        best = {candidate};
+      } else if (score == best_score) {
+        best.push_back(candidate);
+      }
+    }
+    if (best_score < config.claim_threshold || best.empty()) continue;
+    const size_t guess = best[rng.NextBelow(best.size())];
+    ++result.claimed;
+    if (r < truth.size() && guess == truth[r]) ++result.correct;
+  }
+  if (result.attempted > 0) {
+    result.avg_block_size = block_total / static_cast<double>(result.attempted);
+    result.recall = static_cast<double>(result.correct) /
+                    static_cast<double>(result.attempted);
+  }
+  if (result.claimed > 0) {
+    result.precision =
+        static_cast<double>(result.correct) / static_cast<double>(result.claimed);
+  }
+  return result;
+}
+
+Result<std::vector<LinkageResult>> SweepAttackerKnowledge(
+    const MicrodataTable& released, const IdentityOracle& oracle,
+    const std::vector<size_t>& truth, uint64_t seed) {
+  std::vector<LinkageResult> results;
+  const size_t qis = released.QuasiIdentifierColumns().size();
+  for (size_t known = 1; known <= qis; ++known) {
+    LinkageConfig config;
+    config.known_qis = known;
+    config.seed = seed + known;
+    VADASA_ASSIGN_OR_RETURN(LinkageResult result,
+                            RunLinkage(released, oracle, truth, config));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,66 @@
+#ifndef VADASA_CORE_LINKAGE_H_
+#define VADASA_CORE_LINKAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/oracle.h"
+
+namespace vadasa::core {
+
+/// The full record-linkage toolbox of the Figure-2 attack ("the entire
+/// toolbox from the record linkage literature can be adopted", §2.2):
+/// a configurable blocking step restricting the candidate cohort, then a
+/// Fellegi–Sunter-style matching step scoring candidates on the remaining
+/// attributes. Section 2.2's point that the real risk depends on the subset
+/// q̂ of quasi-identifiers the attacker actually knows is modeled by
+/// `known_qis`.
+struct LinkageConfig {
+  /// How many of the release's QI columns the attacker knows (prefix of the
+  /// QI list); the rest are invisible to them. 0 = all.
+  size_t known_qis = 0;
+  /// QI positions (indices into the known set) used for blocking; the
+  /// remaining known QIs are used for match scoring. Empty = all known QIs
+  /// block (pure blocking attack, the paper's baseline).
+  std::vector<size_t> blocking_positions;
+  /// Minimum matching score (agreement fraction over scoring attributes) for
+  /// the attacker to *claim* a re-identification.
+  double claim_threshold = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Outcome of a linkage attack run.
+struct LinkageResult {
+  size_t attempted = 0;
+  size_t claimed = 0;        ///< Tuples where the attacker asserts a match.
+  size_t correct = 0;        ///< Claims that hit the true respondent.
+  double precision = 0.0;    ///< correct / claimed.
+  double recall = 0.0;       ///< correct / attempted.
+  double avg_block_size = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Runs the blocking+matching attack of `config` against `released`, using
+/// `oracle` as the attacker's external database and `truth` as ground truth.
+///
+/// Matching score of a candidate = fraction of scoring attributes whose
+/// values agree (string similarity >= 0.9 counts as agreement); the best-
+/// scoring candidate is claimed when its score clears the threshold and it
+/// is the unique maximum (ties broken uniformly at random count as guesses).
+Result<LinkageResult> RunLinkage(const MicrodataTable& released,
+                                 const IdentityOracle& oracle,
+                                 const std::vector<size_t>& truth,
+                                 const LinkageConfig& config);
+
+/// Sweeps attacker knowledge from 1 QI to all QIs and returns one result per
+/// level — the §2.2 "risk w.r.t. a subset q̂" curve.
+Result<std::vector<LinkageResult>> SweepAttackerKnowledge(
+    const MicrodataTable& released, const IdentityOracle& oracle,
+    const std::vector<size_t>& truth, uint64_t seed);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_LINKAGE_H_

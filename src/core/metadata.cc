@@ -1,0 +1,99 @@
+#include "core/metadata.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vadasa::core {
+
+void MetadataDictionary::RegisterMicrodb(const std::string& name) {
+  if (std::find(microdbs_.begin(), microdbs_.end(), name) == microdbs_.end()) {
+    microdbs_.push_back(name);
+  }
+}
+
+void MetadataDictionary::RegisterAttribute(AttributeEntry entry) {
+  RegisterMicrodb(entry.microdb);
+  for (const AttributeEntry& e : attributes_) {
+    if (e.microdb == entry.microdb && e.attribute == entry.attribute) return;
+  }
+  attributes_.push_back(std::move(entry));
+}
+
+void MetadataDictionary::SetCategory(CategoryEntry entry) {
+  for (CategoryEntry& e : categories_) {
+    if (e.microdb == entry.microdb && e.attribute == entry.attribute) {
+      e.category = entry.category;
+      return;
+    }
+  }
+  categories_.push_back(std::move(entry));
+}
+
+std::vector<AttributeEntry> MetadataDictionary::AttributesOf(
+    const std::string& microdb) const {
+  std::vector<AttributeEntry> out;
+  for (const AttributeEntry& e : attributes_) {
+    if (e.microdb == microdb) out.push_back(e);
+  }
+  return out;
+}
+
+Result<AttributeCategory> MetadataDictionary::CategoryOf(
+    const std::string& microdb, const std::string& attribute) const {
+  for (const CategoryEntry& e : categories_) {
+    if (e.microdb == microdb && e.attribute == attribute) return e.category;
+  }
+  return Status::NotFound("no category for " + microdb + "." + attribute);
+}
+
+void MetadataDictionary::IngestTable(const MicrodataTable& table,
+                                     bool include_categories) {
+  RegisterMicrodb(table.name());
+  for (const Attribute& a : table.attributes()) {
+    RegisterAttribute({table.name(), a.name, a.description});
+    if (include_categories) {
+      SetCategory({table.name(), a.name, a.category});
+    }
+  }
+}
+
+Status MetadataDictionary::ApplyCategories(MicrodataTable* table) const {
+  for (const CategoryEntry& e : categories_) {
+    if (e.microdb != table->name()) continue;
+    VADASA_RETURN_NOT_OK(table->SetCategory(e.attribute, e.category));
+  }
+  return table->Validate();
+}
+
+std::string MetadataDictionary::ToText(const std::string& microdb) const {
+  size_t db_width = 14;
+  size_t attr_width = 20;
+  for (const AttributeEntry& e : attributes_) {
+    if (e.microdb != microdb) continue;
+    db_width = std::max(db_width, e.microdb.size() + 2);
+    attr_width = std::max(attr_width, e.attribute.size() + 2);
+  }
+  const int dw = static_cast<int>(db_width);
+  const int aw = static_cast<int>(attr_width);
+  std::ostringstream os;
+  os << "Attribute\n";
+  os << "  " << std::left << std::setw(dw) << "Microdata DB" << std::setw(aw)
+     << "Attribute Name" << "Description\n";
+  for (const AttributeEntry& e : attributes_) {
+    if (e.microdb != microdb) continue;
+    os << "  " << std::left << std::setw(dw) << e.microdb << std::setw(aw)
+       << e.attribute << e.description << "\n";
+  }
+  os << "\nCategory\n";
+  os << "  " << std::left << std::setw(dw) << "Microdata DB" << std::setw(aw)
+     << "Attribute Name" << "Category\n";
+  for (const CategoryEntry& e : categories_) {
+    if (e.microdb != microdb) continue;
+    os << "  " << std::left << std::setw(dw) << e.microdb << std::setw(aw)
+       << e.attribute << AttributeCategoryToString(e.category) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,65 @@
+#ifndef VADASA_CORE_METADATA_H_
+#define VADASA_CORE_METADATA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// One Att(microDB, name, description) entry of the metadata dictionary.
+struct AttributeEntry {
+  std::string microdb;
+  std::string attribute;
+  std::string description;
+};
+
+/// One Category(microDB, att, cat) entry (derived extensional component).
+struct CategoryEntry {
+  std::string microdb;
+  std::string attribute;
+  AttributeCategory category;
+};
+
+/// The metadata dictionary of Section 4.1: the meta-level view of registered
+/// microdata DBs that makes the whole framework schema-independent. MicroDB
+/// and Att facts are extensional; Category facts are the product of the
+/// categorization reasoning.
+class MetadataDictionary {
+ public:
+  void RegisterMicrodb(const std::string& name);
+  void RegisterAttribute(AttributeEntry entry);
+  void SetCategory(CategoryEntry entry);
+
+  const std::vector<std::string>& microdbs() const { return microdbs_; }
+  const std::vector<AttributeEntry>& attributes() const { return attributes_; }
+  const std::vector<CategoryEntry>& categories() const { return categories_; }
+
+  /// Attributes registered for one microdata DB.
+  std::vector<AttributeEntry> AttributesOf(const std::string& microdb) const;
+
+  /// Category of (microdb, attribute); NotFound if not categorized yet.
+  Result<AttributeCategory> CategoryOf(const std::string& microdb,
+                                       const std::string& attribute) const;
+
+  /// Registers a table: MicroDB + Att facts (descriptions from the schema)
+  /// and, when `include_categories`, its Category facts too.
+  void IngestTable(const MicrodataTable& table, bool include_categories);
+
+  /// Writes the categories recorded for `table.name()` into the table schema.
+  Status ApplyCategories(MicrodataTable* table) const;
+
+  /// Renders the dictionary in the two-table layout of Figure 4.
+  std::string ToText(const std::string& microdb) const;
+
+ private:
+  std::vector<std::string> microdbs_;
+  std::vector<AttributeEntry> attributes_;
+  std::vector<CategoryEntry> categories_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_METADATA_H_

@@ -1,0 +1,188 @@
+#include "core/microdata.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace vadasa::core {
+
+std::string AttributeCategoryToString(AttributeCategory c) {
+  switch (c) {
+    case AttributeCategory::kIdentifier:
+      return "Identifier";
+    case AttributeCategory::kQuasiIdentifier:
+      return "Quasi-identifier";
+    case AttributeCategory::kNonIdentifying:
+      return "Non-identifying";
+    case AttributeCategory::kWeight:
+      return "Sampling Weight";
+  }
+  return "?";
+}
+
+Result<AttributeCategory> AttributeCategoryFromString(const std::string& s) {
+  if (s == "Identifier") return AttributeCategory::kIdentifier;
+  if (s == "Quasi-identifier") return AttributeCategory::kQuasiIdentifier;
+  if (s == "Non-identifying") return AttributeCategory::kNonIdentifying;
+  if (s == "Sampling Weight" || s == "Weight") return AttributeCategory::kWeight;
+  return Status::InvalidArgument("unknown attribute category: " + s);
+}
+
+Status MicrodataTable::AddRow(std::vector<Value> row) {
+  if (row.size() != attributes_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(row.size()) +
+                                   " cells, schema has " +
+                                   std::to_string(attributes_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+int MicrodataTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status MicrodataTable::SetCategory(const std::string& attribute,
+                                   AttributeCategory category) {
+  const int idx = ColumnIndex(attribute);
+  if (idx < 0) return Status::NotFound("no attribute named " + attribute);
+  attributes_[idx].category = category;
+  return Status::OK();
+}
+
+std::vector<size_t> MicrodataTable::ColumnsWithCategory(
+    AttributeCategory category) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].category == category) out.push_back(i);
+  }
+  return out;
+}
+
+int MicrodataTable::WeightColumn() const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].category == AttributeCategory::kWeight) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double MicrodataTable::RowWeight(size_t row) const {
+  const int w = WeightColumn();
+  if (w < 0) return 1.0;
+  const Value& v = rows_[row][static_cast<size_t>(w)];
+  return v.is_numeric() ? v.as_double() : 1.0;
+}
+
+size_t MicrodataTable::CountNullCells() const {
+  size_t count = 0;
+  const auto qis = QuasiIdentifierColumns();
+  for (const auto& row : rows_) {
+    for (const size_t c : qis) {
+      if (row[c].is_null()) ++count;
+    }
+  }
+  return count;
+}
+
+Status MicrodataTable::Validate() const {
+  size_t weights = 0;
+  for (const Attribute& a : attributes_) {
+    if (a.category == AttributeCategory::kWeight) ++weights;
+  }
+  if (weights > 1) {
+    return Status::FailedPrecondition("microdata DB " + name_ +
+                                      " has more than one weight column");
+  }
+  const int w = WeightColumn();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].size() != attributes_.size()) {
+      return Status::FailedPrecondition("row " + std::to_string(i) + " has wrong width");
+    }
+    if (w >= 0 && !rows_[i][static_cast<size_t>(w)].is_numeric()) {
+      return Status::TypeError("row " + std::to_string(i) +
+                               " has a non-numeric sampling weight");
+    }
+  }
+  return Status::OK();
+}
+
+Result<MicrodataTable> MicrodataTable::FromCsv(
+    const std::string& name, const CsvTable& csv,
+    const std::vector<std::string>& identifier_attributes,
+    const std::string& weight_attribute) {
+  std::vector<Attribute> attrs;
+  for (const std::string& col : csv.header) {
+    Attribute a;
+    a.name = col;
+    if (col == weight_attribute) {
+      a.category = AttributeCategory::kWeight;
+    } else if (std::find(identifier_attributes.begin(), identifier_attributes.end(),
+                         col) != identifier_attributes.end()) {
+      a.category = AttributeCategory::kIdentifier;
+    } else {
+      a.category = AttributeCategory::kQuasiIdentifier;
+    }
+    attrs.push_back(std::move(a));
+  }
+  MicrodataTable table(name, std::move(attrs));
+  for (const auto& row : csv.rows) {
+    std::vector<Value> values;
+    values.reserve(row.size());
+    for (const std::string& cell : row) values.push_back(CellToValue(cell));
+    VADASA_RETURN_NOT_OK(table.AddRow(std::move(values)));
+  }
+  VADASA_RETURN_NOT_OK(table.Validate());
+  return table;
+}
+
+CsvTable MicrodataTable::ToCsv() const {
+  CsvTable csv;
+  for (const Attribute& a : attributes_) csv.header.push_back(a.name);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) {
+      cells.push_back(v.is_null() ? "NULL_" + std::to_string(v.null_label())
+                                  : v.ToString());
+    }
+    csv.rows.push_back(std::move(cells));
+  }
+  return csv;
+}
+
+std::string MicrodataTable::ToText(size_t max_rows) const {
+  std::vector<size_t> widths(attributes_.size());
+  for (size_t c = 0; c < attributes_.size(); ++c) {
+    widths[c] = attributes_[c].name.size();
+  }
+  const size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < attributes_.size(); ++c) {
+      std::string s = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], s.size());
+      cells[r].push_back(std::move(s));
+    }
+  }
+  std::ostringstream os;
+  os << "# " << name_ << " (" << rows_.size() << " rows)\n";
+  for (size_t c = 0; c < attributes_.size(); ++c) {
+    os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << attributes_[c].name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < attributes_.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cells[r][c];
+    }
+    os << "\n";
+  }
+  if (shown < rows_.size()) os << "... (" << rows_.size() - shown << " more)\n";
+  return os.str();
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,103 @@
+#ifndef VADASA_CORE_MICRODATA_H_
+#define VADASA_CORE_MICRODATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/value.h"
+
+namespace vadasa::core {
+
+/// The four attribute roles of Section 2.1.
+enum class AttributeCategory {
+  kIdentifier,      ///< Direct identifier: alone re-identifies the respondent.
+  kQuasiIdentifier, ///< Jointly selective attributes.
+  kNonIdentifying,  ///< Harmless attributes.
+  kWeight,          ///< The sampling weight W.
+};
+
+std::string AttributeCategoryToString(AttributeCategory c);
+Result<AttributeCategory> AttributeCategoryFromString(const std::string& s);
+
+/// One attribute of a microdata DB: name, free-text description, role.
+struct Attribute {
+  std::string name;
+  std::string description;
+  AttributeCategory category = AttributeCategory::kNonIdentifying;
+};
+
+/// A microdata DB M(i, q, a, W): a named relation whose columns are
+/// categorized per Section 2.1. Cells are Values; anonymization replaces
+/// quasi-identifier cells with labelled nulls or coarser domain values.
+class MicrodataTable {
+ public:
+  MicrodataTable() = default;
+  MicrodataTable(std::string name, std::vector<Attribute> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  size_t num_columns() const { return attributes_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  const Value& cell(size_t row, size_t col) const { return rows_[row][col]; }
+  void set_cell(size_t row, size_t col, Value v) { rows_[row][col] = std::move(v); }
+
+  /// Appends a row; must match the column count.
+  Status AddRow(std::vector<Value> row);
+
+  /// Column index by attribute name; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  /// Changes the category of a named attribute.
+  Status SetCategory(const std::string& attribute, AttributeCategory category);
+
+  /// Indices of columns with the given category, in schema order.
+  std::vector<size_t> ColumnsWithCategory(AttributeCategory category) const;
+
+  /// Indices of the quasi-identifier columns (the default AnonSet).
+  std::vector<size_t> QuasiIdentifierColumns() const {
+    return ColumnsWithCategory(AttributeCategory::kQuasiIdentifier);
+  }
+
+  /// Index of the (single) weight column; -1 if none.
+  int WeightColumn() const;
+
+  /// Sampling weight of a row: the weight cell as double, or 1.0 when the
+  /// table has no weight column.
+  double RowWeight(size_t row) const;
+
+  /// Counts labelled-null cells across the quasi-identifier columns.
+  size_t CountNullCells() const;
+
+  /// Fails unless all rows have the right width, at most one weight column
+  /// exists, and weights are numeric.
+  Status Validate() const;
+
+  /// Loads from CSV. Category metadata is supplied separately (columns named
+  /// in `weight_attribute` get kWeight, `identifier_attributes` get
+  /// kIdentifier, remaining default to kQuasiIdentifier).
+  static Result<MicrodataTable> FromCsv(const std::string& name, const CsvTable& csv,
+                                        const std::vector<std::string>& identifier_attributes,
+                                        const std::string& weight_attribute);
+
+  /// Serializes to CSV; labelled nulls render as "NULL_k".
+  CsvTable ToCsv() const;
+
+  /// Pretty-prints the first `max_rows` rows as an aligned text table.
+  std::string ToText(size_t max_rows = 25) const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_MICRODATA_H_

@@ -1,0 +1,119 @@
+#include "core/oracle.h"
+
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace vadasa::core {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
+};
+struct VecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+IdentityOracle IdentityOracle::Generate(const Options& options) {
+  // Reuse the I&G generator for the QI layout, then attach identities.
+  MicrodataTable base = GenerateInflationGrowth("oracle-base", options.population,
+                                                options.num_qi, options.distribution,
+                                                options.seed);
+  std::vector<Attribute> attrs;
+  attrs.push_back({"Id", "Entity identifier", AttributeCategory::kIdentifier});
+  const auto base_qis = base.QuasiIdentifierColumns();
+  for (const size_t c : base_qis) {
+    attrs.push_back(base.attributes()[c]);
+  }
+  attrs.push_back({"Identity", "Real-world identity", AttributeCategory::kIdentifier});
+
+  IdentityOracle oracle;
+  oracle.population_ = MicrodataTable("identity-oracle", std::move(attrs));
+  for (size_t r = 0; r < base.num_rows(); ++r) {
+    std::vector<Value> row;
+    row.push_back(Value::Int(static_cast<int64_t>(1000000 + r)));
+    for (const size_t c : base_qis) row.push_back(base.cell(r, c));
+    row.push_back(Value::String("entity-" + std::to_string(r)));
+    Status st = oracle.population_.AddRow(std::move(row));
+    (void)st;
+  }
+  for (size_t i = 0; i < base_qis.size(); ++i) {
+    oracle.qi_columns_.push_back(1 + i);
+  }
+  return oracle;
+}
+
+Result<IdentityOracle::Sample> IdentityOracle::SampleMicrodata(
+    size_t n, uint64_t seed, double distortion) const {
+  if (n > size()) {
+    return Status::InvalidArgument("sample size exceeds the population");
+  }
+  // Population frequency of every QI combination (the weight estimator).
+  std::unordered_map<std::vector<Value>, int64_t, VecHash, VecEq> pop_freq;
+  std::vector<std::vector<Value>> pattern(size());
+  for (size_t r = 0; r < size(); ++r) {
+    for (const size_t c : qi_columns_) pattern[r].push_back(population_.cell(r, c));
+    pop_freq[pattern[r]]++;
+  }
+  // Draw n distinct rows.
+  Rng rng(seed);
+  std::vector<size_t> indices(size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(&indices);
+  indices.resize(n);
+
+  std::vector<Attribute> attrs;
+  attrs.push_back({"Id", "Company Identifier", AttributeCategory::kIdentifier});
+  for (const size_t c : qi_columns_) attrs.push_back(population_.attributes()[c]);
+  attrs.push_back({"Growth", "Rev. growth last 6 mths", AttributeCategory::kNonIdentifying});
+  attrs.push_back({"Weight", "Sampling Weight", AttributeCategory::kWeight});
+
+  Sample sample;
+  sample.table = MicrodataTable("oracle-sample", std::move(attrs));
+  for (const size_t r : indices) {
+    std::vector<Value> row;
+    row.push_back(population_.cell(r, 0));
+    for (const size_t c : qi_columns_) {
+      if (distortion > 0.0 && rng.NextDouble() < distortion) {
+        // Survey measurement error: this cell was recorded as some other
+        // entity's value for the same attribute.
+        row.push_back(population_.cell(rng.NextBelow(size()), c));
+      } else {
+        row.push_back(population_.cell(r, c));
+      }
+    }
+    row.push_back(Value::Int(rng.NextInt(-30, 300)));
+    row.push_back(Value::Int(pop_freq[pattern[r]]));
+    VADASA_RETURN_NOT_OK(sample.table.AddRow(std::move(row)));
+    sample.truth.push_back(r);
+  }
+  return sample;
+}
+
+std::vector<size_t> IdentityOracle::Block(const std::vector<Value>& pattern) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < size(); ++r) {
+    bool match = true;
+    for (size_t i = 0; i < qi_columns_.size() && match; ++i) {
+      const Value& cell = population_.cell(r, qi_columns_[i]);
+      match = pattern[i].is_null() || pattern[i].Equals(cell);
+    }
+    if (match) out.push_back(r);
+  }
+  return out;
+}
+
+std::string IdentityOracle::IdentityOf(size_t row) const {
+  return population_.cell(row, population_.num_columns() - 1).ToString();
+}
+
+}  // namespace vadasa::core

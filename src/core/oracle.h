@@ -1,0 +1,70 @@
+#ifndef VADASA_CORE_ORACLE_H_
+#define VADASA_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/datagen.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// The identity oracle O(i', q', I) of Section 2: an external database that
+/// holds the identity of every entity of the context, keyed by direct
+/// identifiers and carrying the quasi-identifiers an attacker can cross-link
+/// on. The paper treats it as an abstraction; we synthesize one so the attack
+/// strategy of Figure 2 can actually be executed.
+class IdentityOracle {
+ public:
+  struct Options {
+    size_t population = 100000;
+    int num_qi = 4;
+    DistributionKind distribution = DistributionKind::kRealWorld;
+    uint64_t seed = 42;
+  };
+
+  /// Generates a synthetic population.
+  static IdentityOracle Generate(const Options& options);
+
+  /// Population table: columns Id (direct identifier), the QIs, Identity.
+  const MicrodataTable& population() const { return population_; }
+  size_t size() const { return population_.num_rows(); }
+
+  /// A microdata sample drawn from the population.
+  struct Sample {
+    MicrodataTable table;          ///< Schema: Id, QIs, Growth, Weight.
+    std::vector<size_t> truth;     ///< Oracle row index per sample row.
+  };
+
+  /// Draws `n` distinct respondents; the sampling weight of each drawn tuple
+  /// is the number of population entities sharing its QI combination — the
+  /// estimator W_t of Section 2.1 (with φ = equality of quasi-identifiers).
+  ///
+  /// `distortion` models measurement error between the survey and the
+  /// oracle: each QI cell of the sample is, with this probability, replaced
+  /// by the value another random population entity carries in that column —
+  /// so exact cross-linking misses even without anonymization, which is why
+  /// real attacks need the fuzzy matching step of the linkage module.
+  Result<Sample> SampleMicrodata(size_t n, uint64_t seed,
+                                 double distortion = 0.0) const;
+
+  /// Oracle rows whose QIs match `pattern` (labelled nulls in the pattern
+  /// match anything — the blocking step of the attack).
+  std::vector<size_t> Block(const std::vector<Value>& pattern) const;
+
+  /// Indices of the QI columns within the population table.
+  const std::vector<size_t>& qi_columns() const { return qi_columns_; }
+
+  /// Identity of an oracle row.
+  std::string IdentityOf(size_t row) const;
+
+ private:
+  MicrodataTable population_;
+  std::vector<size_t> qi_columns_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_ORACLE_H_

@@ -1,0 +1,115 @@
+#include "core/programs.h"
+
+namespace vadasa::core {
+
+const std::vector<AlgorithmProgram>& AlgorithmLibrary() {
+  static const std::vector<AlgorithmProgram>* kLibrary = new std::vector<
+      AlgorithmProgram>{
+      {"algorithm1-categorization",
+       "Attribute categorization via a recursive experience base + EGD",
+       R"prog(% Algorithm 1. Requires att/2, expbase/2 and the #similar external.
+cat(M, A, C) :- att(M, A), expbase(A1, C), #similar(A, A1).
+expbase(A, C) :- cat(M, A, C).
+cat(M, A, C) :- att(M, A).                 % Rule 1: ∃C (labelled null)
+C1 = C2 :- cat(M, A, C1), cat(M, A, C2).   % Rule 4: one category (EGD)
+@output("cat").
+)prog"},
+
+      {"algorithm3-reidentification",
+       "Re-identification-based risk: rho = 1 / msum of sampling weights",
+       R"prog(% Algorithm 3. Requires tuple/2 and qweight/2.
+tuplea(VSet, S) :- tuple(I, VSet), qweight(I, W), S = msum(W, <I>).
+riskoutput(I, R) :- tuple(I, VSet), tuplea(VSet, S), R = 1 / S.
+@output("riskoutput").
+)prog"},
+
+      {"algorithm4-kanonymity",
+       "k-anonymity: risky iff the combination occurs fewer than k times",
+       R"prog(% Algorithm 4 (k = 2; edit the constant for other thresholds).
+tuplea(VSet, N) :- tuple(I, VSet), N = mcount(<I>).
+riskoutput(I, R) :- tuple(I, VSet), tuplea(VSet, N), R = if(lt(N, 2), 1, 0).
+@output("riskoutput").
+)prog"},
+
+      {"algorithm5-individual-risk",
+       "Benedetti-Franconi individual risk: rho = f / sum of weights",
+       R"prog(% Algorithm 5. Requires tuple/2 and qweight/2.
+tuplea(VSet, R) :- tuple(I, VSet), qweight(I, W),
+                   F = mcount(<I>), S = msum(W, <I>), R = F / S.
+riskoutput(I, R) :- tuple(I, VSet), tuplea(VSet, R).
+@output("riskoutput").
+)prog"},
+
+      {"algorithm6-suda",
+       "SUDA: minimal sample uniques via recursive combination extension",
+       R"prog(% Algorithm 6. Requires qival/3 (exploded QI name-value pairs).
+comb(I, S) :- qival(I, A, V), S = set(list(A, V)).
+comb(I, S2) :- comb(I, S1), qival(I, A, V),
+               contains(S1, list(A, V)) == false,
+               S2 = union(S1, set(list(A, V))).
+tuplec(I, S) :- comb(I, S).
+su(S, N) :- tuplec(I, S), N = mcount(<I>).
+hassu(I, S) :- tuplec(I, S), su(S, 1), not su(S, 2).
+nonminimal(I, S) :- hassu(I, S), hassu(I, S1), S1 != S, S1 subset S.
+msu(I, S) :- hassu(I, S), not nonminimal(I, S).
+% Rule 8 (k = 3): dangerous when an MSU has fewer than k attributes.
+riskoutput(I, 1) :- msu(I, S), size(S) < 3.
+@output("msu").
+@output("riskoutput").
+)prog"},
+
+      {"algorithm7-local-suppression",
+       "Local suppression: replace a quasi-identifier with a fresh labelled "
+       "null (one candidate tuple version per suppressible attribute)",
+       R"prog(% Algorithm 7. Requires anonymize/2 (tuple id + VSet pairset) and
+% qid/1 facts naming the quasi-identifier attributes.
+% The existential Z of the paper's rule is the freshnull head variable.
+freshnull(I, A, Z) :- anonymize(I, VSet), qid(A),
+                      has_key(VSet, A) == true,
+                      is_null(get(VSet, A)) == false.
+tuple(I, S2) :- anonymize(I, VSet), freshnull(I, A, Z),
+                S2 = with(VSet, A, Z).
+@output("tuple").
+)prog"},
+
+      {"algorithm8-global-recoding",
+       "Global recoding: climb the domain hierarchy one level for a "
+       "quasi-identifier value",
+       R"prog(% Algorithm 8. Requires anonymize/2, qid/1 and the hierarchy KB:
+% typeof(A, X), subtypeof(X, Y), instof(Z, Y), isa(V, Z).
+tuple(I, S2) :- anonymize(I, VSet), qid(A),
+                typeof(A, X), subtypeof(X, Y),
+                isa(V, Z), instof(Z, Y),
+                V == get(VSet, A),
+                S2 = with(VSet, A, Z).
+@output("tuple").
+)prog"},
+
+      {"section44-company-control",
+       "Company control closure: direct majority or joint majority via "
+       "controlled subsidiaries",
+       R"prog(% Section 4.4. Requires own/3.
+rel(X, Y) :- own(X, Y, W), W > 0.5.
+rel(X, Y) :- rel(X, Z), own(Z, Y, W), S = msum(W, <Z>), S > 0.5.
+@output("rel").
+)prog"},
+
+      {"algorithm9-cluster-risk",
+       "Cluster risk 1 - mprod(1 - rho) over linked entities",
+       R"prog(% Algorithm 9 risk combination. Requires memberrisk/3.
+clusterrisk(C, R) :- memberrisk(C, E, Q), S = 1 - Q,
+                     P = mprod(S, <E>), R = 1 - P.
+@output("clusterrisk").
+)prog"},
+  };
+  return *kLibrary;
+}
+
+Result<AlgorithmProgram> FindAlgorithmProgram(const std::string& name) {
+  for (const AlgorithmProgram& p : AlgorithmLibrary()) {
+    if (p.name == name) return p;
+  }
+  return Status::NotFound("no shipped program named " + name);
+}
+
+}  // namespace vadasa::core

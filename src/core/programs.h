@@ -1,0 +1,38 @@
+#ifndef VADASA_CORE_PROGRAMS_H_
+#define VADASA_CORE_PROGRAMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vadasa::core {
+
+/// The off-the-shelf Vadalog module library of Section 4: the paper's
+/// Algorithms expressed in this repository's dialect, ready to run on the
+/// engine (see tests/integration/paper_algorithms_test.cc for the expected
+/// input predicates of each).
+///
+/// Input encodings:
+///   att(M, A)                 attribute A of microdata DB M
+///   expbase(A, C)             experience-base entry (Algorithm 1)
+///   tuple(I, VSet)            tuple I with its QI pairset
+///   qival(I, A, V)            exploded QI values (Algorithm 6)
+///   qweight(I, W)             sampling weight
+///   own(X, Y, W)              ownership share (Section 4.4)
+///   memberrisk(C, E, R)       per-entity risk within cluster C (Algorithm 9)
+struct AlgorithmProgram {
+  std::string name;         ///< e.g. "algorithm1-categorization"
+  std::string description;  ///< one-line summary
+  std::string source;       ///< Vadalog source text
+};
+
+/// All shipped programs.
+const std::vector<AlgorithmProgram>& AlgorithmLibrary();
+
+/// Finds a program by name.
+Result<AlgorithmProgram> FindAlgorithmProgram(const std::string& name);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_PROGRAMS_H_

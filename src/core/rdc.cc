@@ -1,0 +1,74 @@
+#include "core/rdc.h"
+
+#include "core/anonymize.h"
+#include "core/suda.h"
+
+namespace vadasa::core {
+
+ResearchDataCenter::ResearchDataCenter(RdcPolicy policy)
+    : policy_(std::move(policy)),
+      categorizer_(AttributeCategorizer::WithDefaultExperience()) {}
+
+void ResearchDataCenter::AddExperience(const std::string& attribute,
+                                       AttributeCategory category) {
+  categorizer_.AddExperience(attribute, category);
+}
+
+Status ResearchDataCenter::Ingest(MicrodataTable table) {
+  if (tables_.count(table.name()) > 0) {
+    return Status::AlreadyExists("microdata DB " + table.name() +
+                                 " is already registered");
+  }
+  VADASA_RETURN_NOT_OK(categorizer_.CategorizeTable(&table, &dictionary_).status());
+  order_.push_back(table.name());
+  tables_.emplace(table.name(), std::move(table));
+  return Status::OK();
+}
+
+std::vector<std::string> ResearchDataCenter::Catalog() const { return order_; }
+
+Result<const MicrodataTable*> ResearchDataCenter::Lookup(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no microdata DB named " + name);
+  return &it->second;
+}
+
+Result<ReleaseAudit> ResearchDataCenter::Process(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no microdata DB named " + name);
+  VADASA_ASSIGN_OR_RETURN(auto measure, MakeRiskMeasure(policy_.risk_measure));
+  LocalSuppression anonymizer;
+  CycleOptions options;
+  options.threshold = policy_.threshold;
+  options.risk.k = policy_.k;
+  options.risk.semantics = policy_.semantics;
+  options.tuple_order = policy_.tuple_order;
+  options.qi_choice = policy_.qi_choice;
+  MicrodataTable release = it->second;
+  VADASA_ASSIGN_OR_RETURN(ReleaseAudit audit,
+                          RunAuditedRelease(&release, *measure, &anonymizer, options));
+  releases_.insert_or_assign(name, std::move(release));
+  return audit;
+}
+
+Result<std::vector<ReleaseAudit>> ResearchDataCenter::ProcessAll() {
+  std::vector<ReleaseAudit> audits;
+  for (const std::string& name : order_) {
+    VADASA_ASSIGN_OR_RETURN(ReleaseAudit audit, Process(name));
+    audits.push_back(std::move(audit));
+  }
+  return audits;
+}
+
+Result<const MicrodataTable*> ResearchDataCenter::Release(
+    const std::string& name) const {
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::FailedPrecondition("microdata DB " + name +
+                                      " has not been processed yet");
+  }
+  return &it->second;
+}
+
+}  // namespace vadasa::core

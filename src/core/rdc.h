@@ -1,0 +1,78 @@
+#ifndef VADASA_CORE_RDC_H_
+#define VADASA_CORE_RDC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/categorize.h"
+#include "core/metadata.h"
+#include "core/report.h"
+
+namespace vadasa::core {
+
+/// Release policy a Research Data Center applies to its microdata DBs.
+struct RdcPolicy {
+  std::string risk_measure = "k-anonymity";
+  int k = 2;
+  double threshold = 0.5;
+  NullSemantics semantics = NullSemantics::kMaybeMatch;
+  TupleOrder tuple_order = TupleOrder::kLessSignificantFirst;
+  QiChoice qi_choice = QiChoice::kMostRiskyFirst;
+};
+
+/// The operational wrapper of Section 2: a catalog of microdata DBs sharing
+/// one metadata dictionary and one experience base, processed by the same
+/// policy into audited releases — the "production-ready framework" shell
+/// around the anonymization cycle.
+class ResearchDataCenter {
+ public:
+  explicit ResearchDataCenter(RdcPolicy policy = {});
+
+  /// Expert knowledge injection (desideratum (vii)).
+  void AddExperience(const std::string& attribute, AttributeCategory category);
+
+  /// Registers an incoming microdata DB: attributes are categorized via the
+  /// experience base and recorded in the dictionary. Fails if a DB with the
+  /// same name exists or the categorization is inconsistent (e.g. two weight
+  /// columns).
+  Status Ingest(MicrodataTable table);
+
+  /// Names of the registered microdata DBs, in ingestion order.
+  std::vector<std::string> Catalog() const;
+
+  /// The shared metadata dictionary.
+  const MetadataDictionary& dictionary() const { return dictionary_; }
+
+  /// Categorization conflicts pending manual review (EGD violations).
+  const std::vector<CategorizationConflict>& conflicts() const {
+    return categorizer_.conflicts();
+  }
+
+  /// Read access to a registered (not yet released) microdata DB.
+  Result<const MicrodataTable*> Lookup(const std::string& name) const;
+
+  /// Runs the audited anonymization of one DB under the policy and returns
+  /// the audit; the released table is available via Release().
+  Result<ReleaseAudit> Process(const std::string& name);
+
+  /// Processes every registered DB; stops at the first failure.
+  Result<std::vector<ReleaseAudit>> ProcessAll();
+
+  /// The released (anonymized) version of a processed DB.
+  Result<const MicrodataTable*> Release(const std::string& name) const;
+
+ private:
+  RdcPolicy policy_;
+  AttributeCategorizer categorizer_;
+  MetadataDictionary dictionary_;
+  std::vector<std::string> order_;
+  std::map<std::string, MicrodataTable> tables_;
+  std::map<std::string, MicrodataTable> releases_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_RDC_H_

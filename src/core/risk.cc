@@ -1,0 +1,114 @@
+#include "core/risk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/suda.h"
+
+namespace vadasa::core {
+
+std::vector<size_t> RiskContext::ResolveQiColumns(const MicrodataTable& table) const {
+  if (!qi_columns.empty()) return qi_columns;
+  return table.QuasiIdentifierColumns();
+}
+
+std::string RiskMeasure::Explain(const MicrodataTable& table, const RiskContext& context,
+                                 size_t row, double risk) const {
+  const auto qis = context.ResolveQiColumns(table);
+  std::string combo;
+  for (const size_t c : qis) {
+    if (!combo.empty()) combo += ", ";
+    combo += table.attributes()[c].name + "=" + table.cell(row, c).ToString();
+  }
+  return name() + " risk " + std::to_string(risk) + " for combination {" + combo + "}";
+}
+
+Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
+    const MicrodataTable& table, const RiskContext& context) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  std::vector<double> risks(table.num_rows());
+  for (size_t r = 0; r < risks.size(); ++r) {
+    const double w = stats.weight_sum[r];
+    risks[r] = w <= 1.0 ? 1.0 : std::min(1.0, 1.0 / w);
+  }
+  return risks;
+}
+
+Result<std::vector<double>> KAnonymityRisk::ComputeRisks(
+    const MicrodataTable& table, const RiskContext& context) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  std::vector<double> risks(table.num_rows());
+  for (size_t r = 0; r < risks.size(); ++r) {
+    risks[r] = stats.frequency[r] < static_cast<double>(context.k) ? 1.0 : 0.0;
+  }
+  return risks;
+}
+
+std::string KAnonymityRisk::Explain(const MicrodataTable& table,
+                                    const RiskContext& context, size_t row,
+                                    double risk) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  std::string combo;
+  for (const size_t c : qis) {
+    if (!combo.empty()) combo += ", ";
+    combo += table.attributes()[c].name + "=" + table.cell(row, c).ToString();
+  }
+  const double freq = stats.frequency[row];
+  std::string verdict;
+  if (risk <= 0.5) {
+    verdict = " -> safe";
+  } else if (freq < static_cast<double>(context.k)) {
+    verdict = " -> below k, risky";
+  } else {
+    // The base frequency is fine, so the risk was raised externally (e.g.
+    // cluster propagation along control relationships, Algorithm 9).
+    verdict = " -> risky by propagation (business knowledge)";
+  }
+  return "combination {" + combo + "} occurs " +
+         std::to_string(static_cast<int64_t>(freq)) +
+         " time(s); k=" + std::to_string(context.k) + verdict;
+}
+
+Result<std::vector<double>> IndividualRisk::ComputeRisks(
+    const MicrodataTable& table, const RiskContext& context) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  std::vector<double> risks(table.num_rows());
+  if (context.posterior_draws <= 0) {
+    for (size_t r = 0; r < risks.size(); ++r) {
+      risks[r] = context.benedetti_franconi
+                     ? stats::BenedettiFranconiRisk(stats.frequency[r],
+                                                    stats.weight_sum[r])
+                     : stats::NegBinomialPosteriorRiskClosedForm(
+                           stats.frequency[r], stats.weight_sum[r]);
+    }
+    return risks;
+  }
+  Rng rng(context.seed);
+  for (size_t r = 0; r < risks.size(); ++r) {
+    risks[r] = stats::NegBinomialPosteriorRiskSampled(
+        stats.frequency[r], stats.weight_sum[r], context.posterior_draws, &rng);
+  }
+  return risks;
+}
+
+Result<std::unique_ptr<RiskMeasure>> MakeRiskMeasure(const std::string& name) {
+  if (name == "reidentification" || name == "re-identification") {
+    return std::unique_ptr<RiskMeasure>(new ReidentificationRisk());
+  }
+  if (name == "k-anonymity" || name == "kanonymity") {
+    return std::unique_ptr<RiskMeasure>(new KAnonymityRisk());
+  }
+  if (name == "individual" || name == "individual-risk") {
+    return std::unique_ptr<RiskMeasure>(new IndividualRisk());
+  }
+  if (name == "suda") {
+    return std::unique_ptr<RiskMeasure>(new SudaRisk());
+  }
+  return Status::NotFound("unknown risk measure: " + name);
+}
+
+}  // namespace vadasa::core

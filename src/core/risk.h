@@ -1,0 +1,96 @@
+#ifndef VADASA_CORE_RISK_H_
+#define VADASA_CORE_RISK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/group_index.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// Shared parameters of risk evaluation (Section 4.2). The general statistical
+/// disclosure risk is ρ_q̂ = 1/λ(σ_{q=q̂} M) — each RiskMeasure is one choice
+/// of the aggregate weight function λ.
+struct RiskContext {
+  /// The AnonSet: quasi-identifier columns considered by the evaluation.
+  /// Empty means "all QI columns of the table".
+  std::vector<size_t> qi_columns;
+  /// Null comparison semantics for group formation.
+  NullSemantics semantics = NullSemantics::kMaybeMatch;
+  /// k of k-anonymity, and the MSU-size threshold of SUDA.
+  int k = 2;
+  /// Monte-Carlo draws for the sampled individual-risk estimator (0 = use a
+  /// closed form).
+  int posterior_draws = 0;
+  /// With posterior_draws == 0: use the exact Benedetti–Franconi formulas
+  /// instead of the simple f/ΣW closed form for the individual risk.
+  bool benedetti_franconi = false;
+  /// Seed for the sampled estimator.
+  uint64_t seed = 7;
+
+  /// Resolves qi_columns against the table's schema.
+  std::vector<size_t> ResolveQiColumns(const MicrodataTable& table) const;
+};
+
+/// A pluggable per-tuple statistical disclosure risk estimator. All risks are
+/// in [0,1]; a tuple is "risky" when its risk exceeds the cycle threshold T.
+class RiskMeasure {
+ public:
+  virtual ~RiskMeasure() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes the risk of every row of `table`.
+  virtual Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                                   const RiskContext& context) const = 0;
+
+  /// One-sentence, human-readable justification for a row's risk — the
+  /// explainability hook used by the cycle log.
+  virtual std::string Explain(const MicrodataTable& table, const RiskContext& context,
+                              size_t row, double risk) const;
+};
+
+/// Re-identification-based risk (Algorithm 3): ρ = 1 / Σ W_t over the rows
+/// sharing the tuple's QI combination. The weight sum estimates the
+/// population size of the combination, i.e. |σ_t(M) ⋈ O|.
+class ReidentificationRisk : public RiskMeasure {
+ public:
+  std::string name() const override { return "re-identification"; }
+  Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                           const RiskContext& context) const override;
+};
+
+/// k-anonymity (Algorithm 4): risk 1 if the combination occurs fewer than k
+/// times in the sample, 0 otherwise.
+class KAnonymityRisk : public RiskMeasure {
+ public:
+  std::string name() const override { return "k-anonymity"; }
+  Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                           const RiskContext& context) const override;
+  std::string Explain(const MicrodataTable& table, const RiskContext& context,
+                      size_t row, double risk) const override;
+};
+
+/// Individual risk (Algorithm 5, Benedetti–Franconi): ρ = 1/λ with
+/// λ = Σ W_t / f_q̂, i.e. ρ = f/ΣW — the posterior mean of 1/F under a
+/// negative-binomial model of the population frequency F given the sample
+/// frequency f. With `posterior_draws > 0` the estimate is obtained by
+/// actually sampling the negative binomial (the paper's "off-the-shelf
+/// statistical library" mode of Fig. 7e).
+class IndividualRisk : public RiskMeasure {
+ public:
+  std::string name() const override { return "individual-risk"; }
+  Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
+                                           const RiskContext& context) const override;
+};
+
+/// Factory by name: "reidentification", "k-anonymity", "individual", "suda".
+Result<std::unique_ptr<RiskMeasure>> MakeRiskMeasure(const std::string& name);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_RISK_H_

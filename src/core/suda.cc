@@ -1,0 +1,211 @@
+#include "core/suda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace vadasa::core {
+
+namespace {
+
+struct VecHash {
+  size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
+};
+struct VecEq {
+  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+int Popcount(uint32_t m) { return __builtin_popcount(m); }
+
+/// Enumerates all masks over `q` bits with exactly `s` bits set.
+void CombosOfSize(int q, int s, std::vector<uint32_t>* out) {
+  const uint32_t limit = 1u << q;
+  for (uint32_t m = 1; m < limit; ++m) {
+    if (Popcount(m) == s) out->push_back(m);
+  }
+}
+
+}  // namespace
+
+Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
+                                             const RiskContext& context) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const int q = static_cast<int>(qis.size());
+  if (q > 20) {
+    return Status::InvalidArgument("SUDA supports at most 20 quasi-identifiers, got " +
+                                   std::to_string(q));
+  }
+  const size_t n = table.num_rows();
+  SudaDetails details;
+  details.msus.assign(n, {});
+  if (q == 0 || n == 0) return details;
+
+  const int max_size =
+      options_.max_search_size > 0 ? std::min(options_.max_search_size, q)
+                                   : std::min(context.k, q);
+
+  // Project every row once onto the full AnonSet.
+  std::vector<std::vector<Value>> proj(n);
+  for (size_t r = 0; r < n; ++r) {
+    proj[r].reserve(qis.size());
+    for (const size_t c : qis) proj[r].push_back(table.cell(r, c));
+  }
+
+  // Candidates: rows unique on the full AnonSet (a sample unique on any
+  // subset implies uniqueness on the full set).
+  std::vector<uint32_t> candidates;
+  {
+    std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
+    counts.reserve(n * 2);
+    for (size_t r = 0; r < n; ++r) counts[proj[r]]++;
+    for (size_t r = 0; r < n; ++r) {
+      if (counts[proj[r]] == 1) candidates.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  if (candidates.empty()) return details;
+
+  // Per candidate: masks of combinations already known to be sample unique
+  // (used both for minimality and for pruning).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> unique_combos;
+  for (const uint32_t r : candidates) unique_combos[r] = {};
+
+  std::vector<Value> key;
+  for (int s = 1; s <= max_size; ++s) {
+    std::vector<uint32_t> combos;
+    CombosOfSize(q, s, &combos);
+    for (const uint32_t mask : combos) {
+      if (!options_.exhaustive) {
+        // Prune: skip the combination when every candidate already owns a
+        // unique proper subset of it — it cannot produce a new MSU.
+        bool needed = false;
+        for (const uint32_t r : candidates) {
+          bool covered = false;
+          for (const uint32_t u : unique_combos[r]) {
+            if ((u & mask) == u) {
+              covered = true;
+              break;
+            }
+          }
+          if (!covered) {
+            needed = true;
+            break;
+          }
+        }
+        if (!needed) {
+          ++details.combos_pruned;
+          continue;
+        }
+      }
+      ++details.combos_evaluated;
+      // Count projections of ALL rows onto this combination.
+      std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
+      counts.reserve(n * 2);
+      for (size_t r = 0; r < n; ++r) {
+        key.clear();
+        for (int b = 0; b < q; ++b) {
+          if (mask & (1u << b)) key.push_back(proj[r][b]);
+        }
+        counts[key]++;
+      }
+      for (const uint32_t r : candidates) {
+        key.clear();
+        bool has_null = false;
+        for (int b = 0; b < q; ++b) {
+          if (mask & (1u << b)) {
+            if (proj[r][b].is_null()) has_null = true;
+            key.push_back(proj[r][b]);
+          }
+        }
+        // A combination containing a suppressed cell is invisible to the
+        // attacker and cannot single the row out: local suppression kills
+        // every MSU through the suppressed column.
+        if (has_null) continue;
+        if (counts[key] != 1) continue;
+        // Sample unique. Minimal iff no previously found unique subset.
+        bool minimal = true;
+        for (const uint32_t u : unique_combos[r]) {
+          if ((u & mask) == u) {
+            minimal = false;
+            break;
+          }
+        }
+        unique_combos[r].push_back(mask);
+        if (minimal) {
+          details.msus[r].push_back(MinimalSampleUnique{mask, s});
+        }
+      }
+    }
+  }
+  return details;
+}
+
+Result<std::vector<double>> SudaRisk::ComputeRisks(const MicrodataTable& table,
+                                                   const RiskContext& context) const {
+  VADASA_ASSIGN_OR_RETURN(const SudaDetails details, ComputeDetails(table, context));
+  std::vector<double> risks(table.num_rows(), 0.0);
+  for (size_t r = 0; r < risks.size(); ++r) {
+    for (const MinimalSampleUnique& msu : details.msus[r]) {
+      // Rule 8: dangerous when very few attributes disclose the identity.
+      if (msu.size < context.k) {
+        risks[r] = 1.0;
+        break;
+      }
+    }
+  }
+  return risks;
+}
+
+Result<std::vector<double>> SudaRisk::ComputeScores(const MicrodataTable& table,
+                                                    const RiskContext& context) const {
+  VADASA_ASSIGN_OR_RETURN(const SudaDetails details, ComputeDetails(table, context));
+  const auto qis = context.ResolveQiColumns(table);
+  const int m = static_cast<int>(qis.size());
+  std::vector<double> scores(table.num_rows(), 0.0);
+  for (size_t r = 0; r < scores.size(); ++r) {
+    for (const MinimalSampleUnique& msu : details.msus[r]) {
+      scores[r] += std::pow(2.0, std::max(0, m - msu.size));
+    }
+  }
+  return scores;
+}
+
+std::vector<double> NormalizeSudaScores(std::vector<double> scores) {
+  double max_score = 0.0;
+  for (const double s : scores) max_score = std::max(max_score, s);
+  if (max_score > 0.0) {
+    for (double& s : scores) s /= max_score;
+  }
+  return scores;
+}
+
+std::string SudaRisk::Explain(const MicrodataTable& table, const RiskContext& context,
+                              size_t row, double risk) const {
+  auto details = ComputeDetails(table, context);
+  if (!details.ok()) return "suda: " + details.status().ToString();
+  const auto qis = context.ResolveQiColumns(table);
+  const auto& msus = details->msus[row];
+  if (msus.empty()) return "no sample unique: tuple is not SUDA-risky";
+  std::string out = std::to_string(msus.size()) + " MSU(s):";
+  for (const auto& msu : msus) {
+    out += " {";
+    bool first = true;
+    for (size_t b = 0; b < qis.size(); ++b) {
+      if (msu.column_mask & (1u << b)) {
+        if (!first) out += ",";
+        first = false;
+        out += table.attributes()[qis[b]].name + "=" + table.cell(row, qis[b]).ToString();
+      }
+    }
+    out += "}";
+  }
+  out += risk > 0.5 ? " -> risky (an MSU smaller than k exists)" : " -> acceptable";
+  return out;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,305 @@
+#include "vadalog/analysis.h"
+
+#include <algorithm>
+
+namespace vadasa::vadalog {
+
+namespace {
+
+std::set<std::string> PositiveBodyVars(const Rule& rule) {
+  std::set<std::string> out;
+  for (const Literal& lit : rule.body) {
+    if (lit.negated || lit.atom.is_external()) continue;
+    for (const Term& t : lit.atom.args) {
+      if (t.is_variable()) out.insert(t.var);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status CheckSafety(const Program& program) {
+  for (size_t r = 0; r < program.rules.size(); ++r) {
+    const Rule& rule = program.rules[r];
+    const std::string where = "rule " + std::to_string(r + 1) +
+                              (rule.label.empty() ? "" : " (" + rule.label + ")");
+    std::set<std::string> bound = PositiveBodyVars(rule);
+    // External body literals can bind their variables too (they emit rows).
+    for (const Literal& lit : rule.body) {
+      if (!lit.negated && lit.atom.is_external()) {
+        for (const Term& t : lit.atom.args) {
+          if (t.is_variable()) bound.insert(t.var);
+        }
+      }
+    }
+    // Assignments bind their targets in order; their inputs must be bound or
+    // assigned earlier.
+    std::set<std::string> assignable = bound;
+    for (const Assignment& a : rule.assignments) {
+      std::vector<std::string> vars;
+      a.expr->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        // Aggregate targets are bound before post-assignments; accept them.
+        bool is_agg_target = false;
+        for (const AggregateSpec& g : rule.aggregates) {
+          if (g.target == v) is_agg_target = true;
+        }
+        if (!assignable.count(v) && !is_agg_target) {
+          return Status::FailedPrecondition(where + ": assignment to " + a.target +
+                                            " uses unbound variable " + v);
+        }
+      }
+      assignable.insert(a.target);
+    }
+    for (const AggregateSpec& g : rule.aggregates) {
+      std::vector<std::string> vars;
+      if (g.value) g.value->CollectVars(&vars);
+      for (const auto& c : g.contributors) c->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        if (!assignable.count(v)) {
+          return Status::FailedPrecondition(where + ": aggregate " + g.target +
+                                            " uses unbound variable " + v);
+        }
+      }
+      assignable.insert(g.target);
+    }
+    for (const Condition& c : rule.conditions) {
+      std::vector<std::string> vars;
+      c.lhs->CollectVars(&vars);
+      c.rhs->CollectVars(&vars);
+      for (const std::string& v : vars) {
+        if (!assignable.count(v)) {
+          return Status::FailedPrecondition(where + ": condition uses unbound variable " +
+                                            v);
+        }
+      }
+    }
+    for (const Literal& lit : rule.body) {
+      if (!lit.negated) continue;
+      for (const Term& t : lit.atom.args) {
+        if (t.is_variable() && !bound.count(t.var)) {
+          return Status::FailedPrecondition(where + ": negated literal " +
+                                            lit.ToString() + " uses unbound variable " +
+                                            t.var);
+        }
+      }
+    }
+    if (rule.is_egd) {
+      if (!assignable.count(rule.egd_lhs) || !assignable.count(rule.egd_rhs)) {
+        return Status::FailedPrecondition(where + ": EGD head variables must be bound");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<StratificationResult> Stratify(const Program& program) {
+  StratificationResult result;
+  auto& stratum = result.stratum;
+  auto touch = [&](const std::string& p) {
+    stratum.emplace(p, 0);
+  };
+  for (const Atom& f : program.facts) touch(f.predicate);
+  for (const Rule& r : program.rules) {
+    for (const Atom& h : r.head) touch(h.predicate);
+    for (const Literal& l : r.body) touch(l.atom.predicate);
+  }
+  const int n = static_cast<int>(stratum.size());
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > n * static_cast<int>(program.rules.size()) + n + 2) {
+      return Status::FailedPrecondition(
+          "program is not stratifiable: negation through recursion");
+    }
+    for (const Rule& r : program.rules) {
+      int body_req = 0;
+      for (const Literal& l : r.body) {
+        const int s = stratum[l.atom.predicate];
+        body_req = std::max(body_req, l.negated ? s + 1 : s);
+      }
+      for (const Atom& h : r.head) {
+        if (stratum[h.predicate] < body_req) {
+          stratum[h.predicate] = body_req;
+          changed = true;
+          if (body_req > n) {
+            return Status::FailedPrecondition(
+                "program is not stratifiable: negation through recursion involving " +
+                h.predicate);
+          }
+        }
+      }
+      // EGDs have no head predicate; nothing to raise.
+    }
+  }
+  int max_stratum = 0;
+  for (const auto& [p, s] : stratum) {
+    (void)p;
+    max_stratum = std::max(max_stratum, s);
+  }
+  result.num_strata = max_stratum + 1;
+  result.rules_by_stratum.assign(result.num_strata, {});
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& r = program.rules[i];
+    int s = 0;
+    if (r.is_egd || r.head.empty()) {
+      // EGDs and action-only rules run at the stratum of their body.
+      for (const Literal& l : r.body) {
+        s = std::max(s, stratum[l.atom.predicate]);
+      }
+    } else {
+      for (const Atom& h : r.head) s = std::max(s, stratum[h.predicate]);
+      // External (action) heads carry no stratum; fall back to body stratum.
+      bool all_external = true;
+      for (const Atom& h : r.head) {
+        if (!h.is_external()) all_external = false;
+      }
+      if (all_external) {
+        s = 0;
+        for (const Literal& l : r.body) s = std::max(s, stratum[l.atom.predicate]);
+      }
+    }
+    result.rules_by_stratum[s].push_back(static_cast<int>(i));
+  }
+  return result;
+}
+
+WardednessReport AnalyzeWardedness(const Program& program) {
+  WardednessReport report;
+  // --- Step 1: affected positions (fixpoint). ---
+  std::set<Position>& affected = report.affected_positions;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules) {
+      if (rule.is_egd) continue;
+      // Variables bound by body / assignments.
+      std::set<std::string> bound = PositiveBodyVars(rule);
+      for (const Assignment& a : rule.assignments) bound.insert(a.target);
+      for (const AggregateSpec& g : rule.aggregates) bound.insert(g.target);
+      // Harmful body variables: occur in body only at affected positions.
+      std::set<std::string> harmful;
+      {
+        std::map<std::string, bool> seen_unaffected;
+        for (const Literal& lit : rule.body) {
+          if (lit.negated) continue;
+          for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+            const Term& t = lit.atom.args[i];
+            if (!t.is_variable()) continue;
+            const bool aff = affected.count({lit.atom.predicate, i}) > 0;
+            auto [it, inserted] = seen_unaffected.emplace(t.var, !aff);
+            if (!inserted && !aff) it->second = true;
+          }
+        }
+        for (const auto& [v, has_unaffected] : seen_unaffected) {
+          if (!has_unaffected) harmful.insert(v);
+        }
+      }
+      for (const Atom& h : rule.head) {
+        for (size_t i = 0; i < h.args.size(); ++i) {
+          const Term& t = h.args[i];
+          if (!t.is_variable()) continue;
+          const bool existential = !bound.count(t.var);
+          const bool propagates_null = harmful.count(t.var) > 0;
+          if (existential || propagates_null) {
+            if (affected.insert({h.predicate, i}).second) changed = true;
+          }
+        }
+      }
+    }
+  }
+  // --- Step 2: per-rule ward check. ---
+  for (const Rule& rule : program.rules) {
+    WardednessReport::RuleReport rr;
+    if (rule.is_egd) {
+      report.rules.push_back(rr);
+      continue;
+    }
+    // Harmful vars again, against the final affected set.
+    std::map<std::string, bool> has_unaffected_occurrence;
+    for (const Literal& lit : rule.body) {
+      if (lit.negated) continue;
+      for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+        const Term& t = lit.atom.args[i];
+        if (!t.is_variable()) continue;
+        const bool aff = affected.count({lit.atom.predicate, i}) > 0;
+        auto [it, inserted] = has_unaffected_occurrence.emplace(t.var, !aff);
+        if (!inserted && !aff) it->second = true;
+      }
+    }
+    std::set<std::string> harmful;
+    for (const auto& [v, unaffected] : has_unaffected_occurrence) {
+      if (!unaffected) harmful.insert(v);
+    }
+    std::set<std::string> head_vars;
+    for (const Atom& h : rule.head) {
+      for (const Term& t : h.args) {
+        if (t.is_variable()) head_vars.insert(t.var);
+      }
+    }
+    std::set<std::string> dangerous;
+    for (const std::string& v : harmful) {
+      if (head_vars.count(v)) dangerous.insert(v);
+    }
+    rr.dangerous_vars.assign(dangerous.begin(), dangerous.end());
+    if (!dangerous.empty()) {
+      // All dangerous vars must live in exactly one body atom (the ward)...
+      int ward = -1;
+      for (size_t b = 0; b < rule.body.size(); ++b) {
+        if (rule.body[b].negated) continue;
+        std::set<std::string> atom_vars;
+        for (const Term& t : rule.body[b].atom.args) {
+          if (t.is_variable()) atom_vars.insert(t.var);
+        }
+        bool covers_all = true;
+        for (const std::string& v : dangerous) {
+          if (!atom_vars.count(v)) covers_all = false;
+        }
+        if (covers_all) {
+          ward = static_cast<int>(b);
+          break;
+        }
+      }
+      if (ward < 0) {
+        rr.warded = false;
+        rr.diagnostic = "dangerous variables not confined to a single atom";
+      } else {
+        rr.ward = ward;
+        // ...and dangerous vars must not occur in any other body atom, and the
+        // ward may share only harmless variables with the rest of the body.
+        for (size_t b = 0; b < rule.body.size() && rr.warded; ++b) {
+          if (static_cast<int>(b) == ward || rule.body[b].negated) continue;
+          for (const Term& t : rule.body[b].atom.args) {
+            if (!t.is_variable()) continue;
+            if (dangerous.count(t.var)) {
+              rr.warded = false;
+              rr.diagnostic = "dangerous variable " + t.var + " occurs outside the ward";
+              break;
+            }
+            if (harmful.count(t.var)) {
+              // Shared harmful (but not dangerous) var between ward and
+              // another atom: check whether the ward also uses it.
+              bool in_ward = false;
+              for (const Term& wt : rule.body[ward].atom.args) {
+                if (wt.is_variable() && wt.var == t.var) in_ward = true;
+              }
+              if (in_ward) {
+                rr.warded = false;
+                rr.diagnostic =
+                    "ward shares harmful variable " + t.var + " with another atom";
+                break;
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!rr.warded) report.program_warded = false;
+    report.rules.push_back(std::move(rr));
+  }
+  return report;
+}
+
+}  // namespace vadasa::vadalog

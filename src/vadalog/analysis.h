@@ -1,0 +1,70 @@
+#ifndef VADASA_VADALOG_ANALYSIS_H_
+#define VADASA_VADALOG_ANALYSIS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "vadalog/ast.h"
+
+namespace vadasa::vadalog {
+
+/// Per-rule safety diagnostics + predicate stratification of a program.
+struct StratificationResult {
+  /// Stratum of each predicate occurring in the program (0-based).
+  std::map<std::string, int> stratum;
+  /// Rules grouped by the stratum of their head predicate, ascending.
+  std::vector<std::vector<int>> rules_by_stratum;
+  int num_strata = 0;
+};
+
+/// Checks rule safety:
+///  - negated-literal variables must occur in a positive literal,
+///  - condition/assignment/aggregate inputs must be bound (by positive
+///    literals or earlier assignments),
+///  - EGD head variables must be body-bound.
+/// Head variables that remain unbound are existential (allowed for TGDs).
+Status CheckSafety(const Program& program);
+
+/// Computes a stratification where every negated dependency strictly
+/// descends. Recursion through positive literals and through monotonic
+/// aggregates is allowed (Vadalog semantics). Fails if negation is cyclic.
+Result<StratificationResult> Stratify(const Program& program);
+
+/// A (predicate, argument-index) position.
+struct Position {
+  std::string predicate;
+  size_t index;
+  bool operator<(const Position& o) const {
+    return predicate < o.predicate || (predicate == o.predicate && index < o.index);
+  }
+};
+
+/// Result of the wardedness analysis (the syntactic fragment giving Vadalog
+/// its PTIME data-complexity guarantee, Section 3).
+struct WardednessReport {
+  /// Positions into which labelled nulls can propagate.
+  std::set<Position> affected_positions;
+
+  struct RuleReport {
+    bool warded = true;
+    /// Harmful body variables that also appear in the head.
+    std::vector<std::string> dangerous_vars;
+    /// Index of the body atom acting as ward (-1 if none needed).
+    int ward = -1;
+    std::string diagnostic;
+  };
+  std::vector<RuleReport> rules;
+  bool program_warded = true;
+};
+
+/// Computes affected positions by fixpoint and checks every rule's dangerous
+/// variables are confined to a single ward atom that shares only harmless
+/// variables with the rest of the body.
+WardednessReport AnalyzeWardedness(const Program& program);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_ANALYSIS_H_

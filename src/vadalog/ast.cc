@@ -1,0 +1,204 @@
+#include "vadalog/ast.h"
+
+#include <sstream>
+
+namespace vadasa::vadalog {
+
+namespace {
+
+std::string QuoteIfNeeded(const Value& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return v.ToString();
+}
+
+}  // namespace
+
+std::string Term::ToString() const {
+  if (kind == Kind::kVariable) return var;
+  return QuoteIfNeeded(constant);
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Literal::ToString() const {
+  return negated ? "not " + atom.ToString() : atom.ToString();
+}
+
+std::shared_ptr<Expr> Expr::Const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Binary(BinaryOp op, std::shared_ptr<Expr> l,
+                                   std::shared_ptr<Expr> r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->args = {std::move(l), std::move(r)};
+  return e;
+}
+
+std::shared_ptr<Expr> Expr::Call(std::string name,
+                                 std::vector<std::shared_ptr<Expr>> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->call = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+void Expr::CollectVars(std::vector<std::string>* out) const {
+  switch (kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out->push_back(var);
+      return;
+    case Kind::kBinary:
+    case Kind::kCall:
+      for (const auto& a : args) a->CollectVars(out);
+      return;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return QuoteIfNeeded(constant);
+    case Kind::kVar:
+      return var;
+    case Kind::kBinary: {
+      const char* op_str = "+";
+      switch (op) {
+        case BinaryOp::kAdd: op_str = "+"; break;
+        case BinaryOp::kSub: op_str = "-"; break;
+        case BinaryOp::kMul: op_str = "*"; break;
+        case BinaryOp::kDiv: op_str = "/"; break;
+        case BinaryOp::kMod: op_str = "%"; break;
+      }
+      return "(" + args[0]->ToString() + " " + op_str + " " + args[1]->ToString() + ")";
+    }
+    case Kind::kCall: {
+      std::string out = call + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+std::string CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kIn: return "in";
+    case CompareOp::kSubset: return "subset";
+  }
+  return "?";
+}
+
+std::string Condition::ToString() const {
+  return lhs->ToString() + " " + CompareOpToString(op) + " " + rhs->ToString();
+}
+
+std::string Assignment::ToString() const {
+  return target + " = " + expr->ToString();
+}
+
+std::string AggregateFuncToString(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kSum: return "msum";
+    case AggregateFunc::kCount: return "mcount";
+    case AggregateFunc::kProd: return "mprod";
+    case AggregateFunc::kMin: return "mmin";
+    case AggregateFunc::kMax: return "mmax";
+    case AggregateFunc::kUnion: return "munion";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  std::string out = target + " = " + AggregateFuncToString(func) + "(";
+  if (value) out += value->ToString() + ", ";
+  out += "<";
+  for (size_t i = 0; i < contributors.size(); ++i) {
+    if (i > 0) out += ",";
+    out += contributors[i]->ToString();
+  }
+  out += ">)";
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  if (is_egd) {
+    out = egd_lhs + " = " + egd_rhs;
+  } else {
+    for (size_t i = 0; i < head.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += head[i].ToString();
+    }
+  }
+  out += " :- ";
+  bool first = true;
+  auto sep = [&]() {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& l : body) {
+    sep();
+    out += l.ToString();
+  }
+  for (const auto& c : conditions) {
+    sep();
+    out += c.ToString();
+  }
+  for (const auto& a : assignments) {
+    sep();
+    out += a.ToString();
+  }
+  for (const auto& g : aggregates) {
+    sep();
+    out += g.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const auto& in : inputs) os << "@input(\"" << in << "\").\n";
+  for (const auto& o : outputs) os << "@output(\"" << o << "\").\n";
+  for (const auto& b : bindings) {
+    os << "@bind(\"" << b.predicate << "\", \"" << b.path << "\").\n";
+  }
+  for (const auto& f : facts) os << f.ToString() << ".\n";
+  for (const auto& r : rules) os << r.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace vadasa::vadalog

@@ -1,0 +1,170 @@
+#ifndef VADASA_VADALOG_AST_H_
+#define VADASA_VADALOG_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace vadasa::vadalog {
+
+/// A term of the Vadalog dialect: a constant value or a (regular) variable.
+/// Labelled nulls are constants of kind ValueKind::kNull and only arise at
+/// runtime (chase) or from explicit fact data.
+struct Term {
+  enum class Kind { kConstant, kVariable };
+
+  Kind kind = Kind::kConstant;
+  Value constant;    ///< Valid when kind == kConstant.
+  std::string var;   ///< Valid when kind == kVariable.
+
+  static Term Constant(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+  static Term Variable(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  bool is_variable() const { return kind == Kind::kVariable; }
+  bool is_constant() const { return kind == Kind::kConstant; }
+
+  std::string ToString() const;
+};
+
+/// `predicate(t1, ..., tn)`. Predicates starting with '#' are external.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  bool is_external() const { return !predicate.empty() && predicate[0] == '#'; }
+  std::string ToString() const;
+};
+
+/// A body literal: an atom, possibly negated (`not p(X)`).
+struct Literal {
+  Atom atom;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// Binary operators of scalar expressions.
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMod };
+
+/// An arithmetic / functional expression appearing in conditions, assignments
+/// and aggregate arguments.
+struct Expr {
+  enum class Kind { kConst, kVar, kBinary, kCall };
+
+  Kind kind = Kind::kConst;
+  Value constant;                            ///< kConst
+  std::string var;                           ///< kVar
+  BinaryOp op = BinaryOp::kAdd;              ///< kBinary
+  std::string call;                          ///< kCall: function name
+  std::vector<std::shared_ptr<Expr>> args;   ///< kBinary (2) / kCall (n)
+
+  static std::shared_ptr<Expr> Const(Value v);
+  static std::shared_ptr<Expr> Var(std::string name);
+  static std::shared_ptr<Expr> Binary(BinaryOp op, std::shared_ptr<Expr> l,
+                                      std::shared_ptr<Expr> r);
+  static std::shared_ptr<Expr> Call(std::string name,
+                                    std::vector<std::shared_ptr<Expr>> args);
+
+  /// Collects variable names referenced by this expression into `out`.
+  void CollectVars(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators of rule conditions.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kIn, kSubset };
+
+std::string CompareOpToString(CompareOp op);
+
+/// A condition `lhs OP rhs` in a rule body (conjunction implied).
+struct Condition {
+  CompareOp op = CompareOp::kEq;
+  std::shared_ptr<Expr> lhs;
+  std::shared_ptr<Expr> rhs;
+
+  std::string ToString() const;
+};
+
+/// `Var = expr` — binds a fresh variable to a computed value.
+struct Assignment {
+  std::string target;
+  std::shared_ptr<Expr> expr;
+
+  std::string ToString() const;
+};
+
+/// Monotonic aggregation functions (Section 3 / [6]).
+enum class AggregateFunc { kSum, kCount, kProd, kMin, kMax, kUnion };
+
+std::string AggregateFuncToString(AggregateFunc func);
+
+/// `Var = msum(expr, <C1,...,Ck>)` — a monotonic aggregate. The group key is
+/// the tuple of non-aggregate head arguments; the contributor key is the
+/// tuple of contributor expressions. Per (group, contributor) only the
+/// extremal contribution counts, which is what lets anonymized tuple versions
+/// *replace* their predecessors inside aggregates (Section 4.3).
+struct AggregateSpec {
+  std::string target;
+  AggregateFunc func = AggregateFunc::kSum;
+  std::shared_ptr<Expr> value;               ///< Absent for mcount.
+  std::vector<std::shared_ptr<Expr>> contributors;
+
+  std::string ToString() const;
+};
+
+/// A rule `head1, head2 :- body.` with conditions, assignments and
+/// aggregates. Head variables that are neither bound in the body nor assigned
+/// are existentially quantified and produce labelled nulls during the chase.
+///
+/// A rule may instead be an *equality-generating dependency* (EGD) with head
+/// `X = Y`; see `is_egd`.
+struct Rule {
+  std::vector<Atom> head;
+  std::vector<Literal> body;
+  std::vector<Condition> conditions;
+  std::vector<Assignment> assignments;
+  std::vector<AggregateSpec> aggregates;
+
+  bool is_egd = false;
+  std::string egd_lhs;  ///< EGD head variables (must be body-bound).
+  std::string egd_rhs;
+
+  /// Human-readable label, e.g. "alg1-rule2" (optional; used in explanations).
+  std::string label;
+
+  std::string ToString() const;
+};
+
+/// A @bind("predicate", "file.csv") annotation: load the CSV rows as facts
+/// of `predicate` before evaluation (see vadalog/bindings.h).
+struct Binding {
+  std::string predicate;
+  std::string path;
+};
+
+/// A parsed Vadalog program: facts, rules and annotations.
+struct Program {
+  std::vector<Atom> facts;  ///< Ground atoms asserted by the program text.
+  std::vector<Rule> rules;
+  std::vector<std::string> inputs;   ///< @input("p") annotations.
+  std::vector<std::string> outputs;  ///< @output("p") annotations.
+  std::vector<Binding> bindings;     ///< @bind("p", "file.csv") annotations.
+
+  std::string ToString() const;
+};
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_AST_H_

@@ -1,0 +1,20 @@
+#include "vadalog/bindings.h"
+
+#include "common/csv.h"
+
+namespace vadasa::vadalog {
+
+Status LoadBindings(const Program& program, Database* db) {
+  for (const Binding& binding : program.bindings) {
+    VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(binding.path));
+    for (const auto& row : csv.rows) {
+      std::vector<Value> values;
+      values.reserve(row.size());
+      for (const std::string& cell : row) values.push_back(CellToValue(cell));
+      db->AddFact(binding.predicate, std::move(values));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vadasa::vadalog

@@ -1,0 +1,21 @@
+#ifndef VADASA_VADALOG_BINDINGS_H_
+#define VADASA_VADALOG_BINDINGS_H_
+
+#include "common/result.h"
+#include "vadalog/ast.h"
+#include "vadalog/database.h"
+
+namespace vadasa::vadalog {
+
+/// Materializes the program's @bind("predicate", "file.csv") annotations:
+/// each CSV data row (the header line is skipped but fixes the arity) becomes
+/// one fact of `predicate`, with cells typed by common::CellToValue (ints,
+/// doubles, NULL_k labelled nulls, strings).
+///
+/// Deliberately separate from Engine::Run so the engine itself never touches
+/// the filesystem; callers that evaluate untrusted programs simply skip this.
+Status LoadBindings(const Program& program, Database* db);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_BINDINGS_H_

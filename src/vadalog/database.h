@@ -1,0 +1,121 @@
+#ifndef VADASA_VADALOG_DATABASE_H_
+#define VADASA_VADALOG_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace vadasa::vadalog {
+
+/// Globally unique id of a fact within a Database (insertion order).
+using FactId = uint32_t;
+inline constexpr FactId kInvalidFactId = 0xffffffff;
+
+/// Why a fact exists: asserted (EDB) or derived by a rule from support facts.
+struct Provenance {
+  int rule_index = -1;          ///< -1 for asserted facts.
+  std::vector<FactId> support;  ///< Body facts that justified the derivation.
+};
+
+/// A single stored fact: predicate + ground row.
+struct Fact {
+  std::string predicate;
+  std::vector<Value> row;
+
+  std::string ToString() const;
+};
+
+/// All rows of one predicate, with a hash index for O(1) duplicate checks and
+/// lazily built per-column hash indexes for joins.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  FactId fact_id(size_t i) const { return fact_ids_[i]; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  /// Returns the local row index, or -1 if absent.
+  int64_t Find(const std::vector<Value>& row) const;
+
+  /// Inserts if new; returns (local index, inserted?).
+  std::pair<size_t, bool> Insert(std::vector<Value> row, FactId id);
+
+  /// Row indices whose column `col` strictly equals `v` (hash-indexed).
+  const std::vector<uint32_t>& RowsWithValue(size_t col, const Value& v) const;
+
+  /// Invalidate indexes (used after global null substitution).
+  void RebuildIndexes();
+
+ private:
+  struct RowKey {
+    size_t hash;
+    uint32_t index;
+  };
+
+  size_t arity_;
+  std::vector<std::vector<Value>> rows_;
+  std::vector<FactId> fact_ids_;
+  // Dedup index: row hash -> candidate row indices.
+  std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
+  // Join indexes, built on demand per column: value hash -> row indices.
+  mutable std::vector<std::unordered_map<size_t, std::vector<uint32_t>>> col_index_;
+  mutable std::vector<size_t> col_indexed_upto_;
+};
+
+/// The extensional + derived-extensional store of a reasoning task, with
+/// per-fact provenance for full explainability (desideratum (vi)).
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a fact. No-op (returning the existing id) if already present.
+  /// `prov` records how it was derived; pass {} for asserted facts.
+  FactId AddFact(const std::string& predicate, std::vector<Value> row,
+                 Provenance prov = {});
+
+  bool Contains(const std::string& predicate, const std::vector<Value>& row) const;
+
+  /// Number of distinct facts.
+  size_t size() const { return facts_.size(); }
+
+  /// The relation for `predicate`, or nullptr if no fact of it exists.
+  const Relation* relation(const std::string& predicate) const;
+
+  /// All rows of `predicate` (empty if absent).
+  const std::vector<std::vector<Value>>& Rows(const std::string& predicate) const;
+
+  /// Predicates present in the database, sorted.
+  std::vector<std::string> Predicates() const;
+
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  const Provenance& provenance(FactId id) const { return provenance_[id]; }
+
+  /// Applies a substitution of labelled nulls (from EGD unification) to every
+  /// fact, merging facts that become equal. Indexes are rebuilt.
+  void SubstituteNulls(const std::unordered_map<uint64_t, Value>& subst);
+
+  /// Allocates a fresh labelled-null label, unique within this database.
+  uint64_t FreshNullLabel() { return next_null_label_++; }
+
+  /// Pretty-prints all facts of a predicate, sorted, one per line.
+  std::string DumpPredicate(const std::string& predicate) const;
+
+ private:
+  std::unordered_map<std::string, Relation> relations_;
+  std::vector<Fact> facts_;            // by FactId
+  std::vector<Provenance> provenance_; // by FactId
+  uint64_t next_null_label_ = 1;
+  static const std::vector<std::vector<Value>> kEmptyRows;
+};
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_DATABASE_H_

@@ -1,0 +1,39 @@
+#ifndef VADASA_VADALOG_EXPLAIN_H_
+#define VADASA_VADALOG_EXPLAIN_H_
+
+#include <string>
+
+#include "vadalog/ast.h"
+#include "vadalog/database.h"
+
+namespace vadasa::vadalog {
+
+/// Renders the derivation tree of a fact as an indented text explanation —
+/// the "full explainability by logic entailment" the paper claims
+/// (desideratum (vi)). Asserted facts print as `[asserted]`; derived facts
+/// show the rule that produced them and, recursively, their support facts.
+///
+/// `max_depth` bounds recursion (cyclic provenance cannot occur because
+/// support facts always predate the derived fact, but deep chains are
+/// truncated with "...").
+std::string ExplainFact(const Database& db, const Program& program, FactId id,
+                        int max_depth = 8);
+
+/// Finds the fact id of a ground atom; kInvalidFactId if absent.
+FactId FindFact(const Database& db, const std::string& predicate,
+                const std::vector<Value>& row);
+
+/// Renders the derivation DAG of a fact in Graphviz DOT: facts are nodes,
+/// derivations are edges labelled by rule. Shared sub-derivations appear
+/// once (it is a DAG, not a tree). For audit artifacts and debugging.
+std::string ExplainFactDot(const Database& db, const Program& program, FactId id);
+
+/// Renders the derivation tree as JSON:
+///   {"fact": "...", "rule": "..."|null, "support": [ ... ]}
+/// Depth-limited like ExplainFact.
+std::string ExplainFactJson(const Database& db, const Program& program, FactId id,
+                            int max_depth = 8);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_EXPLAIN_H_

@@ -1,0 +1,38 @@
+#ifndef VADASA_VADALOG_EXPR_EVAL_H_
+#define VADASA_VADALOG_EXPR_EVAL_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "vadalog/ast.h"
+
+namespace vadasa::vadalog {
+
+/// Resolves a variable name to its bound value; returns nullptr when unbound.
+using VarLookup = std::function<const Value*(const std::string&)>;
+
+/// Evaluates an expression under a binding. Unbound variables and type
+/// mismatches are errors.
+///
+/// Builtin functions (beyond + - * /):
+///   scalar:  abs, min, max, mod, pow, sqrt, floor, ceil, round
+///   logic:   if(c,a,b), and, or, not, lt, le, gt, ge, eq, ne, maybe_eq
+///   string:  concat, lower, upper, strlen, similarity(a,b) in [0,1]
+///   values:  is_null(x), null_label(x), to_string(x)
+///   collect: list(...), set(...), size, union, intersection, difference,
+///            contains(coll,x), first(p), second(p), pair(a,b),
+///            get(pairset,key), with(pairset,key,v), without(pairset,key),
+///            keys(pairset), values(pairset), project(pairset,keyset)
+/// A "pairset" is a set of 2-element lists (name,value) — the paper's VSet.
+Result<Value> EvalExpr(const Expr& expr, const VarLookup& lookup);
+
+/// Evaluates a condition to true/false under a binding.
+/// Equality (kEq) uses strict Value equality; use the `maybe_eq` builtin for
+/// the =⊥ maybe-match relation.
+Result<bool> EvalCondition(const Condition& cond, const VarLookup& lookup);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_EXPR_EVAL_H_

@@ -1,0 +1,57 @@
+#ifndef VADASA_VADALOG_LEXER_H_
+#define VADASA_VADALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vadasa::vadalog {
+
+/// Token categories of the Vadalog dialect.
+enum class TokenKind {
+  kIdent,      ///< lowercase-initial identifier (predicate / symbol constant)
+  kVariable,   ///< uppercase- or '_'-initial identifier
+  kExternal,   ///< '#' + identifier (external predicate)
+  kInt,
+  kDouble,
+  kString,     ///< double-quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,    ///< :-
+  kAssign,     ///< =
+  kEq,         ///< ==
+  kNe,         ///< !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAt,         ///< @
+  kEof,
+};
+
+/// One lexed token with its source line for diagnostics.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;     ///< Identifier / string payload.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 0;
+
+  std::string ToString() const;
+};
+
+/// Tokenizes Vadalog source. Comments run from '%' or "//" to end of line.
+Result<std::vector<Token>> Lex(std::string_view source);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_LEXER_H_

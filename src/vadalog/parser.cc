@@ -1,0 +1,472 @@
+#include "vadalog/parser.h"
+
+#include <optional>
+
+#include "vadalog/lexer.h"
+
+namespace vadasa::vadalog {
+
+namespace {
+
+std::optional<AggregateFunc> AggregateFuncFromName(const std::string& name) {
+  if (name == "msum") return AggregateFunc::kSum;
+  if (name == "mcount") return AggregateFunc::kCount;
+  if (name == "mprod") return AggregateFunc::kProd;
+  if (name == "mmin") return AggregateFunc::kMin;
+  if (name == "mmax") return AggregateFunc::kMax;
+  if (name == "munion") return AggregateFunc::kUnion;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!At(TokenKind::kEof)) {
+      VADASA_RETURN_NOT_OK(ParseClause(&program));
+    }
+    return program;
+  }
+
+  Result<Atom> ParseSingleFact() {
+    VADASA_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+    if (At(TokenKind::kDot)) Advance();
+    if (!At(TokenKind::kEof)) return Error("trailing input after fact");
+    for (const Term& t : atom.args) {
+      if (t.is_variable()) return Error("fact must be ground: " + atom.ToString());
+    }
+    return atom;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    const size_t i = pos_ + n;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind k) const { return Cur().kind == k; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Cur().line) + ": " + msg +
+                              " (at '" + Cur().ToString() + "')");
+  }
+  Status Expect(TokenKind k, const char* what) {
+    if (!At(k)) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseClause(Program* program) {
+    if (At(TokenKind::kAt)) return ParseAnnotation(program);
+    // A clause is a fact or a rule; both end with '.'.
+    VADASA_ASSIGN_OR_RETURN(Rule rule, ParseRuleOrFact());
+    if (rule.body.empty() && rule.conditions.empty() && rule.assignments.empty() &&
+        rule.aggregates.empty() && !rule.is_egd) {
+      // Headless bodies can't happen; a bodiless head of ground atoms is facts.
+      bool all_ground = true;
+      for (const Atom& a : rule.head) {
+        for (const Term& t : a.args) {
+          if (t.is_variable()) all_ground = false;
+        }
+      }
+      if (!all_ground) {
+        return Status::ParseError("non-ground fact: " + rule.ToString());
+      }
+      for (Atom& a : rule.head) program->facts.push_back(std::move(a));
+      return Status::OK();
+    }
+    program->rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  Status ParseAnnotation(Program* program) {
+    Advance();  // '@'
+    if (!At(TokenKind::kIdent)) return Error("expected annotation name after '@'");
+    const std::string name = Cur().text;
+    Advance();
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::vector<std::string> args;
+    for (;;) {
+      if (!At(TokenKind::kString) && !At(TokenKind::kIdent)) {
+        return Error("expected string argument in annotation");
+      }
+      args.push_back(Cur().text);
+      Advance();
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+    if (name == "input" && args.size() == 1) {
+      program->inputs.push_back(args[0]);
+    } else if (name == "output" && args.size() == 1) {
+      program->outputs.push_back(args[0]);
+    } else if (name == "bind" && args.size() == 2) {
+      program->bindings.push_back(Binding{args[0], args[1]});
+    } else {
+      return Status::ParseError("unknown annotation @" + name + "/" +
+                                std::to_string(args.size()));
+    }
+    return Status::OK();
+  }
+
+  Result<Rule> ParseRuleOrFact() {
+    Rule rule;
+    // EGD head: VAR '=' VAR ':-' ...
+    if (At(TokenKind::kVariable) && Peek().kind == TokenKind::kAssign &&
+        Peek(2).kind == TokenKind::kVariable && Peek(3).kind == TokenKind::kImplies) {
+      rule.is_egd = true;
+      rule.egd_lhs = Cur().text;
+      Advance();
+      Advance();
+      rule.egd_rhs = Cur().text;
+      Advance();
+    } else {
+      for (;;) {
+        VADASA_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+        rule.head.push_back(std::move(atom));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (At(TokenKind::kDot)) {
+      Advance();
+      return rule;  // Fact(s).
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kImplies, "':-' or '.'"));
+    for (;;) {
+      VADASA_RETURN_NOT_OK(ParseBodyItem(&rule));
+      if (At(TokenKind::kComma)) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+    return rule;
+  }
+
+  Status ParseBodyItem(Rule* rule) {
+    // Negated literal.
+    if (At(TokenKind::kIdent) && Cur().text == "not" &&
+        (Peek().kind == TokenKind::kIdent || Peek().kind == TokenKind::kExternal) &&
+        Peek(2).kind == TokenKind::kLParen) {
+      Advance();
+      VADASA_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      rule->body.push_back(Literal{std::move(atom), /*negated=*/true});
+      return Status::OK();
+    }
+    // Positive literal — unless what follows the closing paren is a
+    // comparison operator, in which case `f(...)` was a function call on the
+    // left of a condition (e.g. `contains(S, X) == false`); backtrack.
+    if ((At(TokenKind::kIdent) || At(TokenKind::kExternal)) &&
+        Peek().kind == TokenKind::kLParen) {
+      const size_t saved = pos_;
+      auto atom_result = ParseAtom();
+      if (!atom_result.ok()) {
+        // Not a flat atom (e.g. nested calls like `size(union(A,B)) > 1`):
+        // fall through to expression parsing.
+        pos_ = saved;
+      } else {
+        Atom atom = std::move(atom_result).value();
+        switch (Cur().kind) {
+        case TokenKind::kEq:
+        case TokenKind::kNe:
+        case TokenKind::kLt:
+        case TokenKind::kLe:
+        case TokenKind::kGt:
+        case TokenKind::kGe:
+        case TokenKind::kAssign:
+            pos_ = saved;  // Re-parse as a condition below.
+            break;
+          default:
+            if (Cur().kind == TokenKind::kIdent &&
+                (Cur().text == "in" || Cur().text == "subset")) {
+              pos_ = saved;
+              break;
+            }
+            rule->body.push_back(Literal{std::move(atom), /*negated=*/false});
+            return Status::OK();
+        }
+      }
+    }
+    // Assignment / aggregate: VAR '=' ...
+    if (At(TokenKind::kVariable) && Peek().kind == TokenKind::kAssign) {
+      const std::string target = Cur().text;
+      Advance();
+      Advance();
+      if (At(TokenKind::kIdent)) {
+        if (auto func = AggregateFuncFromName(Cur().text);
+            func.has_value() && Peek().kind == TokenKind::kLParen) {
+          return ParseAggregate(rule, target, *func);
+        }
+      }
+      VADASA_ASSIGN_OR_RETURN(auto expr, ParseExpr());
+      rule->assignments.push_back(Assignment{target, std::move(expr)});
+      return Status::OK();
+    }
+    // Condition: expr CMP expr.
+    VADASA_ASSIGN_OR_RETURN(auto lhs, ParseExpr());
+    CompareOp op;
+    switch (Cur().kind) {
+      case TokenKind::kEq: op = CompareOp::kEq; break;
+      case TokenKind::kAssign: op = CompareOp::kEq; break;
+      case TokenKind::kNe: op = CompareOp::kNe; break;
+      case TokenKind::kLt: op = CompareOp::kLt; break;
+      case TokenKind::kLe: op = CompareOp::kLe; break;
+      case TokenKind::kGt: op = CompareOp::kGt; break;
+      case TokenKind::kGe: op = CompareOp::kGe; break;
+      case TokenKind::kIdent:
+        if (Cur().text == "in") {
+          op = CompareOp::kIn;
+          break;
+        }
+        if (Cur().text == "subset") {
+          op = CompareOp::kSubset;
+          break;
+        }
+        return Error("expected comparison operator");
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    VADASA_ASSIGN_OR_RETURN(auto rhs, ParseExpr());
+    rule->conditions.push_back(Condition{op, std::move(lhs), std::move(rhs)});
+    return Status::OK();
+  }
+
+  Status ParseAggregate(Rule* rule, const std::string& target, AggregateFunc func) {
+    Advance();  // function name
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    AggregateSpec spec;
+    spec.target = target;
+    spec.func = func;
+    if (!At(TokenKind::kLt)) {
+      VADASA_ASSIGN_OR_RETURN(spec.value, ParseExpr());
+      VADASA_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+    } else if (func != AggregateFunc::kCount) {
+      return Error(AggregateFuncToString(func) + " requires a value argument");
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kLt, "'<'"));
+    if (!At(TokenKind::kGt)) {
+      for (;;) {
+        VADASA_ASSIGN_OR_RETURN(auto c, ParseExpr());
+        spec.contributors.push_back(std::move(c));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    rule->aggregates.push_back(std::move(spec));
+    return Status::OK();
+  }
+
+  Result<Atom> ParseAtom() {
+    Atom atom;
+    if (At(TokenKind::kExternal)) {
+      atom.predicate = "#" + Cur().text;
+    } else if (At(TokenKind::kIdent)) {
+      atom.predicate = Cur().text;
+    } else {
+      return Error("expected predicate name");
+    }
+    Advance();
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    if (!At(TokenKind::kRParen)) {
+      for (;;) {
+        VADASA_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        atom.args.push_back(std::move(term));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    VADASA_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return atom;
+  }
+
+  Result<Term> ParseTerm() {
+    switch (Cur().kind) {
+      case TokenKind::kVariable: {
+        Term t = Term::Variable(Cur().text);
+        Advance();
+        return t;
+      }
+      case TokenKind::kIdent: {
+        if (Cur().text == "true" || Cur().text == "false") {
+          Term t = Term::Constant(Value::Bool(Cur().text == "true"));
+          Advance();
+          return t;
+        }
+        Term t = Term::Constant(Value::String(Cur().text));
+        Advance();
+        return t;
+      }
+      case TokenKind::kString: {
+        Term t = Term::Constant(Value::String(Cur().text));
+        Advance();
+        return t;
+      }
+      case TokenKind::kInt: {
+        Term t = Term::Constant(Value::Int(Cur().int_value));
+        Advance();
+        return t;
+      }
+      case TokenKind::kDouble: {
+        Term t = Term::Constant(Value::Double(Cur().double_value));
+        Advance();
+        return t;
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        if (At(TokenKind::kInt)) {
+          Term t = Term::Constant(Value::Int(-Cur().int_value));
+          Advance();
+          return t;
+        }
+        if (At(TokenKind::kDouble)) {
+          Term t = Term::Constant(Value::Double(-Cur().double_value));
+          Advance();
+          return t;
+        }
+        return Error("expected number after '-'");
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  // Expression grammar: additive > multiplicative > unary > primary.
+  Result<std::shared_ptr<Expr>> ParseExpr() { return ParseAdditive(); }
+
+  Result<std::shared_ptr<Expr>> ParseAdditive() {
+    VADASA_ASSIGN_OR_RETURN(auto lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      const BinaryOp op =
+          At(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      VADASA_ASSIGN_OR_RETURN(auto rhs, ParseMultiplicative());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::shared_ptr<Expr>> ParseMultiplicative() {
+    VADASA_ASSIGN_OR_RETURN(auto lhs, ParseUnary());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash)) {
+      const BinaryOp op =
+          At(TokenKind::kStar) ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      VADASA_ASSIGN_OR_RETURN(auto rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::shared_ptr<Expr>> ParseUnary() {
+    if (At(TokenKind::kMinus)) {
+      Advance();
+      VADASA_ASSIGN_OR_RETURN(auto inner, ParseUnary());
+      return Expr::Binary(BinaryOp::kSub, Expr::Const(Value::Int(0)),
+                          std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<std::shared_ptr<Expr>> ParsePrimary() {
+    switch (Cur().kind) {
+      case TokenKind::kInt: {
+        auto e = Expr::Const(Value::Int(Cur().int_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kDouble: {
+        auto e = Expr::Const(Value::Double(Cur().double_value));
+        Advance();
+        return e;
+      }
+      case TokenKind::kString: {
+        auto e = Expr::Const(Value::String(Cur().text));
+        Advance();
+        return e;
+      }
+      case TokenKind::kVariable: {
+        auto e = Expr::Var(Cur().text);
+        Advance();
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        VADASA_ASSIGN_OR_RETURN(auto e, ParseExpr());
+        VADASA_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+        return e;
+      }
+      case TokenKind::kIdent: {
+        const std::string name = Cur().text;
+        if (name == "true" || name == "false") {
+          Advance();
+          return Expr::Const(Value::Bool(name == "true"));
+        }
+        if (Peek().kind == TokenKind::kLParen) {
+          Advance();
+          Advance();
+          std::vector<std::shared_ptr<Expr>> args;
+          if (!At(TokenKind::kRParen)) {
+            for (;;) {
+              VADASA_ASSIGN_OR_RETURN(auto a, ParseExpr());
+              args.push_back(std::move(a));
+              if (At(TokenKind::kComma)) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          VADASA_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+          return Expr::Call(name, std::move(args));
+        }
+        // Bare lowercase identifier: a symbol constant.
+        auto e = Expr::Const(Value::String(name));
+        Advance();
+        return e;
+      }
+      default:
+        return Error("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Parse(std::string_view source) {
+  VADASA_ASSIGN_OR_RETURN(auto tokens, Lex(source));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Atom> ParseFact(std::string_view text) {
+  VADASA_ASSIGN_OR_RETURN(auto tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleFact();
+}
+
+}  // namespace vadasa::vadalog

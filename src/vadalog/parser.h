@@ -1,0 +1,35 @@
+#ifndef VADASA_VADALOG_PARSER_H_
+#define VADASA_VADALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "vadalog/ast.h"
+
+namespace vadasa::vadalog {
+
+/// Parses a Vadalog program.
+///
+/// Grammar sketch (see README for the full dialect reference):
+///
+///   clause      := annotation | fact '.' | rule '.'
+///   annotation  := '@' ident '(' string ')'
+///   rule        := head ':-' body_item (',' body_item)*
+///   head        := atom (',' atom)* | VAR '=' VAR            (EGD)
+///   body_item   := ['not'] atom
+///                | VAR '=' aggregate | VAR '=' expr          (assignment)
+///                | expr cmp expr                             (condition)
+///   aggregate   := ('msum'|'mcount'|'mprod'|'mmin'|'mmax'|'munion')
+///                  '(' [expr ','] '<' expr (',' expr)* '>' ')'
+///   atom        := (ident | '#'ident) '(' term (',' term)* ')'
+///
+/// Lowercase identifiers are symbol constants (strings); uppercase-initial
+/// identifiers are variables. Comments: '%' or '//' to end of line.
+Result<Program> Parse(std::string_view source);
+
+/// Parses a single ground atom like `att("I&G","Area")`. Handy for tests.
+Result<Atom> ParseFact(std::string_view text);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_PARSER_H_

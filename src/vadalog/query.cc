@@ -1,0 +1,90 @@
+#include "vadalog/query.h"
+
+#include <algorithm>
+
+#include "vadalog/parser.h"
+
+namespace vadasa::vadalog {
+
+namespace {
+
+bool RowHasNull(const std::vector<Value>& row) {
+  for (const Value& v : row) {
+    if (v.is_null()) return true;
+    if (v.is_collection()) {
+      if (RowHasNull(v.items())) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<Value>>> EvaluateQuery(const Database& db,
+                                                      const std::string& query_source,
+                                                      Engine* engine,
+                                                      QueryOptions options) {
+  VADASA_ASSIGN_OR_RETURN(Program program, Parse(query_source));
+  if (program.rules.size() != 1 || !program.facts.empty()) {
+    return Status::InvalidArgument("a query must be a single rule");
+  }
+  Rule& rule = program.rules[0];
+  if (rule.is_egd || rule.head.size() != 1) {
+    return Status::InvalidArgument("a query needs exactly one head atom");
+  }
+  if (rule.head[0].predicate != "q") {
+    return Status::InvalidArgument("the query head predicate must be named 'q'");
+  }
+  // Run against a scratch copy so the caller's database stays pristine.
+  Database scratch = db;
+  Engine local_engine;
+  Engine* e = engine != nullptr ? engine : &local_engine;
+  VADASA_ASSIGN_OR_RETURN(const RunStats stats, e->Run(program, &scratch));
+  (void)stats;
+
+  std::vector<std::vector<Value>> rows;
+  if (!rule.aggregates.empty()) {
+    // Finalize the monotone stream: max per group (sum/count/prod/max grow,
+    // min shrinks — pick per the first aggregate's direction).
+    const bool take_max = rule.aggregates[0].func != AggregateFunc::kMin;
+    // The aggregate target's position in the head determines the value col.
+    size_t value_col = 0;
+    for (size_t i = 0; i < rule.head[0].args.size(); ++i) {
+      const Term& t = rule.head[0].args[i];
+      if (t.is_variable() && t.var == rule.aggregates[0].target) value_col = i;
+    }
+    rows = FinalAggregateRows(scratch, "q", value_col, take_max);
+  } else {
+    rows = scratch.Rows("q");
+  }
+  if (options.certain_only) {
+    rows.erase(std::remove_if(rows.begin(), rows.end(), RowHasNull), rows.end());
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              const size_t n = std::min(a.size(), b.size());
+              for (size_t i = 0; i < n; ++i) {
+                const int c = a[i].Compare(b[i]);
+                if (c != 0) return c < 0;
+              }
+              return a.size() < b.size();
+            });
+  rows.erase(std::unique(rows.begin(), rows.end(),
+                         [](const std::vector<Value>& a, const std::vector<Value>& b) {
+                           if (a.size() != b.size()) return false;
+                           for (size_t i = 0; i < a.size(); ++i) {
+                             if (!a[i].Equals(b[i])) return false;
+                           }
+                           return true;
+                         }),
+             rows.end());
+  return rows;
+}
+
+Result<size_t> CountQuery(const Database& db, const std::string& query_source,
+                          Engine* engine) {
+  VADASA_ASSIGN_OR_RETURN(const auto rows, EvaluateQuery(db, query_source, engine));
+  return rows.size();
+}
+
+}  // namespace vadasa::vadalog

@@ -1,0 +1,42 @@
+#ifndef VADASA_VADALOG_QUERY_H_
+#define VADASA_VADALOG_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "vadalog/database.h"
+#include "vadalog/engine.h"
+
+namespace vadasa::vadalog {
+
+/// Evaluates a one-shot query against a database snapshot.
+///
+/// `query_source` is a single rule whose head predicate is `q`, e.g.
+///   "q(X, Z) :- path(X, Y), edge(Y, Z), not blocked(Z)."
+/// It may use everything the dialect offers (negation against existing
+/// predicates, conditions, assignments, aggregates — the monotone stream of
+/// an aggregate query is finalized to its extremal values).
+///
+/// Query evaluation knobs.
+struct QueryOptions {
+  /// Keep only *certain* answers: rows free of labelled nulls. Under the
+  /// open-world reading of the chase, a row mentioning ⊥_k holds only for
+  /// some completion of the data; certain answers hold in all of them.
+  bool certain_only = false;
+};
+
+/// The database is not modified; evaluation runs on a copy. Rows come back
+/// sorted (Value order), duplicates removed.
+Result<std::vector<std::vector<Value>>> EvaluateQuery(const Database& db,
+                                                      const std::string& query_source,
+                                                      Engine* engine = nullptr,
+                                                      QueryOptions options = {});
+
+/// Convenience: count of rows matching the query.
+Result<size_t> CountQuery(const Database& db, const std::string& query_source,
+                          Engine* engine = nullptr);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_QUERY_H_

@@ -1,0 +1,27 @@
+#ifndef VADASA_VADALOG_STORAGE_H_
+#define VADASA_VADALOG_STORAGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "vadalog/database.h"
+
+namespace vadasa::vadalog {
+
+/// Simple directory-per-database persistence: each predicate becomes
+/// `<dir>/<predicate>.csv` (header `c0..cN-1`, one row per fact, cells in the
+/// CellToValue format so labelled nulls survive as `NULL_k`). Provenance is
+/// not persisted — reloaded facts are asserted facts.
+///
+/// This is the storage half of the @bind mechanism: a chase result saved
+/// here can be rebound as the extensional component of the next reasoning
+/// task (how the derived extensional component of one Vada-SA phase feeds
+/// the next).
+Status SaveDatabase(const Database& db, const std::string& directory);
+
+/// Loads every `*.csv` in `directory` back into `db` (predicate = file stem).
+Status LoadDatabase(const std::string& directory, Database* db);
+
+}  // namespace vadasa::vadalog
+
+#endif  // VADASA_VADALOG_STORAGE_H_

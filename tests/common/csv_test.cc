@@ -1,0 +1,76 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFields) {
+  auto table = ParseCsv("name,desc\n\"Rossi, Mario\",\"said \"\"ciao\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "Rossi, Mario");
+  EXPECT_EQ(table->rows[0][1], "said \"ciao\"");
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable t;
+  t.header = {"x", "y"};
+  t.rows = {{"plain", "with,comma"}, {"with\"quote", "multi\nline"}};
+  auto parsed = ParseCsv(WriteCsv(t));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->rows, t.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable t;
+  t.header = {"id", "area"};
+  t.rows = {{"1", "North"}, {"2", "South"}};
+  const std::string path = ::testing::TempDir() + "/vadasa_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, t).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows, t.rows);
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/file.csv").status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvTest, CellToValueDetectsTypes) {
+  EXPECT_TRUE(CellToValue("42").is_int());
+  EXPECT_TRUE(CellToValue("-3.5").is_double());
+  EXPECT_TRUE(CellToValue("North").is_string());
+  EXPECT_TRUE(CellToValue("0-30").is_string());  // Range labels stay strings.
+  const Value null_cell = CellToValue("NULL_7");
+  ASSERT_TRUE(null_cell.is_null());
+  EXPECT_EQ(null_cell.null_label(), 7u);
+  EXPECT_TRUE(CellToValue("NULL_x").is_string());  // Malformed label: literal.
+}
+
+}  // namespace
+}  // namespace vadasa

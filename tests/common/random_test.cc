@@ -1,0 +1,204 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace vadasa {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(13), 13u);
+  }
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInt(-2, 2);
+    ASSERT_GE(x, -2);
+    ASSERT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatches) {
+  Rng rng(17);
+  const int n = 20000;
+  for (const auto& [shape, scale] : std::vector<std::pair<double, double>>{
+           {0.5, 2.0}, {1.0, 1.0}, {4.0, 0.5}}) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape, scale);
+    EXPECT_NEAR(sum / n, shape * scale, 0.08 * shape * scale + 0.02)
+        << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(19);
+  const int n = 20000;
+  for (const double mean : {0.5, 3.0, 25.0, 80.0}) {
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextPoisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, NegativeBinomialMeanMatches) {
+  // NB(r, p) as Gamma–Poisson mixture has mean r(1-p)/p.
+  Rng rng(23);
+  const double r = 5.0;
+  const double p = 0.25;
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.NextNegativeBinomial(r, p));
+  const double expected = r * (1 - p) / p;
+  EXPECT_NEAR(sum / n, expected, 0.05 * expected);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(29);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.NextCategorical(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.NextZipf(10, 1.5)]++;
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniformish) {
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.NextZipf(4, 0.0)]++;
+  for (const int c : counts) EXPECT_NEAR(c, 5000, 400);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(41);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PosteriorRiskTest, ClosedFormMatchesPaperDefinition) {
+  // ρ = f / ΣW clamped to [0,1].
+  EXPECT_DOUBLE_EQ(stats::NegBinomialPosteriorRiskClosedForm(1.0, 100.0), 0.01);
+  EXPECT_DOUBLE_EQ(stats::NegBinomialPosteriorRiskClosedForm(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(stats::NegBinomialPosteriorRiskClosedForm(3.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::NegBinomialPosteriorRiskClosedForm(1.0, 0.0), 1.0);
+}
+
+TEST(PosteriorRiskTest, SampledTracksClosedForm) {
+  Rng rng(43);
+  for (const auto& [f, w] : std::vector<std::pair<double, double>>{
+           {1.0, 50.0}, {2.0, 80.0}, {5.0, 200.0}}) {
+    const double closed = stats::NegBinomialPosteriorRiskClosedForm(f, w);
+    const double sampled = stats::NegBinomialPosteriorRiskSampled(f, w, 4000, &rng);
+    // The Monte-Carlo estimate of E[1/F] is close to (though Jensen-above)
+    // 1/E[F]; allow a loose band.
+    EXPECT_GT(sampled, 0.3 * closed);
+    EXPECT_LT(sampled, 5.0 * closed + 0.01);
+  }
+}
+
+TEST(BenedettiFranconiTest, KnownShapes) {
+  // f = 1, π = 0.01: ρ = π/(1-π) ln(1/π) ≈ 0.04652 — well above the naive π.
+  EXPECT_NEAR(stats::BenedettiFranconiRisk(1.0, 100.0),
+              (0.01 / 0.99) * std::log(100.0), 1e-9);
+  // Sample uniques are always riskier than the simple estimator suggests.
+  for (const double w : {20.0, 50.0, 200.0, 1000.0}) {
+    EXPECT_GT(stats::BenedettiFranconiRisk(1.0, w),
+              stats::NegBinomialPosteriorRiskClosedForm(1.0, w));
+  }
+  // Degenerate inputs clamp.
+  EXPECT_DOUBLE_EQ(stats::BenedettiFranconiRisk(1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::BenedettiFranconiRisk(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::BenedettiFranconiRisk(0.0, 10.0), 1.0);
+}
+
+TEST(BenedettiFranconiTest, BoundedAndDecreasingInWeight) {
+  for (const double f : {1.0, 2.0, 3.0, 6.0}) {
+    double prev = 1.1;
+    for (const double w : {2.0 * f, 5.0 * f, 20.0 * f, 100.0 * f, 1000.0 * f}) {
+      const double r = stats::BenedettiFranconiRisk(f, w);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+      EXPECT_LE(r, prev + 1e-12) << "f=" << f << " w=" << w;
+      prev = r;
+    }
+  }
+}
+
+TEST(PosteriorRiskTest, SampledMonotoneInWeight) {
+  Rng rng(47);
+  const double high = stats::NegBinomialPosteriorRiskSampled(1.0, 5.0, 4000, &rng);
+  const double low = stats::NegBinomialPosteriorRiskSampled(1.0, 500.0, 4000, &rng);
+  EXPECT_GT(high, low);
+}
+
+}  // namespace
+}  // namespace vadasa

@@ -1,0 +1,93 @@
+#include "common/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(SimilarityTest, LevenshteinBasics) {
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+}
+
+TEST(SimilarityTest, LevenshteinSimilarityRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(SimilarityTest, JaroKnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+}
+
+TEST(SimilarityTest, JaroWinklerBoostsCommonPrefix) {
+  const double jaro = JaroSimilarity("employees", "employer");
+  const double jw = JaroWinklerSimilarity("employees", "employer");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.961111, 1e-5);
+}
+
+TEST(SimilarityTest, TokenJaccardHandlesSeparators) {
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("residential_revenue", "Residential Revenue"),
+                   1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccardSimilarity("a b", "c d"), 0.0);
+  EXPECT_NEAR(TokenJaccardSimilarity("export revenue", "residential revenue"), 1.0 / 3,
+              1e-9);
+}
+
+TEST(SimilarityTest, AttributeNameSimilarityIsCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(AttributeNameSimilarity("AREA", "area"), 1.0);
+  EXPECT_GE(AttributeNameSimilarity("Residential Rev.", "residential revenue"), 0.8);
+  EXPECT_LT(AttributeNameSimilarity("growth", "fiscal code"), 0.7);
+}
+
+TEST(SoundexTest, ClassicCodes) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // h is transparent.
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, EdgeCases) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+  EXPECT_EQ(Soundex("a"), "A000");
+  EXPECT_EQ(Soundex("robert"), Soundex("ROBERT"));  // Case-insensitive.
+}
+
+TEST(SimilarityTest, SymmetryProperty) {
+  const char* names[] = {"area", "sector", "employees", "residential revenue",
+                         "fiscal code", "id", "growth", ""};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      EXPECT_NEAR(AttributeNameSimilarity(a, b), AttributeNameSimilarity(b, a), 1e-12);
+      EXPECT_NEAR(JaroSimilarity(a, b), JaroSimilarity(b, a), 1e-12);
+    }
+  }
+}
+
+TEST(SimilarityTest, BoundedInUnitInterval) {
+  const char* names[] = {"a", "ab", "abc", "abcd", "zzzz", "Area 51", "x_y-z"};
+  for (const char* a : names) {
+    for (const char* b : names) {
+      for (const double s : {JaroSimilarity(a, b), JaroWinklerSimilarity(a, b),
+                             TokenJaccardSimilarity(a, b), AttributeNameSimilarity(a, b),
+                             LevenshteinSimilarity(a, b)}) {
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vadasa

@@ -1,0 +1,61 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("Residential Rev."), "residential rev.");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  alpha\tbeta  gamma ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "gamma");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("NULL_12", "NULL_"));
+  EXPECT_FALSE(StartsWith("NUL", "NULL_"));
+  EXPECT_TRUE(EndsWith("risk.vada", ".vada"));
+  EXPECT_FALSE(EndsWith("vada", ".vada"));
+}
+
+TEST(StringUtilTest, NumberDetection) {
+  EXPECT_TRUE(LooksLikeInt("42"));
+  EXPECT_TRUE(LooksLikeInt("-7"));
+  EXPECT_FALSE(LooksLikeInt("4.2"));
+  EXPECT_FALSE(LooksLikeInt("90+"));
+  EXPECT_FALSE(LooksLikeInt(""));
+  EXPECT_TRUE(LooksLikeDouble("4.2"));
+  EXPECT_TRUE(LooksLikeDouble("-1e3"));
+  EXPECT_FALSE(LooksLikeDouble("0-30"));
+  EXPECT_FALSE(LooksLikeDouble("30-60"));
+}
+
+}  // namespace
+}  // namespace vadasa

@@ -1,0 +1,107 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null(3).is_null());
+  EXPECT_EQ(Value::Null(3).null_label(), 3u);
+  EXPECT_TRUE(Value::Bool(true).as_bool());
+  EXPECT_EQ(Value::Int(-7).as_int(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::String("abc").as_string(), "abc");
+  EXPECT_TRUE(Value().is_null());  // Default is ⊥_0.
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_TRUE(Value::Int(2).Equals(Value::Double(2.0)));
+  EXPECT_FALSE(Value::Int(2).Equals(Value::Double(2.5)));
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(3.0)), -1);
+  // Hashes must agree with the cross-kind equality.
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+}
+
+TEST(ValueTest, StrictNullEquality) {
+  EXPECT_TRUE(Value::Null(1).Equals(Value::Null(1)));
+  EXPECT_FALSE(Value::Null(1).Equals(Value::Null(2)));
+  EXPECT_FALSE(Value::Null(1).Equals(Value::Int(1)));
+}
+
+TEST(ValueTest, MaybeMatchSemantics) {
+  // The =⊥ relation of Section 4.3: a null matches anything.
+  EXPECT_TRUE(Value::Null(1).MaybeEquals(Value::Null(2)));
+  EXPECT_TRUE(Value::Null(1).MaybeEquals(Value::String("Textiles")));
+  EXPECT_TRUE(Value::String("Textiles").MaybeEquals(Value::Null(9)));
+  EXPECT_TRUE(Value::String("a").MaybeEquals(Value::String("a")));
+  EXPECT_FALSE(Value::String("a").MaybeEquals(Value::String("b")));
+}
+
+TEST(ValueTest, SetsAreCanonical) {
+  const Value a = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  const Value b = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_EQ(a.items().size(), 2u);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, ListsPreserveOrder) {
+  const Value a = Value::List({Value::Int(2), Value::Int(1)});
+  const Value b = Value::List({Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(a.Equals(b));
+  EXPECT_EQ(a.items()[0].as_int(), 2);
+}
+
+TEST(ValueTest, TotalOrderIsConsistent) {
+  std::vector<Value> vals = {
+      Value::Null(0),   Value::Null(5),        Value::Bool(false),
+      Value::Int(-3),   Value::Double(2.5),    Value::Int(10),
+      Value::String(""), Value::String("zz"),  Value::List({Value::Int(1)}),
+      Value::Set({Value::Int(1), Value::Int(2)}),
+  };
+  for (const Value& a : vals) {
+    EXPECT_EQ(a.Compare(a), 0) << a.ToString();
+    for (const Value& b : vals) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a)) << a.ToString() << " vs " << b.ToString();
+      for (const Value& c : vals) {
+        if (a.Compare(b) < 0 && b.Compare(c) < 0) {
+          EXPECT_LT(a.Compare(c), 0) << "transitivity";
+        }
+      }
+    }
+  }
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null(7).ToString(), "⊥_7");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::String("North").ToString(), "North");
+  EXPECT_EQ(Value::List({Value::Int(1), Value::String("a")}).ToString(), "(1,a)");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1,2}");
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).ToNumeric().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).ToNumeric().value(), 3.5);
+  EXPECT_FALSE(Value::String("x").ToNumeric().ok());
+  EXPECT_EQ(Value::String("x").ToNumeric().status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, HashValuesDiffersByContent) {
+  const size_t h1 = HashValues({Value::Int(1), Value::Int(2)});
+  const size_t h2 = HashValues({Value::Int(2), Value::Int(1)});
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, HashValues({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, NestedCollections) {
+  const Value inner = Value::Set({Value::String("a"), Value::String("b")});
+  const Value outer = Value::List({inner, Value::Int(1)});
+  EXPECT_TRUE(outer.items()[0].is_set());
+  EXPECT_EQ(outer.ToString(), "({a,b},1)");
+}
+
+}  // namespace
+}  // namespace vadasa

@@ -1,0 +1,136 @@
+#include "core/attack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+namespace {
+
+IdentityOracle SmallOracle() {
+  IdentityOracle::Options options;
+  options.population = 4000;
+  options.num_qi = 4;
+  options.distribution = DistributionKind::kUnbalanced;
+  options.seed = 21;
+  return IdentityOracle::Generate(options);
+}
+
+TEST(OracleTest, PopulationShape) {
+  const IdentityOracle oracle = SmallOracle();
+  EXPECT_EQ(oracle.size(), 4000u);
+  // Id + 4 QIs + Identity.
+  EXPECT_EQ(oracle.population().num_columns(), 6u);
+  EXPECT_EQ(oracle.qi_columns().size(), 4u);
+  EXPECT_EQ(oracle.IdentityOf(0), "entity-0");
+}
+
+TEST(OracleTest, SampleCarriesPopulationWeights) {
+  const IdentityOracle oracle = SmallOracle();
+  auto sample = oracle.SampleMicrodata(300, 5);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->table.num_rows(), 300u);
+  EXPECT_EQ(sample->truth.size(), 300u);
+  ASSERT_TRUE(sample->table.Validate().ok());
+  // Weight of a sampled tuple = oracle block size of its own QIs.
+  for (size_t r = 0; r < 20; ++r) {
+    std::vector<Value> pattern;
+    for (const size_t c : sample->table.QuasiIdentifierColumns()) {
+      pattern.push_back(sample->table.cell(r, c));
+    }
+    EXPECT_DOUBLE_EQ(sample->table.RowWeight(r),
+                     static_cast<double>(oracle.Block(pattern).size()));
+  }
+}
+
+TEST(OracleTest, SampleTooLargeFails) {
+  const IdentityOracle oracle = SmallOracle();
+  EXPECT_FALSE(oracle.SampleMicrodata(999999, 1).ok());
+}
+
+TEST(OracleTest, BlockWildcards) {
+  const IdentityOracle oracle = SmallOracle();
+  std::vector<Value> all_null(4, Value::Null(0));
+  EXPECT_EQ(oracle.Block(all_null).size(), oracle.size());
+}
+
+TEST(OracleTest, DistortionWeakensExactBlocking) {
+  const IdentityOracle oracle = SmallOracle();
+  auto clean = oracle.SampleMicrodata(300, 5, 0.0);
+  auto noisy = oracle.SampleMicrodata(300, 5, 0.25);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(noisy.ok());
+  // Distorted cells break exact cross-links: fewer correct re-identifications
+  // for the same attacker.
+  const AttackResult a = RunLinkageAttack(
+      clean->table, clean->table.QuasiIdentifierColumns(), oracle, clean->truth, 1);
+  const AttackResult b = RunLinkageAttack(
+      noisy->table, noisy->table.QuasiIdentifierColumns(), oracle, noisy->truth, 1);
+  EXPECT_LE(b.reidentified, a.reidentified);
+  // And some cells actually differ from the oracle truth.
+  size_t distorted = 0;
+  const auto qis = noisy->table.QuasiIdentifierColumns();
+  for (size_t r = 0; r < noisy->table.num_rows(); ++r) {
+    for (size_t i = 0; i < qis.size(); ++i) {
+      if (!noisy->table.cell(r, qis[i])
+               .Equals(oracle.population().cell(noisy->truth[r],
+                                                oracle.qi_columns()[i]))) {
+        ++distorted;
+      }
+    }
+  }
+  EXPECT_GT(distorted, 100u);  // ≈ 300×4×0.25 minus same-value draws.
+}
+
+TEST(AttackTest, RawReleaseIsAttackable) {
+  const IdentityOracle oracle = SmallOracle();
+  auto sample = oracle.SampleMicrodata(400, 9);
+  ASSERT_TRUE(sample.ok());
+  const AttackResult raw =
+      RunLinkageAttack(sample->table, sample->table.QuasiIdentifierColumns(), oracle,
+                       sample->truth, 1);
+  EXPECT_EQ(raw.attempted, 400u);
+  EXPECT_GT(raw.reidentified, 0u);
+  EXPECT_GT(raw.exact_blocks, 0u);
+  EXPECT_GT(raw.success_rate, 0.0);
+}
+
+TEST(AttackTest, AnonymizationDegradesTheAttack) {
+  // The paper's point (Fig. 2 discussion): suppression blows up the blocking
+  // cohorts and drops re-identification.
+  const IdentityOracle oracle = SmallOracle();
+  auto sample = oracle.SampleMicrodata(400, 9);
+  ASSERT_TRUE(sample.ok());
+  const AttackResult before =
+      RunLinkageAttack(sample->table, sample->table.QuasiIdentifierColumns(), oracle,
+                       sample->truth, 1);
+  MicrodataTable anonymized = sample->table;
+  KAnonymityRisk risk;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  AnonymizationCycle cycle(&risk, &anon, options);
+  auto stats = cycle.Run(&anonymized);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const AttackResult after =
+      RunLinkageAttack(anonymized, anonymized.QuasiIdentifierColumns(), oracle,
+                       sample->truth, 1);
+  EXPECT_LE(after.exact_blocks, before.exact_blocks);
+  EXPECT_GE(after.avg_block_size, before.avg_block_size);
+  EXPECT_LE(after.reidentified, before.reidentified);
+}
+
+TEST(AttackTest, ResultToString) {
+  AttackResult r;
+  r.attempted = 10;
+  r.reidentified = 2;
+  r.success_rate = 0.2;
+  const std::string text = r.ToString();
+  EXPECT_NE(text.find("attempted=10"), std::string::npos);
+  EXPECT_NE(text.find("success_rate=0.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vadasa::core

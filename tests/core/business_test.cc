@@ -1,0 +1,128 @@
+#include "core/business.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(OwnershipGraphTest, DirectMajorityControl) {
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.6);
+  g.AddOwnership("a", "c", 0.4);
+  const auto control = g.ComputeControl();
+  ASSERT_EQ(control.size(), 1u);
+  EXPECT_EQ(control[0].first, "a");
+  EXPECT_EQ(control[0].second, "b");
+}
+
+TEST(OwnershipGraphTest, JointControlViaSubsidiaries) {
+  // Section 4.4: X controls Y if companies X controls jointly own > 50%.
+  OwnershipGraph g;
+  g.AddOwnership("x", "s1", 0.9);
+  g.AddOwnership("x", "s2", 0.9);
+  g.AddOwnership("s1", "t", 0.3);
+  g.AddOwnership("s2", "t", 0.3);
+  const auto control = g.ComputeControl();
+  bool x_controls_t = false;
+  for (const auto& [a, b] : control) {
+    if (a == "x" && b == "t") x_controls_t = true;
+  }
+  EXPECT_TRUE(x_controls_t);
+}
+
+TEST(OwnershipGraphTest, OwnStakePlusSubsidiaryStake) {
+  OwnershipGraph g;
+  g.AddOwnership("x", "s", 0.8);
+  g.AddOwnership("x", "t", 0.3);
+  g.AddOwnership("s", "t", 0.3);
+  const auto control = g.ComputeControl();
+  bool x_controls_t = false;
+  for (const auto& [a, b] : control) {
+    if (a == "x" && b == "t") x_controls_t = true;
+  }
+  EXPECT_TRUE(x_controls_t);  // 0.3 direct + 0.3 via s = 0.6.
+}
+
+TEST(OwnershipGraphTest, MinorityStakesDoNotControl) {
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.5);  // Exactly 50%: not a majority.
+  EXPECT_TRUE(g.ComputeControl().empty());
+}
+
+TEST(OwnershipGraphTest, ClustersAreConnectedComponents) {
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.7);
+  g.AddOwnership("b", "c", 0.8);
+  g.AddOwnership("x", "y", 0.9);
+  g.AddOwnership("m", "n", 0.1);  // No control: separate singletons.
+  const auto clusters = g.ComputeClusters();
+  EXPECT_EQ(clusters.at("a"), clusters.at("b"));
+  EXPECT_EQ(clusters.at("a"), clusters.at("c"));
+  EXPECT_EQ(clusters.at("x"), clusters.at("y"));
+  EXPECT_NE(clusters.at("a"), clusters.at("x"));
+  EXPECT_NE(clusters.at("m"), clusters.at("n"));
+  EXPECT_TRUE(g.SameCluster("a", "c"));
+  EXPECT_FALSE(g.SameCluster("a", "m"));
+  EXPECT_TRUE(g.SameCluster("z", "z"));  // Unknown but reflexive.
+}
+
+TEST(ClusterRiskTransformTest, PropagatesCombinedRisk) {
+  // Two linked entities with risks 0.5 each: cluster risk 1-(0.5)² = 0.75.
+  MicrodataTable t("biz", {{"Id", "", AttributeCategory::kIdentifier},
+                           {"A", "", AttributeCategory::kQuasiIdentifier}});
+  ASSERT_TRUE(t.AddRow({Value::String("a"), Value::String("x")}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("b"), Value::String("y")}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("z"), Value::String("w")}).ok());
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.9);
+  const RiskTransform transform = MakeClusterRiskTransform(&g, "Id");
+  std::vector<double> risks = {0.5, 0.5, 0.2};
+  transform(t, &risks);
+  EXPECT_DOUBLE_EQ(risks[0], 0.75);
+  EXPECT_DOUBLE_EQ(risks[1], 0.75);
+  EXPECT_DOUBLE_EQ(risks[2], 0.2);  // Not in the graph: untouched.
+}
+
+TEST(ClusterRiskTransformTest, NeverLowersRisk) {
+  MicrodataTable t("biz", {{"Id", "", AttributeCategory::kIdentifier}});
+  ASSERT_TRUE(t.AddRow({Value::String("a")}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("b")}).ok());
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.8);
+  const RiskTransform transform = MakeClusterRiskTransform(&g, "Id");
+  std::vector<double> risks = {0.9, 0.0};
+  transform(t, &risks);
+  EXPECT_GE(risks[0], 0.9);
+  EXPECT_DOUBLE_EQ(risks[1], 0.9);  // 1 - (1-0.9)(1-0) = 0.9.
+}
+
+TEST(ClusterRiskTransformTest, MissingIdColumnIsNoOp) {
+  MicrodataTable t("noid", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  ASSERT_TRUE(t.AddRow({Value::String("x")}).ok());
+  OwnershipGraph g;
+  const RiskTransform transform = MakeClusterRiskTransform(&g, "Id");
+  std::vector<double> risks = {0.4};
+  transform(t, &risks);
+  EXPECT_DOUBLE_EQ(risks[0], 0.4);
+}
+
+TEST(ClusterRiskTransformTest, WholeClusterRisk) {
+  // 1 - Π(1-ρ) over a three-member cluster.
+  MicrodataTable t("biz", {{"Id", "", AttributeCategory::kIdentifier}});
+  for (const char* id : {"a", "b", "c"}) {
+    ASSERT_TRUE(t.AddRow({Value::String(id)}).ok());
+  }
+  OwnershipGraph g;
+  g.AddOwnership("a", "b", 0.9);
+  g.AddOwnership("b", "c", 0.9);
+  const RiskTransform transform = MakeClusterRiskTransform(&g, "Id");
+  std::vector<double> risks = {0.1, 0.2, 0.3};
+  transform(t, &risks);
+  const double expected = 1.0 - 0.9 * 0.8 * 0.7;
+  for (const double r : risks) EXPECT_NEAR(r, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,107 @@
+#include "core/categorize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(CategorizerTest, BorrowsCategoryFromSimilarEntry) {
+  AttributeCategorizer c;
+  c.AddExperience("residential revenue", AttributeCategory::kQuasiIdentifier);
+  const CategorizationDecision d = c.Categorize("Residential Rev.");
+  EXPECT_EQ(d.category, AttributeCategory::kQuasiIdentifier);
+  EXPECT_EQ(d.matched_entry, "residential revenue");
+  EXPECT_FALSE(d.defaulted);
+  EXPECT_GE(d.similarity, 0.82);
+}
+
+TEST(CategorizerTest, DefaultsWhenNothingMatches) {
+  AttributeCategorizer c;
+  const CategorizationDecision d = c.Categorize("zorblax");
+  EXPECT_TRUE(d.defaulted);
+  EXPECT_EQ(d.category, AttributeCategory::kQuasiIdentifier);  // Conservative.
+}
+
+TEST(CategorizerTest, Rule3FeedbackAidsLaterDecisions) {
+  // The recursive application of experience: once "Residential Rev." is
+  // categorized, the near-identical "Residential Rev" borrows from it even
+  // though the original seed may be too far.
+  AttributeCategorizer c;
+  c.AddExperience("revenue residential", AttributeCategory::kNonIdentifying);
+  const CategorizationDecision first = c.Categorize("Residential Rev.");
+  ASSERT_TRUE(first.consolidated);
+  const CategorizationDecision second = c.Categorize("residential rev");
+  EXPECT_EQ(second.category, first.category);
+  EXPECT_FALSE(second.defaulted);
+}
+
+TEST(CategorizerTest, ConsolidationCanBeDeclined) {
+  CategorizerOptions options;
+  options.consolidate = [](const CategorizationDecision&) { return false; };
+  AttributeCategorizer c(options);
+  c.AddExperience("area", AttributeCategory::kQuasiIdentifier);
+  const size_t before = c.experience().size();
+  const CategorizationDecision d = c.Categorize("Area");
+  EXPECT_FALSE(d.consolidated);
+  EXPECT_EQ(c.experience().size(), before);
+}
+
+TEST(CategorizerTest, EgdConflictSurfaced) {
+  // Two similar experience entries with different categories: Rule 4 fires.
+  AttributeCategorizer c;
+  c.AddExperience("customer id", AttributeCategory::kIdentifier);
+  c.AddExperience("customer ids", AttributeCategory::kNonIdentifying);
+  c.Categorize("Customer Id");
+  ASSERT_GE(c.conflicts().size(), 1u);
+  EXPECT_EQ(c.conflicts()[0].attribute, "Customer Id");
+}
+
+TEST(CategorizerTest, CustomSimilarityFunction) {
+  CategorizerOptions options;
+  options.similarity = [](std::string_view a, std::string_view b) {
+    return a == b ? 1.0 : 0.0;  // Exact match only.
+  };
+  AttributeCategorizer c(options);
+  c.AddExperience("area", AttributeCategory::kQuasiIdentifier);
+  EXPECT_TRUE(c.Categorize("Area").defaulted);  // "Area" != "area" here.
+  EXPECT_FALSE(c.Categorize("area").defaulted);
+}
+
+TEST(CategorizerTest, DefaultExperienceCategorizesFigure1) {
+  AttributeCategorizer c = AttributeCategorizer::WithDefaultExperience();
+  MicrodataTable t = Figure1Microdata();
+  // Wipe categories; the categorizer must reconstruct sensible ones.
+  for (const Attribute& a : std::vector<Attribute>(t.attributes())) {
+    ASSERT_TRUE(t.SetCategory(a.name, AttributeCategory::kNonIdentifying).ok());
+  }
+  MetadataDictionary dict;
+  auto decisions = c.CategorizeTable(&t, &dict);
+  ASSERT_TRUE(decisions.ok()) << decisions.status().ToString();
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Id")].category,
+            AttributeCategory::kIdentifier);
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Area")].category,
+            AttributeCategory::kQuasiIdentifier);
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Sector")].category,
+            AttributeCategory::kQuasiIdentifier);
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Weight")].category,
+            AttributeCategory::kWeight);
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Growth")].category,
+            AttributeCategory::kNonIdentifying);
+  // The dictionary received the Category facts.
+  EXPECT_EQ(*dict.CategoryOf("I&G", "Weight"), AttributeCategory::kWeight);
+  ASSERT_TRUE(t.Validate().ok());
+}
+
+TEST(CategorizerTest, CategorizeTableRejectsDoubleWeight) {
+  AttributeCategorizer c;
+  c.AddExperience("weight", AttributeCategory::kWeight);
+  MicrodataTable t("bad", {{"weight", "", AttributeCategory::kNonIdentifying},
+                           {"Weight", "", AttributeCategory::kNonIdentifying}});
+  ASSERT_TRUE(t.AddRow({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(c.CategorizeTable(&t, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace vadasa::core

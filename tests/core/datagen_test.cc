@@ -1,0 +1,147 @@
+#include "core/datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/group_index.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(Figure6CorpusTest, TwelveDatasetsMatchThePaperTable) {
+  const auto corpus = Figure6Corpus();
+  ASSERT_EQ(corpus.size(), 12u);
+  auto spec = FindDataset("R25A4W");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_tuples, 25000u);
+  EXPECT_EQ(spec->num_qi, 4);
+  EXPECT_EQ(spec->distribution, DistributionKind::kRealWorld);
+  spec = FindDataset("R100A4U");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_tuples, 100000u);
+  spec = FindDataset("R50A9W");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_qi, 9);
+  EXPECT_FALSE(FindDataset("R1A1X").ok());
+}
+
+TEST(GeneratorTest, ShapeAndSchema) {
+  const MicrodataTable t =
+      GenerateInflationGrowth("g", 1000, 5, DistributionKind::kRealWorld, 1);
+  EXPECT_EQ(t.num_rows(), 1000u);
+  // Id + 5 QIs + Growth + Weight.
+  EXPECT_EQ(t.num_columns(), 8u);
+  EXPECT_EQ(t.QuasiIdentifierColumns().size(), 5u);
+  EXPECT_EQ(t.WeightColumn(), 7);
+  ASSERT_TRUE(t.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  const MicrodataTable a =
+      GenerateInflationGrowth("g", 200, 4, DistributionKind::kUnbalanced, 7);
+  const MicrodataTable b =
+      GenerateInflationGrowth("g", 200, 4, DistributionKind::kUnbalanced, 7);
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_TRUE(a.cell(r, c).Equals(b.cell(r, c))) << r << "," << c;
+    }
+  }
+  const MicrodataTable c =
+      GenerateInflationGrowth("g", 200, 4, DistributionKind::kUnbalanced, 8);
+  bool any_diff = false;
+  for (size_t r = 0; r < a.num_rows() && !any_diff; ++r) {
+    any_diff = !a.cell(r, 1).Equals(c.cell(r, 1));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, WeightsArePositive) {
+  const MicrodataTable t =
+      GenerateInflationGrowth("g", 500, 4, DistributionKind::kVeryUnbalanced, 3);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(t.RowWeight(r), 1.0);
+  }
+}
+
+TEST(GeneratorTest, WeightsTrackCombinationFrequency) {
+  // Tuples in frequent combinations must carry larger sampling weights on
+  // average (the W_t estimator of Section 2.1).
+  const MicrodataTable t =
+      GenerateInflationGrowth("g", 5000, 4, DistributionKind::kRealWorld, 5);
+  const GroupStats stats =
+      ComputeGroupStats(t, t.QuasiIdentifierColumns(), NullSemantics::kMaybeMatch);
+  double w_frequent = 0.0;
+  size_t n_frequent = 0;
+  double w_rare = 0.0;
+  size_t n_rare = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (stats.frequency[r] >= 50) {
+      w_frequent += t.RowWeight(r);
+      ++n_frequent;
+    } else if (stats.frequency[r] <= 2) {
+      w_rare += t.RowWeight(r);
+      ++n_rare;
+    }
+  }
+  ASSERT_GT(n_frequent, 0u);
+  ASSERT_GT(n_rare, 0u);
+  EXPECT_GT(w_frequent / n_frequent, w_rare / n_rare);
+}
+
+TEST(GeneratorTest, UnbalanceOrdering) {
+  // More unbalanced distributions produce more risky (sample-unique-ish)
+  // tuples — the property Fig. 7a/7b rely on.
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  ctx.k = 2;
+  std::vector<size_t> risky_counts;
+  for (const DistributionKind dist :
+       {DistributionKind::kRealWorld, DistributionKind::kUnbalanced,
+        DistributionKind::kVeryUnbalanced}) {
+    const MicrodataTable t = GenerateInflationGrowth("g", 25000, 4, dist, 42);
+    auto risks = risk.ComputeRisks(t, ctx);
+    ASSERT_TRUE(risks.ok());
+    size_t risky = 0;
+    for (const double r : *risks) risky += r > 0.5;
+    risky_counts.push_back(risky);
+  }
+  EXPECT_LT(risky_counts[0], risky_counts[1]);
+  EXPECT_LT(risky_counts[1], risky_counts[2]);
+  EXPECT_GT(risky_counts[0], 0u);   // W still has a few risky tuples...
+  EXPECT_LT(risky_counts[0], 80u);  // ...but not many (paper: < 50 nulls at k=5).
+}
+
+TEST(GeneratorTest, QiCountRespected) {
+  for (const int q : {4, 6, 9}) {
+    const MicrodataTable t =
+        GenerateInflationGrowth("g", 100, q, DistributionKind::kRealWorld, 1);
+    EXPECT_EQ(t.QuasiIdentifierColumns().size(), static_cast<size_t>(q));
+    // Attribute names unique.
+    std::set<std::string> names;
+    for (const Attribute& a : t.attributes()) names.insert(a.name);
+    EXPECT_EQ(names.size(), t.num_columns());
+  }
+}
+
+TEST(GeneratorTest, DatasetFromSpecIsStable) {
+  auto spec = FindDataset("R6A4U");
+  ASSERT_TRUE(spec.ok());
+  const MicrodataTable a = GenerateDataset(*spec);
+  const MicrodataTable b = GenerateDataset(*spec);
+  EXPECT_EQ(a.num_rows(), 6000u);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    ASSERT_TRUE(a.cell(0, c).Equals(b.cell(0, c)));
+  }
+}
+
+TEST(DistributionKindTest, Names) {
+  EXPECT_EQ(DistributionKindToString(DistributionKind::kRealWorld), "W");
+  EXPECT_EQ(DistributionKindToString(DistributionKind::kUnbalanced), "U");
+  EXPECT_EQ(DistributionKindToString(DistributionKind::kVeryUnbalanced), "V");
+}
+
+}  // namespace
+}  // namespace vadasa::core

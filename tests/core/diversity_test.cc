@@ -1,0 +1,160 @@
+#include "core/diversity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+/// Hospital-style toy: QI = (Zip, Age band), sensitive = Disease.
+MicrodataTable Hospital() {
+  MicrodataTable t("hospital",
+                   {{"Zip", "", AttributeCategory::kQuasiIdentifier},
+                    {"Age", "", AttributeCategory::kQuasiIdentifier},
+                    {"Disease", "", AttributeCategory::kNonIdentifying}});
+  const struct {
+    const char* zip;
+    const char* age;
+    const char* disease;
+  } kRows[] = {
+      // Group A: homogeneous — everyone has flu.
+      {"476**", "20-29", "flu"},
+      {"476**", "20-29", "flu"},
+      {"476**", "20-29", "flu"},
+      // Group B: diverse.
+      {"479**", "40-49", "flu"},
+      {"479**", "40-49", "cancer"},
+      {"479**", "40-49", "ulcer"},
+      // Group C: two values.
+      {"476**", "50-59", "cancer"},
+      {"476**", "50-59", "flu"},
+  };
+  for (const auto& r : kRows) {
+    (void)t.AddRow({Value::String(r.zip), Value::String(r.age),
+                    Value::String(r.disease)});
+  }
+  return t;
+}
+
+TEST(SensitiveStatsTest, CountsDistinctValuesPerGroup) {
+  const MicrodataTable t = Hospital();
+  auto stats = ComputeSensitiveStats(t, t.QuasiIdentifierColumns(), 2,
+                                     NullSemantics::kMaybeMatch);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->distinct_values[0], 1u);  // Group A.
+  EXPECT_EQ(stats->distinct_values[3], 3u);  // Group B.
+  EXPECT_EQ(stats->distinct_values[6], 2u);  // Group C.
+}
+
+TEST(SensitiveStatsTest, RejectsSensitiveQuasiIdentifier) {
+  const MicrodataTable t = Hospital();
+  EXPECT_FALSE(
+      ComputeSensitiveStats(t, t.QuasiIdentifierColumns(), 0,
+                            NullSemantics::kMaybeMatch)
+          .ok());
+  EXPECT_FALSE(ComputeSensitiveStats(t, t.QuasiIdentifierColumns(), 99,
+                                     NullSemantics::kMaybeMatch)
+                   .ok());
+}
+
+TEST(SensitiveStatsTest, SuppressionMergesGroups) {
+  MicrodataTable t = Hospital();
+  // Suppress row 0's Age: under maybe-match it now sees groups A and C
+  // (both Zip 476**): flu + cancer = 2 distinct values.
+  t.set_cell(0, 1, Value::Null(1));
+  auto stats = ComputeSensitiveStats(t, t.QuasiIdentifierColumns(), 2,
+                                     NullSemantics::kMaybeMatch);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->distinct_values[0], 2u);
+  // Under standard semantics the suppressed row is alone.
+  stats = ComputeSensitiveStats(t, t.QuasiIdentifierColumns(), 2,
+                                NullSemantics::kStandard);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->distinct_values[0], 1u);
+}
+
+TEST(LDiversityTest, FlagsHomogeneousGroups) {
+  const MicrodataTable t = Hospital();
+  LDiversityRisk risk("Disease", 2);
+  RiskContext ctx;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  // Group A rows risky; groups B and C fine at l=2.
+  const std::vector<double> expected = {1, 1, 1, 0, 0, 0, 0, 0};
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_DOUBLE_EQ((*risks)[r], expected[r]) << "row " << r;
+  }
+  // At l=3 group C becomes risky too.
+  LDiversityRisk strict("Disease", 3);
+  risks = strict.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  EXPECT_DOUBLE_EQ((*risks)[6], 1.0);
+  EXPECT_DOUBLE_EQ((*risks)[3], 0.0);  // Group B carries exactly 3 values: safe.
+}
+
+TEST(LDiversityTest, UnknownAttributeFails) {
+  const MicrodataTable t = Hospital();
+  LDiversityRisk risk("Ghost", 2);
+  RiskContext ctx;
+  EXPECT_FALSE(risk.ComputeRisks(t, ctx).ok());
+}
+
+TEST(LDiversityTest, ExplainNamesTheAttribute) {
+  const MicrodataTable t = Hospital();
+  LDiversityRisk risk("Disease", 2);
+  RiskContext ctx;
+  const std::string text = risk.Explain(t, ctx, 0, 1.0);
+  EXPECT_NE(text.find("Disease"), std::string::npos);
+  EXPECT_NE(text.find("homogeneous"), std::string::npos);
+}
+
+TEST(LDiversityTest, CycleEnforcesDiversity) {
+  MicrodataTable t = Hospital();
+  LDiversityRisk risk("Disease", 2);
+  LocalSuppression anon;
+  CycleOptions options;
+  AnonymizationCycle cycle(&risk, &anon, options);
+  auto stats = cycle.Run(&t);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->unresolved, 0u);
+  RiskContext ctx;
+  auto final_risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(final_risks.ok());
+  for (const double r : *final_risks) EXPECT_LE(r, 0.5);
+  EXPECT_GT(stats->nulls_injected, 0u);
+}
+
+TEST(TClosenessTest, FlagsSkewedGroups) {
+  const MicrodataTable t = Hospital();
+  // Global: flu 5/8, cancer 2/8, ulcer 1/8. Group A (all flu): TV =
+  // (|1-0.625| + 0.25 + 0.125)/2 = 0.375.
+  TClosenessRisk loose("Disease", 0.4);
+  TClosenessRisk tight("Disease", 0.3);
+  RiskContext ctx;
+  auto r_loose = loose.ComputeRisks(t, ctx);
+  auto r_tight = tight.ComputeRisks(t, ctx);
+  ASSERT_TRUE(r_loose.ok());
+  ASSERT_TRUE(r_tight.ok());
+  EXPECT_DOUBLE_EQ((*r_loose)[0], 0.0);  // 0.375 <= 0.4.
+  EXPECT_DOUBLE_EQ((*r_tight)[0], 1.0);  // 0.375 > 0.3.
+}
+
+TEST(TClosenessTest, WholeTableGroupIsPerfectlyClose) {
+  MicrodataTable t("one", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                           {"S", "", AttributeCategory::kNonIdentifying}});
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(t.AddRow({Value::String("same"),
+                          Value::String(i % 2 == 0 ? "x" : "y")}).ok());
+  }
+  TClosenessRisk risk("S", 0.01);
+  RiskContext ctx;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  for (const double r : *risks) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+}  // namespace
+}  // namespace vadasa::core

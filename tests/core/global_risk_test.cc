@@ -1,0 +1,138 @@
+#include "core/global_risk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(GlobalRiskTest, Figure1ExpectedReidentifications) {
+  // τ1 = Σ 1/W over the 20 unique tuples; τ2 = τ1/20.
+  const MicrodataTable t = Figure1Microdata();
+  ReidentificationRisk measure;
+  RiskContext ctx;
+  auto report = ComputeGlobalRisk(t, measure, ctx, /*threshold=*/0.02);
+  ASSERT_TRUE(report.ok());
+  double tau1 = 0.0;
+  for (size_t r = 0; r < t.num_rows(); ++r) tau1 += 1.0 / t.RowWeight(r);
+  EXPECT_NEAR(report->expected_reidentifications, tau1, 1e-9);
+  EXPECT_NEAR(report->global_risk_rate, tau1 / 20.0, 1e-9);
+  EXPECT_NEAR(report->max_risk, 1.0 / 30, 1e-9);
+  EXPECT_EQ(report->sample_uniques, 20u);  // Every Fig. 1 combination is unique.
+  // Tuples with weight < 50: only tuple 15 (W=30).
+  EXPECT_EQ(report->tuples_over_threshold, 1u);
+}
+
+TEST(GlobalRiskTest, AnonymizationLowersTheFileRisk) {
+  MicrodataTable t =
+      GenerateInflationGrowth("glob", 2000, 4, DistributionKind::kUnbalanced, 31);
+  KAnonymityRisk measure;
+  RiskContext ctx;
+  ctx.k = 2;
+  auto before = ComputeGlobalRisk(t, measure, ctx, 0.5);
+  ASSERT_TRUE(before.ok());
+  ASSERT_GT(before->tuples_over_threshold, 0u);
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  AnonymizationCycle cycle(&measure, &anon, options);
+  ASSERT_TRUE(cycle.Run(&t).ok());
+  auto after = ComputeGlobalRisk(t, measure, ctx, 0.5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tuples_over_threshold, 0u);
+  EXPECT_LT(after->expected_reidentifications, before->expected_reidentifications);
+  EXPECT_LT(after->sample_uniques, before->sample_uniques);
+}
+
+TEST(GlobalRiskTest, ToStringContainsIndicators) {
+  const MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk measure;
+  RiskContext ctx;
+  ctx.k = 2;
+  auto report = ComputeGlobalRisk(t, measure, ctx, 0.5);
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("tau1"), std::string::npos);
+  EXPECT_NE(text.find("sample uniques"), std::string::npos);
+}
+
+TEST(InferThresholdTest, QuantileOfRiskDistribution) {
+  const MicrodataTable t = Figure1Microdata();
+  ReidentificationRisk measure;
+  RiskContext ctx;
+  // 0.95 quantile of the 20 risks: index 19 -> the maximum (1/30).
+  auto top = InferThreshold(t, measure, ctx, 0.95);
+  ASSERT_TRUE(top.ok());
+  EXPECT_NEAR(*top, 1.0 / 30, 1e-9);
+  // Median-ish threshold: about half the tuples end up over it.
+  auto median = InferThreshold(t, measure, ctx, 0.5);
+  ASSERT_TRUE(median.ok());
+  auto risks = measure.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  size_t over = 0;
+  for (const double r : *risks) over += r > *median;
+  EXPECT_GE(over, 7u);
+  EXPECT_LE(over, 11u);
+}
+
+TEST(InferThresholdTest, InvalidInputs) {
+  const MicrodataTable t = Figure1Microdata();
+  ReidentificationRisk measure;
+  RiskContext ctx;
+  EXPECT_FALSE(InferThreshold(t, measure, ctx, 0.0).ok());
+  EXPECT_FALSE(InferThreshold(t, measure, ctx, 1.0).ok());
+  MicrodataTable empty("e", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  EXPECT_FALSE(InferThreshold(empty, measure, ctx, 0.9).ok());
+}
+
+TEST(InferThresholdTest, DrivesTheCycle) {
+  // The paper's "active" behavior with a data-driven T: anonymize the top 5%
+  // riskiest tuples of an unbalanced dataset.
+  MicrodataTable t =
+      GenerateInflationGrowth("thr", 2000, 4, DistributionKind::kVeryUnbalanced, 61);
+  ReidentificationRisk measure;
+  RiskContext ctx;
+  auto threshold = InferThreshold(t, measure, ctx, 0.95);
+  ASSERT_TRUE(threshold.ok());
+  LocalSuppression anon;
+  CycleOptions options;
+  options.threshold = *threshold;
+  AnonymizationCycle cycle(&measure, &anon, options);
+  auto stats = cycle.Run(&t);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->initial_risky, 0u);
+  EXPECT_LE(stats->initial_risky, 2000u / 18);  // ≈ top 5%.
+}
+
+TEST(IndividualRiskTest, BenedettiFranconiModeIsStricter) {
+  const MicrodataTable t = Figure1Microdata();
+  IndividualRisk measure;
+  RiskContext simple;
+  RiskContext bf;
+  bf.benedetti_franconi = true;
+  const auto r_simple = measure.ComputeRisks(t, simple);
+  const auto r_bf = measure.ComputeRisks(t, bf);
+  ASSERT_TRUE(r_simple.ok());
+  ASSERT_TRUE(r_bf.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    // Every Fig. 1 tuple is a sample unique: BF > simple.
+    EXPECT_GT((*r_bf)[r], (*r_simple)[r]) << "row " << r;
+    EXPECT_LE((*r_bf)[r], 1.0);
+  }
+}
+
+TEST(GlobalRiskTest, EmptyTable) {
+  MicrodataTable t("empty", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  KAnonymityRisk measure;
+  RiskContext ctx;
+  auto report = ComputeGlobalRisk(t, measure, ctx, 0.5);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report->expected_reidentifications, 0.0);
+  EXPECT_DOUBLE_EQ(report->global_risk_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace vadasa::core

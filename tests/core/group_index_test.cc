@@ -1,0 +1,232 @@
+#include "core/group_index.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+/// The Figure 5a table: 4 QI columns, frequencies 1,2,2,2,2,1,1.
+TEST(GroupIndexTest, Figure5FrequenciesBeforeSuppression) {
+  const MicrodataTable t = Figure5Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  const std::vector<double> expected = {1, 2, 2, 2, 2, 1, 1};
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_DOUBLE_EQ(stats.frequency[r], expected[r]) << "row " << r;
+  }
+}
+
+/// Figure 5b: suppressing Sector of tuple 1 lifts its frequency to 5 and
+/// tuples 2-5 to 3, under the maybe-match semantics.
+TEST(GroupIndexTest, Figure5FrequenciesAfterSuppression) {
+  MicrodataTable t = Figure5Microdata();
+  t.set_cell(0, 2, Value::Null(1));  // Sector of tuple 1 -> ⊥1.
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  const std::vector<double> expected = {5, 3, 3, 3, 3, 1, 1};
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_DOUBLE_EQ(stats.frequency[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(GroupIndexTest, StandardSemanticsIgnoresWildcards) {
+  MicrodataTable t = Figure5Microdata();
+  t.set_cell(0, 2, Value::Null(1));
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kStandard);
+  // Under the Skolem semantics the suppressed tuple stays alone and nobody
+  // else's frequency moves: suppression is useless (Fig. 7c).
+  const std::vector<double> expected = {1, 2, 2, 2, 2, 1, 1};
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_DOUBLE_EQ(stats.frequency[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(GroupIndexTest, StandardSemanticsSameLabelMatches) {
+  MicrodataTable t = Figure5Microdata();
+  // Make rows 6 and 7 (identical QIs) both carry ⊥1 in Area.
+  t.set_cell(5, 1, Value::Null(1));
+  t.set_cell(6, 1, Value::Null(1));
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kStandard);
+  EXPECT_DOUBLE_EQ(stats.frequency[5], 2.0);
+  EXPECT_DOUBLE_EQ(stats.frequency[6], 2.0);
+}
+
+TEST(GroupIndexTest, WeightSumsAggregateMatchingRows) {
+  const MicrodataTable t = Figure1Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  // Every Figure-1 tuple has a unique 5-QI combination.
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(stats.frequency[r], 1.0);
+    EXPECT_DOUBLE_EQ(stats.weight_sum[r], t.RowWeight(r));
+  }
+}
+
+TEST(GroupIndexTest, NullOnNullMatching) {
+  MicrodataTable t = Figure5Microdata();
+  // Two *different* nulls in the same column of rows that agree elsewhere:
+  // they maybe-match each other.
+  t.set_cell(5, 1, Value::Null(1));  // Milano -> ⊥1
+  t.set_cell(6, 1, Value::Null(2));  // Torino -> ⊥2
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  EXPECT_DOUBLE_EQ(stats.frequency[5], 2.0);
+  EXPECT_DOUBLE_EQ(stats.frequency[6], 2.0);
+}
+
+TEST(GroupIndexTest, NullsInDifferentColumns) {
+  MicrodataTable t = Figure5Microdata();
+  t.set_cell(0, 2, Value::Null(1));  // Row 0: Sector suppressed.
+  t.set_cell(1, 1, Value::Null(2));  // Row 1: Area suppressed.
+  const auto qis = t.QuasiIdentifierColumns();
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  // Row 0 (⊥,Roma-ish...) — wait: row 0 = (Roma, ⊥, 1000+, 0-30); row 1 =
+  // (⊥, Commerce, 1000+, 0-30). They maybe-match each other (each null
+  // covers the other's difference).
+  EXPECT_GE(stats.frequency[0], 5.0);
+  EXPECT_GE(stats.frequency[1], 3.0);
+}
+
+/// Property: maybe-match group stats computed by the class-projection
+/// algorithm must equal the naive O(n²) pairwise definition.
+TEST(GroupIndexTest, MatchesNaivePairwiseDefinition) {
+  Rng rng(99);
+  MicrodataTable t("prop", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                            {"B", "", AttributeCategory::kQuasiIdentifier},
+                            {"C", "", AttributeCategory::kQuasiIdentifier},
+                            {"W", "", AttributeCategory::kWeight}});
+  const char* vals[] = {"x", "y", "z"};
+  for (int i = 0; i < 120; ++i) {
+    auto cell = [&](int) -> Value {
+      // ~20% labelled nulls with random labels.
+      if (rng.NextDouble() < 0.2) return Value::Null(rng.NextBelow(50));
+      return Value::String(vals[rng.NextBelow(3)]);
+    };
+    ASSERT_TRUE(t.AddRow({cell(0), cell(1), cell(2),
+                          Value::Int(rng.NextInt(1, 9))}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const NullSemantics sem : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats fast = ComputeGroupStats(t, qis, sem);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      double freq = 0.0;
+      double wsum = 0.0;
+      for (size_t s = 0; s < t.num_rows(); ++s) {
+        bool match = true;
+        for (const size_t c : qis) {
+          const Value& a = t.cell(r, c);
+          const Value& b = t.cell(s, c);
+          match = sem == NullSemantics::kMaybeMatch ? a.MaybeEquals(b) : a.Equals(b);
+          if (!match) break;
+        }
+        if (match) {
+          freq += 1.0;
+          wsum += t.RowWeight(s);
+        }
+      }
+      ASSERT_DOUBLE_EQ(fast.frequency[r], freq) << "row " << r;
+      ASSERT_DOUBLE_EQ(fast.weight_sum[r], wsum) << "row " << r;
+    }
+  }
+}
+
+/// The monotonicity lemma behind Algorithm 2's convergence (§4.3): under the
+/// maybe-match semantics, suppressing ANY cell never decreases ANY row's
+/// frequency or weight mass.
+TEST(GroupIndexTest, SuppressionIsMonotoneForEveryRow) {
+  Rng rng(4242);
+  MicrodataTable t("mono", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                            {"B", "", AttributeCategory::kQuasiIdentifier},
+                            {"C", "", AttributeCategory::kQuasiIdentifier},
+                            {"W", "", AttributeCategory::kWeight}});
+  const char* vals[] = {"x", "y", "z", "w"};
+  for (int i = 0; i < 40; ++i) {
+    auto cell = [&]() -> Value {
+      if (rng.NextDouble() < 0.15) return Value::Null(rng.NextBelow(30));
+      return Value::String(vals[rng.NextBelow(4)]);
+    };
+    ASSERT_TRUE(t.AddRow({cell(), cell(), cell(), Value::Int(rng.NextInt(1, 9))}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  uint64_t next_label = 1000;
+  for (int trial = 0; trial < 25; ++trial) {
+    const GroupStats before = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+    // Suppress one random non-null cell.
+    const size_t row = rng.NextBelow(t.num_rows());
+    const size_t col = qis[rng.NextBelow(qis.size())];
+    if (t.cell(row, col).is_null()) continue;
+    t.set_cell(row, col, Value::Null(next_label++));
+    const GroupStats after = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      ASSERT_GE(after.frequency[r], before.frequency[r])
+          << "trial " << trial << " row " << r;
+      ASSERT_GE(after.weight_sum[r] + 1e-9, before.weight_sum[r])
+          << "trial " << trial << " row " << r;
+    }
+  }
+}
+
+TEST(GroupIndexTest, CountMatchesWildcardPattern) {
+  const MicrodataTable t = Figure5Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  // (Roma, *, 1000+, 0-30) matches rows 0-4.
+  const std::vector<Value> pattern = {Value::String("Roma"), Value::Null(0),
+                                      Value::String("1000+"), Value::String("0-30")};
+  EXPECT_DOUBLE_EQ(CountMatches(t, qis, pattern, NullSemantics::kMaybeMatch), 5.0);
+  EXPECT_DOUBLE_EQ(CountMatches(t, qis, pattern, NullSemantics::kStandard), 0.0);
+}
+
+TEST(PatternUniverseTest, AgreesWithCountMatches) {
+  Rng rng(7);
+  MicrodataTable t("u", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                         {"B", "", AttributeCategory::kQuasiIdentifier}});
+  const char* vals[] = {"p", "q", "r", "s"};
+  for (int i = 0; i < 80; ++i) {
+    auto cell = [&]() -> Value {
+      if (rng.NextDouble() < 0.25) return Value::Null(rng.NextBelow(20));
+      return Value::String(vals[rng.NextBelow(4)]);
+    };
+    ASSERT_TRUE(t.AddRow({cell(), cell()}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  const PatternUniverse universe(t, qis, NullSemantics::kMaybeMatch);
+  // Query with every row's own pattern plus synthetic wildcard patterns.
+  std::vector<std::vector<Value>> queries;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    queries.push_back({t.cell(r, 0), t.cell(r, 1)});
+  }
+  queries.push_back({Value::Null(0), Value::String("p")});
+  queries.push_back({Value::String("q"), Value::Null(0)});
+  queries.push_back({Value::Null(0), Value::Null(0)});
+  for (const auto& q : queries) {
+    EXPECT_DOUBLE_EQ(universe.Query(q).count,
+                     CountMatches(t, qis, q, NullSemantics::kMaybeMatch));
+  }
+}
+
+TEST(PatternUniverseTest, StandardSemanticsExactLookup) {
+  const MicrodataTable t = Figure5Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  const PatternUniverse universe(t, qis, NullSemantics::kStandard);
+  const std::vector<Value> roma_commerce = {Value::String("Roma"),
+                                            Value::String("Commerce"),
+                                            Value::String("1000+"), Value::String("0-30")};
+  EXPECT_DOUBLE_EQ(universe.Query(roma_commerce).count, 2.0);
+}
+
+TEST(PatternUniverseTest, WeightMass) {
+  const MicrodataTable t = Figure1Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  const PatternUniverse universe(t, qis, NullSemantics::kMaybeMatch);
+  std::vector<Value> p;
+  for (const size_t c : qis) p.push_back(t.cell(3, c));  // Tuple 4.
+  EXPECT_DOUBLE_EQ(universe.Query(p).weight, 60.0);
+}
+
+}  // namespace
+}  // namespace vadasa::core

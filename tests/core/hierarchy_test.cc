@@ -1,0 +1,142 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(HierarchyTest, ItalianGeographyRollUps) {
+  const Hierarchy h = Hierarchy::ItalianGeography();
+  Hierarchy with_attr = h;
+  with_attr.SetAttributeType("Area", "City");
+  auto up = with_attr.Generalize("Area", Value::String("Milano"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "North");
+  up = with_attr.Generalize("Area", Value::String("Roma"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "Center");
+}
+
+TEST(HierarchyTest, ClimbsMultipleLevels) {
+  Hierarchy h = Hierarchy::ItalianGeography();
+  h.SetAttributeType("Area", "City");
+  // Milano -> North -> Italy.
+  auto north = h.Generalize("Area", Value::String("Milano"));
+  ASSERT_TRUE(north.ok());
+  auto italy = h.Generalize("Area", *north);
+  ASSERT_TRUE(italy.ok());
+  EXPECT_EQ(italy->as_string(), "Italy");
+  // Italy is the top: no further roll-up.
+  EXPECT_FALSE(h.Generalize("Area", *italy).ok());
+}
+
+TEST(HierarchyTest, GeneralizationHeight) {
+  Hierarchy h = Hierarchy::ItalianGeography();
+  h.SetAttributeType("Area", "City");
+  EXPECT_EQ(h.GeneralizationHeight("Area", Value::String("Torino")), 2);
+  EXPECT_EQ(h.GeneralizationHeight("Area", Value::String("North")), 1);
+  EXPECT_EQ(h.GeneralizationHeight("Area", Value::String("Italy")), 0);
+}
+
+TEST(HierarchyTest, UndeclaredAttributeFails) {
+  const Hierarchy h = Hierarchy::ItalianGeography();
+  const auto r = h.Generalize("Sector", Value::String("Milano"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(HierarchyTest, MissingParentFails) {
+  Hierarchy h;
+  h.SetAttributeType("Area", "City");
+  h.AddSubType("City", "Region");
+  h.AddInstance(Value::String("Atlantis"), "City");
+  EXPECT_FALSE(h.CanGeneralize("Area", Value::String("Atlantis")));
+}
+
+TEST(HierarchyTest, ParentMustBelongToSupertype) {
+  // The Algorithm-8 join requires TypeOf(Z, Y): a parent outside the declared
+  // supertype is rejected.
+  Hierarchy h;
+  h.SetAttributeType("Area", "City");
+  h.AddSubType("City", "Region");
+  h.AddInstance(Value::String("Milano"), "City");
+  h.AddInstance(Value::String("Lombardia"), "Province");  // Wrong level.
+  h.AddIsA(Value::String("Milano"), Value::String("Lombardia"));
+  EXPECT_FALSE(h.CanGeneralize("Area", Value::String("Milano")));
+}
+
+TEST(HierarchyTest, IntervalHierarchyClimbsLevels) {
+  Hierarchy h;
+  h.AddIntervalHierarchy("Residential Rev.", {"0-30", "30-60", "60-90", "90+"});
+  auto up = h.Generalize("Residential Rev.", Value::String("0-30"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "0-30|30-60");
+  up = h.Generalize("Residential Rev.", Value::String("90+"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "60-90|90+");
+  // Second level: the single top band.
+  auto top = h.Generalize("Residential Rev.", Value::String("0-30|30-60"));
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->as_string(), "0-30|30-60|60-90|90+");
+  EXPECT_FALSE(h.CanGeneralize("Residential Rev.", *top));
+  EXPECT_EQ(h.GeneralizationHeight("Residential Rev.", Value::String("0-30")), 2);
+}
+
+TEST(HierarchyTest, IntervalHierarchyOddBandCount) {
+  Hierarchy h;
+  h.AddIntervalHierarchy("Employees", {"50-200", "201-1000", "1000+"});
+  // The lone band carries to the next level unchanged and merges there.
+  auto up = h.Generalize("Employees", Value::String("1000+"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "50-200|201-1000|1000+");
+  EXPECT_EQ(h.GeneralizationHeight("Employees", Value::String("1000+")), 1);
+  EXPECT_EQ(h.GeneralizationHeight("Employees", Value::String("50-200")), 2);
+}
+
+TEST(HierarchyTest, SharedBandLabelsStayIndependent) {
+  // Both revenue attributes use the label "0-30"; type-scoped roll-ups keep
+  // their hierarchies from interfering.
+  Hierarchy h;
+  h.AddIntervalHierarchy("Residential Rev.", {"0-30", "30-60", "60-90", "90+"});
+  h.AddIntervalHierarchy("Export Rev.", {"0-30", "90+"});
+  auto res = h.Generalize("Residential Rev.", Value::String("0-30"));
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->as_string(), "0-30|30-60");
+  auto exp = h.Generalize("Export Rev.", Value::String("0-30"));
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->as_string(), "0-30|90+");
+}
+
+TEST(HierarchyTest, IntervalHierarchyWithGlobalRecoding) {
+  MicrodataTable t = Figure5Microdata();
+  Hierarchy h;
+  h.AddIntervalHierarchy("Employees", {"0-200", "1000+"});
+  GlobalRecoding anon(&h);
+  ASSERT_TRUE(anon.CanApply(t, 0, 3));
+  auto step = anon.Apply(&t, 0, 3);  // 1000+ -> 0-200|1000+ on rows 0-4.
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->affected_rows, 5u);
+  EXPECT_EQ(t.cell(0, 3).as_string(), "0-200|1000+");
+}
+
+TEST(HierarchyTest, CustomNumericHierarchy) {
+  Hierarchy h;
+  h.SetAttributeType("Employees", "Band");
+  h.AddSubType("Band", "CoarseBand");
+  for (const char* band : {"50-200", "201-1000", "1000+"}) {
+    h.AddInstance(Value::String(band), "Band");
+  }
+  h.AddInstance(Value::String("any"), "CoarseBand");
+  h.AddIsA(Value::String("50-200"), Value::String("any"));
+  h.AddIsA(Value::String("201-1000"), Value::String("any"));
+  h.AddIsA(Value::String("1000+"), Value::String("any"));
+  auto up = h.Generalize("Employees", Value::String("201-1000"));
+  ASSERT_TRUE(up.ok());
+  EXPECT_EQ(up->as_string(), "any");
+}
+
+}  // namespace
+}  // namespace vadasa::core

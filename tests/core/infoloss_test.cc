@@ -1,0 +1,58 @@
+#include "core/infoloss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(PaperInformationLossTest, Definition) {
+  // nulls / (risky × #QI).
+  EXPECT_DOUBLE_EQ(PaperInformationLoss(10, 10, 4), 0.25);
+  EXPECT_DOUBLE_EQ(PaperInformationLoss(0, 10, 4), 0.0);
+  EXPECT_DOUBLE_EQ(PaperInformationLoss(5, 0, 4), 0.0);  // Nothing was risky.
+  EXPECT_DOUBLE_EQ(PaperInformationLoss(100, 10, 4), 1.0);  // Clamped.
+}
+
+TEST(MeasureInformationLossTest, SuppressionFraction) {
+  const MicrodataTable original = Figure5Microdata();
+  MicrodataTable anonymized = original;
+  anonymized.set_cell(0, 1, Value::Null(1));
+  anonymized.set_cell(0, 2, Value::Null(2));
+  const InformationLoss loss =
+      MeasureInformationLoss(original, anonymized, nullptr);
+  // 2 nulls over 7 rows × 4 QI columns.
+  EXPECT_NEAR(loss.suppressed_cell_fraction, 2.0 / 28, 1e-12);
+  EXPECT_DOUBLE_EQ(loss.generalization_loss, 0.0);
+}
+
+TEST(MeasureInformationLossTest, GeneralizationLoss) {
+  const MicrodataTable original = Figure5Microdata();
+  MicrodataTable anonymized = original;
+  Hierarchy h = Hierarchy::ItalianGeography();
+  h.SetAttributeType("Area", "City");
+  GlobalRecoding recode(&h);
+  ASSERT_TRUE(recode.Apply(&anonymized, 5, 1).ok());  // Milano -> North.
+  const InformationLoss loss = MeasureInformationLoss(original, anonymized, &h);
+  EXPECT_GT(loss.generalization_loss, 0.0);
+  EXPECT_LT(loss.generalization_loss, 1.0);
+  EXPECT_DOUBLE_EQ(loss.suppressed_cell_fraction, 0.0);
+}
+
+TEST(MeasureInformationLossTest, UntouchedTableHasZeroLoss) {
+  const MicrodataTable t = Figure5Microdata();
+  const InformationLoss loss = MeasureInformationLoss(t, t, nullptr);
+  EXPECT_DOUBLE_EQ(loss.suppressed_cell_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(loss.generalization_loss, 0.0);
+}
+
+TEST(MeasureInformationLossTest, EmptyTable) {
+  MicrodataTable t("empty", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  const InformationLoss loss = MeasureInformationLoss(t, t, nullptr);
+  EXPECT_DOUBLE_EQ(loss.suppressed_cell_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,131 @@
+#include "core/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/anonymize.h"
+#include "core/cycle.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+namespace {
+
+struct Fixture {
+  IdentityOracle oracle;
+  IdentityOracle::Sample sample;
+};
+
+Fixture MakeFixture() {
+  IdentityOracle::Options options;
+  options.population = 5000;
+  options.num_qi = 4;
+  options.distribution = DistributionKind::kUnbalanced;
+  options.seed = 77;
+  Fixture f{IdentityOracle::Generate(options), {}};
+  f.sample = f.oracle.SampleMicrodata(400, 11).value();
+  return f;
+}
+
+TEST(LinkageTest, FullKnowledgeBaseline) {
+  const Fixture f = MakeFixture();
+  LinkageConfig config;
+  auto result = RunLinkage(f.sample.table, f.oracle, f.sample.truth, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 400u);
+  EXPECT_GT(result->claimed, 0u);
+  EXPECT_GT(result->correct, 0u);
+  EXPECT_GT(result->avg_block_size, 0.0);
+  EXPECT_GE(result->precision, result->recall);
+}
+
+TEST(LinkageTest, MoreKnowledgeMeansSmallerBlocks) {
+  const Fixture f = MakeFixture();
+  auto sweep = SweepAttackerKnowledge(f.sample.table, f.oracle, f.sample.truth, 3);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 4u);
+  for (size_t i = 1; i < sweep->size(); ++i) {
+    EXPECT_LE((*sweep)[i].avg_block_size, (*sweep)[i - 1].avg_block_size)
+        << "knowledge level " << i + 1;
+  }
+  // Re-identification power grows with knowledge (the §2.2 upper-bound
+  // argument: full-QI knowledge is the worst case).
+  EXPECT_GE(sweep->back().correct, sweep->front().correct);
+}
+
+TEST(LinkageTest, BlockingPlusScoringSplit) {
+  const Fixture f = MakeFixture();
+  LinkageConfig config;
+  config.known_qis = 4;
+  config.blocking_positions = {0, 1};  // Block on two QIs, score on the rest.
+  config.claim_threshold = 1.0;        // Claim only perfect agreement.
+  auto result = RunLinkage(f.sample.table, f.oracle, f.sample.truth, config);
+  ASSERT_TRUE(result.ok());
+  // Perfect-score claims match the pure-blocking cohort of all 4 QIs, so
+  // precision equals the expected 1/|full block| average — above random.
+  EXPECT_GT(result->claimed, 0u);
+  EXPECT_GT(result->precision, 0.0);
+  // Blocking on fewer attributes yields larger cohorts than full blocking.
+  LinkageConfig full;
+  full.known_qis = 4;
+  auto full_result = RunLinkage(f.sample.table, f.oracle, f.sample.truth, full);
+  ASSERT_TRUE(full_result.ok());
+  EXPECT_GT(result->avg_block_size, full_result->avg_block_size);
+}
+
+TEST(LinkageTest, InvalidBlockingPositionFails) {
+  const Fixture f = MakeFixture();
+  LinkageConfig config;
+  config.known_qis = 2;
+  config.blocking_positions = {3};  // Beyond the attacker's knowledge.
+  EXPECT_FALSE(RunLinkage(f.sample.table, f.oracle, f.sample.truth, config).ok());
+}
+
+TEST(LinkageTest, AnonymizationDropsLinkagePower) {
+  const Fixture f = MakeFixture();
+  LinkageConfig config;
+  auto before = RunLinkage(f.sample.table, f.oracle, f.sample.truth, config);
+  ASSERT_TRUE(before.ok());
+  MicrodataTable anonymized = f.sample.table;
+  KAnonymityRisk risk;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 3;
+  AnonymizationCycle cycle(&risk, &anon, options);
+  ASSERT_TRUE(cycle.Run(&anonymized).ok());
+  auto after = RunLinkage(anonymized, f.oracle, f.sample.truth, config);
+  ASSERT_TRUE(after.ok());
+  EXPECT_LE(after->correct, before->correct);
+  EXPECT_GE(after->avg_block_size, before->avg_block_size);
+}
+
+TEST(LinkageTest, ResultToString) {
+  LinkageResult r;
+  r.attempted = 5;
+  r.claimed = 3;
+  r.correct = 2;
+  const std::string text = r.ToString();
+  EXPECT_NE(text.find("claimed=3"), std::string::npos);
+  EXPECT_NE(text.find("correct=2"), std::string::npos);
+}
+
+TEST(EquivalenceClassTest, Figure5Partition) {
+  const MicrodataTable t = Figure5Microdata();
+  const auto stats = ComputeEquivalenceClasses(t, t.QuasiIdentifierColumns());
+  // Classes: {1}, {2,3}, {4,5}, {6}, {7} -> 5 classes, 3 uniques.
+  EXPECT_EQ(stats.num_classes, 5u);
+  EXPECT_EQ(stats.uniques, 3u);
+  EXPECT_EQ(stats.min_class_size, 1u);
+  EXPECT_EQ(stats.max_class_size, 2u);
+  EXPECT_NEAR(stats.mean_class_size, 7.0 / 5, 1e-12);
+  EXPECT_EQ(stats.histogram[0], 3u);
+  EXPECT_EQ(stats.histogram[1], 2u);
+}
+
+TEST(EquivalenceClassTest, EmptyTable) {
+  MicrodataTable t("e", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  const auto stats = ComputeEquivalenceClasses(t, t.QuasiIdentifierColumns());
+  EXPECT_EQ(stats.num_classes, 0u);
+  EXPECT_EQ(stats.uniques, 0u);
+}
+
+}  // namespace
+}  // namespace vadasa::core

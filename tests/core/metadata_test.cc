@@ -1,0 +1,77 @@
+#include "core/metadata.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(MetadataTest, IngestTableRegistersEverything) {
+  MetadataDictionary dict;
+  const MicrodataTable t = Figure1Microdata();
+  dict.IngestTable(t, /*include_categories=*/true);
+  ASSERT_EQ(dict.microdbs().size(), 1u);
+  EXPECT_EQ(dict.microdbs()[0], "I&G");
+  EXPECT_EQ(dict.AttributesOf("I&G").size(), 9u);
+  auto cat = dict.CategoryOf("I&G", "Area");
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(*cat, AttributeCategory::kQuasiIdentifier);
+  cat = dict.CategoryOf("I&G", "Weight");
+  ASSERT_TRUE(cat.ok());
+  EXPECT_EQ(*cat, AttributeCategory::kWeight);
+}
+
+TEST(MetadataTest, DuplicateRegistrationIdempotent) {
+  MetadataDictionary dict;
+  const MicrodataTable t = Figure5Microdata();
+  dict.IngestTable(t, true);
+  dict.IngestTable(t, true);
+  EXPECT_EQ(dict.microdbs().size(), 1u);
+  EXPECT_EQ(dict.AttributesOf("Fig5").size(), 5u);
+}
+
+TEST(MetadataTest, CategoryOfUnknownFails) {
+  MetadataDictionary dict;
+  EXPECT_EQ(dict.CategoryOf("nope", "attr").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MetadataTest, SetCategoryOverwrites) {
+  MetadataDictionary dict;
+  dict.SetCategory({"db", "a", AttributeCategory::kQuasiIdentifier});
+  dict.SetCategory({"db", "a", AttributeCategory::kNonIdentifying});
+  EXPECT_EQ(*dict.CategoryOf("db", "a"), AttributeCategory::kNonIdentifying);
+  EXPECT_EQ(dict.categories().size(), 1u);
+}
+
+TEST(MetadataTest, ApplyCategoriesToTable) {
+  MetadataDictionary dict;
+  MicrodataTable t = Figure5Microdata();
+  dict.IngestTable(t, false);
+  dict.SetCategory({"Fig5", "Sector", AttributeCategory::kNonIdentifying});
+  dict.SetCategory({"Fig5", "Area", AttributeCategory::kQuasiIdentifier});
+  ASSERT_TRUE(dict.ApplyCategories(&t).ok());
+  EXPECT_EQ(t.attributes()[t.ColumnIndex("Sector")].category,
+            AttributeCategory::kNonIdentifying);
+}
+
+TEST(MetadataTest, ApplyCategoriesUnknownAttributeFails) {
+  MetadataDictionary dict;
+  MicrodataTable t = Figure5Microdata();
+  dict.SetCategory({"Fig5", "Ghost", AttributeCategory::kWeight});
+  EXPECT_FALSE(dict.ApplyCategories(&t).ok());
+}
+
+TEST(MetadataTest, ToTextRendersFigure4Layout) {
+  MetadataDictionary dict;
+  dict.IngestTable(Figure1Microdata(), true);
+  const std::string text = dict.ToText("I&G");
+  EXPECT_NE(text.find("Attribute"), std::string::npos);
+  EXPECT_NE(text.find("Category"), std::string::npos);
+  EXPECT_NE(text.find("Sampling Weight"), std::string::npos);
+  EXPECT_NE(text.find("Quasi-identifier"), std::string::npos);
+  EXPECT_NE(text.find("Geographic Area"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,122 @@
+#include "core/microdata.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+MicrodataTable TwoColumnTable() {
+  MicrodataTable t("demo", {{"Id", "", AttributeCategory::kIdentifier},
+                            {"Area", "", AttributeCategory::kQuasiIdentifier},
+                            {"Weight", "", AttributeCategory::kWeight}});
+  EXPECT_TRUE(t.AddRow({Value::Int(1), Value::String("North"), Value::Int(10)}).ok());
+  EXPECT_TRUE(t.AddRow({Value::Int(2), Value::String("South"), Value::Int(20)}).ok());
+  return t;
+}
+
+TEST(MicrodataTest, CategoryRoundTrip) {
+  for (const AttributeCategory c :
+       {AttributeCategory::kIdentifier, AttributeCategory::kQuasiIdentifier,
+        AttributeCategory::kNonIdentifying, AttributeCategory::kWeight}) {
+    auto parsed = AttributeCategoryFromString(AttributeCategoryToString(c));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_FALSE(AttributeCategoryFromString("Nonsense").ok());
+}
+
+TEST(MicrodataTest, AddRowChecksWidth) {
+  MicrodataTable t = TwoColumnTable();
+  EXPECT_FALSE(t.AddRow({Value::Int(3)}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(MicrodataTest, ColumnLookups) {
+  const MicrodataTable t = TwoColumnTable();
+  EXPECT_EQ(t.ColumnIndex("Area"), 1);
+  EXPECT_EQ(t.ColumnIndex("Missing"), -1);
+  EXPECT_EQ(t.WeightColumn(), 2);
+  EXPECT_EQ(t.QuasiIdentifierColumns(), std::vector<size_t>{1});
+  EXPECT_EQ(t.ColumnsWithCategory(AttributeCategory::kIdentifier),
+            std::vector<size_t>{0});
+}
+
+TEST(MicrodataTest, RowWeightDefaultsToOne) {
+  MicrodataTable t("noweight", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  ASSERT_TRUE(t.AddRow({Value::String("x")}).ok());
+  EXPECT_DOUBLE_EQ(t.RowWeight(0), 1.0);
+  const MicrodataTable w = TwoColumnTable();
+  EXPECT_DOUBLE_EQ(w.RowWeight(1), 20.0);
+}
+
+TEST(MicrodataTest, SetCategory) {
+  MicrodataTable t = TwoColumnTable();
+  ASSERT_TRUE(t.SetCategory("Area", AttributeCategory::kNonIdentifying).ok());
+  EXPECT_TRUE(t.QuasiIdentifierColumns().empty());
+  EXPECT_FALSE(t.SetCategory("Missing", AttributeCategory::kWeight).ok());
+}
+
+TEST(MicrodataTest, ValidateRejectsTwoWeights) {
+  MicrodataTable t("bad", {{"W1", "", AttributeCategory::kWeight},
+                           {"W2", "", AttributeCategory::kWeight}});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(MicrodataTest, ValidateRejectsNonNumericWeight) {
+  MicrodataTable t("bad", {{"W", "", AttributeCategory::kWeight}});
+  ASSERT_TRUE(t.AddRow({Value::String("heavy")}).ok());
+  EXPECT_EQ(t.Validate().code(), StatusCode::kTypeError);
+}
+
+TEST(MicrodataTest, CountNullCellsOnlyQuasiIdentifiers) {
+  MicrodataTable t = TwoColumnTable();
+  t.set_cell(0, 1, Value::Null(1));
+  t.set_cell(1, 0, Value::Null(2));  // Identifier column: not counted.
+  EXPECT_EQ(t.CountNullCells(), 1u);
+}
+
+TEST(MicrodataTest, CsvRoundTripPreservesNulls) {
+  MicrodataTable t = TwoColumnTable();
+  t.set_cell(0, 1, Value::Null(7));
+  const CsvTable csv = t.ToCsv();
+  auto back = MicrodataTable::FromCsv("demo", csv, {"Id"}, "Weight");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->cell(0, 1).is_null());
+  EXPECT_EQ(back->cell(0, 1).null_label(), 7u);
+  EXPECT_EQ(back->cell(1, 1).as_string(), "South");
+  EXPECT_EQ(back->WeightColumn(), 2);
+  EXPECT_EQ(back->attributes()[0].category, AttributeCategory::kIdentifier);
+}
+
+TEST(MicrodataTest, ToTextTruncates) {
+  const MicrodataTable t = Figure1Microdata();
+  const std::string text = t.ToText(3);
+  EXPECT_NE(text.find("(17 more)"), std::string::npos);
+  EXPECT_NE(text.find("I&G"), std::string::npos);
+}
+
+TEST(Figure1Test, MatchesPaperShape) {
+  const MicrodataTable t = Figure1Microdata();
+  EXPECT_EQ(t.num_rows(), 20u);
+  EXPECT_EQ(t.num_columns(), 9u);
+  EXPECT_EQ(t.QuasiIdentifierColumns().size(), 5u);
+  ASSERT_TRUE(t.Validate().ok());
+  // Tuple 15 (index 14) has the smallest weight, 30; tuple 7 (index 6) the
+  // largest, 300.
+  EXPECT_DOUBLE_EQ(t.RowWeight(14), 30.0);
+  EXPECT_DOUBLE_EQ(t.RowWeight(6), 300.0);
+}
+
+TEST(Figure5Test, MatchesPaperShape) {
+  const MicrodataTable t = Figure5Microdata();
+  EXPECT_EQ(t.num_rows(), 7u);
+  EXPECT_EQ(t.QuasiIdentifierColumns().size(), 4u);
+  EXPECT_EQ(t.cell(0, 1).as_string(), "Roma");
+  // Ids keep their leading zeros (strings, not ints).
+  EXPECT_EQ(t.cell(0, 0).as_string(), "099876");
+}
+
+}  // namespace
+}  // namespace vadasa::core

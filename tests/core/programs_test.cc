@@ -1,0 +1,86 @@
+#include "core/programs.h"
+
+#include <gtest/gtest.h>
+
+#include "core/vadalog_bridge.h"
+#include "vadalog/analysis.h"
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(ProgramsTest, LibraryIsComplete) {
+  const auto& library = AlgorithmLibrary();
+  EXPECT_GE(library.size(), 7u);
+  for (const AlgorithmProgram& p : library) {
+    EXPECT_FALSE(p.name.empty());
+    EXPECT_FALSE(p.description.empty());
+    EXPECT_FALSE(p.source.empty());
+  }
+  EXPECT_TRUE(FindAlgorithmProgram("algorithm6-suda").ok());
+  EXPECT_FALSE(FindAlgorithmProgram("algorithm42").ok());
+}
+
+TEST(ProgramsTest, EveryProgramParsesAndPassesSafety) {
+  for (const AlgorithmProgram& p : AlgorithmLibrary()) {
+    auto program = vadalog::Parse(p.source);
+    ASSERT_TRUE(program.ok()) << p.name << ": " << program.status().ToString();
+    EXPECT_TRUE(vadalog::CheckSafety(*program).ok()) << p.name;
+    EXPECT_TRUE(vadalog::Stratify(*program).ok()) << p.name;
+  }
+}
+
+TEST(ProgramsTest, KAnonymityProgramRuns) {
+  auto p = FindAlgorithmProgram("algorithm4-kanonymity");
+  ASSERT_TRUE(p.ok());
+  vadalog::Engine engine;
+  vadalog::Database db;
+  // Two tuples with the same VSet, one unique.
+  const Value shared = Value::Set({Value::List({Value::String("Area"), Value::String("N")})});
+  const Value lone = Value::Set({Value::List({Value::String("Area"), Value::String("S")})});
+  db.AddFact("tuple", {Value::Int(0), shared});
+  db.AddFact("tuple", {Value::Int(1), shared});
+  db.AddFact("tuple", {Value::Int(2), lone});
+  auto stats = vadalog::RunSource(p->source, &db, &engine);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const auto finals = vadalog::FinalAggregateRows(db, "riskoutput", 1, false);
+  ASSERT_EQ(finals.size(), 3u);
+  for (const auto& row : finals) {
+    const double expected = row[0].as_int() == 2 ? 1.0 : 0.0;
+    EXPECT_DOUBLE_EQ(row[1].as_double(), expected) << row[0].ToString();
+  }
+}
+
+TEST(ProgramsTest, ControlProgramRuns) {
+  auto p = FindAlgorithmProgram("section44-company-control");
+  ASSERT_TRUE(p.ok());
+  vadalog::Engine engine;
+  vadalog::Database db;
+  db.AddFact("own", {Value::String("x"), Value::String("y"), Value::Double(0.9)});
+  auto stats = vadalog::RunSource(p->source, &db, &engine);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(db.Contains("rel", {Value::String("x"), Value::String("y")}));
+}
+
+TEST(ProgramsTest, CategorizationProgramMatchesBridge) {
+  auto p = FindAlgorithmProgram("algorithm1-categorization");
+  ASSERT_TRUE(p.ok());
+  // The bridge ships the same rules.
+  EXPECT_NE(p->source.find("expbase"), std::string::npos);
+  EXPECT_NE(VadalogBridge::CategorizationProgram().find("expbase"), std::string::npos);
+  vadalog::Engine engine;
+  VadalogBridge bridge;
+  bridge.RegisterExternals(&engine, nullptr);
+  vadalog::Database db;
+  db.AddFact("att", {Value::String("db"), Value::String("area")});
+  db.AddFact("expbase",
+             {Value::String("area"), Value::String("Quasi-identifier")});
+  auto stats = vadalog::RunSource(p->source, &db, &engine);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(db.Contains("cat", {Value::String("db"), Value::String("area"),
+                                  Value::String("Quasi-identifier")}));
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,94 @@
+#include "core/rdc.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+#include "core/risk.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(RdcTest, IngestCategorizesAndCatalogs) {
+  ResearchDataCenter rdc;
+  ASSERT_TRUE(rdc.Ingest(Figure1Microdata()).ok());
+  ASSERT_TRUE(rdc.Ingest(Figure5Microdata()).ok());
+  EXPECT_EQ(rdc.Catalog(), (std::vector<std::string>{"I&G", "Fig5"}));
+  auto table = rdc.Lookup("I&G");
+  ASSERT_TRUE(table.ok());
+  // Categorization re-derived the weight column.
+  EXPECT_EQ((*table)->WeightColumn(), (*table)->ColumnIndex("Weight"));
+  EXPECT_EQ(*rdc.dictionary().CategoryOf("I&G", "Id"), AttributeCategory::kIdentifier);
+}
+
+TEST(RdcTest, DuplicateIngestFails) {
+  ResearchDataCenter rdc;
+  ASSERT_TRUE(rdc.Ingest(Figure5Microdata()).ok());
+  EXPECT_EQ(rdc.Ingest(Figure5Microdata()).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RdcTest, LookupUnknownFails) {
+  ResearchDataCenter rdc;
+  EXPECT_FALSE(rdc.Lookup("ghost").ok());
+  EXPECT_FALSE(rdc.Release("ghost").ok());
+}
+
+TEST(RdcTest, ProcessProducesSafeRelease) {
+  RdcPolicy policy;
+  policy.k = 2;
+  ResearchDataCenter rdc(policy);
+  ASSERT_TRUE(rdc.Ingest(Figure5Microdata()).ok());
+  auto audit = rdc.Process("Fig5");
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_EQ(audit->risk_after.tuples_over_threshold, 0u);
+  auto release = rdc.Release("Fig5");
+  ASSERT_TRUE(release.ok());
+  // The registered original is untouched; the release carries the nulls.
+  auto original = rdc.Lookup("Fig5");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ((*original)->CountNullCells(), 0u);
+  EXPECT_GT((*release)->CountNullCells(), 0u);
+}
+
+TEST(RdcTest, ReleaseBeforeProcessFails) {
+  ResearchDataCenter rdc;
+  ASSERT_TRUE(rdc.Ingest(Figure5Microdata()).ok());
+  EXPECT_EQ(rdc.Release("Fig5").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RdcTest, ProcessAllCoversTheCatalog) {
+  RdcPolicy policy;
+  policy.risk_measure = "reidentification";
+  policy.threshold = 0.05;
+  ResearchDataCenter rdc(policy);
+  ASSERT_TRUE(rdc.Ingest(Figure1Microdata()).ok());
+  ASSERT_TRUE(
+      rdc.Ingest(GenerateInflationGrowth("batch", 500, 4,
+                                         DistributionKind::kUnbalanced, 53))
+          .ok());
+  auto audits = rdc.ProcessAll();
+  ASSERT_TRUE(audits.ok()) << audits.status().ToString();
+  ASSERT_EQ(audits->size(), 2u);
+  for (const ReleaseAudit& audit : *audits) {
+    EXPECT_EQ(audit.risk_after.tuples_over_threshold, 0u) << audit.microdb;
+    EXPECT_EQ(audit.risk_measure, "re-identification");
+  }
+}
+
+TEST(RdcTest, ExpertExperienceChangesCategorization) {
+  ResearchDataCenter rdc;
+  rdc.AddExperience("growth", AttributeCategory::kQuasiIdentifier);
+  ASSERT_TRUE(rdc.Ingest(Figure1Microdata()).ok());
+  EXPECT_EQ(*rdc.dictionary().CategoryOf("I&G", "Growth"),
+            AttributeCategory::kQuasiIdentifier);
+}
+
+TEST(RdcTest, UnknownMeasureInPolicyFailsAtProcess) {
+  RdcPolicy policy;
+  policy.risk_measure = "quantum";
+  ResearchDataCenter rdc(policy);
+  ASSERT_TRUE(rdc.Ingest(Figure5Microdata()).ok());
+  EXPECT_FALSE(rdc.Process("Fig5").ok());
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(ReportTest, AuditedReleaseEndToEnd) {
+  MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk measure;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  auto audit = RunAuditedRelease(&t, measure, &anon, options);
+  ASSERT_TRUE(audit.ok()) << audit.status().ToString();
+  EXPECT_EQ(audit->microdb, "Fig5");
+  EXPECT_EQ(audit->tuples, 7u);
+  EXPECT_EQ(audit->quasi_identifiers, 4u);
+  EXPECT_EQ(audit->risk_measure, "k-anonymity");
+  EXPECT_EQ(audit->risk_before.tuples_over_threshold, 3u);
+  EXPECT_EQ(audit->risk_after.tuples_over_threshold, 0u);
+  EXPECT_GT(audit->cycle.nulls_injected, 0u);
+  EXPECT_FALSE(audit->cycle.log.empty());  // log_steps forced on.
+}
+
+TEST(ReportTest, TextRenderingIsComplete) {
+  MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk measure;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  auto audit = RunAuditedRelease(&t, measure, &anon, options);
+  ASSERT_TRUE(audit.ok());
+  const std::string text = audit->ToText();
+  EXPECT_NE(text.find("Release audit: Fig5"), std::string::npos);
+  EXPECT_NE(text.find("disclosure risk before"), std::string::npos);
+  EXPECT_NE(text.find("disclosure risk after"), std::string::npos);
+  EXPECT_NE(text.find("nulls injected"), std::string::npos);
+  EXPECT_NE(text.find("decisions:"), std::string::npos);
+  EXPECT_NE(text.find("local-suppression"), std::string::npos);
+  EXPECT_NE(text.find("utility"), std::string::npos);
+}
+
+TEST(ReportTest, SafeTableAuditsWithoutSteps) {
+  MicrodataTable t("safe", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(t.AddRow({Value::String("same")}).ok());
+  }
+  KAnonymityRisk measure;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  auto audit = RunAuditedRelease(&t, measure, &anon, options);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->risk_before.tuples_over_threshold, 0u);
+  EXPECT_EQ(audit->cycle.nulls_injected, 0u);
+  EXPECT_DOUBLE_EQ(audit->utility.max_total_variation, 0.0);
+}
+
+TEST(ReportTest, RealisticDatasetAudit) {
+  MicrodataTable t =
+      GenerateInflationGrowth("audit", 2000, 4, DistributionKind::kUnbalanced, 41);
+  KAnonymityRisk measure;
+  LocalSuppression anon;
+  CycleOptions options;
+  options.risk.k = 2;
+  auto audit = RunAuditedRelease(&t, measure, &anon, options);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_GT(audit->risk_before.sample_uniques, audit->risk_after.sample_uniques);
+  EXPECT_LT(audit->utility.max_total_variation, 0.1);
+}
+
+}  // namespace
+}  // namespace vadasa::core

@@ -1,0 +1,196 @@
+#include "core/risk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/datagen.h"
+
+namespace vadasa::core {
+namespace {
+
+TEST(ReidentificationRiskTest, Figure1PaperValues) {
+  const MicrodataTable t = Figure1Microdata();
+  ReidentificationRisk risk;
+  RiskContext ctx;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  // Section 2.2: highest risk is tuple 15 (1/30 ≈ 0.033), lowest tuple 7
+  // (1/300 ≈ 0.0033); tuple 4 is 1/60 ≈ 0.016.
+  double max_risk = 0.0;
+  size_t max_row = 0;
+  double min_risk = 1.0;
+  size_t min_row = 0;
+  for (size_t r = 0; r < risks->size(); ++r) {
+    if ((*risks)[r] > max_risk) {
+      max_risk = (*risks)[r];
+      max_row = r;
+    }
+    if ((*risks)[r] < min_risk) {
+      min_risk = (*risks)[r];
+      min_row = r;
+    }
+  }
+  EXPECT_EQ(max_row, 14u);  // Tuple 15.
+  EXPECT_NEAR(max_risk, 1.0 / 30, 1e-9);
+  EXPECT_EQ(min_row, 6u);  // Tuple 7.
+  EXPECT_NEAR(min_risk, 1.0 / 300, 1e-9);
+  EXPECT_NEAR((*risks)[3], 1.0 / 60, 1e-9);  // Tuple 4.
+}
+
+TEST(ReidentificationRiskTest, SubsetOfQuasiIdentifiers) {
+  // Restricting the AnonSet (the attacker's knowledge) pools weights and
+  // lowers the risk.
+  const MicrodataTable t = Figure1Microdata();
+  ReidentificationRisk risk;
+  RiskContext all;
+  RiskContext restricted;
+  restricted.qi_columns = {1, 2};  // Area, Sector only.
+  const auto risks_all = risk.ComputeRisks(t, all);
+  const auto risks_sub = risk.ComputeRisks(t, restricted);
+  ASSERT_TRUE(risks_all.ok());
+  ASSERT_TRUE(risks_sub.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_LE((*risks_sub)[r], (*risks_all)[r] + 1e-12) << "row " << r;
+  }
+}
+
+TEST(KAnonymityRiskTest, Figure5SampleUniques) {
+  const MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  ctx.k = 2;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  // Frequencies are 1,2,2,2,2,1,1: rows 0, 5, 6 are risky.
+  const std::vector<double> expected = {1, 0, 0, 0, 0, 1, 1};
+  for (size_t r = 0; r < expected.size(); ++r) {
+    EXPECT_DOUBLE_EQ((*risks)[r], expected[r]) << "row " << r;
+  }
+}
+
+TEST(KAnonymityRiskTest, HigherKIsStricter) {
+  const MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  RiskContext k2;
+  k2.k = 2;
+  RiskContext k3;
+  k3.k = 3;
+  const auto r2 = risk.ComputeRisks(t, k2);
+  const auto r3 = risk.ComputeRisks(t, k3);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+  size_t risky2 = 0;
+  size_t risky3 = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    risky2 += (*r2)[r] > 0.5;
+    risky3 += (*r3)[r] > 0.5;
+    EXPECT_GE((*r3)[r], (*r2)[r]);  // Monotone in k.
+  }
+  EXPECT_GT(risky3, risky2);  // Frequency-2 groups become risky at k=3.
+}
+
+TEST(KAnonymityRiskTest, SuppressionReducesRiskUnderMaybeMatch) {
+  MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  ctx.k = 2;
+  t.set_cell(0, 2, Value::Null(1));  // Suppress Sector of the sample unique.
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  EXPECT_DOUBLE_EQ((*risks)[0], 0.0);
+  // ... but not under the standard semantics.
+  ctx.semantics = NullSemantics::kStandard;
+  risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  EXPECT_DOUBLE_EQ((*risks)[0], 1.0);
+}
+
+TEST(IndividualRiskTest, ClosedFormIsFrequencyOverWeight) {
+  const MicrodataTable t = Figure1Microdata();
+  IndividualRisk risk;
+  RiskContext ctx;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  // Unique combinations: ρ = f/ΣW = 1/W.
+  EXPECT_NEAR((*risks)[14], 1.0 / 30, 1e-9);
+  EXPECT_NEAR((*risks)[6], 1.0 / 300, 1e-9);
+}
+
+TEST(IndividualRiskTest, SampledModeIsDeterministicAndBounded) {
+  const MicrodataTable t = Figure1Microdata();
+  IndividualRisk risk;
+  RiskContext ctx;
+  ctx.posterior_draws = 200;
+  ctx.seed = 5;
+  const auto a = risk.ComputeRisks(t, ctx);
+  const auto b = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ((*a)[r], (*b)[r]);
+    EXPECT_GE((*a)[r], 0.0);
+    EXPECT_LE((*a)[r], 1.0);
+  }
+}
+
+TEST(IndividualRiskTest, PooledCombinationsAreSafer) {
+  // Two rows with the same combination and weights 10+10: ρ = 2/20 = 0.1;
+  // a unique row with weight 20: ρ = 1/20 = 0.05.
+  MicrodataTable t("ind", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                           {"W", "", AttributeCategory::kWeight}});
+  ASSERT_TRUE(t.AddRow({Value::String("x"), Value::Int(10)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("x"), Value::Int(10)}).ok());
+  ASSERT_TRUE(t.AddRow({Value::String("y"), Value::Int(20)}).ok());
+  IndividualRisk risk;
+  RiskContext ctx;
+  auto risks = risk.ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  EXPECT_NEAR((*risks)[0], 0.1, 1e-9);
+  EXPECT_NEAR((*risks)[2], 0.05, 1e-9);
+}
+
+TEST(RiskFactoryTest, KnownNames) {
+  for (const char* name : {"reidentification", "k-anonymity", "individual", "suda"}) {
+    auto m = MakeRiskMeasure(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_FALSE((*m)->name().empty());
+  }
+  EXPECT_FALSE(MakeRiskMeasure("quantum").ok());
+}
+
+TEST(RiskExplainTest, MentionsCombination) {
+  const MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  ctx.k = 2;
+  const std::string text = risk.Explain(t, ctx, 0, 1.0);
+  EXPECT_NE(text.find("Roma"), std::string::npos);
+  EXPECT_NE(text.find("Textiles"), std::string::npos);
+  EXPECT_NE(text.find("risky"), std::string::npos);
+}
+
+/// Property sweep: on generated data, every measure returns risks in [0,1]
+/// and all-weight-1 tables make re-identification and individual risk agree.
+class RiskPropertyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RiskPropertyTest, RisksAreProbabilities) {
+  const MicrodataTable t =
+      GenerateInflationGrowth("prop", 500, 4, DistributionKind::kUnbalanced, 3);
+  auto measure = MakeRiskMeasure(GetParam());
+  ASSERT_TRUE(measure.ok());
+  RiskContext ctx;
+  ctx.k = 3;
+  auto risks = (*measure)->ComputeRisks(t, ctx);
+  ASSERT_TRUE(risks.ok());
+  ASSERT_EQ(risks->size(), t.num_rows());
+  for (const double r : *risks) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, RiskPropertyTest,
+                         ::testing::Values("reidentification", "k-anonymity",
+                                           "individual", "suda"));
+
+}  // namespace
+}  // namespace vadasa::core

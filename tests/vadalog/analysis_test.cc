@@ -1,0 +1,145 @@
+#include "vadalog/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "vadalog/parser.h"
+
+namespace vadasa::vadalog {
+namespace {
+
+Program MustParse(const std::string& src) {
+  auto p = Parse(src);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(SafetyTest, AcceptsSafeRules) {
+  const Program p = MustParse(
+      "p(X, Y) :- q(X), r(X, Y), not s(Y), Y > 3.\n"
+      "t(X, Z) :- q(X), Z = X + 1.\n"
+      "u(X, W) :- r(X, V), W = msum(V, <X>).");
+  EXPECT_TRUE(CheckSafety(p).ok());
+}
+
+TEST(SafetyTest, RejectsUnboundNegation) {
+  const Program p = MustParse("p(X) :- q(X), not s(Y).");
+  const Status s = CheckSafety(p);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SafetyTest, RejectsUnboundCondition) {
+  EXPECT_FALSE(CheckSafety(MustParse("p(X) :- q(X), Y > 2.")).ok());
+}
+
+TEST(SafetyTest, RejectsUnboundAssignmentInput) {
+  EXPECT_FALSE(CheckSafety(MustParse("p(X, Z) :- q(X), Z = Y + 1.")).ok());
+}
+
+TEST(SafetyTest, AcceptsChainedAssignments) {
+  EXPECT_TRUE(CheckSafety(MustParse("p(X, B) :- q(X), A = X + 1, B = A * 2.")).ok());
+}
+
+TEST(SafetyTest, AcceptsPostAggregateAssignment) {
+  EXPECT_TRUE(CheckSafety(MustParse(
+                  "p(G, R) :- q(G, I), N = mcount(<I>), R = if(lt(N, 2), 1, 0)."))
+                  .ok());
+}
+
+TEST(SafetyTest, ExistentialHeadsAreAllowed) {
+  EXPECT_TRUE(CheckSafety(MustParse("p(X, Z) :- q(X).")).ok());
+}
+
+TEST(StratificationTest, PositiveRecursionSingleStratum) {
+  const Program p = MustParse(
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 1);
+  EXPECT_EQ(strat->rules_by_stratum[0].size(), 2u);
+}
+
+TEST(StratificationTest, NegationRaisesStratum) {
+  const Program p = MustParse(
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), edge(X,Y).\n"
+      "unreached(X) :- node(X), not reach(X).");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 2);
+  EXPECT_EQ(strat->stratum.at("reach"), 0);
+  EXPECT_EQ(strat->stratum.at("unreached"), 1);
+}
+
+TEST(StratificationTest, RejectsNegativeCycle) {
+  const Program p = MustParse(
+      "p(X) :- q(X), not r(X).\n"
+      "r(X) :- q(X), not p(X).");
+  EXPECT_FALSE(Stratify(p).ok());
+}
+
+TEST(StratificationTest, ThreeLayerChain) {
+  const Program p = MustParse(
+      "a(X) :- base(X).\n"
+      "b(X) :- base(X), not a(X).\n"
+      "c(X) :- base(X), not b(X).");
+  auto strat = Stratify(p);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 3);
+}
+
+TEST(WardednessTest, DatalogProgramIsWarded) {
+  // No existentials at all → nothing affected → trivially warded.
+  const Program p = MustParse(
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).");
+  const WardednessReport report = AnalyzeWardedness(p);
+  EXPECT_TRUE(report.program_warded);
+  EXPECT_TRUE(report.affected_positions.empty());
+}
+
+TEST(WardednessTest, AffectedPositionsPropagate) {
+  const Program p = MustParse(
+      "p(X, Z) :- q(X).\n"       // Z existential → p[1] affected.
+      "r(Z) :- p(X, Z).");       // Z flows on → r[0] affected.
+  const WardednessReport report = AnalyzeWardedness(p);
+  EXPECT_TRUE(report.affected_positions.count({"p", 1}) > 0);
+  EXPECT_TRUE(report.affected_positions.count({"r", 0}) > 0);
+  EXPECT_FALSE(report.affected_positions.count({"p", 0}) > 0);
+  EXPECT_TRUE(report.program_warded);  // Single-atom bodies ward themselves.
+}
+
+TEST(WardednessTest, DangerousJoinOutsideWardIsNotWarded) {
+  // Z is harmful (only affected positions) and joins two body atoms while
+  // appearing in the head: not warded.
+  const Program p = MustParse(
+      "p(X, Z) :- q(X).\n"
+      "s(Z) :- p(X, Z), p(Y, Z).");
+  const WardednessReport report = AnalyzeWardedness(p);
+  EXPECT_FALSE(report.program_warded);
+}
+
+TEST(WardednessTest, HarmlessJoinIsWarded) {
+  // The join variable X occurs at unaffected positions: fine.
+  const Program p = MustParse(
+      "p(X, Z) :- q(X).\n"
+      "s(X) :- p(X, Z), q(X).");
+  const WardednessReport report = AnalyzeWardedness(p);
+  EXPECT_TRUE(report.program_warded);
+}
+
+TEST(WardednessTest, WardIndexReported) {
+  const Program p = MustParse(
+      "p(X, Z) :- q(X).\n"
+      "t(Z, X) :- p(X, Z), q(X).");
+  const WardednessReport report = AnalyzeWardedness(p);
+  ASSERT_EQ(report.rules.size(), 2u);
+  EXPECT_TRUE(report.rules[1].warded);
+  EXPECT_EQ(report.rules[1].ward, 0);  // p(X,Z) hosts dangerous Z.
+  ASSERT_EQ(report.rules[1].dangerous_vars.size(), 1u);
+  EXPECT_EQ(report.rules[1].dangerous_vars[0], "Z");
+}
+
+}  // namespace
+}  // namespace vadasa::vadalog

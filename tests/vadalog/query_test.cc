@@ -1,0 +1,178 @@
+#include "vadalog/query.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "vadalog/bindings.h"
+#include "vadalog/explain.h"
+#include "vadalog/parser.h"
+
+namespace vadasa::vadalog {
+namespace {
+
+Database EdgeDb() {
+  Database db;
+  db.AddFact("edge", {Value::String("a"), Value::String("b")});
+  db.AddFact("edge", {Value::String("b"), Value::String("c")});
+  db.AddFact("edge", {Value::String("c"), Value::String("a")});
+  db.AddFact("blocked", {Value::String("c")});
+  db.AddFact("w", {Value::String("a"), Value::Int(10)});
+  db.AddFact("w", {Value::String("b"), Value::Int(20)});
+  return db;
+}
+
+TEST(QueryTest, SimpleSelection) {
+  const Database db = EdgeDb();
+  auto rows = EvaluateQuery(db, "q(Y) :- edge(a, Y).");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_string(), "b");
+}
+
+TEST(QueryTest, JoinWithNegationAndCondition) {
+  const Database db = EdgeDb();
+  auto rows = EvaluateQuery(db, "q(X, Z) :- edge(X, Y), edge(Y, Z), not blocked(Z).");
+  ASSERT_TRUE(rows.ok());
+  // a->b->c blocked; b->c->a ok; c->a->b ok.
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0].as_string(), "b");
+  EXPECT_EQ((*rows)[1][0].as_string(), "c");
+}
+
+TEST(QueryTest, DatabaseIsNotModified) {
+  const Database db = EdgeDb();
+  const size_t before = db.size();
+  ASSERT_TRUE(EvaluateQuery(db, "q(X) :- edge(X, Y).").ok());
+  EXPECT_EQ(db.size(), before);
+  EXPECT_TRUE(db.Rows("q").empty());
+}
+
+TEST(QueryTest, AggregateQueryFinalized) {
+  const Database db = EdgeDb();
+  auto rows = EvaluateQuery(db, "q(S) :- w(X, V), S = msum(V, <X>).");
+  ASSERT_TRUE(rows.ok());
+  // Only the final value of the monotone stream survives.
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].as_int(), 30);
+}
+
+TEST(QueryTest, CertainAnswersDropNullRows) {
+  Database db;
+  db.AddFact("employee", {Value::String("alice")});
+  db.AddFact("worksin", {Value::String("bob"), Value::String("sales")});
+  db.AddFact("employee", {Value::String("bob")});
+  Engine engine;
+  // Materialize the existential first so the query sees the nulls.
+  auto stats = RunSource("worksin(X, D) :- employee(X).", &db, &engine);
+  ASSERT_TRUE(stats.ok());
+  QueryOptions all;
+  QueryOptions certain;
+  certain.certain_only = true;
+  auto everything = EvaluateQuery(db, "q(X, D) :- worksin(X, D).", nullptr, all);
+  auto certain_rows = EvaluateQuery(db, "q(X, D) :- worksin(X, D).", nullptr, certain);
+  ASSERT_TRUE(everything.ok());
+  ASSERT_TRUE(certain_rows.ok());
+  EXPECT_EQ(everything->size(), 2u);     // bob/sales + alice/⊥.
+  ASSERT_EQ(certain_rows->size(), 1u);   // Only bob/sales is certain.
+  EXPECT_EQ((*certain_rows)[0][0].as_string(), "bob");
+}
+
+TEST(QueryTest, CountQuery) {
+  const Database db = EdgeDb();
+  auto n = CountQuery(db, "q(X, Y) :- edge(X, Y).");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST(QueryTest, RejectsMalformedQueries) {
+  const Database db = EdgeDb();
+  EXPECT_FALSE(EvaluateQuery(db, "edge(a, b).").ok());                // Fact.
+  EXPECT_FALSE(EvaluateQuery(db, "p(X) :- edge(X, Y).").ok());       // Wrong head name.
+  EXPECT_FALSE(
+      EvaluateQuery(db, "q(X) :- edge(X, Y).\nq(Y) :- edge(X, Y).").ok());  // Two rules.
+}
+
+TEST(ExplainExportTest, DotContainsNodesAndRuleEdges) {
+  Engine engine;
+  Database db;
+  auto program = Parse(
+      "edge(a, b). edge(b, c).\n"
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- path(X,Y), edge(Y,Z).");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(engine.Run(*program, &db).ok());
+  const FactId id = FindFact(db, "path", {Value::String("a"), Value::String("c")});
+  ASSERT_NE(id, kInvalidFactId);
+  const std::string dot = ExplainFactDot(db, *program, id);
+  EXPECT_NE(dot.find("digraph explanation"), std::string::npos);
+  EXPECT_NE(dot.find("path(a,c)"), std::string::npos);
+  EXPECT_NE(dot.find("edge(b,c)"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // Asserted facts.
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // Derived facts.
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(ExplainExportTest, JsonIsWellFormedish) {
+  Engine engine;
+  Database db;
+  auto program = Parse("edge(a, b).\npath(X,Y) :- edge(X,Y).");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(engine.Run(*program, &db).ok());
+  const FactId id = FindFact(db, "path", {Value::String("a"), Value::String("b")});
+  const std::string json = ExplainFactJson(db, *program, id);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"fact\":\"path(a,b)\""), std::string::npos);
+  EXPECT_NE(json.find("\"rule\":\"rule 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"support\":[{\"fact\":\"edge(a,b)\",\"rule\":null"),
+            std::string::npos);
+  // Balanced braces/brackets.
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(BindingsTest, LoadsCsvFacts) {
+  const std::string path = ::testing::TempDir() + "/vadasa_bind_test.csv";
+  {
+    std::ofstream out(path);
+    out << "src,dst,weight\n";
+    out << "a,b,0.6\n";
+    out << "b,c,0.7\n";
+  }
+  auto program = Parse("@bind(\"own\", \"" + path + "\").\n"
+                       "rel(X, Y) :- own(X, Y, W), W > 0.5.");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->bindings.size(), 1u);
+  Database db;
+  ASSERT_TRUE(LoadBindings(*program, &db).ok());
+  EXPECT_EQ(db.Rows("own").size(), 2u);
+  Engine engine;
+  ASSERT_TRUE(engine.Run(*program, &db).ok());
+  EXPECT_TRUE(db.Contains("rel", {Value::String("a"), Value::String("b")}));
+}
+
+TEST(BindingsTest, MissingFileFails) {
+  auto program = Parse("@bind(\"p\", \"/nonexistent/file.csv\").");
+  ASSERT_TRUE(program.ok());
+  Database db;
+  EXPECT_EQ(LoadBindings(*program, &db).code(), StatusCode::kIoError);
+}
+
+TEST(BindingsTest, RoundTripsThroughToString) {
+  auto program = Parse("@bind(\"p\", \"data.csv\").\n@output(\"p\").");
+  ASSERT_TRUE(program.ok());
+  const std::string text = program->ToString();
+  EXPECT_NE(text.find("@bind(\"p\", \"data.csv\")."), std::string::npos);
+  auto reparsed = Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->bindings.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vadasa::vadalog

@@ -1,0 +1,152 @@
+// Robustness: malformed, adversarial and random inputs must produce Status
+// errors (or parse to harmless programs), never crashes or hangs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
+
+namespace vadasa::vadalog {
+namespace {
+
+TEST(RobustnessTest, MalformedProgramsErrorCleanly) {
+  const char* kBad[] = {
+      "p(",
+      "p(X :- q(X).",
+      ":- q(X).",
+      "p(X) :-",
+      "p(X) :- q(X)",                      // Missing dot.
+      "p(X) q(X).",
+      "p(X) :- q(X), .",
+      "p(X) :- X = .",
+      "p(X) :- S = msum(.",
+      "p(X) :- S = msum(W, I).",           // Missing contributor brackets.
+      "@input.",
+      "@bind(\"p\").",                      // Wrong arity.
+      "@nonsense(\"p\").",
+      "p(X) :- q(X), not .",
+      "= :- p(X).",
+      "p(\"unterminated).",
+      "p(X,) :- q(X).",
+  };
+  for (const char* src : kBad) {
+    const auto result = Parse(src);
+    EXPECT_FALSE(result.ok()) << "should reject: " << src;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << src;
+  }
+}
+
+TEST(RobustnessTest, RandomTokenSoupNeverCrashes) {
+  const char* kTokens[] = {"p",  "q",  "X",  "Y",   "(",   ")",    ",",   ".",
+                           ":-", "=",  "==", "<",   ">",   "not",  "in",  "1",
+                           "2.5", "\"s\"", "#e", "msum", "<",  ">",   "@",   "+"};
+  Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string src;
+    const size_t len = 1 + rng.NextBelow(30);
+    for (size_t i = 0; i < len; ++i) {
+      src += kTokens[rng.NextBelow(std::size(kTokens))];
+      src += " ";
+    }
+    // Must terminate with either a Program or a ParseError — never crash.
+    const auto result = Parse(src);
+    if (result.ok()) {
+      // If it happens to parse, evaluation must also behave.
+      Engine engine;
+      Database db;
+      const auto run = engine.Run(*result, &db);
+      (void)run;
+    }
+  }
+}
+
+TEST(RobustnessTest, RandomBytesNeverCrash) {
+  Rng rng(888);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string src;
+    const size_t len = rng.NextBelow(200);
+    for (size_t i = 0; i < len; ++i) {
+      src += static_cast<char>(32 + rng.NextBelow(95));  // Printable ASCII.
+    }
+    const auto result = Parse(src);
+    (void)result;
+  }
+}
+
+TEST(RobustnessTest, DeepExpressionNesting) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  const auto result = Parse("p(Y) :- q(X), Y = " + expr + ".");
+  ASSERT_TRUE(result.ok());
+  Engine engine;
+  Database db;
+  db.AddFact("q", {Value::Int(0)});
+  ASSERT_TRUE(engine.Run(*result, &db).ok());
+  EXPECT_TRUE(db.Contains("p", {Value::Int(201)}));
+}
+
+TEST(RobustnessTest, ManyPredicatesManyRules) {
+  std::string src;
+  for (int i = 0; i < 200; ++i) {
+    src += "p" + std::to_string(i) + "(a).\n";
+    if (i > 0) {
+      src += "p" + std::to_string(i) + "(X) :- p" + std::to_string(i - 1) + "(X).\n";
+    }
+  }
+  auto program = Parse(src);
+  ASSERT_TRUE(program.ok());
+  Engine engine;
+  Database db;
+  ASSERT_TRUE(engine.Run(*program, &db).ok());
+  EXPECT_TRUE(db.Contains("p199", {Value::String("a")}));
+}
+
+TEST(RobustnessTest, ZeroArityAtomsRejectedOrHandled) {
+  // The dialect requires parentheses; `p()` is a zero-arity atom.
+  const auto result = Parse("p().\nq() :- p().");
+  if (result.ok()) {
+    Engine engine;
+    Database db;
+    EXPECT_TRUE(engine.Run(*result, &db).ok());
+    EXPECT_EQ(db.Rows("q").size(), 1u);
+  }
+}
+
+TEST(RobustnessTest, ConditionErrorsSurfaceAsStatus) {
+  // Type error inside a condition: the run must fail, not crash.
+  Engine engine;
+  Database db;
+  const auto run = RunSource("p(a, 1).\nbad(X) :- p(X, V), strlen(V) > 2.", &db, &engine);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kTypeError);
+}
+
+TEST(RobustnessTest, ExternalErrorPropagates) {
+  Engine engine;
+  engine.externals()->RegisterPredicate(
+      "#boom", [](const std::vector<std::optional<Value>>&, const Database&)
+                   -> Result<std::vector<std::vector<Value>>> {
+        return Status::Internal("boom");
+      });
+  Database db;
+  const auto run = RunSource("p(a).\nq(X) :- p(X), #boom(X).", &db, &engine);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+}
+
+TEST(RobustnessTest, ActionErrorPropagates) {
+  Engine engine;
+  engine.externals()->RegisterAction(
+      "#explode", [](const std::vector<Value>&, ActionContext*) {
+        return Status::Internal("kaboom");
+      });
+  Database db;
+  const auto run = RunSource("p(a).\n#explode(X) :- p(X).", &db, &engine);
+  EXPECT_FALSE(run.ok());
+}
+
+}  // namespace
+}  // namespace vadasa::vadalog

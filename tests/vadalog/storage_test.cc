@@ -1,0 +1,83 @@
+#include "vadalog/storage.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
+
+namespace vadasa::vadalog {
+namespace {
+
+std::string TempDir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(StorageTest, RoundTripPlainFacts) {
+  Database db;
+  db.AddFact("edge", {Value::String("a"), Value::String("b")});
+  db.AddFact("edge", {Value::String("b"), Value::String("c")});
+  db.AddFact("w", {Value::String("a"), Value::Int(10), Value::Double(0.5)});
+  const std::string dir = TempDir("storage_plain");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  EXPECT_EQ(loaded.Rows("edge").size(), 2u);
+  EXPECT_TRUE(loaded.Contains("w", {Value::String("a"), Value::Int(10),
+                                    Value::Double(0.5)}));
+}
+
+TEST(StorageTest, LabelledNullsSurvive) {
+  Database db;
+  db.AddFact("cat", {Value::String("Area"), Value::Null(7)});
+  const std::string dir = TempDir("storage_nulls");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  ASSERT_EQ(loaded.Rows("cat").size(), 1u);
+  const Value& v = loaded.Rows("cat")[0][1];
+  ASSERT_TRUE(v.is_null());
+  EXPECT_EQ(v.null_label(), 7u);
+}
+
+TEST(StorageTest, ChaseResultRebindsAsExtensionalComponent) {
+  // Phase 1: derive the control closure and save it.
+  Engine engine;
+  Database db;
+  auto stats = RunSource(
+      "own(a, b, 0.9). own(b, c, 0.8).\n"
+      "rel(X, Y) :- own(X, Y, W), W > 0.5.\n"
+      "rel(X, Z) :- rel(X, Y), rel(Y, Z).",
+      &db, &engine);
+  ASSERT_TRUE(stats.ok());
+  const std::string dir = TempDir("storage_phase");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  // Phase 2: a fresh reasoning task loads the saved facts as its EDB.
+  Database next;
+  ASSERT_TRUE(LoadDatabase(dir, &next).ok());
+  Engine engine2;
+  auto program = Parse("cluster(X, Y) :- rel(X, Y).\ncluster(Y, X) :- rel(X, Y).");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(engine2.Run(*program, &next).ok());
+  EXPECT_TRUE(next.Contains("cluster", {Value::String("c"), Value::String("a")}));
+}
+
+TEST(StorageTest, LoadMissingDirectoryFails) {
+  Database db;
+  EXPECT_EQ(LoadDatabase("/nonexistent/dir", &db).code(), StatusCode::kNotFound);
+}
+
+TEST(StorageTest, EmptyDatabaseSavesNothing) {
+  Database db;
+  const std::string dir = TempDir("storage_empty");
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  Database loaded;
+  ASSERT_TRUE(LoadDatabase(dir, &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace vadasa::vadalog

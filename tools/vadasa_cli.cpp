@@ -1,0 +1,188 @@
+// vadasa — the command-line front end of the framework, the tool an RDC
+// analyst actually runs:
+//
+//   vadasa categorize <in.csv>
+//       categorize attributes via the default experience base and print the
+//       metadata dictionary (Figure 4 layout).
+//   vadasa risk <in.csv> [--measure M] [--k K] [--quantile Q]
+//       per-tuple and file-level disclosure risk; with --quantile also the
+//       statistically inferred threshold.
+//   vadasa anonymize <in.csv> <out.csv> [--measure M] [--k K]
+//                    [--threshold T] [--standard-nulls] [--single-step]
+//       run the audited anonymization cycle and write the release.
+//   vadasa datasets
+//       regenerate and describe the Fig. 6 experimental corpus.
+//
+// Measures: reidentification | k-anonymity | individual | suda.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/categorize.h"
+#include "core/datagen.h"
+#include "core/global_risk.h"
+#include "core/group_index.h"
+#include "core/rdc.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace vadasa;
+using namespace vadasa::core;
+
+struct Flags {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> named;
+  bool standard_nulls = false;
+  bool single_step = false;
+};
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--standard-nulls") {
+      flags.standard_nulls = true;
+    } else if (arg == "--single-step") {
+      flags.single_step = true;
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags.named[arg.substr(2)] = argv[++i];
+    } else {
+      flags.positional.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& name,
+                   const std::string& fallback) {
+  auto it = flags.named.find(name);
+  return it == flags.named.end() ? fallback : it->second;
+}
+
+Result<MicrodataTable> LoadAndCategorize(const std::string& path) {
+  VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
+  VADASA_ASSIGN_OR_RETURN(MicrodataTable table,
+                          MicrodataTable::FromCsv(path, csv, {}, ""));
+  AttributeCategorizer categorizer = AttributeCategorizer::WithDefaultExperience();
+  VADASA_RETURN_NOT_OK(categorizer.CategorizeTable(&table, nullptr).status());
+  return table;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdCategorize(const Flags& flags) {
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "usage: vadasa categorize <in.csv>\n");
+    return 2;
+  }
+  auto csv = ReadCsvFile(flags.positional[0]);
+  if (!csv.ok()) return Fail(csv.status());
+  auto table = MicrodataTable::FromCsv(flags.positional[0], *csv, {}, "");
+  if (!table.ok()) return Fail(table.status());
+  AttributeCategorizer categorizer = AttributeCategorizer::WithDefaultExperience();
+  MetadataDictionary dictionary;
+  auto decisions = categorizer.CategorizeTable(&*table, &dictionary);
+  if (!decisions.ok()) return Fail(decisions.status());
+  std::printf("%s", dictionary.ToText(table->name()).c_str());
+  for (const auto& conflict : categorizer.conflicts()) {
+    std::printf("!! conflict on %s: %s vs %s\n", conflict.attribute.c_str(),
+                AttributeCategoryToString(conflict.first).c_str(),
+                AttributeCategoryToString(conflict.second).c_str());
+  }
+  return 0;
+}
+
+int CmdRisk(const Flags& flags) {
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "usage: vadasa risk <in.csv> [--measure M] [--k K]\n");
+    return 2;
+  }
+  auto table = LoadAndCategorize(flags.positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  auto measure = MakeRiskMeasure(FlagOr(flags, "measure", "k-anonymity"));
+  if (!measure.ok()) return Fail(measure.status());
+  RiskContext ctx;
+  ctx.k = std::atoi(FlagOr(flags, "k", "2").c_str());
+  if (flags.standard_nulls) ctx.semantics = NullSemantics::kStandard;
+  const double threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
+
+  auto risks = (*measure)->ComputeRisks(*table, ctx);
+  if (!risks.ok()) return Fail(risks.status());
+  for (size_t r = 0; r < risks->size(); ++r) {
+    if ((*risks)[r] > threshold) {
+      std::printf("tuple %zu: risk %.4f  %s\n", r + 1, (*risks)[r],
+                  (*measure)->Explain(*table, ctx, r, (*risks)[r]).c_str());
+    }
+  }
+  auto report = ComputeGlobalRisk(*table, **measure, ctx, threshold);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("\nfile-level: %s\n", report->ToString().c_str());
+  const std::string quantile = FlagOr(flags, "quantile", "");
+  if (!quantile.empty()) {
+    auto inferred = InferThreshold(*table, **measure, ctx, std::atof(quantile.c_str()));
+    if (!inferred.ok()) return Fail(inferred.status());
+    std::printf("inferred threshold at quantile %s: %.6f\n", quantile.c_str(),
+                *inferred);
+  }
+  return 0;
+}
+
+int CmdAnonymize(const Flags& flags) {
+  if (flags.positional.size() < 2) {
+    std::fprintf(stderr, "usage: vadasa anonymize <in.csv> <out.csv> [options]\n");
+    return 2;
+  }
+  auto table = LoadAndCategorize(flags.positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  auto measure = MakeRiskMeasure(FlagOr(flags, "measure", "k-anonymity"));
+  if (!measure.ok()) return Fail(measure.status());
+  LocalSuppression anonymizer;
+  CycleOptions options;
+  options.risk.k = std::atoi(FlagOr(flags, "k", "2").c_str());
+  options.threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
+  if (flags.standard_nulls) options.risk.semantics = NullSemantics::kStandard;
+  options.single_step = flags.single_step;
+  auto audit = RunAuditedRelease(&*table, **measure, &anonymizer, options);
+  if (!audit.ok()) return Fail(audit.status());
+  std::printf("%s\n", audit->ToText().c_str());
+  const Status written = WriteCsvFile(flags.positional[1], table->ToCsv());
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %s\n", flags.positional[1].c_str());
+  return 0;
+}
+
+int CmdDatasets() {
+  std::printf("%-10s %-5s %-8s %-5s\n", "name", "QIs", "tuples", "dist");
+  for (const DatasetSpec& spec : Figure6Corpus()) {
+    std::printf("%-10s %-5d %-8zu %-5s\n", spec.name.c_str(), spec.num_qi,
+                spec.num_tuples, DistributionKindToString(spec.distribution).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: vadasa <categorize|risk|anonymize|datasets> [args]\n"
+                 "see the header of tools/vadasa_cli.cpp for details\n");
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv);
+  if (command == "categorize") return CmdCategorize(flags);
+  if (command == "risk") return CmdRisk(flags);
+  if (command == "anonymize") return CmdAnonymize(flags);
+  if (command == "datasets") return CmdDatasets();
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}
