@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_microdata_risk.dir/fig1_microdata_risk.cc.o"
+  "CMakeFiles/fig1_microdata_risk.dir/fig1_microdata_risk.cc.o.d"
+  "fig1_microdata_risk"
+  "fig1_microdata_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_microdata_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

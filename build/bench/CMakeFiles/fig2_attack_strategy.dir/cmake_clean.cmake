@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_attack_strategy.dir/fig2_attack_strategy.cc.o"
+  "CMakeFiles/fig2_attack_strategy.dir/fig2_attack_strategy.cc.o.d"
+  "fig2_attack_strategy"
+  "fig2_attack_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_attack_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_metadata_dictionary.dir/fig4_metadata_dictionary.cc.o"
+  "CMakeFiles/fig4_metadata_dictionary.dir/fig4_metadata_dictionary.cc.o.d"
+  "fig4_metadata_dictionary"
+  "fig4_metadata_dictionary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_metadata_dictionary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

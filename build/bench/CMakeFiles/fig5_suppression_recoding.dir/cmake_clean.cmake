@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_suppression_recoding.dir/fig5_suppression_recoding.cc.o"
+  "CMakeFiles/fig5_suppression_recoding.dir/fig5_suppression_recoding.cc.o.d"
+  "fig5_suppression_recoding"
+  "fig5_suppression_recoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_suppression_recoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_suppression_recoding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_datasets.dir/fig6_datasets.cc.o"
+  "CMakeFiles/fig6_datasets.dir/fig6_datasets.cc.o.d"
+  "fig6_datasets"
+  "fig6_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7b_infoloss_by_k.cc" "bench/CMakeFiles/fig7b_infoloss_by_k.dir/fig7b_infoloss_by_k.cc.o" "gcc" "bench/CMakeFiles/fig7b_infoloss_by_k.dir/fig7b_infoloss_by_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vadasa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/vadasa_vadalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_infoloss_by_k.dir/fig7b_infoloss_by_k.cc.o"
+  "CMakeFiles/fig7b_infoloss_by_k.dir/fig7b_infoloss_by_k.cc.o.d"
+  "fig7b_infoloss_by_k"
+  "fig7b_infoloss_by_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_infoloss_by_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

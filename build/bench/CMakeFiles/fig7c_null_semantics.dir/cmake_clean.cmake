@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_null_semantics.dir/fig7c_null_semantics.cc.o"
+  "CMakeFiles/fig7c_null_semantics.dir/fig7c_null_semantics.cc.o.d"
+  "fig7c_null_semantics"
+  "fig7c_null_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_null_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_business_knowledge.dir/fig7d_business_knowledge.cc.o"
+  "CMakeFiles/fig7d_business_knowledge.dir/fig7d_business_knowledge.cc.o.d"
+  "fig7d_business_knowledge"
+  "fig7d_business_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_business_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

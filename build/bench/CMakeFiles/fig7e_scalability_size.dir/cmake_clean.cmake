@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7e_scalability_size.dir/fig7e_scalability_size.cc.o"
+  "CMakeFiles/fig7e_scalability_size.dir/fig7e_scalability_size.cc.o.d"
+  "fig7e_scalability_size"
+  "fig7e_scalability_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7e_scalability_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7f_scalability_qis.dir/fig7f_scalability_qis.cc.o"
+  "CMakeFiles/fig7f_scalability_qis.dir/fig7f_scalability_qis.cc.o.d"
+  "fig7f_scalability_qis"
+  "fig7f_scalability_qis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7f_scalability_qis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7f_scalability_qis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7f_scalability_qis.
+# This may be replaced when dependencies are built.

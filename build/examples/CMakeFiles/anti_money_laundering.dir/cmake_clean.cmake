@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anti_money_laundering.dir/anti_money_laundering.cpp.o"
+  "CMakeFiles/anti_money_laundering.dir/anti_money_laundering.cpp.o.d"
+  "anti_money_laundering"
+  "anti_money_laundering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anti_money_laundering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

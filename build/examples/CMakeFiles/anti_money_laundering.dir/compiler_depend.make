@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for anti_money_laundering.
+# This may be replaced when dependencies are built.

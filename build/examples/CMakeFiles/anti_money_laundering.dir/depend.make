@@ -1,0 +1,2 @@
+# Empty dependencies file for anti_money_laundering.
+# This may be replaced when dependencies are built.

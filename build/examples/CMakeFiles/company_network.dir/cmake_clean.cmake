@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_network.dir/company_network.cpp.o"
+  "CMakeFiles/company_network.dir/company_network.cpp.o.d"
+  "company_network"
+  "company_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

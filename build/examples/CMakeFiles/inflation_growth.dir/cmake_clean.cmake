@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inflation_growth.dir/inflation_growth.cpp.o"
+  "CMakeFiles/inflation_growth.dir/inflation_growth.cpp.o.d"
+  "inflation_growth"
+  "inflation_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inflation_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

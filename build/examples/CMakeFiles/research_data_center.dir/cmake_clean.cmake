@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/research_data_center.dir/research_data_center.cpp.o"
+  "CMakeFiles/research_data_center.dir/research_data_center.cpp.o.d"
+  "research_data_center"
+  "research_data_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/research_data_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

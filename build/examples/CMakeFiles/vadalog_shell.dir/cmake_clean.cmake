@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_shell.dir/vadalog_shell.cpp.o"
+  "CMakeFiles/vadalog_shell.dir/vadalog_shell.cpp.o.d"
+  "vadalog_shell"
+  "vadalog_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadasa_common.dir/csv.cc.o"
+  "CMakeFiles/vadasa_common.dir/csv.cc.o.d"
+  "CMakeFiles/vadasa_common.dir/random.cc.o"
+  "CMakeFiles/vadasa_common.dir/random.cc.o.d"
+  "CMakeFiles/vadasa_common.dir/similarity.cc.o"
+  "CMakeFiles/vadasa_common.dir/similarity.cc.o.d"
+  "CMakeFiles/vadasa_common.dir/status.cc.o"
+  "CMakeFiles/vadasa_common.dir/status.cc.o.d"
+  "CMakeFiles/vadasa_common.dir/string_util.cc.o"
+  "CMakeFiles/vadasa_common.dir/string_util.cc.o.d"
+  "CMakeFiles/vadasa_common.dir/value.cc.o"
+  "CMakeFiles/vadasa_common.dir/value.cc.o.d"
+  "libvadasa_common.a"
+  "libvadasa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadasa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anonymize.cc" "src/core/CMakeFiles/vadasa_core.dir/anonymize.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/anonymize.cc.o.d"
+  "/root/repo/src/core/attack.cc" "src/core/CMakeFiles/vadasa_core.dir/attack.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/attack.cc.o.d"
+  "/root/repo/src/core/business.cc" "src/core/CMakeFiles/vadasa_core.dir/business.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/business.cc.o.d"
+  "/root/repo/src/core/categorize.cc" "src/core/CMakeFiles/vadasa_core.dir/categorize.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/categorize.cc.o.d"
+  "/root/repo/src/core/cycle.cc" "src/core/CMakeFiles/vadasa_core.dir/cycle.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/cycle.cc.o.d"
+  "/root/repo/src/core/datagen.cc" "src/core/CMakeFiles/vadasa_core.dir/datagen.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/datagen.cc.o.d"
+  "/root/repo/src/core/diversity.cc" "src/core/CMakeFiles/vadasa_core.dir/diversity.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/diversity.cc.o.d"
+  "/root/repo/src/core/global_risk.cc" "src/core/CMakeFiles/vadasa_core.dir/global_risk.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/global_risk.cc.o.d"
+  "/root/repo/src/core/group_index.cc" "src/core/CMakeFiles/vadasa_core.dir/group_index.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/group_index.cc.o.d"
+  "/root/repo/src/core/heuristics.cc" "src/core/CMakeFiles/vadasa_core.dir/heuristics.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/heuristics.cc.o.d"
+  "/root/repo/src/core/hierarchy.cc" "src/core/CMakeFiles/vadasa_core.dir/hierarchy.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/hierarchy.cc.o.d"
+  "/root/repo/src/core/infoloss.cc" "src/core/CMakeFiles/vadasa_core.dir/infoloss.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/infoloss.cc.o.d"
+  "/root/repo/src/core/linkage.cc" "src/core/CMakeFiles/vadasa_core.dir/linkage.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/linkage.cc.o.d"
+  "/root/repo/src/core/metadata.cc" "src/core/CMakeFiles/vadasa_core.dir/metadata.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/metadata.cc.o.d"
+  "/root/repo/src/core/microdata.cc" "src/core/CMakeFiles/vadasa_core.dir/microdata.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/microdata.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/vadasa_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/programs.cc" "src/core/CMakeFiles/vadasa_core.dir/programs.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/programs.cc.o.d"
+  "/root/repo/src/core/rdc.cc" "src/core/CMakeFiles/vadasa_core.dir/rdc.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/rdc.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/vadasa_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/report.cc.o.d"
+  "/root/repo/src/core/risk.cc" "src/core/CMakeFiles/vadasa_core.dir/risk.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/risk.cc.o.d"
+  "/root/repo/src/core/suda.cc" "src/core/CMakeFiles/vadasa_core.dir/suda.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/suda.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/vadasa_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/utility.cc.o.d"
+  "/root/repo/src/core/vadalog_bridge.cc" "src/core/CMakeFiles/vadasa_core.dir/vadalog_bridge.cc.o" "gcc" "src/core/CMakeFiles/vadasa_core.dir/vadalog_bridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/vadasa_vadalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

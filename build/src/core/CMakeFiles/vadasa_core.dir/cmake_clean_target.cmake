@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvadasa_core.a"
+)

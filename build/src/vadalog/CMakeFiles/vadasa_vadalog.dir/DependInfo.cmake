@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vadalog/analysis.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/analysis.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/analysis.cc.o.d"
+  "/root/repo/src/vadalog/ast.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/ast.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/ast.cc.o.d"
+  "/root/repo/src/vadalog/bindings.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/bindings.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/bindings.cc.o.d"
+  "/root/repo/src/vadalog/database.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/database.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/database.cc.o.d"
+  "/root/repo/src/vadalog/engine.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/engine.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/engine.cc.o.d"
+  "/root/repo/src/vadalog/explain.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/explain.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/explain.cc.o.d"
+  "/root/repo/src/vadalog/expr_eval.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/expr_eval.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/expr_eval.cc.o.d"
+  "/root/repo/src/vadalog/lexer.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/lexer.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/lexer.cc.o.d"
+  "/root/repo/src/vadalog/parser.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/parser.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/parser.cc.o.d"
+  "/root/repo/src/vadalog/query.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/query.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/query.cc.o.d"
+  "/root/repo/src/vadalog/storage.cc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/storage.cc.o" "gcc" "src/vadalog/CMakeFiles/vadasa_vadalog.dir/storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

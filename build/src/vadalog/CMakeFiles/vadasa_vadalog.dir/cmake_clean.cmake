@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadasa_vadalog.dir/analysis.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/analysis.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/ast.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/ast.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/bindings.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/bindings.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/database.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/database.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/engine.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/engine.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/explain.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/explain.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/expr_eval.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/expr_eval.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/lexer.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/lexer.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/parser.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/parser.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/query.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/query.cc.o.d"
+  "CMakeFiles/vadasa_vadalog.dir/storage.cc.o"
+  "CMakeFiles/vadasa_vadalog.dir/storage.cc.o.d"
+  "libvadasa_vadalog.a"
+  "libvadasa_vadalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadasa_vadalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/common_test.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
+  "/root/repo/tests/common/result_test.cc" "tests/CMakeFiles/common_test.dir/common/result_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/result_test.cc.o.d"
+  "/root/repo/tests/common/similarity_test.cc" "tests/CMakeFiles/common_test.dir/common/similarity_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/similarity_test.cc.o.d"
+  "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/value_test.cc" "tests/CMakeFiles/common_test.dir/common/value_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/value_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vadasa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/vadasa_vadalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/anonymize_test.cc" "tests/CMakeFiles/core_test.dir/core/anonymize_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/anonymize_test.cc.o.d"
+  "/root/repo/tests/core/attack_test.cc" "tests/CMakeFiles/core_test.dir/core/attack_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/attack_test.cc.o.d"
+  "/root/repo/tests/core/business_test.cc" "tests/CMakeFiles/core_test.dir/core/business_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/business_test.cc.o.d"
+  "/root/repo/tests/core/categorize_test.cc" "tests/CMakeFiles/core_test.dir/core/categorize_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/categorize_test.cc.o.d"
+  "/root/repo/tests/core/cycle_test.cc" "tests/CMakeFiles/core_test.dir/core/cycle_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cycle_test.cc.o.d"
+  "/root/repo/tests/core/datagen_test.cc" "tests/CMakeFiles/core_test.dir/core/datagen_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/datagen_test.cc.o.d"
+  "/root/repo/tests/core/diversity_test.cc" "tests/CMakeFiles/core_test.dir/core/diversity_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/diversity_test.cc.o.d"
+  "/root/repo/tests/core/global_risk_test.cc" "tests/CMakeFiles/core_test.dir/core/global_risk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/global_risk_test.cc.o.d"
+  "/root/repo/tests/core/group_index_test.cc" "tests/CMakeFiles/core_test.dir/core/group_index_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/group_index_test.cc.o.d"
+  "/root/repo/tests/core/heuristics_test.cc" "tests/CMakeFiles/core_test.dir/core/heuristics_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/heuristics_test.cc.o.d"
+  "/root/repo/tests/core/hierarchy_test.cc" "tests/CMakeFiles/core_test.dir/core/hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hierarchy_test.cc.o.d"
+  "/root/repo/tests/core/infoloss_test.cc" "tests/CMakeFiles/core_test.dir/core/infoloss_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/infoloss_test.cc.o.d"
+  "/root/repo/tests/core/linkage_test.cc" "tests/CMakeFiles/core_test.dir/core/linkage_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/linkage_test.cc.o.d"
+  "/root/repo/tests/core/metadata_test.cc" "tests/CMakeFiles/core_test.dir/core/metadata_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/metadata_test.cc.o.d"
+  "/root/repo/tests/core/microdata_test.cc" "tests/CMakeFiles/core_test.dir/core/microdata_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/microdata_test.cc.o.d"
+  "/root/repo/tests/core/programs_test.cc" "tests/CMakeFiles/core_test.dir/core/programs_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/programs_test.cc.o.d"
+  "/root/repo/tests/core/rdc_test.cc" "tests/CMakeFiles/core_test.dir/core/rdc_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rdc_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/risk_test.cc" "tests/CMakeFiles/core_test.dir/core/risk_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/risk_test.cc.o.d"
+  "/root/repo/tests/core/suda_test.cc" "tests/CMakeFiles/core_test.dir/core/suda_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/suda_test.cc.o.d"
+  "/root/repo/tests/core/utility_test.cc" "tests/CMakeFiles/core_test.dir/core/utility_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/utility_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vadasa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/vadasa_vadalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

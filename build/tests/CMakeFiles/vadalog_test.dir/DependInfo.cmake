@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vadalog/analysis_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/analysis_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/analysis_test.cc.o.d"
+  "/root/repo/tests/vadalog/database_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/database_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/database_test.cc.o.d"
+  "/root/repo/tests/vadalog/differential_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/differential_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/differential_test.cc.o.d"
+  "/root/repo/tests/vadalog/engine_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/engine_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/engine_test.cc.o.d"
+  "/root/repo/tests/vadalog/expr_eval_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/expr_eval_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/expr_eval_test.cc.o.d"
+  "/root/repo/tests/vadalog/lexer_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/lexer_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/lexer_test.cc.o.d"
+  "/root/repo/tests/vadalog/parser_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/parser_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/parser_test.cc.o.d"
+  "/root/repo/tests/vadalog/query_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/query_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/query_test.cc.o.d"
+  "/root/repo/tests/vadalog/robustness_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/robustness_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/robustness_test.cc.o.d"
+  "/root/repo/tests/vadalog/storage_test.cc" "tests/CMakeFiles/vadalog_test.dir/vadalog/storage_test.cc.o" "gcc" "tests/CMakeFiles/vadalog_test.dir/vadalog/storage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vadasa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vadalog/CMakeFiles/vadasa_vadalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vadasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

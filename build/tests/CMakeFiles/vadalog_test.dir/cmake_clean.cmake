@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadalog_test.dir/vadalog/analysis_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/analysis_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/database_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/database_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/differential_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/differential_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/engine_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/engine_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/expr_eval_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/expr_eval_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/lexer_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/lexer_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/parser_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/parser_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/query_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/query_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/robustness_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/robustness_test.cc.o.d"
+  "CMakeFiles/vadalog_test.dir/vadalog/storage_test.cc.o"
+  "CMakeFiles/vadalog_test.dir/vadalog/storage_test.cc.o.d"
+  "vadalog_test"
+  "vadalog_test.pdb"
+  "vadalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vadasa_cli.dir/vadasa_cli.cpp.o"
+  "CMakeFiles/vadasa_cli.dir/vadasa_cli.cpp.o.d"
+  "vadasa"
+  "vadasa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vadasa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
