@@ -1,0 +1,96 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace vadasa::bench {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonField::JsonField(std::string k, const std::string& value)
+    : key(std::move(k)), literal(Escape(value)) {}
+JsonField::JsonField(std::string k, const char* value)
+    : key(std::move(k)), literal(Escape(value)) {}
+JsonField::JsonField(std::string k, double value)
+    : key(std::move(k)), literal(Number(value)) {}
+JsonField::JsonField(std::string k, size_t value)
+    : key(std::move(k)), literal(std::to_string(value)) {}
+JsonField::JsonField(std::string k, int value)
+    : key(std::move(k)), literal(std::to_string(value)) {}
+
+JsonWriter JsonWriter::FromArgs(std::string bench_name, int* argc, char** argv) {
+  JsonWriter writer;
+  writer.bench_ = std::move(bench_name);
+  const std::string prefix = "--json=";
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      writer.path_ = arg.substr(prefix.size());
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      break;
+    }
+  }
+  return writer;
+}
+
+void JsonWriter::Add(std::vector<JsonField> fields) {
+  if (!active()) return;
+  records_.push_back(std::move(fields));
+}
+
+bool JsonWriter::Flush() const {
+  if (!active()) return true;
+  std::ofstream out(path_);
+  if (!out) return false;
+  out << "{\n  \"bench\": " << Escape(bench_) << ",\n  \"threads\": "
+      << ThreadPool::Global().num_threads() << ",\n  \"records\": [";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {";
+    for (size_t f = 0; f < records_[i].size(); ++f) {
+      if (f > 0) out << ", ";
+      out << Escape(records_[i][f].key) << ": " << records_[i][f].literal;
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace vadasa::bench

@@ -1,0 +1,49 @@
+#ifndef VADASA_BENCH_BENCH_JSON_H_
+#define VADASA_BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <vector>
+
+namespace vadasa::bench {
+
+/// One key/value field of a benchmark record. Values are either strings
+/// (JSON-escaped on output) or numbers (rendered with enough digits to
+/// round-trip doubles).
+struct JsonField {
+  JsonField(std::string k, const std::string& value);
+  JsonField(std::string k, const char* value);
+  JsonField(std::string k, double value);
+  JsonField(std::string k, size_t value);
+  JsonField(std::string k, int value);
+
+  std::string key;
+  std::string literal;  ///< Pre-rendered JSON literal (quoted or numeric).
+};
+
+/// Dependency-free collector for machine-readable benchmark baselines.
+/// Activated by a `--json=PATH` argument; writes a document of the form
+///   {"bench": "...", "threads": N, "records": [{...}, ...]}
+/// where `threads` is the global thread-pool size the run used.
+class JsonWriter {
+ public:
+  /// Scans argv for `--json=PATH` and strips it (google-benchmark rejects
+  /// unknown flags). The returned writer is inactive when the flag is absent;
+  /// Add/Flush become no-ops then.
+  static JsonWriter FromArgs(std::string bench_name, int* argc, char** argv);
+
+  bool active() const { return !path_.empty(); }
+  void Add(std::vector<JsonField> fields);
+
+  /// Writes the collected document to the path. Returns true on success or
+  /// when inactive.
+  bool Flush() const;
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::vector<JsonField>> records_;
+};
+
+}  // namespace vadasa::bench
+
+#endif  // VADASA_BENCH_BENCH_JSON_H_

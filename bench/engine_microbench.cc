@@ -5,8 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 
+#include "bench_json.h"
 #include "vadalog/engine.h"
 #include "vadalog/parser.h"
 
@@ -15,8 +17,15 @@ namespace {
 using namespace vadasa;
 using namespace vadasa::vadalog;
 
-void RunOrSkip(benchmark::State& state, const std::string& src) {
+bench::JsonWriter* g_json = nullptr;
+
+void RunOrSkip(benchmark::State& state, const char* name, const std::string& src) {
+  double seconds = 0.0;
+  size_t iterations = 0;
+  double facts = 0.0;
+  double rounds = 0.0;
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     Engine engine;
     Database db;
     auto stats = RunSource(src, &db, &engine);
@@ -24,8 +33,20 @@ void RunOrSkip(benchmark::State& state, const std::string& src) {
       state.SkipWithError(stats.status().ToString().c_str());
       return;
     }
-    state.counters["Facts"] = static_cast<double>(db.size());
-    state.counters["Rounds"] = static_cast<double>(stats->rounds);
+    seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++iterations;
+    facts = static_cast<double>(db.size());
+    rounds = static_cast<double>(stats->rounds);
+    state.counters["Facts"] = facts;
+    state.counters["Rounds"] = rounds;
+  }
+  if (g_json != nullptr && iterations > 0) {
+    g_json->Add({{"name", name},
+                 {"arg", static_cast<size_t>(state.range(0))},
+                 {"wall_seconds", seconds / static_cast<double>(iterations)},
+                 {"facts", facts},
+                 {"rounds", rounds}});
   }
 }
 
@@ -36,7 +57,7 @@ void BM_TransitiveClosureChain(benchmark::State& state) {
     src += "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ").\n";
   }
   src += "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n";
-  RunOrSkip(state, src);
+  RunOrSkip(state, "transitive-closure-chain", src);
 }
 BENCHMARK(BM_TransitiveClosureChain)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
@@ -59,7 +80,7 @@ void BM_TransitiveClosureGrid(benchmark::State& state) {
     }
   }
   src += "path(X,Y) :- edge(X,Y).\npath(X,Z) :- path(X,Y), edge(Y,Z).\n";
-  RunOrSkip(state, src);
+  RunOrSkip(state, "transitive-closure-grid", src);
 }
 BENCHMARK(BM_TransitiveClosureGrid)->Arg(6)->Arg(8)->Arg(10)
     ->Unit(benchmark::kMillisecond);
@@ -73,7 +94,7 @@ void BM_MonotonicAggregationGroups(benchmark::State& state) {
            std::to_string(1 + i % 7) + ").\n";
   }
   src += "total(G, S) :- obs(G, I, W), S = msum(W, <I>).\n";
-  RunOrSkip(state, src);
+  RunOrSkip(state, "monotonic-aggregation-groups", src);
 }
 BENCHMARK(BM_MonotonicAggregationGroups)->Arg(512)->Arg(2048)->Arg(8192)
     ->Unit(benchmark::kMillisecond);
@@ -89,7 +110,7 @@ void BM_ExistentialChainRestricted(benchmark::State& state) {
   src +=
       "worksin(X, D) :- employee(X).\n"
       "managed(D, M) :- worksin(X, D).\n";
-  RunOrSkip(state, src);
+  RunOrSkip(state, "existential-chain-restricted", src);
 }
 BENCHMARK(BM_ExistentialChainRestricted)->Arg(256)->Arg(1024)->Arg(4096)
     ->Unit(benchmark::kMillisecond);
@@ -108,11 +129,20 @@ void BM_StratifiedNegation(benchmark::State& state) {
       "reach(X) :- start(X).\n"
       "reach(Y) :- reach(X), edge(X, Y).\n"
       "unreached(X) :- node(X), not reach(X).\n";
-  RunOrSkip(state, src);
+  RunOrSkip(state, "stratified-negation", src);
 }
 BENCHMARK(BM_StratifiedNegation)->Arg(512)->Arg(2048)->Arg(8192)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  vadasa::bench::JsonWriter json =
+      vadasa::bench::JsonWriter::FromArgs("engine_microbench", &argc, argv);
+  g_json = &json;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return json.Flush() ? 0 : 1;
+}

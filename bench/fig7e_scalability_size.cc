@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_json.h"
 #include "core/anonymize.h"
 #include "core/cycle.h"
 #include "core/datagen.h"
@@ -24,6 +25,8 @@ namespace {
 
 using namespace vadasa;
 using namespace vadasa::core;
+
+bench::JsonWriter* g_json = nullptr;
 
 const MicrodataTable& CachedDataset(const std::string& name) {
   static std::map<std::string, MicrodataTable>* cache =
@@ -67,12 +70,25 @@ void BM_CycleBySize(benchmark::State& state, const std::string& dataset,
     state.counters["Nulls"] = static_cast<double>(stats->nulls_injected);
     state.counters["Risky"] = static_cast<double>(stats->initial_risky);
     state.counters["Tuples"] = static_cast<double>(base.num_rows());
+    if (g_json != nullptr) {
+      g_json->Add({{"dataset", dataset},
+                   {"technique", technique},
+                   {"tuples", base.num_rows()},
+                   {"wall_seconds", stats->total_seconds},
+                   {"risk_eval_seconds", stats->risk_eval_seconds},
+                   {"iterations", stats->iterations},
+                   {"nulls", stats->nulls_injected},
+                   {"group_rebuilds", stats->group_rebuilds},
+                   {"group_updates", stats->group_updates}});
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json = bench::JsonWriter::FromArgs("fig7e", &argc, argv);
+  g_json = &json;
   for (const char* dataset : {"R6A4U", "R12A4U", "R50A4U", "R100A4U"}) {
     for (const char* technique : {"individual", "k-anonymity", "suda"}) {
       benchmark::RegisterBenchmark(
@@ -88,5 +104,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

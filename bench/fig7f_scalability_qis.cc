@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 
+#include "bench_json.h"
 #include "core/anonymize.h"
 #include "core/cycle.h"
 #include "core/datagen.h"
@@ -23,6 +24,8 @@ namespace {
 
 using namespace vadasa;
 using namespace vadasa::core;
+
+bench::JsonWriter* g_json = nullptr;
 
 const MicrodataTable& CachedDataset(const std::string& name) {
   static std::map<std::string, MicrodataTable>* cache =
@@ -66,12 +69,26 @@ void BM_CycleByQis(benchmark::State& state, const std::string& dataset,
     state.counters["Nulls"] = static_cast<double>(stats->nulls_injected);
     state.counters["QIs"] =
         static_cast<double>(base.QuasiIdentifierColumns().size());
+    if (g_json != nullptr) {
+      g_json->Add({{"dataset", dataset},
+                   {"technique", technique},
+                   {"qis", base.QuasiIdentifierColumns().size()},
+                   {"tuples", base.num_rows()},
+                   {"wall_seconds", stats->total_seconds},
+                   {"risk_eval_seconds", stats->risk_eval_seconds},
+                   {"iterations", stats->iterations},
+                   {"nulls", stats->nulls_injected},
+                   {"group_rebuilds", stats->group_rebuilds},
+                   {"group_updates", stats->group_updates}});
+    }
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonWriter json = bench::JsonWriter::FromArgs("fig7f", &argc, argv);
+  g_json = &json;
   for (const char* dataset : {"R50A4W", "R50A5W", "R50A6W", "R50A8W", "R50A9W"}) {
     for (const char* technique :
          {"individual", "k-anonymity", "suda", "suda-exhaustive"}) {
@@ -88,5 +105,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return json.Flush() ? 0 : 1;
 }

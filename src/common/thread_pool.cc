@@ -1,0 +1,166 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vadasa {
+
+namespace {
+
+thread_local bool t_inside_pool = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One ParallelFor in flight at a time. Each job is a heap-allocated
+  // snapshot shared with the workers, so a worker that wakes late (or is
+  // still draining the cursor when the submitter moves on) only ever touches
+  // its own job's state — never the fields of the next job.
+  struct Job {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t num_shards = 0;
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    std::atomic<size_t> next_shard{0};
+    std::atomic<size_t> pending_shards{0};
+  };
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // Published under mutex; workers copy the shared_ptr before running.
+  uint64_t job_id = 0;
+  std::shared_ptr<Job> job;
+
+  // Claims shards off the job's cursor until none remain. Once
+  // pending_shards reaches 0 every fn call has completed, so late claimers
+  // (shard >= num_shards) return without touching fn — fn may dangle by
+  // then, but is never dereferenced.
+  void RunShards(Job& j) {
+    for (;;) {
+      const size_t shard = j.next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= j.num_shards) return;
+      const size_t lo = j.begin + shard * j.grain;
+      const size_t hi = std::min(j.end, lo + j.grain);
+      (*j.fn)(lo, hi, shard);
+      if (j.pending_shards.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex);
+        work_done.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_inside_pool = true;
+    uint64_t seen_job = 0;
+    for (;;) {
+      std::shared_ptr<Job> current;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return shutdown || job_id != seen_job; });
+        if (shutdown) return;
+        seen_job = job_id;
+        current = job;
+      }
+      RunShards(*current);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(size_t num_threads) : impl_(new Impl()) {
+  num_threads_ = num_threads < 1 ? 1 : num_threads;
+  for (size_t i = 1; i < num_threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_shards = (end - begin + grain - 1) / grain;
+  // Inline when parallelism cannot help (or when re-entered from a worker:
+  // handing shards back to the busy pool would deadlock the caller).
+  if (num_shards == 1 || num_threads_ == 1 || impl_->workers.empty() ||
+      t_inside_pool) {
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      const size_t lo = begin + shard * grain;
+      fn(lo, std::min(end, lo + grain), shard);
+    }
+    return;
+  }
+  auto job = std::make_shared<Impl::Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_shards = num_shards;
+  job->fn = &fn;
+  job->pending_shards.store(num_shards, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->job_id;
+  }
+  impl_->work_ready.notify_all();
+  const bool was_inside = t_inside_pool;
+  t_inside_pool = true;
+  impl_->RunShards(*job);
+  t_inside_pool = was_inside;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->work_done.wait(
+      lock, [&] { return job->pending_shards.load(std::memory_order_acquire) == 0; });
+}
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("VADASA_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+namespace {
+
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) {
+    g_global_pool = std::make_unique<ThreadPool>(DefaultThreads());
+  }
+  return *g_global_pool;
+}
+
+size_t ThreadPool::SetGlobalThreads(size_t n) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  const size_t previous = g_global_pool ? g_global_pool->num_threads() : DefaultThreads();
+  g_global_pool = std::make_unique<ThreadPool>(n < 1 ? 1 : n);
+  return previous;
+}
+
+}  // namespace vadasa

@@ -1,0 +1,60 @@
+#ifndef VADASA_COMMON_THREAD_POOL_H_
+#define VADASA_COMMON_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace vadasa {
+
+/// A fixed-size worker pool with a deterministic data-parallel helper.
+///
+/// Determinism contract: ParallelFor decomposes [begin, end) into fixed
+/// contiguous shards of `grain` elements — the decomposition depends only on
+/// the range and the grain, never on the pool size. Callers that write each
+/// shard's result into its own slot (and merge shards in shard order) thus
+/// produce bit-identical output for any thread count, including 1. All risk
+/// estimators in src/core rely on this to keep parallel risk vectors equal to
+/// the sequential ones.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// every ParallelFor). `num_threads` is clamped to at least 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Calls fn(shard_begin, shard_end, shard_index) for every fixed-size shard
+  /// of [begin, end). Shards are claimed dynamically by the workers plus the
+  /// calling thread; the call returns after every shard completed. `fn` must
+  /// confine its writes to per-shard state. Runs inline (no handoff) when the
+  /// range fits one shard, the pool has a single thread, or ParallelFor is
+  /// re-entered from a worker.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// The process-wide pool used by the core risk estimators. Sized by the
+  /// VADASA_THREADS environment variable, defaulting to
+  /// std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with an `n`-thread one and returns the previous
+  /// size. Test/bench hook — not safe while another thread is inside
+  /// Global().ParallelFor.
+  static size_t SetGlobalThreads(size_t n);
+
+  /// VADASA_THREADS if set to a positive integer, else hardware concurrency.
+  static size_t DefaultThreads();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  size_t num_threads_ = 1;
+};
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_THREAD_POOL_H_

@@ -35,6 +35,7 @@ Result<AnonymizationStep> LocalSuppression::Apply(MicrodataTable* table, size_t 
   step.after = Value::Null(next_label_++);
   step.method = name();
   step.nulls_injected = 1;
+  step.changed_rows.push_back(static_cast<uint32_t>(row));
   table->set_cell(row, column, step.after);
   return step;
 }
@@ -70,6 +71,7 @@ Result<AnonymizationStep> GlobalRecoding::Apply(MicrodataTable* table, size_t ro
   for (size_t r = 0; r < table->num_rows(); ++r) {
     if (table->cell(r, column).Equals(before)) {
       table->set_cell(r, column, after);
+      step.changed_rows.push_back(static_cast<uint32_t>(r));
       ++step.affected_rows;
     }
   }
@@ -125,6 +127,7 @@ Result<AnonymizationStep> PramPerturbation::Apply(MicrodataTable* table, size_t 
   step.before = before;
   step.after = after;
   step.method = name();
+  step.changed_rows.push_back(static_cast<uint32_t>(row));
   table->set_cell(row, column, after);
   return step;
 }
@@ -151,6 +154,7 @@ Result<AnonymizationStep> RecordSuppression::Apply(MicrodataTable* table, size_t
   step.before = table->cell(row, column);
   step.method = name();
   step.affected_rows = 1;
+  step.changed_rows.push_back(static_cast<uint32_t>(row));
   for (const size_t c : table->QuasiIdentifierColumns()) {
     if (table->cell(row, c).is_null()) continue;
     table->set_cell(row, c, Value::Null(next_label_++));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
@@ -23,6 +24,9 @@ struct AnonymizationStep {
   size_t affected_rows = 1;
   /// Labelled nulls introduced by this step.
   size_t nulls_injected = 0;
+  /// Indices of the rows this step modified — what the cycle feeds to
+  /// RiskEvalCache::NotifyRowsChanged for incremental index maintenance.
+  std::vector<uint32_t> changed_rows;
 
   std::string ToString(const MicrodataTable& table) const;
 };

@@ -54,6 +54,13 @@ struct CycleStats {
   double information_loss = 0.0;
   double risk_eval_seconds = 0.0;
   double total_seconds = 0.0;
+  /// From-scratch group-index constructions during the run. 1 proves the
+  /// index was reused incrementally across iterations instead of being
+  /// rebuilt per iteration; 0 when the measure never groups (e.g. SUDA-only
+  /// runs build it lazily for the QI-choice heuristic).
+  size_t group_rebuilds = 0;
+  /// Incremental UpdateRows batches absorbed by the index.
+  size_t group_updates = 0;
   /// Step-by-step explanations (log_steps only).
   std::vector<std::string> log;
 };

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "core/group_index.h"
 
@@ -134,47 +136,70 @@ Result<size_t> ResolveSensitiveColumn(const MicrodataTable& table,
   return static_cast<size_t>(col);
 }
 
+/// ComputeSensitiveStats through the cache's memo slots: one computation per
+/// (sensitive column, projection, semantics) per table version.
+Result<std::shared_ptr<const SensitiveStats>> CachedSensitiveStats(
+    const MicrodataTable& table, const std::vector<size_t>& qis, size_t col,
+    NullSemantics semantics, RiskEvalCache* cache) {
+  std::string key;
+  if (cache != nullptr) {
+    key = "sensitive-stats/col=" + std::to_string(col) +
+          "/sem=" + std::to_string(static_cast<int>(semantics)) + "/qis=";
+    for (const size_t c : qis) key += std::to_string(c) + ",";
+    if (auto memo = cache->Memo(key)) {
+      return std::static_pointer_cast<const SensitiveStats>(memo);
+    }
+  }
+  VADASA_ASSIGN_OR_RETURN(SensitiveStats stats,
+                          ComputeSensitiveStats(table, qis, col, semantics));
+  auto shared = std::make_shared<SensitiveStats>(std::move(stats));
+  if (cache != nullptr) cache->SetMemo(key, shared);
+  return std::shared_ptr<const SensitiveStats>(shared);
+}
+
 }  // namespace
 
 Result<std::vector<double>> LDiversityRisk::ComputeRisks(
-    const MicrodataTable& table, const RiskContext& context) const {
+    const MicrodataTable& table, const RiskContext& context,
+    RiskEvalCache* cache) const {
   VADASA_ASSIGN_OR_RETURN(const size_t col,
                           ResolveSensitiveColumn(table, sensitive_attribute_));
   VADASA_ASSIGN_OR_RETURN(
-      const SensitiveStats stats,
-      ComputeSensitiveStats(table, context.ResolveQiColumns(table), col,
-                            context.semantics));
+      const auto stats,
+      CachedSensitiveStats(table, context.ResolveQiColumns(table), col,
+                           context.semantics, cache));
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
-    risks[r] = stats.distinct_values[r] < static_cast<size_t>(l_) ? 1.0 : 0.0;
+    risks[r] = stats->distinct_values[r] < static_cast<size_t>(l_) ? 1.0 : 0.0;
   }
   return risks;
 }
 
 std::string LDiversityRisk::Explain(const MicrodataTable& table,
                                     const RiskContext& context, size_t row,
-                                    double risk) const {
+                                    double risk, RiskEvalCache* cache) const {
   auto col = ResolveSensitiveColumn(table, sensitive_attribute_);
   if (!col.ok()) return col.status().ToString();
-  auto stats = ComputeSensitiveStats(table, context.ResolveQiColumns(table), *col,
-                                     context.semantics);
+  auto stats = CachedSensitiveStats(table, context.ResolveQiColumns(table), *col,
+                                    context.semantics, cache);
   if (!stats.ok()) return stats.status().ToString();
-  return "QI group exposes " + std::to_string(stats->distinct_values[row]) +
+  return "QI group exposes " + std::to_string((*stats)->distinct_values[row]) +
          " distinct value(s) of " + sensitive_attribute_ + "; l=" + std::to_string(l_) +
          (risk > 0.5 ? " -> homogeneous group, risky" : " -> diverse enough");
 }
 
 Result<std::vector<double>> TClosenessRisk::ComputeRisks(
-    const MicrodataTable& table, const RiskContext& context) const {
+    const MicrodataTable& table, const RiskContext& context,
+    RiskEvalCache* cache) const {
   VADASA_ASSIGN_OR_RETURN(const size_t col,
                           ResolveSensitiveColumn(table, sensitive_attribute_));
   VADASA_ASSIGN_OR_RETURN(
-      const SensitiveStats stats,
-      ComputeSensitiveStats(table, context.ResolveQiColumns(table), col,
-                            context.semantics));
+      const auto stats,
+      CachedSensitiveStats(table, context.ResolveQiColumns(table), col,
+                           context.semantics, cache));
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
-    risks[r] = stats.distribution_distance[r] > t_ ? 1.0 : 0.0;
+    risks[r] = stats->distribution_distance[r] > t_ ? 1.0 : 0.0;
   }
   return risks;
 }

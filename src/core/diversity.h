@@ -43,9 +43,11 @@ class LDiversityRisk : public RiskMeasure {
 
   std::string name() const override { return "l-diversity"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
   std::string Explain(const MicrodataTable& table, const RiskContext& context,
-                      size_t row, double risk) const override;
+                      size_t row, double risk,
+                      RiskEvalCache* cache = nullptr) const override;
 
  private:
   std::string sensitive_attribute_;
@@ -62,7 +64,8 @@ class TClosenessRisk : public RiskMeasure {
 
   std::string name() const override { return "t-closeness"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
 
  private:
   std::string sensitive_attribute_;

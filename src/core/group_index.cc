@@ -3,29 +3,27 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace vadasa::core {
 
 namespace {
+
+/// Rows per ParallelFor shard in the row→pattern collapse. Fixed (never
+/// derived from the pool size) so the shard decomposition — and therefore the
+/// result — is identical for every thread count.
+constexpr size_t kCollapseGrain = 2048;
 
 struct PatternInfo {
   std::vector<Value> pattern;
   uint32_t null_mask = 0;  // Bit i set iff pattern[i] is a labelled null.
   double count = 0.0;
   double weight_sum = 0.0;
-  std::vector<uint32_t> rows;
-};
-
-struct VecLess {
-  bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
-    const size_t n = std::min(a.size(), b.size());
-    for (size_t i = 0; i < n; ++i) {
-      const int c = a[i].Compare(b[i]);
-      if (c != 0) return c < 0;
-    }
-    return a.size() < b.size();
-  }
+  std::vector<uint32_t> rows;  // Ascending.
 };
 
 struct VecHash {
@@ -41,17 +39,213 @@ struct VecEq {
   }
 };
 
+/// Null positions of a pattern, confined to the mask width: bit i is set iff
+/// pattern[i] is null and i < kMaxMaybeMatchQis. The explicit bound keeps
+/// `1u << i` defined for arbitrarily wide AnonSets (ValidateQiWidth rejects
+/// maybe-match grouping beyond the mask width at the risk-measure level).
+uint32_t NullMaskOf(const std::vector<Value>& pattern) {
+  uint32_t mask = 0;
+  const size_t limit = std::min(pattern.size(), kMaxMaybeMatchQis);
+  for (size_t i = 0; i < limit; ++i) {
+    if (pattern[i].is_null()) mask |= (1u << i);
+  }
+  return mask;
+}
+
 /// Projection of a pattern onto the positions NOT in `mask`.
 std::vector<Value> ProjectOut(const std::vector<Value>& pattern, uint32_t mask) {
   std::vector<Value> out;
   out.reserve(pattern.size());
-  for (size_t i = 0; i < pattern.size(); ++i) {
+  const size_t limit = std::min(pattern.size(), kMaxMaybeMatchQis);
+  for (size_t i = 0; i < limit; ++i) {
     if ((mask & (1u << i)) == 0) out.push_back(pattern[i]);
+  }
+  for (size_t i = limit; i < pattern.size(); ++i) out.push_back(pattern[i]);
+  return out;
+}
+
+/// Rows collapsed into distinct strict-equality patterns. Pattern ids are
+/// assigned in first-occurrence (row) order and per-pattern aggregates are
+/// accumulated in row order, so the output is independent of the thread
+/// count.
+struct CollapsedPatterns {
+  std::vector<PatternInfo> patterns;
+  std::vector<size_t> row_pattern;
+};
+
+CollapsedPatterns CollapseRows(const MicrodataTable& table,
+                               const std::vector<size_t>& qi_columns,
+                               NullSemantics semantics) {
+  const size_t n = table.num_rows();
+  CollapsedPatterns out;
+  out.row_pattern.assign(n, 0);
+  if (n == 0) return out;
+
+  // Parallel phase: each fixed shard of rows builds its own pattern table —
+  // the per-row projection, hashing and equality probing is the hot part.
+  struct ShardPattern {
+    std::vector<Value> values;
+    std::vector<uint32_t> rows;
+  };
+  const size_t num_shards = (n + kCollapseGrain - 1) / kCollapseGrain;
+  std::vector<std::vector<ShardPattern>> shards(num_shards);
+  ThreadPool::Global().ParallelFor(
+      0, n, kCollapseGrain, [&](size_t lo, size_t hi, size_t shard) {
+        auto& local = shards[shard];
+        std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> ids;
+        ids.reserve((hi - lo) * 2);
+        for (size_t r = lo; r < hi; ++r) {
+          std::vector<Value> p;
+          p.reserve(qi_columns.size());
+          for (const size_t c : qi_columns) p.push_back(table.cell(r, c));
+          auto it = ids.find(p);
+          size_t id;
+          if (it == ids.end()) {
+            id = local.size();
+            ids.emplace(p, id);
+            local.push_back(ShardPattern{std::move(p), {}});
+          } else {
+            id = it->second;
+          }
+          local[id].rows.push_back(static_cast<uint32_t>(r));
+        }
+      });
+
+  // Deterministic merge: shards are contiguous row ranges visited in order,
+  // so global first-occurrence order equals row order and every pattern's
+  // count/weight accumulates in ascending row order — exactly what a
+  // sequential pass produces.
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> ids;
+  ids.reserve(n * 2);
+  for (auto& shard : shards) {
+    for (auto& sp : shard) {
+      auto it = ids.find(sp.values);
+      size_t id;
+      if (it == ids.end()) {
+        id = out.patterns.size();
+        PatternInfo info;
+        info.null_mask =
+            semantics == NullSemantics::kMaybeMatch ? NullMaskOf(sp.values) : 0;
+        info.pattern = std::move(sp.values);
+        out.patterns.push_back(std::move(info));
+        ids.emplace(out.patterns.back().pattern, id);
+      } else {
+        id = it->second;
+      }
+      PatternInfo& info = out.patterns[id];
+      for (const uint32_t r : sp.rows) {
+        info.count += 1.0;
+        info.weight_sum += table.RowWeight(r);
+        info.rows.push_back(r);
+        out.row_pattern[r] = id;
+      }
+    }
   }
   return out;
 }
 
+/// Projection index of one null-mask class under one union mask: projected
+/// pattern -> (count, weight) totals.
+using ProjIndex =
+    std::unordered_map<std::vector<Value>, std::pair<double, double>, VecHash, VecEq>;
+using ProjIndexKey = std::pair<uint32_t, uint32_t>;  // (class mask, union mask)
+
+ProjIndex BuildProjIndex(const std::vector<PatternInfo>& patterns,
+                         const std::vector<size_t>& class_ids, uint32_t union_mask) {
+  ProjIndex index;
+  index.reserve(class_ids.size() * 2);
+  for (const size_t p : class_ids) {
+    auto key = ProjectOut(patterns[p].pattern, union_mask);
+    auto& agg = index[std::move(key)];
+    agg.first += patterns[p].count;
+    agg.second += patterns[p].weight_sum;
+  }
+  return index;
+}
+
+/// Maybe-match aggregation over null-mask classes: for every pattern p1,
+/// pat_freq[p1] / pat_wsum[p1] = mass of all patterns whose projections agree
+/// with p1 outside the union of the two null sets. `memo` carries projection
+/// indexes across calls (the GroupIndex invalidates dirty classes before
+/// re-aggregating); missing indexes are built in parallel, and the
+/// per-pattern sums run one class per task. All sums are accumulated in
+/// ascending class-mask order — deterministic for any thread count.
+void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
+                         const std::map<uint32_t, std::vector<size_t>>& classes,
+                         std::map<ProjIndexKey, ProjIndex>* memo,
+                         std::vector<double>* pat_freq, std::vector<double>* pat_wsum) {
+  pat_freq->assign(patterns.size(), 0.0);
+  pat_wsum->assign(patterns.size(), 0.0);
+  std::vector<uint32_t> masks;
+  masks.reserve(classes.size());
+  for (const auto& [mask, ids] : classes) {
+    (void)ids;
+    masks.push_back(mask);
+  }
+
+  // Phase 1: build the missing (class, union) projection indexes in parallel.
+  std::set<ProjIndexKey> needed;
+  for (const uint32_t m1 : masks) {
+    for (const uint32_t m2 : masks) {
+      needed.insert({m2, m1 | m2});
+    }
+  }
+  std::vector<ProjIndexKey> missing;
+  for (const ProjIndexKey& key : needed) {
+    if (memo->find(key) == memo->end()) missing.push_back(key);
+  }
+  std::vector<ProjIndex> built(missing.size());
+  ThreadPool::Global().ParallelFor(0, missing.size(), 1,
+                                   [&](size_t lo, size_t hi, size_t) {
+                                     for (size_t i = lo; i < hi; ++i) {
+                                       built[i] = BuildProjIndex(
+                                           patterns, classes.at(missing[i].first),
+                                           missing[i].second);
+                                     }
+                                   });
+  for (size_t i = 0; i < missing.size(); ++i) {
+    memo->emplace(missing[i], std::move(built[i]));
+  }
+
+  // Phase 2: per receiving class, sum every member pattern's compatible mass
+  // over all classes. Classes write disjoint pat_freq/pat_wsum slots.
+  ThreadPool::Global().ParallelFor(
+      0, masks.size(), 1, [&](size_t lo, size_t hi, size_t) {
+        for (size_t ci = lo; ci < hi; ++ci) {
+          const uint32_t mask1 = masks[ci];
+          for (const size_t p1 : classes.at(mask1)) {
+            double freq = 0.0;
+            double wsum = 0.0;
+            for (const uint32_t mask2 : masks) {
+              const uint32_t u = mask1 | mask2;
+              const ProjIndex& index = memo->at({mask2, u});
+              const auto proj = ProjectOut(patterns[p1].pattern, u);
+              auto hit = index.find(proj);
+              if (hit != index.end()) {
+                freq += hit->second.first;
+                wsum += hit->second.second;
+              }
+            }
+            (*pat_freq)[p1] = freq;
+            (*pat_wsum)[p1] = wsum;
+          }
+        }
+      });
+}
+
 }  // namespace
+
+Status ValidateQiWidth(const std::vector<size_t>& qi_columns, NullSemantics semantics) {
+  if (semantics == NullSemantics::kMaybeMatch &&
+      qi_columns.size() > kMaxMaybeMatchQis) {
+    return Status::InvalidArgument(
+        "maybe-match grouping supports at most " +
+        std::to_string(kMaxMaybeMatchQis) + " quasi-identifiers, got " +
+        std::to_string(qi_columns.size()) +
+        "; use NullSemantics::kStandard or restrict the AnonSet");
+  }
+  return Status::OK();
+}
 
 GroupStats ComputeGroupStats(const MicrodataTable& table,
                              const std::vector<size_t>& qi_columns,
@@ -63,36 +257,8 @@ GroupStats ComputeGroupStats(const MicrodataTable& table,
 
   // 1. Collapse rows into distinct patterns (strict equality; null labels
   //    distinguish). Under kStandard this already yields the answer.
-  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> pattern_ids;
-  pattern_ids.reserve(n * 2);
-  std::vector<PatternInfo> patterns;
-  std::vector<size_t> row_pattern(n);
-  for (size_t r = 0; r < n; ++r) {
-    std::vector<Value> p;
-    p.reserve(qi_columns.size());
-    uint32_t mask = 0;
-    for (size_t i = 0; i < qi_columns.size(); ++i) {
-      const Value& v = table.cell(r, qi_columns[i]);
-      if (v.is_null()) mask |= (1u << i);
-      p.push_back(v);
-    }
-    auto it = pattern_ids.find(p);
-    size_t id;
-    if (it == pattern_ids.end()) {
-      id = patterns.size();
-      pattern_ids.emplace(p, id);
-      PatternInfo info;
-      info.pattern = std::move(p);
-      info.null_mask = semantics == NullSemantics::kMaybeMatch ? mask : 0;
-      patterns.push_back(std::move(info));
-    } else {
-      id = it->second;
-    }
-    patterns[id].count += 1.0;
-    patterns[id].weight_sum += table.RowWeight(r);
-    patterns[id].rows.push_back(static_cast<uint32_t>(r));
-    row_pattern[r] = id;
-  }
+  CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
+  const std::vector<PatternInfo>& patterns = collapsed.patterns;
 
   std::vector<double> pat_freq(patterns.size(), 0.0);
   std::vector<double> pat_wsum(patterns.size(), 0.0);
@@ -103,39 +269,19 @@ GroupStats ComputeGroupStats(const MicrodataTable& table,
       pat_wsum[p] = patterns[p].weight_sum;
     }
   } else {
-    // 2. Maybe-match: group patterns by null-mask class.
+    // 2. Maybe-match: group patterns by null-mask class and exchange mass
+    //    between classes through shared projections.
     std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
     for (size_t p = 0; p < patterns.size(); ++p) {
       classes[patterns[p].null_mask].push_back(p);
     }
-    // For every ordered pair of classes (S1 receives from S2): patterns agree
-    // iff their projections outside S1 ∪ S2 are equal.
-    for (const auto& [mask1, pats1] : classes) {
-      for (const auto& [mask2, pats2] : classes) {
-        const uint32_t u = mask1 | mask2;
-        // Index class-2 patterns by projection outside u.
-        std::map<std::vector<Value>, std::pair<double, double>, VecLess> index;
-        for (const size_t p2 : pats2) {
-          auto key = ProjectOut(patterns[p2].pattern, u);
-          auto& agg = index[std::move(key)];
-          agg.first += patterns[p2].count;
-          agg.second += patterns[p2].weight_sum;
-        }
-        for (const size_t p1 : pats1) {
-          auto key = ProjectOut(patterns[p1].pattern, u);
-          auto it = index.find(key);
-          if (it != index.end()) {
-            pat_freq[p1] += it->second.first;
-            pat_wsum[p1] += it->second.second;
-          }
-        }
-      }
-    }
+    std::map<ProjIndexKey, ProjIndex> memo;
+    AggregateMaybeMatch(patterns, classes, &memo, &pat_freq, &pat_wsum);
   }
 
   for (size_t r = 0; r < n; ++r) {
-    stats.frequency[r] = pat_freq[row_pattern[r]];
-    stats.weight_sum[r] = pat_wsum[row_pattern[r]];
+    stats.frequency[r] = pat_freq[collapsed.row_pattern[r]];
+    stats.weight_sum[r] = pat_wsum[collapsed.row_pattern[r]];
   }
   return stats;
 }
@@ -181,10 +327,7 @@ struct PatternUniverse::Impl {
   // Exact-match index (kStandard fast path).
   std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> exact;
   // Memoized projection indexes: (class mask, union mask) -> proj -> mass.
-  mutable std::map<std::pair<uint32_t, uint32_t>,
-                   std::unordered_map<std::vector<Value>, std::pair<double, double>,
-                                      VecHash, VecEq>>
-      proj_indexes;
+  mutable std::map<ProjIndexKey, ProjIndex> proj_indexes;
 };
 
 PatternUniverse::PatternUniverse(const MicrodataTable& table,
@@ -193,31 +336,18 @@ PatternUniverse::PatternUniverse(const MicrodataTable& table,
   impl_ = std::make_shared<Impl>();
   impl_->semantics = semantics;
   impl_->width = qi_columns.size();
-  auto& exact = impl_->exact;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    std::vector<Value> p;
-    p.reserve(qi_columns.size());
-    uint32_t mask = 0;
-    for (size_t i = 0; i < qi_columns.size(); ++i) {
-      const Value& v = table.cell(r, qi_columns[i]);
-      if (v.is_null() && i < 32) mask |= (1u << i);
-      p.push_back(v);
-    }
-    auto it = exact.find(p);
-    size_t id;
-    if (it == exact.end()) {
-      id = impl_->patterns.size();
-      exact.emplace(p, id);
-      Impl::Pat pat;
-      pat.values = std::move(p);
-      pat.mask = semantics == NullSemantics::kMaybeMatch ? mask : 0;
-      impl_->patterns.push_back(std::move(pat));
-      impl_->classes[impl_->patterns.back().mask].push_back(id);
-    } else {
-      id = it->second;
-    }
-    impl_->patterns[id].count += 1.0;
-    impl_->patterns[id].weight += table.RowWeight(r);
+  CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
+  impl_->patterns.reserve(collapsed.patterns.size());
+  for (size_t id = 0; id < collapsed.patterns.size(); ++id) {
+    PatternInfo& info = collapsed.patterns[id];
+    Impl::Pat pat;
+    pat.mask = info.null_mask;
+    pat.count = info.count;
+    pat.weight = info.weight_sum;
+    pat.values = std::move(info.pattern);
+    impl_->patterns.push_back(std::move(pat));
+    impl_->exact.emplace(impl_->patterns.back().values, id);
+    impl_->classes[impl_->patterns.back().mask].push_back(id);
   }
   pattern_count_ = impl_->patterns.size();
 }
@@ -233,23 +363,21 @@ PatternUniverse::Mass PatternUniverse::Query(const std::vector<Value>& pattern) 
     }
     return mass;
   }
-  uint32_t qmask = 0;
-  for (size_t i = 0; i < pattern.size() && i < 32; ++i) {
-    if (pattern[i].is_null()) qmask |= (1u << i);
-  }
+  const uint32_t qmask = NullMaskOf(pattern);
   for (const auto& [cmask, ids] : impl_->classes) {
     const uint32_t u = qmask | cmask;
     auto key = std::make_pair(cmask, u);
     auto it = impl_->proj_indexes.find(key);
     if (it == impl_->proj_indexes.end()) {
-      auto& index = impl_->proj_indexes[key];
+      ProjIndex index;
+      index.reserve(ids.size() * 2);
       for (const size_t id : ids) {
         auto proj = ProjectOut(impl_->patterns[id].values, u);
         auto& agg = index[std::move(proj)];
         agg.first += impl_->patterns[id].count;
         agg.second += impl_->patterns[id].weight;
       }
-      it = impl_->proj_indexes.find(key);
+      it = impl_->proj_indexes.emplace(key, std::move(index)).first;
     }
     const auto proj = ProjectOut(pattern, u);
     auto hit = it->second.find(proj);
@@ -274,6 +402,270 @@ double CountMatches(const MicrodataTable& table, const std::vector<size_t>& qi_c
     if (match) count += 1.0;
   }
   return count;
+}
+
+// ---------------------------------------------------------------------------
+// GroupIndex: the incremental index behind the cycle's risk-evaluation loop.
+// ---------------------------------------------------------------------------
+
+struct GroupIndex::Impl {
+  std::vector<size_t> qi_columns;
+  NullSemantics semantics = NullSemantics::kMaybeMatch;
+  size_t num_rows = 0;
+
+  std::vector<PatternInfo> patterns;
+  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> pattern_ids;
+  std::vector<size_t> row_pattern;
+  std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
+
+  // Memoized projection indexes, shared by Stats() re-aggregation and
+  // Query(); entries of a dirty class are dropped on UpdateRows.
+  mutable std::map<ProjIndexKey, ProjIndex> proj_indexes;
+
+  mutable GroupStats stats;
+  mutable bool stats_dirty = true;
+
+  size_t full_builds = 0;
+  size_t incremental_updates = 0;
+
+  void Build(const MicrodataTable& table) {
+    num_rows = table.num_rows();
+    CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
+    patterns = std::move(collapsed.patterns);
+    row_pattern = std::move(collapsed.row_pattern);
+    pattern_ids.clear();
+    pattern_ids.reserve(patterns.size() * 2);
+    classes.clear();
+    for (size_t id = 0; id < patterns.size(); ++id) {
+      pattern_ids.emplace(patterns[id].pattern, id);
+      classes[patterns[id].null_mask].push_back(id);
+    }
+    proj_indexes.clear();
+    stats_dirty = true;
+    ++full_builds;
+  }
+
+  /// Re-derives a pattern's count/weight from its row list in row order, so
+  /// the aggregates never drift through subtract-then-add rounding.
+  void RecomputePatternAggregates(PatternInfo* info, const MicrodataTable& table) {
+    info->count = static_cast<double>(info->rows.size());
+    info->weight_sum = 0.0;
+    for (const uint32_t r : info->rows) info->weight_sum += table.RowWeight(r);
+  }
+
+  void RecomputeStats() const {
+    const size_t n = num_rows;
+    stats.frequency.assign(n, 0.0);
+    stats.weight_sum.assign(n, 0.0);
+    std::vector<double> pat_freq(patterns.size(), 0.0);
+    std::vector<double> pat_wsum(patterns.size(), 0.0);
+    if (semantics == NullSemantics::kStandard) {
+      for (size_t p = 0; p < patterns.size(); ++p) {
+        pat_freq[p] = patterns[p].count;
+        pat_wsum[p] = patterns[p].weight_sum;
+      }
+    } else {
+      AggregateMaybeMatch(patterns, classes, &proj_indexes, &pat_freq, &pat_wsum);
+    }
+    for (size_t r = 0; r < n; ++r) {
+      stats.frequency[r] = pat_freq[row_pattern[r]];
+      stats.weight_sum[r] = pat_wsum[row_pattern[r]];
+    }
+    stats_dirty = false;
+  }
+};
+
+GroupIndex::GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
+                       NullSemantics semantics)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->qi_columns = std::move(qi_columns);
+  impl_->semantics = semantics;
+  impl_->Build(table);
+}
+
+GroupIndex::~GroupIndex() = default;
+
+void GroupIndex::UpdateRows(const MicrodataTable& table,
+                            const std::vector<uint32_t>& rows) {
+  Impl& im = *impl_;
+  if (table.num_rows() != im.num_rows) {
+    // Shape changed under us — incremental bookkeeping is void.
+    im.Build(table);
+    return;
+  }
+  ++im.incremental_updates;
+  std::set<uint32_t> dirty_classes;
+  for (const uint32_t r : rows) {
+    std::vector<Value> p;
+    p.reserve(im.qi_columns.size());
+    for (const size_t c : im.qi_columns) p.push_back(table.cell(r, c));
+    const size_t old_id = im.row_pattern[r];
+    if (VecEq{}(p, im.patterns[old_id].pattern)) continue;  // No-op change.
+
+    // Detach the row from its old pattern.
+    PatternInfo& old_pat = im.patterns[old_id];
+    old_pat.rows.erase(std::find(old_pat.rows.begin(), old_pat.rows.end(), r));
+    im.RecomputePatternAggregates(&old_pat, table);
+    dirty_classes.insert(old_pat.null_mask);
+
+    // Attach it to the (possibly new) pattern of its current projection.
+    const uint32_t mask =
+        im.semantics == NullSemantics::kMaybeMatch ? NullMaskOf(p) : 0;
+    auto it = im.pattern_ids.find(p);
+    size_t id;
+    if (it == im.pattern_ids.end()) {
+      id = im.patterns.size();
+      PatternInfo info;
+      info.null_mask = mask;
+      info.pattern = std::move(p);
+      im.patterns.push_back(std::move(info));
+      im.pattern_ids.emplace(im.patterns.back().pattern, id);
+      im.classes[mask].push_back(id);
+    } else {
+      id = it->second;
+    }
+    PatternInfo& new_pat = im.patterns[id];
+    new_pat.rows.insert(std::upper_bound(new_pat.rows.begin(), new_pat.rows.end(), r),
+                        r);
+    im.RecomputePatternAggregates(&new_pat, table);
+    dirty_classes.insert(new_pat.null_mask);
+    im.row_pattern[r] = id;
+  }
+  if (dirty_classes.empty()) return;
+
+  // Dirty-group invalidation: only projection indexes involving a touched
+  // null-mask class are rebuilt by the next Stats()/Query().
+  for (auto it = im.proj_indexes.begin(); it != im.proj_indexes.end();) {
+    if (dirty_classes.count(it->first.first) > 0) {
+      it = im.proj_indexes.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  im.stats_dirty = true;
+}
+
+const GroupStats& GroupIndex::Stats() const {
+  if (impl_->stats_dirty) impl_->RecomputeStats();
+  return impl_->stats;
+}
+
+PatternMass GroupIndex::Query(const std::vector<Value>& pattern) const {
+  PatternMass mass;
+  const Impl& im = *impl_;
+  if (pattern.size() != im.qi_columns.size()) return mass;
+  if (im.semantics == NullSemantics::kStandard) {
+    auto it = im.pattern_ids.find(pattern);
+    if (it != im.pattern_ids.end()) {
+      mass.count = im.patterns[it->second].count;
+      mass.weight = im.patterns[it->second].weight_sum;
+    }
+    return mass;
+  }
+  const uint32_t qmask = NullMaskOf(pattern);
+  for (const auto& [cmask, ids] : im.classes) {
+    const uint32_t u = qmask | cmask;
+    const ProjIndexKey key{cmask, u};
+    auto it = im.proj_indexes.find(key);
+    if (it == im.proj_indexes.end()) {
+      it = im.proj_indexes.emplace(key, BuildProjIndex(im.patterns, ids, u)).first;
+    }
+    const auto proj = ProjectOut(pattern, u);
+    auto hit = it->second.find(proj);
+    if (hit != it->second.end()) {
+      mass.count += hit->second.first;
+      mass.weight += hit->second.second;
+    }
+  }
+  return mass;
+}
+
+const std::vector<size_t>& GroupIndex::qi_columns() const { return impl_->qi_columns; }
+NullSemantics GroupIndex::semantics() const { return impl_->semantics; }
+size_t GroupIndex::num_rows() const { return impl_->num_rows; }
+size_t GroupIndex::num_patterns() const { return impl_->patterns.size(); }
+size_t GroupIndex::full_builds() const { return impl_->full_builds; }
+size_t GroupIndex::incremental_updates() const { return impl_->incremental_updates; }
+
+// ---------------------------------------------------------------------------
+// RiskEvalCache
+// ---------------------------------------------------------------------------
+
+struct RiskEvalCache::Impl {
+  struct Key {
+    std::vector<size_t> qis;
+    NullSemantics semantics;
+    bool operator<(const Key& other) const {
+      if (semantics != other.semantics) return semantics < other.semantics;
+      return qis < other.qis;
+    }
+  };
+  std::map<Key, std::unique_ptr<GroupIndex>> indexes;
+  std::map<std::string, std::shared_ptr<void>> memos;
+  uint64_t version = 0;
+};
+
+RiskEvalCache::RiskEvalCache() : impl_(std::make_unique<Impl>()) {}
+RiskEvalCache::~RiskEvalCache() = default;
+
+GroupIndex& RiskEvalCache::Index(const MicrodataTable& table,
+                                 const std::vector<size_t>& qi_columns,
+                                 NullSemantics semantics) {
+  const Impl::Key key{qi_columns, semantics};
+  auto it = impl_->indexes.find(key);
+  if (it == impl_->indexes.end()) {
+    it = impl_->indexes
+             .emplace(key, std::make_unique<GroupIndex>(table, qi_columns, semantics))
+             .first;
+  } else if (it->second->num_rows() != table.num_rows()) {
+    it->second = std::make_unique<GroupIndex>(table, qi_columns, semantics);
+  }
+  return *it->second;
+}
+
+const GroupStats& RiskEvalCache::Stats(const MicrodataTable& table,
+                                       const std::vector<size_t>& qi_columns,
+                                       NullSemantics semantics) {
+  return Index(table, qi_columns, semantics).Stats();
+}
+
+void RiskEvalCache::NotifyRowsChanged(const MicrodataTable& table,
+                                      const std::vector<uint32_t>& rows) {
+  ++impl_->version;
+  impl_->memos.clear();
+  for (auto& [key, index] : impl_->indexes) {
+    (void)key;
+    index->UpdateRows(table, rows);
+  }
+}
+
+uint64_t RiskEvalCache::version() const { return impl_->version; }
+
+std::shared_ptr<void> RiskEvalCache::Memo(const std::string& key) const {
+  auto it = impl_->memos.find(key);
+  return it == impl_->memos.end() ? nullptr : it->second;
+}
+
+void RiskEvalCache::SetMemo(const std::string& key, std::shared_ptr<void> value) {
+  impl_->memos[key] = std::move(value);
+}
+
+size_t RiskEvalCache::full_builds() const {
+  size_t total = 0;
+  for (const auto& [key, index] : impl_->indexes) {
+    (void)key;
+    total += index->full_builds();
+  }
+  return total;
+}
+
+size_t RiskEvalCache::incremental_updates() const {
+  size_t total = 0;
+  for (const auto& [key, index] : impl_->indexes) {
+    (void)key;
+    total += index->incremental_updates();
+  }
+  return total;
 }
 
 }  // namespace vadasa::core

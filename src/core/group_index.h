@@ -2,9 +2,13 @@
 #define VADASA_CORE_GROUP_INDEX_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "common/value.h"
 #include "core/microdata.h"
 
@@ -19,6 +23,16 @@ enum class NullSemantics {
   /// baseline that makes suppression ineffective.
   kStandard,
 };
+
+/// Maybe-match wildcarding tracks null positions in a 32-bit mask, so the
+/// class-projection algorithms support at most this many quasi-identifiers.
+inline constexpr size_t kMaxMaybeMatchQis = 32;
+
+/// Fails when `qi_columns` is too wide for the chosen semantics. Risk
+/// measures and the cycle call this before grouping; ComputeGroupStats itself
+/// stays guarded (no undefined behavior) but silently treats columns beyond
+/// the mask width as never-null under kMaybeMatch.
+Status ValidateQiWidth(const std::vector<size_t>& qi_columns, NullSemantics semantics);
 
 /// Per-row group statistics over a quasi-identifier projection.
 struct GroupStats {
@@ -36,6 +50,9 @@ struct GroupStats {
 /// projections, so the cost is
 /// O(#rows + #null-set-classes^2 · #patterns · |qi|) rather than the naive
 /// O(#rows^2 · |qi|).
+///
+/// The row→pattern projection and hashing run on ThreadPool::Global(); the
+/// result is bit-identical for any thread count (see thread_pool.h).
 GroupStats ComputeGroupStats(const MicrodataTable& table,
                              const std::vector<size_t>& qi_columns,
                              NullSemantics semantics);
@@ -66,24 +83,36 @@ struct EquivalenceClassStats {
 EquivalenceClassStats ComputeEquivalenceClasses(const MicrodataTable& table,
                                                 const std::vector<size_t>& qi_columns);
 
+/// Row count and weight mass compatible with a queried pattern.
+struct PatternMass {
+  double count = 0.0;
+  double weight = 0.0;
+};
+
+/// Read-only what-if interface over a table's QI patterns: "how many rows
+/// would maybe-match this (possibly null-bearing) pattern?". Implemented by
+/// the immutable PatternUniverse snapshot and by the incremental GroupIndex;
+/// the heuristics accept either.
+class PatternOracle {
+ public:
+  virtual ~PatternOracle() = default;
+  /// `pattern` has one entry per qi column; nulls are wildcards under
+  /// kMaybeMatch.
+  virtual PatternMass Query(const std::vector<Value>& pattern) const = 0;
+};
+
 /// A compiled snapshot of the distinct QI patterns of a table supporting fast
-/// what-if queries: "how many rows would maybe-match this (possibly
-/// null-bearing) pattern?". Used by the most-risky-first quasi-identifier
-/// heuristic (Section 4.4) to score candidate suppressions without rescanning
-/// the table. Projection indexes are built lazily per (null-class, query
-/// mask) pair and memoized.
-class PatternUniverse {
+/// what-if queries. Used by the most-risky-first quasi-identifier heuristic
+/// (Section 4.4) to score candidate suppressions without rescanning the
+/// table. Projection indexes are built lazily per (null-class, query mask)
+/// pair and memoized.
+class PatternUniverse : public PatternOracle {
  public:
   PatternUniverse(const MicrodataTable& table, std::vector<size_t> qi_columns,
                   NullSemantics semantics);
 
-  /// Row count and weight mass compatible with `pattern` (one entry per qi
-  /// column of the constructor).
-  struct Mass {
-    double count = 0.0;
-    double weight = 0.0;
-  };
-  Mass Query(const std::vector<Value>& pattern) const;
+  using Mass = PatternMass;
+  Mass Query(const std::vector<Value>& pattern) const override;
 
   size_t num_patterns() const { return pattern_count_; }
 
@@ -91,6 +120,99 @@ class PatternUniverse {
   struct Impl;
   std::shared_ptr<Impl> impl_;
   size_t pattern_count_ = 0;
+};
+
+/// The incremental QI group index — the cycle's replacement for re-running
+/// ComputeGroupStats and rebuilding a PatternUniverse on every iteration.
+///
+/// Built once from the table, then kept in sync via UpdateRows() as the
+/// anonymizer suppresses or recodes cells. Updates move only the touched rows
+/// between patterns and mark the affected null-mask classes dirty; Stats()
+/// and Query() re-aggregate lazily, rebuilding only projection indexes of
+/// dirty classes (dirty-group invalidation). Frequencies are integer sums and
+/// match a from-scratch rebuild exactly; weight sums may differ from a
+/// rebuild in the last floating-point bits because pattern insertion order
+/// differs (see docs/performance.md).
+class GroupIndex : public PatternOracle {
+ public:
+  GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
+             NullSemantics semantics);
+  ~GroupIndex() override;
+
+  GroupIndex(const GroupIndex&) = delete;
+  GroupIndex& operator=(const GroupIndex&) = delete;
+
+  /// Re-projects `rows` against the current table contents and updates the
+  /// pattern partition in place. `table` must be the same (evolving) table
+  /// the index was built from.
+  void UpdateRows(const MicrodataTable& table, const std::vector<uint32_t>& rows);
+
+  /// Per-row group statistics; re-aggregated lazily after updates.
+  const GroupStats& Stats() const;
+
+  PatternMass Query(const std::vector<Value>& pattern) const override;
+
+  const std::vector<size_t>& qi_columns() const;
+  NullSemantics semantics() const;
+  size_t num_rows() const;
+  size_t num_patterns() const;
+
+  /// Observability: how many times the index was built from scratch (1 unless
+  /// the table shape changed under us) and how many incremental row updates
+  /// it absorbed.
+  size_t full_builds() const;
+  size_t incremental_updates() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Memoizes per-iteration risk-evaluation state so that RiskMeasure::Explain
+/// (called once per logged row) and the QI-choice heuristic reuse the stats
+/// the iteration's ComputeRisks already produced, instead of recomputing full
+/// group statistics per call. Owned by the cycle; one cache serves one
+/// evolving table. The cycle reports table mutations via NotifyRowsChanged,
+/// which forwards them to the incremental GroupIndexes and invalidates the
+/// per-measure memos.
+class RiskEvalCache {
+ public:
+  RiskEvalCache();
+  ~RiskEvalCache();
+
+  RiskEvalCache(const RiskEvalCache&) = delete;
+  RiskEvalCache& operator=(const RiskEvalCache&) = delete;
+
+  /// The (incrementally maintained) group index for this projection; built on
+  /// first use. Rebuilt from scratch only if the table row count changed.
+  GroupIndex& Index(const MicrodataTable& table, const std::vector<size_t>& qi_columns,
+                    NullSemantics semantics);
+
+  /// Shorthand for Index(...).Stats().
+  const GroupStats& Stats(const MicrodataTable& table,
+                          const std::vector<size_t>& qi_columns,
+                          NullSemantics semantics);
+
+  /// Reports that the given rows of the table were mutated since the last
+  /// call. Forwards to every index and drops the type-erased memos.
+  void NotifyRowsChanged(const MicrodataTable& table,
+                         const std::vector<uint32_t>& rows);
+
+  /// Bumped on every NotifyRowsChanged; lets measures key their own state.
+  uint64_t version() const;
+
+  /// Type-erased per-measure memo slots (e.g. SUDA's MSU details), dropped on
+  /// NotifyRowsChanged. Returns nullptr when absent.
+  std::shared_ptr<void> Memo(const std::string& key) const;
+  void SetMemo(const std::string& key, std::shared_ptr<void> value);
+
+  /// Aggregated counters over all indexes, surfaced in CycleStats.
+  size_t full_builds() const;
+  size_t incremental_updates() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace vadasa::core

@@ -44,7 +44,7 @@ std::vector<size_t> OrderRiskyTuples(const MicrodataTable& table,
 Result<size_t> ChooseQiColumn(const MicrodataTable& table,
                               const std::vector<size_t>& qi_columns, size_t row,
                               QiChoice choice, const Anonymizer& anonymizer,
-                              const PatternUniverse& universe) {
+                              const PatternOracle& universe) {
   std::vector<size_t> applicable;
   for (const size_t c : qi_columns) {
     if (anonymizer.CanApply(table, row, c)) applicable.push_back(c);

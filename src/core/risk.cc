@@ -3,9 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/suda.h"
 
 namespace vadasa::core {
+
+namespace {
+
+/// Rows per sampling shard of the Monte-Carlo individual-risk estimator.
+/// Fixed (independent of the pool size) so each shard's Rng stream — and
+/// therefore the risk vector — is identical for any thread count.
+constexpr size_t kSampleShardRows = 1024;
+
+/// splitmix64 of (seed, shard): decorrelates the per-shard Rng streams.
+uint64_t ShardSeed(uint64_t seed, uint64_t shard) {
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Group stats via the cache (incremental index, shared across the iteration)
+/// or a one-shot computation into `scratch` when no cache was provided.
+const GroupStats& CachedStats(const MicrodataTable& table,
+                              const std::vector<size_t>& qis, NullSemantics semantics,
+                              RiskEvalCache* cache, GroupStats* scratch) {
+  if (cache != nullptr) return cache->Stats(table, qis, semantics);
+  *scratch = ComputeGroupStats(table, qis, semantics);
+  return *scratch;
+}
+
+}  // namespace
 
 std::vector<size_t> RiskContext::ResolveQiColumns(const MicrodataTable& table) const {
   if (!qi_columns.empty()) return qi_columns;
@@ -13,7 +41,8 @@ std::vector<size_t> RiskContext::ResolveQiColumns(const MicrodataTable& table) c
 }
 
 std::string RiskMeasure::Explain(const MicrodataTable& table, const RiskContext& context,
-                                 size_t row, double risk) const {
+                                 size_t row, double risk, RiskEvalCache* cache) const {
+  (void)cache;
   const auto qis = context.ResolveQiColumns(table);
   std::string combo;
   for (const size_t c : qis) {
@@ -24,9 +53,12 @@ std::string RiskMeasure::Explain(const MicrodataTable& table, const RiskContext&
 }
 
 Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
-    const MicrodataTable& table, const RiskContext& context) const {
+    const MicrodataTable& table, const RiskContext& context,
+    RiskEvalCache* cache) const {
   const auto qis = context.ResolveQiColumns(table);
-  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
+  GroupStats scratch;
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
     const double w = stats.weight_sum[r];
@@ -35,10 +67,13 @@ Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
   return risks;
 }
 
-Result<std::vector<double>> KAnonymityRisk::ComputeRisks(
-    const MicrodataTable& table, const RiskContext& context) const {
+Result<std::vector<double>> KAnonymityRisk::ComputeRisks(const MicrodataTable& table,
+                                                         const RiskContext& context,
+                                                         RiskEvalCache* cache) const {
   const auto qis = context.ResolveQiColumns(table);
-  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
+  GroupStats scratch;
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
     risks[r] = stats.frequency[r] < static_cast<double>(context.k) ? 1.0 : 0.0;
@@ -47,10 +82,16 @@ Result<std::vector<double>> KAnonymityRisk::ComputeRisks(
 }
 
 std::string KAnonymityRisk::Explain(const MicrodataTable& table,
-                                    const RiskContext& context, size_t row,
-                                    double risk) const {
+                                    const RiskContext& context, size_t row, double risk,
+                                    RiskEvalCache* cache) const {
   const auto qis = context.ResolveQiColumns(table);
-  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  if (const Status width = ValidateQiWidth(qis, context.semantics); !width.ok()) {
+    return "k-anonymity: " + width.ToString();
+  }
+  // With a cache this is one incremental-index lookup; without one it falls
+  // back to a full O(n) group-stats pass per explained row.
+  GroupStats scratch;
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
   std::string combo;
   for (const size_t c : qis) {
     if (!combo.empty()) combo += ", ";
@@ -72,10 +113,13 @@ std::string KAnonymityRisk::Explain(const MicrodataTable& table,
          " time(s); k=" + std::to_string(context.k) + verdict;
 }
 
-Result<std::vector<double>> IndividualRisk::ComputeRisks(
-    const MicrodataTable& table, const RiskContext& context) const {
+Result<std::vector<double>> IndividualRisk::ComputeRisks(const MicrodataTable& table,
+                                                         const RiskContext& context,
+                                                         RiskEvalCache* cache) const {
   const auto qis = context.ResolveQiColumns(table);
-  const GroupStats stats = ComputeGroupStats(table, qis, context.semantics);
+  VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
+  GroupStats scratch;
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   if (context.posterior_draws <= 0) {
     for (size_t r = 0; r < risks.size(); ++r) {
@@ -87,11 +131,18 @@ Result<std::vector<double>> IndividualRisk::ComputeRisks(
     }
     return risks;
   }
-  Rng rng(context.seed);
-  for (size_t r = 0; r < risks.size(); ++r) {
-    risks[r] = stats::NegBinomialPosteriorRiskSampled(
-        stats.frequency[r], stats.weight_sum[r], context.posterior_draws, &rng);
-  }
+  // Monte-Carlo mode: one Rng stream per fixed shard of rows, so shards can
+  // sample concurrently and the draws are reproducible for any thread count.
+  const int draws = context.posterior_draws;
+  const uint64_t seed = context.seed;
+  ThreadPool::Global().ParallelFor(
+      0, risks.size(), kSampleShardRows, [&](size_t lo, size_t hi, size_t shard) {
+        Rng rng(ShardSeed(seed, shard));
+        for (size_t r = lo; r < hi; ++r) {
+          risks[r] = stats::NegBinomialPosteriorRiskSampled(
+              stats.frequency[r], stats.weight_sum[r], draws, &rng);
+        }
+      });
   return risks;
 }
 

@@ -38,6 +38,12 @@ struct RiskContext {
 
 /// A pluggable per-tuple statistical disclosure risk estimator. All risks are
 /// in [0,1]; a tuple is "risky" when its risk exceeds the cycle threshold T.
+///
+/// `cache` (optional) memoizes group statistics and measure-specific state
+/// across the calls of one cycle iteration — Explain reuses what ComputeRisks
+/// already computed instead of re-deriving full group stats per logged row.
+/// The cache's owner must report table mutations via
+/// RiskEvalCache::NotifyRowsChanged. Passing nullptr always recomputes.
 class RiskMeasure {
  public:
   virtual ~RiskMeasure() = default;
@@ -46,12 +52,14 @@ class RiskMeasure {
 
   /// Computes the risk of every row of `table`.
   virtual Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                                   const RiskContext& context) const = 0;
+                                                   const RiskContext& context,
+                                                   RiskEvalCache* cache = nullptr) const = 0;
 
   /// One-sentence, human-readable justification for a row's risk — the
   /// explainability hook used by the cycle log.
   virtual std::string Explain(const MicrodataTable& table, const RiskContext& context,
-                              size_t row, double risk) const;
+                              size_t row, double risk,
+                              RiskEvalCache* cache = nullptr) const;
 };
 
 /// Re-identification-based risk (Algorithm 3): ρ = 1 / Σ W_t over the rows
@@ -61,7 +69,8 @@ class ReidentificationRisk : public RiskMeasure {
  public:
   std::string name() const override { return "re-identification"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
 };
 
 /// k-anonymity (Algorithm 4): risk 1 if the combination occurs fewer than k
@@ -70,9 +79,11 @@ class KAnonymityRisk : public RiskMeasure {
  public:
   std::string name() const override { return "k-anonymity"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
   std::string Explain(const MicrodataTable& table, const RiskContext& context,
-                      size_t row, double risk) const override;
+                      size_t row, double risk,
+                      RiskEvalCache* cache = nullptr) const override;
 };
 
 /// Individual risk (Algorithm 5, Benedetti–Franconi): ρ = 1/λ with
@@ -80,12 +91,16 @@ class KAnonymityRisk : public RiskMeasure {
 /// negative-binomial model of the population frequency F given the sample
 /// frequency f. With `posterior_draws > 0` the estimate is obtained by
 /// actually sampling the negative binomial (the paper's "off-the-shelf
-/// statistical library" mode of Fig. 7e).
+/// statistical library" mode of Fig. 7e). Sampling runs on the global thread
+/// pool with one deterministic Rng stream per fixed row shard (seeded from
+/// context.seed and the shard index), so the risk vector is identical for
+/// any thread count.
 class IndividualRisk : public RiskMeasure {
  public:
   std::string name() const override { return "individual-risk"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
 };
 
 /// Factory by name: "reidentification", "k-anonymity", "individual", "suda".

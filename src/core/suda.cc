@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace vadasa::core {
 
@@ -31,15 +35,39 @@ void CombosOfSize(int q, int s, std::vector<uint32_t>* out) {
   }
 }
 
+/// Outcome of evaluating one combination for one candidate row: the row is
+/// sample unique on the combination; `minimal` iff no prior-level unique
+/// subset exists.
+struct UniqueHit {
+  uint32_t row = 0;
+  bool minimal = false;
+};
+
+std::string DetailsMemoKey(const RiskContext& context, const SudaOptions& options,
+                           const std::vector<size_t>& qis) {
+  std::string key = "suda-details/k=" + std::to_string(context.k) +
+                    "/max=" + std::to_string(options.max_search_size) +
+                    "/exh=" + std::to_string(options.exhaustive ? 1 : 0) + "/qis=";
+  for (const size_t c : qis) key += std::to_string(c) + ",";
+  return key;
+}
+
 }  // namespace
 
 Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
-                                             const RiskContext& context) const {
+                                             const RiskContext& context,
+                                             RiskEvalCache* cache) const {
   const auto qis = context.ResolveQiColumns(table);
   const int q = static_cast<int>(qis.size());
   if (q > 20) {
     return Status::InvalidArgument("SUDA supports at most 20 quasi-identifiers, got " +
                                    std::to_string(q));
+  }
+  const std::string memo_key = DetailsMemoKey(context, options_, qis);
+  if (cache != nullptr) {
+    if (auto memo = cache->Memo(memo_key)) {
+      return *std::static_pointer_cast<SudaDetails>(memo);
+    }
   }
   const size_t n = table.num_rows();
   SudaDetails details;
@@ -68,17 +96,26 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
       if (counts[proj[r]] == 1) candidates.push_back(static_cast<uint32_t>(r));
     }
   }
-  if (candidates.empty()) return details;
+  if (candidates.empty()) {
+    if (cache != nullptr) cache->SetMemo(memo_key, std::make_shared<SudaDetails>(details));
+    return details;
+  }
 
   // Per candidate: masks of combinations already known to be sample unique
-  // (used both for minimality and for pruning).
+  // (used both for minimality and for pruning). Within one level this is
+  // frozen: two distinct same-size masks are never proper subsets of each
+  // other, so prune and minimality decisions only ever read entries from
+  // strictly smaller levels — which is what makes the level parallelizable.
   std::unordered_map<uint32_t, std::vector<uint32_t>> unique_combos;
   for (const uint32_t r : candidates) unique_combos[r] = {};
 
-  std::vector<Value> key;
   for (int s = 1; s <= max_size; ++s) {
     std::vector<uint32_t> combos;
     CombosOfSize(q, s, &combos);
+
+    // Prune decisions first (sequential, cheap — subset tests only).
+    std::vector<uint32_t> eval;
+    eval.reserve(combos.size());
     for (const uint32_t mask : combos) {
       if (!options_.exhaustive) {
         // Prune: skip the combination when every candidate already owns a
@@ -102,52 +139,75 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
           continue;
         }
       }
-      ++details.combos_evaluated;
-      // Count projections of ALL rows onto this combination.
-      std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
-      counts.reserve(n * 2);
-      for (size_t r = 0; r < n; ++r) {
-        key.clear();
-        for (int b = 0; b < q; ++b) {
-          if (mask & (1u << b)) key.push_back(proj[r][b]);
-        }
-        counts[key]++;
-      }
-      for (const uint32_t r : candidates) {
-        key.clear();
-        bool has_null = false;
-        for (int b = 0; b < q; ++b) {
-          if (mask & (1u << b)) {
-            if (proj[r][b].is_null()) has_null = true;
-            key.push_back(proj[r][b]);
+      eval.push_back(mask);
+    }
+    details.combos_evaluated += eval.size();
+
+    // Evaluate the level's combinations concurrently; each produces its
+    // candidate hits against the frozen prior-level unique_combos.
+    std::vector<std::vector<UniqueHit>> hits(eval.size());
+    ThreadPool::Global().ParallelFor(
+        0, eval.size(), 1, [&](size_t lo, size_t hi, size_t /*shard*/) {
+          std::vector<Value> key;
+          for (size_t i = lo; i < hi; ++i) {
+            const uint32_t mask = eval[i];
+            // Count projections of ALL rows onto this combination.
+            std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
+            counts.reserve(n * 2);
+            for (size_t r = 0; r < n; ++r) {
+              key.clear();
+              for (int b = 0; b < q; ++b) {
+                if (mask & (1u << b)) key.push_back(proj[r][b]);
+              }
+              counts[key]++;
+            }
+            for (const uint32_t r : candidates) {
+              key.clear();
+              bool has_null = false;
+              for (int b = 0; b < q; ++b) {
+                if (mask & (1u << b)) {
+                  if (proj[r][b].is_null()) has_null = true;
+                  key.push_back(proj[r][b]);
+                }
+              }
+              // A combination containing a suppressed cell is invisible to
+              // the attacker and cannot single the row out: local suppression
+              // kills every MSU through the suppressed column.
+              if (has_null) continue;
+              if (counts[key] != 1) continue;
+              // Sample unique. Minimal iff no previously found unique subset.
+              bool minimal = true;
+              for (const uint32_t u : unique_combos.at(r)) {
+                if ((u & mask) == u) {
+                  minimal = false;
+                  break;
+                }
+              }
+              hits[i].push_back(UniqueHit{r, minimal});
+            }
           }
-        }
-        // A combination containing a suppressed cell is invisible to the
-        // attacker and cannot single the row out: local suppression kills
-        // every MSU through the suppressed column.
-        if (has_null) continue;
-        if (counts[key] != 1) continue;
-        // Sample unique. Minimal iff no previously found unique subset.
-        bool minimal = true;
-        for (const uint32_t u : unique_combos[r]) {
-          if ((u & mask) == u) {
-            minimal = false;
-            break;
-          }
-        }
-        unique_combos[r].push_back(mask);
-        if (minimal) {
-          details.msus[r].push_back(MinimalSampleUnique{mask, s});
+        });
+
+    // Merge in combination order — reproduces the sequential result exactly.
+    for (size_t i = 0; i < eval.size(); ++i) {
+      const uint32_t mask = eval[i];
+      for (const UniqueHit& hit : hits[i]) {
+        unique_combos[hit.row].push_back(mask);
+        if (hit.minimal) {
+          details.msus[hit.row].push_back(MinimalSampleUnique{mask, s});
         }
       }
     }
   }
+  if (cache != nullptr) cache->SetMemo(memo_key, std::make_shared<SudaDetails>(details));
   return details;
 }
 
 Result<std::vector<double>> SudaRisk::ComputeRisks(const MicrodataTable& table,
-                                                   const RiskContext& context) const {
-  VADASA_ASSIGN_OR_RETURN(const SudaDetails details, ComputeDetails(table, context));
+                                                   const RiskContext& context,
+                                                   RiskEvalCache* cache) const {
+  VADASA_ASSIGN_OR_RETURN(const SudaDetails details,
+                          ComputeDetails(table, context, cache));
   std::vector<double> risks(table.num_rows(), 0.0);
   for (size_t r = 0; r < risks.size(); ++r) {
     for (const MinimalSampleUnique& msu : details.msus[r]) {
@@ -162,8 +222,10 @@ Result<std::vector<double>> SudaRisk::ComputeRisks(const MicrodataTable& table,
 }
 
 Result<std::vector<double>> SudaRisk::ComputeScores(const MicrodataTable& table,
-                                                    const RiskContext& context) const {
-  VADASA_ASSIGN_OR_RETURN(const SudaDetails details, ComputeDetails(table, context));
+                                                    const RiskContext& context,
+                                                    RiskEvalCache* cache) const {
+  VADASA_ASSIGN_OR_RETURN(const SudaDetails details,
+                          ComputeDetails(table, context, cache));
   const auto qis = context.ResolveQiColumns(table);
   const int m = static_cast<int>(qis.size());
   std::vector<double> scores(table.num_rows(), 0.0);
@@ -185,8 +247,8 @@ std::vector<double> NormalizeSudaScores(std::vector<double> scores) {
 }
 
 std::string SudaRisk::Explain(const MicrodataTable& table, const RiskContext& context,
-                              size_t row, double risk) const {
-  auto details = ComputeDetails(table, context);
+                              size_t row, double risk, RiskEvalCache* cache) const {
+  auto details = ComputeDetails(table, context, cache);
   if (!details.ok()) return "suda: " + details.status().ToString();
   const auto qis = context.ResolveQiColumns(table);
   const auto& msus = details->msus[row];

@@ -46,20 +46,29 @@ struct SudaOptions {
 /// are unique on the full AnonSet can have any sample unique, and a
 /// combination is skipped when every candidate row already owns a unique
 /// proper subset of it — the greedy preemption the paper credits for the
-/// absence of combinatorial blowup (Section 5.2).
+/// absence of combinatorial blowup (Section 5.2). Within one combination
+/// size, evaluated combinations are independent (a same-size combination is
+/// never a proper subset of another), so each lattice level fans out over the
+/// global thread pool and merges its sample uniques back in combination
+/// order — the details are identical for any thread count.
 class SudaRisk : public RiskMeasure {
  public:
   explicit SudaRisk(SudaOptions options = {}) : options_(options) {}
 
   std::string name() const override { return "suda"; }
   Result<std::vector<double>> ComputeRisks(const MicrodataTable& table,
-                                           const RiskContext& context) const override;
+                                           const RiskContext& context,
+                                           RiskEvalCache* cache = nullptr) const override;
   std::string Explain(const MicrodataTable& table, const RiskContext& context,
-                      size_t row, double risk) const override;
+                      size_t row, double risk,
+                      RiskEvalCache* cache = nullptr) const override;
 
-  /// Runs the MSU search and returns per-row details.
+  /// Runs the MSU search and returns per-row details. With a cache, the
+  /// details of the current table version are memoized, so ComputeRisks +
+  /// per-row Explain within one cycle iteration share a single search.
   Result<SudaDetails> ComputeDetails(const MicrodataTable& table,
-                                     const RiskContext& context) const;
+                                     const RiskContext& context,
+                                     RiskEvalCache* cache = nullptr) const;
 
   /// Continuous SUDA scores (Elliot/Manning-style): each MSU of size s over
   /// M searched attributes contributes 2^(M-s) — smaller sample uniques are
@@ -67,7 +76,8 @@ class SudaRisk : public RiskMeasure {
   /// rows without sample uniques). Use NormalizeSudaScores for a [0,1]
   /// DIS-style relative score.
   Result<std::vector<double>> ComputeScores(const MicrodataTable& table,
-                                            const RiskContext& context) const;
+                                            const RiskContext& context,
+                                            RiskEvalCache* cache = nullptr) const;
 
  private:
   SudaOptions options_;

@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 64, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShardDecompositionIsFixedByRangeAndGrain) {
+  // The same (range, grain) must produce the same shards for any pool size —
+  // the determinism contract every risk estimator builds on.
+  for (const size_t threads : {1, 2, 7}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::tuple<size_t, size_t, size_t>> shards;
+    pool.ParallelFor(5, 103, 10, [&](size_t lo, size_t hi, size_t shard) {
+      std::lock_guard<std::mutex> lock(mu);
+      shards.insert({lo, hi, shard});
+    });
+    std::set<std::tuple<size_t, size_t, size_t>> expected;
+    for (size_t s = 0; 5 + s * 10 < 103; ++s) {
+      expected.insert({5 + s * 10, std::min<size_t>(103, 5 + (s + 1) * 10), s});
+    }
+    EXPECT_EQ(shards, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeCallsNothing) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(7, 7, 4, [&](size_t, size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // Re-entering ParallelFor from a worker must not deadlock waiting for the
+  // (occupied) pool; it degrades to an inline loop.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t, size_t) {
+    pool.ParallelFor(0, 8, 1,
+                     [&](size_t, size_t, size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  const size_t n = 4321;
+  std::vector<double> values(n);
+  std::iota(values.begin(), values.end(), 1.0);
+  double sequential = 0.0;
+  for (const double v : values) sequential += v;
+
+  ThreadPool pool(5);
+  const size_t grain = 100;
+  const size_t num_shards = (n + grain - 1) / grain;
+  std::vector<double> partial(num_shards, 0.0);
+  pool.ParallelFor(0, n, grain, [&](size_t lo, size_t hi, size_t shard) {
+    for (size_t i = lo; i < hi; ++i) partial[shard] += values[i];
+  });
+  // Merging shards in order replays the sequential association exactly.
+  double merged = 0.0;
+  for (const double p : partial) merged += p;
+  EXPECT_EQ(merged, sequential);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsResizes) {
+  const size_t before = ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);
+  ThreadPool::SetGlobalThreads(before == 0 ? 1 : before);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCovers) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, hits.size(), 7, [&](size_t lo, size_t hi, size_t) {
+    for (size_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace vadasa

@@ -207,6 +207,37 @@ TEST(CycleTest, IdempotentOnItsOwnOutput) {
   EXPECT_EQ(stats2->iterations, 1u);
 }
 
+/// Tentpole: the group index is built once and then maintained incrementally
+/// — a multi-iteration run must record exactly one from-scratch rebuild, with
+/// every later iteration served by UpdateRows.
+TEST(CycleTest, GroupIndexBuiltOnceAcrossIterations) {
+  MicrodataTable t =
+      GenerateInflationGrowth("incr", 1200, 4, DistributionKind::kVeryUnbalanced, 23);
+  KAnonymityRisk risk;
+  LocalSuppression anon;
+  AnonymizationCycle cycle(&risk, &anon, KAnonOptions(3));
+  auto stats = cycle.Run(&t);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_GT(stats->iterations, 2u) << "fixture too easy to exercise incrementality";
+  EXPECT_EQ(stats->group_rebuilds, 1u);
+  // One UpdateRows batch per iteration that changed anything.
+  EXPECT_GE(stats->group_updates, stats->iterations - 1);
+}
+
+/// The incremental path must converge to the same anonymization as the seed's
+/// rebuild-per-iteration cycle did: same null count on the Figure 5 table.
+TEST(CycleTest, IncrementalIndexPreservesFigure5Outcome) {
+  MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  LocalSuppression anon;
+  AnonymizationCycle cycle(&risk, &anon, KAnonOptions(2));
+  auto stats = cycle.Run(&t);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->unresolved, 0u);
+  EXPECT_LE(stats->nulls_injected, 3u);
+  EXPECT_EQ(stats->group_rebuilds, 1u);
+}
+
 /// Parameterized sweep: the cycle converges under every (measure, k,
 /// semantics-preserving) combination on generated data.
 struct CycleSweepParam {

@@ -1,5 +1,9 @@
 #include "core/group_index.h"
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -226,6 +230,153 @@ TEST(PatternUniverseTest, WeightMass) {
   std::vector<Value> p;
   for (const size_t c : qis) p.push_back(t.cell(3, c));  // Tuple 4.
   EXPECT_DOUBLE_EQ(universe.Query(p).weight, 60.0);
+}
+
+/// Randomized oracle test: PatternUniverse::Query must agree with the linear
+/// CountMatches scan for arbitrary (wildcard-bearing) patterns under BOTH
+/// null semantics.
+TEST(PatternUniverseTest, RandomizedQueriesMatchCountMatchesBothSemantics) {
+  Rng rng(20260806);
+  MicrodataTable t("oracle", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                              {"B", "", AttributeCategory::kQuasiIdentifier},
+                              {"C", "", AttributeCategory::kQuasiIdentifier},
+                              {"W", "", AttributeCategory::kWeight}});
+  const char* vals[] = {"u", "v", "w"};
+  for (int i = 0; i < 150; ++i) {
+    auto cell = [&]() -> Value {
+      if (rng.NextDouble() < 0.2) return Value::Null(rng.NextBelow(12));
+      return Value::String(vals[rng.NextBelow(3)]);
+    };
+    ASSERT_TRUE(
+        t.AddRow({cell(), cell(), cell(), Value::Int(rng.NextInt(1, 5))}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const NullSemantics sem :
+       {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const PatternUniverse universe(t, qis, sem);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<Value> q;
+      for (size_t c = 0; c < qis.size(); ++c) {
+        if (rng.NextDouble() < 0.3) {
+          q.push_back(Value::Null(rng.NextBelow(12)));
+        } else {
+          q.push_back(Value::String(vals[rng.NextBelow(3)]));
+        }
+      }
+      const PatternMass got = universe.Query(q);
+      ASSERT_DOUBLE_EQ(got.count, CountMatches(t, qis, q, sem))
+          << "semantics " << static_cast<int>(sem) << " trial " << trial;
+    }
+  }
+}
+
+/// Regression for the unguarded `1u << i` shift: more than 32 quasi-
+/// identifiers used to shift past the mask width (undefined behavior).
+/// kStandard must group such tables correctly; kMaybeMatch is rejected
+/// upfront by ValidateQiWidth.
+TEST(GroupIndexTest, MoreThan32QuasiIdentifiers) {
+  std::vector<Attribute> attrs;
+  const size_t kCols = 40;
+  for (size_t c = 0; c < kCols; ++c) {
+    attrs.push_back({"q" + std::to_string(c), "", AttributeCategory::kQuasiIdentifier});
+  }
+  MicrodataTable t("wide", attrs);
+  // Rows 0 and 1 agree everywhere; row 2 differs only in the LAST column —
+  // exactly the column an unguarded 32-bit mask would wrap around on.
+  for (int r = 0; r < 3; ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < kCols; ++c) {
+      row.push_back(Value::Int(c == kCols - 1 && r == 2 ? 99 : static_cast<int>(c)));
+    }
+    ASSERT_TRUE(t.AddRow(std::move(row)).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  ASSERT_EQ(qis.size(), kCols);
+  EXPECT_TRUE(ValidateQiWidth(qis, NullSemantics::kStandard).ok());
+  EXPECT_FALSE(ValidateQiWidth(qis, NullSemantics::kMaybeMatch).ok());
+
+  const GroupStats stats = ComputeGroupStats(t, qis, NullSemantics::kStandard);
+  EXPECT_DOUBLE_EQ(stats.frequency[0], 2.0);
+  EXPECT_DOUBLE_EQ(stats.frequency[1], 2.0);
+  EXPECT_DOUBLE_EQ(stats.frequency[2], 1.0);
+}
+
+/// The incremental index must track a from-scratch recomputation through a
+/// random sequence of cell suppressions, for both semantics: frequencies
+/// exactly, weight sums to FP tolerance, and Query against CountMatches.
+TEST(GroupIndexTest, IncrementalUpdateMatchesRebuild) {
+  for (const NullSemantics sem :
+       {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    Rng rng(555 + static_cast<int>(sem));
+    MicrodataTable t("incr", {{"A", "", AttributeCategory::kQuasiIdentifier},
+                              {"B", "", AttributeCategory::kQuasiIdentifier},
+                              {"C", "", AttributeCategory::kQuasiIdentifier},
+                              {"W", "", AttributeCategory::kWeight}});
+    const char* vals[] = {"x", "y", "z"};
+    for (int i = 0; i < 90; ++i) {
+      auto cell = [&]() -> Value {
+        if (rng.NextDouble() < 0.1) return Value::Null(rng.NextBelow(40));
+        return Value::String(vals[rng.NextBelow(3)]);
+      };
+      ASSERT_TRUE(
+          t.AddRow({cell(), cell(), cell(), Value::Int(rng.NextInt(1, 9))}).ok());
+    }
+    const auto qis = t.QuasiIdentifierColumns();
+    GroupIndex index(t, qis, sem);
+    uint64_t next_label = 1000;
+    for (int step = 0; step < 30; ++step) {
+      // Suppress a small random batch of cells, as one anonymization
+      // iteration would.
+      std::vector<uint32_t> changed;
+      const int batch = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int b = 0; b < batch; ++b) {
+        const uint32_t row = static_cast<uint32_t>(rng.NextBelow(t.num_rows()));
+        const size_t col = qis[rng.NextBelow(qis.size())];
+        if (!t.cell(row, col).is_null()) {
+          t.set_cell(row, col, Value::Null(next_label++));
+        }
+        changed.push_back(row);
+      }
+      index.UpdateRows(t, changed);
+
+      const GroupStats expected = ComputeGroupStats(t, qis, sem);
+      const GroupStats& got = index.Stats();
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        ASSERT_DOUBLE_EQ(got.frequency[r], expected.frequency[r])
+            << "sem " << static_cast<int>(sem) << " step " << step << " row " << r;
+        ASSERT_NEAR(got.weight_sum[r], expected.weight_sum[r], 1e-9)
+            << "sem " << static_cast<int>(sem) << " step " << step << " row " << r;
+      }
+      // Spot-check the what-if oracle too.
+      for (int probe = 0; probe < 5; ++probe) {
+        const size_t r = rng.NextBelow(t.num_rows());
+        std::vector<Value> q = {t.cell(r, 0), t.cell(r, 1), t.cell(r, 2)};
+        if (rng.NextDouble() < 0.5) q[rng.NextBelow(3)] = Value::Null(0);
+        ASSERT_DOUBLE_EQ(index.Query(q).count, CountMatches(t, qis, q, sem))
+            << "sem " << static_cast<int>(sem) << " step " << step;
+      }
+    }
+    EXPECT_EQ(index.full_builds(), 1u);
+    EXPECT_EQ(index.incremental_updates(), 30u);
+  }
+}
+
+TEST(RiskEvalCacheTest, MemoDroppedOnRowChange) {
+  const MicrodataTable t = Figure5Microdata();
+  const auto qis = t.QuasiIdentifierColumns();
+  RiskEvalCache cache;
+  const uint64_t v0 = cache.version();
+  cache.SetMemo("probe", std::make_shared<int>(42));
+  ASSERT_NE(cache.Memo("probe"), nullptr);
+  (void)cache.Stats(t, qis, NullSemantics::kMaybeMatch);
+  EXPECT_EQ(cache.full_builds(), 1u);
+  cache.NotifyRowsChanged(t, {0});
+  EXPECT_EQ(cache.Memo("probe"), nullptr);
+  EXPECT_GT(cache.version(), v0);
+  // The index survives the notification (incrementally updated, not rebuilt).
+  (void)cache.Stats(t, qis, NullSemantics::kMaybeMatch);
+  EXPECT_EQ(cache.full_builds(), 1u);
+  EXPECT_EQ(cache.incremental_updates(), 1u);
 }
 
 }  // namespace

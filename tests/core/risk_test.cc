@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/datagen.h"
 
 namespace vadasa::core {
@@ -191,6 +192,73 @@ TEST_P(RiskPropertyTest, RisksAreProbabilities) {
 INSTANTIATE_TEST_SUITE_P(AllMeasures, RiskPropertyTest,
                          ::testing::Values("reidentification", "k-anonymity",
                                            "individual", "suda"));
+
+/// The tentpole determinism contract: for every measure, the risk vector
+/// computed on a multi-thread pool is bit-identical to the single-thread one
+/// (fixed shard decomposition + ordered merge, see thread_pool.h).
+class RiskDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RiskDeterminismTest, ParallelEqualsSequentialBitwise) {
+  const MicrodataTable t =
+      GenerateInflationGrowth("det", 700, 5, DistributionKind::kUnbalanced, 11);
+  auto measure = MakeRiskMeasure(GetParam());
+  ASSERT_TRUE(measure.ok());
+  RiskContext ctx;
+  ctx.k = 3;
+  ctx.posterior_draws = 50;  // Exercise the sampled individual-risk path too.
+  ctx.seed = 99;
+
+  const size_t before = ThreadPool::SetGlobalThreads(1);
+  const auto sequential = (*measure)->ComputeRisks(t, ctx);
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = (*measure)->ComputeRisks(t, ctx);
+  ThreadPool::SetGlobalThreads(before == 0 ? 1 : before);
+
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(sequential->size(), parallel->size());
+  for (size_t r = 0; r < sequential->size(); ++r) {
+    // EXPECT_EQ, not NEAR: the contract is bitwise equality.
+    EXPECT_EQ((*sequential)[r], (*parallel)[r]) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMeasures, RiskDeterminismTest,
+                         ::testing::Values("reidentification", "k-anonymity",
+                                           "individual", "suda"));
+
+/// Satellite (b): a cache-backed Explain must produce the same text as the
+/// cache-free path, and reuse the iteration's group stats.
+TEST(RiskExplainTest, CachedExplainMatchesUncached) {
+  const MicrodataTable t = Figure5Microdata();
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  ctx.k = 2;
+  RiskEvalCache cache;
+  ASSERT_TRUE(risk.ComputeRisks(t, ctx, &cache).ok());
+  EXPECT_EQ(cache.full_builds(), 1u);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(risk.Explain(t, ctx, r, 1.0, &cache), risk.Explain(t, ctx, r, 1.0));
+  }
+  // Explaining every row reused the one index instead of regrouping.
+  EXPECT_EQ(cache.full_builds(), 1u);
+}
+
+TEST(RiskWidthGuardTest, MaybeMatchRejectsWideProjections) {
+  std::vector<Attribute> attrs;
+  for (size_t c = 0; c < 40; ++c) {
+    attrs.push_back({"q" + std::to_string(c), "", AttributeCategory::kQuasiIdentifier});
+  }
+  MicrodataTable t("wide", attrs);
+  std::vector<Value> row;
+  for (size_t c = 0; c < 40; ++c) row.push_back(Value::Int(static_cast<int>(c)));
+  ASSERT_TRUE(t.AddRow(std::move(row)).ok());
+  KAnonymityRisk risk;
+  RiskContext ctx;
+  EXPECT_FALSE(risk.ComputeRisks(t, ctx).ok());
+  ctx.semantics = NullSemantics::kStandard;
+  EXPECT_TRUE(risk.ComputeRisks(t, ctx).ok());
+}
 
 }  // namespace
 }  // namespace vadasa::core
