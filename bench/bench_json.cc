@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace vadasa::bench {
 
@@ -89,7 +90,11 @@ bool JsonWriter::Flush() const {
     }
     out << "}";
   }
-  out << "\n  ]\n}\n";
+  // Process-wide metrics accumulated over the run (cycle.*, group_index.*,
+  // risk_cache.*, vadalog.*) — the flat exporter view, embedded so baseline
+  // JSONs carry the counters alongside the timings.
+  out << "\n  ],\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+      << "\n}\n";
   return static_cast<bool>(out);
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "bench_json.h"
+#include "obs/trace.h"
 #include "vadalog/engine.h"
 #include "vadalog/parser.h"
 
@@ -140,9 +141,12 @@ int main(int argc, char** argv) {
   vadasa::bench::JsonWriter json =
       vadasa::bench::JsonWriter::FromArgs("engine_microbench", &argc, argv);
   g_json = &json;
+  const vadasa::obs::TraceArgs trace_args = vadasa::obs::ExtractTraceArgs(&argc, argv);
+  if (trace_args.tracing_requested()) vadasa::obs::StartTracing();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!vadasa::obs::ExportRequested(trace_args)) return 1;
   return json.Flush() ? 0 : 1;
 }

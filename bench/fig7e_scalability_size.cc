@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "bench_json.h"
+#include "obs/trace.h"
 #include "core/anonymize.h"
 #include "core/cycle.h"
 #include "core/datagen.h"
@@ -89,6 +90,8 @@ void BM_CycleBySize(benchmark::State& state, const std::string& dataset,
 int main(int argc, char** argv) {
   bench::JsonWriter json = bench::JsonWriter::FromArgs("fig7e", &argc, argv);
   g_json = &json;
+  const vadasa::obs::TraceArgs trace_args = vadasa::obs::ExtractTraceArgs(&argc, argv);
+  if (trace_args.tracing_requested()) vadasa::obs::StartTracing();
   for (const char* dataset : {"R6A4U", "R12A4U", "R50A4U", "R100A4U"}) {
     for (const char* technique : {"individual", "k-anonymity", "suda"}) {
       benchmark::RegisterBenchmark(
@@ -104,5 +107,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!vadasa::obs::ExportRequested(trace_args)) return 1;
   return json.Flush() ? 0 : 1;
 }

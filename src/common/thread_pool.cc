@@ -15,6 +15,10 @@ namespace {
 
 thread_local bool t_inside_pool = false;
 
+std::atomic<ThreadPool::ContextCaptureFn> g_context_capture{nullptr};
+std::atomic<ThreadPool::ContextInstallFn> g_context_install{nullptr};
+std::atomic<ThreadPool::ContextRestoreFn> g_context_restore{nullptr};
+
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -28,6 +32,7 @@ struct ThreadPool::Impl {
     size_t grain = 1;
     size_t num_shards = 0;
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    uint64_t context = 0;  ///< Captured on the submitting thread (see hooks).
     std::atomic<size_t> next_shard{0};
     std::atomic<size_t> pending_shards{0};
   };
@@ -72,7 +77,12 @@ struct ThreadPool::Impl {
         seen_job = job_id;
         current = job;
       }
+      const auto install = g_context_install.load(std::memory_order_acquire);
+      const auto restore = g_context_restore.load(std::memory_order_acquire);
+      uint64_t previous = 0;
+      if (install != nullptr) previous = install(current->context);
       RunShards(*current);
+      if (install != nullptr && restore != nullptr) restore(previous);
     }
   }
 };
@@ -115,6 +125,9 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   job->grain = grain;
   job->num_shards = num_shards;
   job->fn = &fn;
+  if (const auto capture = g_context_capture.load(std::memory_order_acquire)) {
+    job->context = capture();
+  }
   job->pending_shards.store(num_shards, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -129,6 +142,13 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   std::unique_lock<std::mutex> lock(impl_->mutex);
   impl_->work_done.wait(
       lock, [&] { return job->pending_shards.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::SetContextHooks(ContextCaptureFn capture, ContextInstallFn install,
+                                 ContextRestoreFn restore) {
+  g_context_capture.store(capture, std::memory_order_release);
+  g_context_install.store(install, std::memory_order_release);
+  g_context_restore.store(restore, std::memory_order_release);
 }
 
 size_t ThreadPool::DefaultThreads() {

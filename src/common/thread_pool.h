@@ -2,6 +2,7 @@
 #define VADASA_COMMON_THREAD_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace vadasa {
@@ -48,6 +49,20 @@ class ThreadPool {
 
   /// VADASA_THREADS if set to a positive integer, else hardware concurrency.
   static size_t DefaultThreads();
+
+  /// Cross-thread context propagation for ParallelFor. `capture` runs on the
+  /// submitting thread when a job is published; `install` runs on a worker
+  /// before it claims shards of that job and returns the value to restore;
+  /// `restore` runs after the worker finished the job. The tracing layer uses
+  /// this to parent shard spans to the submitting thread's open span — the
+  /// pool itself carries an opaque token and has no observability dependency.
+  /// Hooks are process-global; pass nullptrs to clear. Registering while jobs
+  /// are in flight is safe (each hook is checked independently).
+  using ContextCaptureFn = uint64_t (*)();
+  using ContextInstallFn = uint64_t (*)(uint64_t context);
+  using ContextRestoreFn = void (*)(uint64_t previous);
+  static void SetContextHooks(ContextCaptureFn capture, ContextInstallFn install,
+                              ContextRestoreFn restore);
 
  private:
   struct Impl;

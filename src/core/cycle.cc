@@ -3,6 +3,8 @@
 #include <chrono>
 
 #include "core/infoloss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace vadasa::core {
 
@@ -32,10 +34,48 @@ bool MaybeMatchesAny(const std::vector<Value>& pattern,
   return false;
 }
 
+/// Per-run meter set over a local registry — the single source CycleStats is
+/// derived from. Counters are registered up front so the snapshot is complete
+/// even for runs that never touch a path.
+struct CycleMeters {
+  obs::MetricsRegistry registry;
+  obs::Counter* iterations = registry.counter("iterations");
+  obs::Counter* risk_evaluations = registry.counter("risk_evaluations");
+  obs::Counter* anonymization_steps = registry.counter("anonymization_steps");
+  obs::Counter* nulls_injected = registry.counter("nulls_injected");
+  obs::Counter* cells_recoded = registry.counter("cells_recoded");
+  obs::Counter* initial_risky = registry.counter("initial_risky");
+  obs::Counter* unresolved = registry.counter("unresolved");
+  obs::Counter* group_rebuilds = registry.counter("group_rebuilds");
+  obs::Counter* group_updates = registry.counter("group_updates");
+  obs::Counter* log_dropped = registry.counter("log_dropped");
+  obs::Histogram* risk_eval_seconds = registry.histogram("risk_eval_seconds");
+  obs::Histogram* anonymize_seconds = registry.histogram("anonymize_seconds");
+  obs::Histogram* index_update_seconds = registry.histogram("index_update_seconds");
+  obs::Gauge* total_seconds = registry.gauge("total_seconds");
+  obs::Gauge* information_loss = registry.gauge("information_loss");
+};
+
+/// Appends a log line under the max_log_steps cap; past the cap, appends the
+/// truncation sentinel once and counts the dropped entries.
+void AppendLog(const CycleOptions& options, CycleMeters* meters, CycleStats* stats,
+               std::string line) {
+  if (stats->log.size() < options.max_log_steps) {
+    stats->log.push_back(std::move(line));
+    return;
+  }
+  if (stats->log.size() == options.max_log_steps) {
+    stats->log.push_back(kLogTruncatedSentinel);
+  }
+  meters->log_dropped->Add(1);
+}
+
 }  // namespace
 
 Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
+  obs::Span run_span("cycle.run");
   const auto t_start = std::chrono::steady_clock::now();
+  CycleMeters meters;
   CycleStats stats;
   VADASA_RETURN_NOT_OK(table->Validate());
   const std::vector<size_t> qis = options_.risk.ResolveQiColumns(*table);
@@ -52,35 +92,45 @@ Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
   RiskEvalCache cache;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
-    ++stats.iterations;
+    obs::Span iteration_span("cycle.iteration");
+    meters.iterations->Add(1);
     // --- Risk evaluation (the component Fig. 7e singles out). ---
     const auto t_risk = std::chrono::steady_clock::now();
-    VADASA_ASSIGN_OR_RETURN(std::vector<double> risks,
-                            risk_->ComputeRisks(*table, options_.risk, &cache));
-    // Rows whose risk was raised by the business-knowledge transform carry
-    // non-local risk: the group-touch skip below must not apply to them.
-    std::vector<bool> cluster_elevated(risks.size(), false);
-    if (options_.risk_transform) {
-      const std::vector<double> base_risks = risks;
-      options_.risk_transform(*table, &risks);
-      for (size_t r = 0; r < risks.size(); ++r) {
-        cluster_elevated[r] = risks[r] > base_risks[r] + 1e-12;
+    std::vector<double> risks;
+    std::vector<bool> cluster_elevated;
+    {
+      obs::Span risk_span("cycle.risk_eval");
+      VADASA_ASSIGN_OR_RETURN(risks,
+                              risk_->ComputeRisks(*table, options_.risk, &cache));
+      // Rows whose risk was raised by the business-knowledge transform carry
+      // non-local risk: the group-touch skip below must not apply to them.
+      cluster_elevated.assign(risks.size(), false);
+      if (options_.risk_transform) {
+        const std::vector<double> base_risks = risks;
+        options_.risk_transform(*table, &risks);
+        for (size_t r = 0; r < risks.size(); ++r) {
+          cluster_elevated[r] = risks[r] > base_risks[r] + 1e-12;
+        }
       }
     }
-    ++stats.risk_evaluations;
-    stats.risk_eval_seconds += SecondsSince(t_risk);
+    meters.risk_evaluations->Add(1);
+    meters.risk_eval_seconds->Record(SecondsSince(t_risk));
 
     std::vector<size_t> risky;
     for (size_t r = 0; r < risks.size(); ++r) {
       if (risks[r] > options_.threshold && !unresolvable[r]) risky.push_back(r);
     }
     if (iter == 0) {
+      size_t initial = 0;
       for (size_t r = 0; r < risks.size(); ++r) {
-        if (risks[r] > options_.threshold) ++stats.initial_risky;
+        if (risks[r] > options_.threshold) ++initial;
       }
+      meters.initial_risky->Add(initial);
     }
     if (risky.empty()) break;
 
+    const auto t_anon = std::chrono::steady_clock::now();
+    obs::Span anonymize_span("cycle.anonymize");
     const std::vector<size_t> order =
         OrderRiskyTuples(*table, risky, risks, options_.tuple_order);
     // What-if oracle for the QI-choice heuristic: the cache's incremental
@@ -106,8 +156,9 @@ Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
         if (col.status().code() == StatusCode::kNotFound) {
           unresolvable[r] = true;
           if (options_.log_steps) {
-            stats.log.push_back("row " + std::to_string(r) +
-                                ": risky but no anonymization applicable; giving up");
+            AppendLog(options_, &meters, &stats,
+                      "row " + std::to_string(r) +
+                          ": risky but no anonymization applicable; giving up");
           }
           continue;
         }
@@ -122,33 +173,57 @@ Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
       }
       VADASA_ASSIGN_OR_RETURN(const AnonymizationStep step,
                               anonymizer_->Apply(table, r, *col));
-      ++stats.anonymization_steps;
-      stats.nulls_injected += step.nulls_injected;
-      if (step.nulls_injected == 0) stats.cells_recoded += step.affected_rows;
+      meters.anonymization_steps->Add(1);
+      meters.nulls_injected->Add(step.nulls_injected);
+      if (step.nulls_injected == 0) meters.cells_recoded->Add(step.affected_rows);
       progressed = true;
       iteration_changed.insert(iteration_changed.end(), step.changed_rows.begin(),
                                step.changed_rows.end());
       if (options_.log_steps) {
-        stats.log.push_back(step.ToString(*table) + "  [" + why + "]");
+        AppendLog(options_, &meters, &stats, step.ToString(*table) + "  [" + why + "]");
       }
       if (options_.single_step) break;  // Paper-literal: back to risk eval.
       if (step.affected_rows > 1) break;  // Global recoding: groups shifted broadly.
       touched_patterns.push_back(QiPattern(*table, qis, r));
     }
+    meters.anonymize_seconds->Record(SecondsSince(t_anon));
     if (!iteration_changed.empty()) {
+      obs::Span update_span("cycle.index_update");
+      const auto t_update = std::chrono::steady_clock::now();
       cache.NotifyRowsChanged(*table, iteration_changed);
+      meters.index_update_seconds->Record(SecondsSince(t_update));
     }
     if (!progressed) break;  // Only unresolvable risky tuples remain.
   }
 
+  size_t unresolved = 0;
   for (const bool u : unresolvable) {
-    if (u) ++stats.unresolved;
+    if (u) ++unresolved;
   }
-  stats.group_rebuilds = cache.full_builds();
-  stats.group_updates = cache.incremental_updates();
-  stats.information_loss =
-      PaperInformationLoss(stats.nulls_injected, stats.initial_risky, qis.size());
-  stats.total_seconds = SecondsSince(t_start);
+  meters.unresolved->Add(unresolved);
+  meters.group_rebuilds->Add(cache.full_builds());
+  meters.group_updates->Add(cache.incremental_updates());
+  meters.information_loss->Set(PaperInformationLoss(
+      meters.nulls_injected->value(), meters.initial_risky->value(), qis.size()));
+  meters.total_seconds->Set(SecondsSince(t_start));
+
+  // CycleStats is a view over the meter registry — one snapshot, one truth.
+  stats.iterations = meters.iterations->value();
+  stats.risk_evaluations = meters.risk_evaluations->value();
+  stats.anonymization_steps = meters.anonymization_steps->value();
+  stats.nulls_injected = meters.nulls_injected->value();
+  stats.cells_recoded = meters.cells_recoded->value();
+  stats.initial_risky = meters.initial_risky->value();
+  stats.unresolved = meters.unresolved->value();
+  stats.group_rebuilds = meters.group_rebuilds->value();
+  stats.group_updates = meters.group_updates->value();
+  stats.log_dropped = meters.log_dropped->value();
+  stats.risk_eval_seconds = meters.risk_eval_seconds->sum();
+  stats.total_seconds = meters.total_seconds->value();
+  stats.information_loss = meters.information_loss->value();
+
+  // Fold the run into the process-wide registry for the exporters.
+  meters.registry.MergeInto(&obs::MetricsRegistry::Global(), "cycle.");
   return stats;
 }
 

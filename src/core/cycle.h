@@ -35,10 +35,21 @@ struct CycleOptions {
   bool single_step = false;
   /// Record a human-readable justification for every step.
   bool log_steps = false;
+  /// Upper bound on buffered log entries (log_steps mode). Long runs on big
+  /// tables would otherwise grow CycleStats.log without bound; once the cap
+  /// is hit a single "… log truncated" sentinel entry is appended and
+  /// further justifications are dropped (counted in CycleStats.log_dropped).
+  size_t max_log_steps = 10000;
   RiskTransform risk_transform;
 };
 
 /// Outcome and accounting of a cycle run.
+///
+/// The numeric fields are a *view over the run's metrics registry*: the cycle
+/// meters every counter and timer into a local obs::MetricsRegistry (also
+/// folded into obs::MetricsRegistry::Global() under the "cycle." prefix) and
+/// derives this struct from one snapshot at the end of Run — the struct and
+/// the exported metrics can never disagree. All timers are steady_clock.
 struct CycleStats {
   size_t iterations = 0;
   size_t risk_evaluations = 0;
@@ -61,9 +72,15 @@ struct CycleStats {
   size_t group_rebuilds = 0;
   /// Incremental UpdateRows batches absorbed by the index.
   size_t group_updates = 0;
-  /// Step-by-step explanations (log_steps only).
+  /// Justifications dropped by the CycleOptions.max_log_steps cap.
+  size_t log_dropped = 0;
+  /// Step-by-step explanations (log_steps only). Capped at
+  /// CycleOptions.max_log_steps entries plus one truncation sentinel.
   std::vector<std::string> log;
 };
+
+/// The sentinel appended to CycleStats.log when max_log_steps is exceeded.
+inline constexpr const char* kLogTruncatedSentinel = "… log truncated";
 
 /// The anonymization cycle: iterative risk evaluation + minimal anonymization
 /// until every tuple's statistical disclosure risk is within the threshold

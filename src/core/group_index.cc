@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace vadasa::core {
 
@@ -194,6 +195,7 @@ void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
   for (const ProjIndexKey& key : needed) {
     if (memo->find(key) == memo->end()) missing.push_back(key);
   }
+  VADASA_METRIC_COUNT("group_index.proj_indexes_built", missing.size());
   std::vector<ProjIndex> built(missing.size());
   ThreadPool::Global().ParallelFor(0, missing.size(), 1,
                                    [&](size_t lo, size_t hi, size_t) {
@@ -429,6 +431,8 @@ struct GroupIndex::Impl {
   size_t incremental_updates = 0;
 
   void Build(const MicrodataTable& table) {
+    obs::Span span("group_index.build");
+    VADASA_METRIC_COUNT("group_index.full_builds", 1);
     num_rows = table.num_rows();
     CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
     patterns = std::move(collapsed.patterns);
@@ -454,6 +458,7 @@ struct GroupIndex::Impl {
   }
 
   void RecomputeStats() const {
+    obs::Span span("group_index.recompute_stats");
     const size_t n = num_rows;
     stats.frequency.assign(n, 0.0);
     stats.weight_sum.assign(n, 0.0);
@@ -493,7 +498,9 @@ void GroupIndex::UpdateRows(const MicrodataTable& table,
     im.Build(table);
     return;
   }
+  obs::Span span("group_index.update_rows");
   ++im.incremental_updates;
+  VADASA_METRIC_COUNT("group_index.incremental_updates", 1);
   std::set<uint32_t> dirty_classes;
   for (const uint32_t r : rows) {
     std::vector<Value> p;
@@ -532,16 +539,20 @@ void GroupIndex::UpdateRows(const MicrodataTable& table,
     im.row_pattern[r] = id;
   }
   if (dirty_classes.empty()) return;
+  VADASA_METRIC_COUNT("group_index.dirty_classes", dirty_classes.size());
 
   // Dirty-group invalidation: only projection indexes involving a touched
   // null-mask class are rebuilt by the next Stats()/Query().
+  size_t dropped = 0;
   for (auto it = im.proj_indexes.begin(); it != im.proj_indexes.end();) {
     if (dirty_classes.count(it->first.first) > 0) {
       it = im.proj_indexes.erase(it);
+      ++dropped;
     } else {
       ++it;
     }
   }
+  VADASA_METRIC_COUNT("group_index.proj_indexes_dropped", dropped);
   im.stats_dirty = true;
 }
 
@@ -568,6 +579,7 @@ PatternMass GroupIndex::Query(const std::vector<Value>& pattern) const {
     const ProjIndexKey key{cmask, u};
     auto it = im.proj_indexes.find(key);
     if (it == im.proj_indexes.end()) {
+      VADASA_METRIC_COUNT("group_index.proj_indexes_built", 1);
       it = im.proj_indexes.emplace(key, BuildProjIndex(im.patterns, ids, u)).first;
     }
     const auto proj = ProjectOut(pattern, u);
@@ -614,11 +626,15 @@ GroupIndex& RiskEvalCache::Index(const MicrodataTable& table,
   const Impl::Key key{qi_columns, semantics};
   auto it = impl_->indexes.find(key);
   if (it == impl_->indexes.end()) {
+    VADASA_METRIC_COUNT("risk_cache.index_misses", 1);
     it = impl_->indexes
              .emplace(key, std::make_unique<GroupIndex>(table, qi_columns, semantics))
              .first;
   } else if (it->second->num_rows() != table.num_rows()) {
+    VADASA_METRIC_COUNT("risk_cache.index_misses", 1);
     it->second = std::make_unique<GroupIndex>(table, qi_columns, semantics);
+  } else {
+    VADASA_METRIC_COUNT("risk_cache.index_hits", 1);
   }
   return *it->second;
 }
@@ -643,7 +659,12 @@ uint64_t RiskEvalCache::version() const { return impl_->version; }
 
 std::shared_ptr<void> RiskEvalCache::Memo(const std::string& key) const {
   auto it = impl_->memos.find(key);
-  return it == impl_->memos.end() ? nullptr : it->second;
+  if (it == impl_->memos.end()) {
+    VADASA_METRIC_COUNT("risk_cache.memo_misses", 1);
+    return nullptr;
+  }
+  VADASA_METRIC_COUNT("risk_cache.memo_hits", 1);
+  return it->second;
 }
 
 void RiskEvalCache::SetMemo(const std::string& key, std::shared_ptr<void> value) {

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "core/suda.h"
+#include "obs/trace.h"
 
 namespace vadasa::core {
 
@@ -55,6 +56,7 @@ std::string RiskMeasure::Explain(const MicrodataTable& table, const RiskContext&
 Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
     const MicrodataTable& table, const RiskContext& context,
     RiskEvalCache* cache) const {
+  obs::Span span("risk.compute.reidentification");
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;
@@ -70,6 +72,7 @@ Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
 Result<std::vector<double>> KAnonymityRisk::ComputeRisks(const MicrodataTable& table,
                                                          const RiskContext& context,
                                                          RiskEvalCache* cache) const {
+  obs::Span span("risk.compute.k_anonymity");
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;
@@ -116,6 +119,7 @@ std::string KAnonymityRisk::Explain(const MicrodataTable& table,
 Result<std::vector<double>> IndividualRisk::ComputeRisks(const MicrodataTable& table,
                                                          const RiskContext& context,
                                                          RiskEvalCache* cache) const {
+  obs::Span span("risk.compute.individual");
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace vadasa::core {
 
@@ -206,6 +207,7 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
 Result<std::vector<double>> SudaRisk::ComputeRisks(const MicrodataTable& table,
                                                    const RiskContext& context,
                                                    RiskEvalCache* cache) const {
+  obs::Span span("risk.compute.suda");
   VADASA_ASSIGN_OR_RETURN(const SudaDetails details,
                           ComputeDetails(table, context, cache));
   std::vector<double> risks(table.num_rows(), 0.0);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/similarity.h"
+#include "obs/trace.h"
 
 namespace vadasa::core {
 
@@ -106,6 +107,7 @@ void VadalogBridge::RegisterExternals(vadalog::Engine* engine,
       "#risk",
       [options](const std::vector<std::optional<Value>>& args, const Database& db)
           -> Result<std::vector<std::vector<Value>>> {
+        obs::Span span("risk.external");
         if (args.size() != 4) {
           return Status::InvalidArgument("#risk expects (M, I, VSet, R)");
         }
@@ -146,6 +148,7 @@ void VadalogBridge::RegisterExternals(vadalog::Engine* engine,
   engine->externals()->RegisterAction(
       "#anonymize",
       [options](const std::vector<Value>& args, ActionContext* ctx) -> Status {
+        obs::Span span("anonymize.external");
         if (args.size() != 3) {
           return Status::InvalidArgument("#anonymize expects (M, I, VSet)");
         }
@@ -311,6 +314,7 @@ MicrodataTable DecodeRelease(const Database& db, const MicrodataTable& table,
 Result<MicrodataTable> VadalogBridge::RunDeclarativeCycle(
     const MicrodataTable& table, const OwnershipGraph* graph,
     vadalog::RunStats* stats) const {
+  obs::Span span("bridge.declarative_cycle");
   vadalog::EngineOptions engine_options;
   engine_options.track_provenance = true;
   vadalog::Engine engine(engine_options);
@@ -327,6 +331,7 @@ Result<MicrodataTable> VadalogBridge::RunDeclarativeCycle(
 Result<MicrodataTable> VadalogBridge::RunDeclarativeEnhancedCycle(
     const MicrodataTable& table, const OwnershipGraph& graph,
     vadalog::RunStats* stats) const {
+  obs::Span span("bridge.declarative_enhanced_cycle");
   vadalog::EngineOptions engine_options;
   engine_options.track_provenance = true;
   vadalog::Engine engine(engine_options);

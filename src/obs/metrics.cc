@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace vadasa::obs {
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Record(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (samples_.size() < kMaxRetainedSamples) samples_.push_back(v);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Copy under the source lock first; never hold both locks at once.
+  std::vector<double> src_samples;
+  size_t src_count;
+  double src_sum, src_min, src_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    src_samples = other.samples_;
+    src_count = other.count_;
+    src_sum = other.sum_;
+    src_min = other.min_;
+    src_max = other.max_;
+  }
+  if (src_count == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) {
+    min_ = src_min;
+    max_ = src_max;
+  } else {
+    min_ = std::min(min_, src_min);
+    max_ = std::max(max_, src_max);
+  }
+  count_ += src_count;
+  sum_ += src_sum;
+  for (const double v : src_samples) {
+    if (samples_.size() >= kMaxRetainedSamples) break;
+    samples_.push_back(v);
+  }
+}
+
+size_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.empty()) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p == 0.0) return sorted.front();
+  // Nearest rank: rank = ceil(p/100 * N), 1-based.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+std::vector<double> Histogram::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) {
+    (void)name;
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    (void)name;
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    (void)name;
+    h->Reset();
+  }
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size() * 7);
+  for (const auto& [name, c] : counters_) {
+    out.emplace_back(name, static_cast<double>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.emplace_back(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name + ".count", static_cast<double>(h->count()));
+    out.emplace_back(name + ".sum", h->sum());
+    out.emplace_back(name + ".min", h->min());
+    out.emplace_back(name + ".max", h->max());
+    out.emplace_back(name + ".p50", h->Percentile(50.0));
+    out.emplace_back(name + ".p90", h->Percentile(90.0));
+    out.emplace_back(name + ".p99", h->Percentile(99.0));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  const auto snapshot = Snapshot();
+  std::string out = "{";
+  char buf[32];
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.12g", snapshot[i].second);
+    out += "\"" + snapshot[i].first + "\": " + buf;
+  }
+  out += "}";
+  return out;
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+void MetricsRegistry::MergeInto(MetricsRegistry* dst, const std::string& prefix) const {
+  // Collect source entries first; dst->counter() locks dst's mutex and the
+  // global registry may be the destination of many local registries.
+  std::vector<std::pair<std::string, uint64_t>> counter_vals;
+  std::vector<std::pair<std::string, double>> gauge_vals;
+  std::vector<const Histogram*> hist_ptrs;
+  std::vector<std::string> hist_names;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counter_vals.emplace_back(name, c->value());
+    for (const auto& [name, g] : gauges_) gauge_vals.emplace_back(name, g->value());
+    for (const auto& [name, h] : histograms_) {
+      hist_names.push_back(name);
+      hist_ptrs.push_back(h.get());
+    }
+  }
+  for (const auto& [name, v] : counter_vals) dst->counter(prefix + name)->Add(v);
+  for (const auto& [name, v] : gauge_vals) dst->gauge(prefix + name)->Set(v);
+  for (size_t i = 0; i < hist_ptrs.size(); ++i) {
+    dst->histogram(prefix + hist_names[i])->Merge(*hist_ptrs[i]);
+  }
+}
+
+}  // namespace vadasa::obs

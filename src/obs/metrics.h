@@ -1,0 +1,127 @@
+#ifndef VADASA_OBS_METRICS_H_
+#define VADASA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vadasa::obs {
+
+/// A monotonically increasing counter. Relaxed atomics: counters are
+/// statistics, not synchronization, and increments from ParallelFor shards
+/// are folded by the final read.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-value gauge (e.g. "total_seconds", "num_patterns").
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A sample-recording histogram with exact nearest-rank percentiles.
+///
+/// Samples are retained verbatim up to kMaxRetainedSamples; count/sum/min/max
+/// stay exact beyond that, while percentiles are computed over the retained
+/// prefix (run telemetry records thousands of iteration timings, not
+/// millions).
+class Histogram {
+ public:
+  static constexpr size_t kMaxRetainedSamples = 1 << 16;
+
+  void Record(double v);
+  /// Folds another histogram into this one (registry merging).
+  void Merge(const Histogram& other);
+
+  size_t count() const;
+  double sum() const;
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+
+  /// Exact nearest-rank percentile over the retained samples: the smallest
+  /// retained value v such that at least p% of samples are <= v. p is clamped
+  /// to [0, 100]; returns 0 when empty.
+  double Percentile(double p) const;
+
+  std::vector<double> samples() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A named collection of counters, gauges and histograms.
+///
+/// Two usage patterns:
+///  - `MetricsRegistry::Global()` accumulates process-wide telemetry
+///    (group-index rebuilds, risk-cache hits, engine rounds) and is what the
+///    exporters serialize.
+///  - Local instances scope one run: the anonymization cycle meters each Run
+///    into a local registry, derives `CycleStats` from it, and folds the
+///    result into the global registry under a "cycle." prefix.
+///
+/// Metric handles returned by counter()/gauge()/histogram() are stable for
+/// the registry's lifetime; the lookup itself takes a lock, so hot paths
+/// should capture the handle once (see VADASA_METRIC_* in trace.h).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Zeroes every registered metric (handles stay valid).
+  void Reset();
+
+  /// Flat name->value view, sorted by name. Histograms expand into
+  /// `<name>.count/.sum/.min/.max/.p50/.p90/.p99`.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  /// The flat snapshot as a single JSON object, `{"name": value, ...}`.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  /// Folds this registry into `dst`, prefixing every metric name: counters
+  /// add, gauges overwrite, histograms merge.
+  void MergeInto(MetricsRegistry* dst, const std::string& prefix) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace vadasa::obs
+
+#endif  // VADASA_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+#ifndef VADASA_OBS_TRACE_H_
+#define VADASA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// Low-overhead scoped tracing for the reasoning engine and the anonymization
+/// cycle.
+///
+/// Usage: brace a region with `obs::Span span("cycle.risk_eval");`. When
+/// tracing is off (the default) a span costs one relaxed atomic load; when on
+/// it costs two steady_clock reads and an append to a thread-local buffer.
+/// Span context crosses ThreadPool::ParallelFor: shard work run on worker
+/// threads is parented to the span open on the submitting thread, so a
+/// Perfetto view attributes parallel sections to the phase that spawned them.
+///
+/// `VADASA_DISABLE_OBS` compiles the tracer (and the hot-path metric macros
+/// below) out entirely; spans become empty objects the optimizer deletes.
+/// Instrumentation must never alter computation: a run with tracing enabled
+/// is bit-identical to a disabled or compiled-out run (test-enforced).
+
+namespace vadasa::obs {
+
+/// One completed span, timestamps in nanoseconds on the tracer's
+/// steady-clock timeline.
+struct SpanEvent {
+  const char* name = nullptr;  ///< Static string (span sites use literals).
+  uint64_t id = 0;
+  uint64_t parent = 0;  ///< 0 = root.
+  uint32_t tid = 0;     ///< Stable per-thread index (0 = first seen thread).
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+};
+
+#ifndef VADASA_DISABLE_OBS
+
+/// Is tracing currently recording? One relaxed load; callers may use it to
+/// gate timing work that only feeds the trace.
+bool TracingEnabled();
+
+/// Clears recorded spans and starts recording. Registers the ParallelFor
+/// context hooks on first use.
+void StartTracing();
+
+/// Stops recording (spans stay buffered for export).
+void StopTracing();
+
+/// All spans completed since StartTracing, in per-thread completion order.
+std::vector<SpanEvent> CollectSpans();
+
+/// Serializes the recorded spans as a Chrome trace_event JSON document
+/// (`{"traceEvents": [...]}`), loadable in chrome://tracing and Perfetto.
+/// Timestamps are microseconds relative to StartTracing.
+std::string ToChromeTraceJson();
+
+/// Writes ToChromeTraceJson() to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// RAII scoped span. Must be destroyed on the thread that created it
+/// (automatic for stack objects), which guarantees per-thread stack nesting.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t parent_ = 0;
+  int64_t start_ns_ = 0;
+};
+
+#else  // VADASA_DISABLE_OBS
+
+inline bool TracingEnabled() { return false; }
+inline void StartTracing() {}
+inline void StopTracing() {}
+inline std::vector<SpanEvent> CollectSpans() { return {}; }
+inline std::string ToChromeTraceJson() { return "{\"traceEvents\": []}\n"; }
+bool WriteChromeTrace(const std::string& path);
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+};
+
+#endif  // VADASA_DISABLE_OBS
+
+/// `--trace=PATH` / `--metrics=PATH` handling shared by the CLI and the
+/// benchmark binaries: ExtractTraceArgs strips the flags from argv (so
+/// google-benchmark and positional parsing never see them) and
+/// ExportRequested writes the requested files after the run.
+struct TraceArgs {
+  std::string trace_path;    ///< Chrome trace_event output, empty = off.
+  std::string metrics_path;  ///< Flat metrics JSON output, empty = off.
+  bool tracing_requested() const { return !trace_path.empty(); }
+  bool any() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+TraceArgs ExtractTraceArgs(int* argc, char** argv);
+
+/// Writes the trace and/or metrics files named in `args` (no-op for empty
+/// paths). Returns false if any write failed.
+bool ExportRequested(const TraceArgs& args);
+
+}  // namespace vadasa::obs
+
+/// Hot-path global counter: resolves the handle once per call site, then
+/// pays one relaxed atomic add. Compiles out under VADASA_DISABLE_OBS.
+#ifndef VADASA_DISABLE_OBS
+#define VADASA_METRIC_COUNT(metric_name, delta)                      \
+  do {                                                               \
+    static ::vadasa::obs::Counter* vadasa_metric_counter_ =          \
+        ::vadasa::obs::MetricsRegistry::Global().counter(metric_name); \
+    vadasa_metric_counter_->Add(delta);                              \
+  } while (0)
+#else
+#define VADASA_METRIC_COUNT(metric_name, delta) \
+  do {                                          \
+  } while (0)
+#endif
+
+#endif  // VADASA_OBS_TRACE_H_

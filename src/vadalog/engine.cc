@@ -7,6 +7,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <chrono>
+
+#include "obs/trace.h"
 #include "vadalog/expr_eval.h"
 #include "vadalog/parser.h"
 
@@ -462,6 +465,7 @@ class Evaluator {
       : options_(options), externals_(externals), program_(program), db_(db) {}
 
   Result<RunStats> Run() {
+    obs::Span run_span("engine.run");
     VADASA_RETURN_NOT_OK(CheckSafety(program_));
     if (options_.require_warded) {
       const WardednessReport report = AnalyzeWardedness(program_);
@@ -492,10 +496,17 @@ class Evaluator {
     }
     agg_state_.resize(compiled_.size());
     action_seen_.resize(compiled_.size());
+    stats_.rule_firings.assign(compiled_.size(), 0);
 
     for (int s = 0; s < strat.num_strata; ++s) {
+      obs::Span stratum_span("engine.stratum");
       VADASA_RETURN_NOT_OK(RunStratum(strat.rules_by_stratum[s]));
     }
+    VADASA_METRIC_COUNT("vadalog.runs", 1);
+    VADASA_METRIC_COUNT("vadalog.rounds", stats_.rounds);
+    VADASA_METRIC_COUNT("vadalog.facts_derived", stats_.facts_derived);
+    VADASA_METRIC_COUNT("vadalog.nulls_created", stats_.nulls_created);
+    VADASA_METRIC_COUNT("vadalog.egd_substitutions", stats_.egd_substitutions);
     return stats_;
   }
 
@@ -516,6 +527,7 @@ class Evaluator {
         return Status::LimitExceeded("chase exceeded max_rounds=" +
                                      std::to_string(options_.max_rounds));
       }
+      obs::Span round_span("engine.round");
       ++stats_.rounds;
       // Snapshot current sizes: rows >= prev_marks_ are the delta.
       cur_marks_.clear();
@@ -805,6 +817,7 @@ class Evaluator {
   // --- Emission ------------------------------------------------------------
 
   Status EmitBinding(CompiledRule* cr) {
+    ++stats_.rule_firings[cr->rule_index];
     if (cr->is_egd) return EmitEgd(cr);
     if (!cr->aggregates.empty()) return EmitAggregate(cr);
     return EmitHeads(cr);
@@ -1000,7 +1013,18 @@ class Evaluator {
       frontier.reserve(cr->frontier_slots.size());
       for (const int s : cr->frontier_slots) frontier.push_back(slots_[s]);
       if (options_.restricted_chase && cr->head.size() == 1 && !cr->head[0].external) {
-        if (HeadSatisfied(cr)) return Status::OK();
+        // The termination check is only timed under tracing: two clock reads
+        // per emission are measurable on the existential hot path.
+        if (obs::TracingEnabled()) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const bool satisfied = HeadSatisfied(cr);
+          stats_.termination_check_seconds +=
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                  .count();
+          if (satisfied) return Status::OK();
+        } else if (HeadSatisfied(cr)) {
+          return Status::OK();
+        }
       }
       for (const int slot : cr->existential_slots) {
         std::vector<Value> key = frontier;

@@ -42,6 +42,14 @@ struct RunStats {
   size_t nulls_created = 0;
   size_t egd_substitutions = 0;
   size_t action_invocations = 0;
+  /// Per-rule firing counts: rule_firings[i] is the number of complete body
+  /// bindings rule i reached emission with (program order). Sized to the
+  /// program's rule count on every run.
+  std::vector<size_t> rule_firings;
+  /// Time spent in the restricted-chase termination check (HeadSatisfied).
+  /// Accrued only while obs tracing is enabled — the check sits on the
+  /// existential hot path and is not timed in untraced runs (stays 0).
+  double termination_check_seconds = 0.0;
   /// EGD constant-vs-constant violations (EgdMode::kCollect only).
   std::vector<std::string> egd_violations;
 };

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vadasa::obs {
+namespace {
+
+TEST(CounterTest, AddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Add(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, ExactAggregatesOnKnownInput) {
+  Histogram h;
+  for (int v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(HistogramTest, ExactNearestRankPercentiles) {
+  // 1..100: nearest-rank percentile p is exactly the value p.
+  Histogram h;
+  for (int v = 100; v >= 1; --v) h.Record(v);  // Reverse order: must sort.
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(90.0), 90.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  // Out-of-range p is clamped.
+  EXPECT_DOUBLE_EQ(h.Percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(400.0), 100.0);
+}
+
+TEST(HistogramTest, PercentilesOnSmallSample) {
+  Histogram h;
+  for (const double v : {40.0, 10.0, 30.0, 20.0}) h.Record(v);
+  // rank = ceil(p/100 * 4): p50 -> rank 2 -> 20; p75 -> rank 3 -> 30;
+  // p25 -> rank 1 -> 10; p51 -> rank 3 -> 30.
+  EXPECT_DOUBLE_EQ(h.Percentile(25.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(51.0), 30.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(75.0), 30.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(76.0), 40.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50.0), 0.0);
+}
+
+TEST(HistogramTest, MergeFoldsCountsSumsAndSamples) {
+  Histogram a, b;
+  a.Record(1.0);
+  a.Record(2.0);
+  b.Record(10.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 13.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100.0), 10.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStable) {
+  MetricsRegistry r;
+  Counter* c1 = r.counter("x");
+  Counter* c2 = r.counter("x");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(r.counter("y"), c1);
+  EXPECT_EQ(r.gauge("g"), r.gauge("g"));
+  EXPECT_EQ(r.histogram("h"), r.histogram("h"));
+}
+
+TEST(MetricsRegistryTest, SnapshotExpandsHistogramsSorted) {
+  MetricsRegistry r;
+  r.counter("b.count")->Add(7);
+  r.gauge("a.gauge")->Set(2.5);
+  Histogram* h = r.histogram("c.hist");
+  h->Record(1.0);
+  h->Record(3.0);
+  const auto snap = r.Snapshot();
+  ASSERT_EQ(snap.size(), 9u);  // 1 counter + 1 gauge + 7 histogram facets.
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  std::map<std::string, double> m(snap.begin(), snap.end());
+  EXPECT_DOUBLE_EQ(m.at("b.count"), 7.0);
+  EXPECT_DOUBLE_EQ(m.at("a.gauge"), 2.5);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.count"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.sum"), 4.0);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.min"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.max"), 3.0);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.p50"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("c.hist.p99"), 3.0);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsFlatObject) {
+  MetricsRegistry r;
+  r.counter("runs")->Add(3);
+  r.gauge("seconds")->Set(0.25);
+  const std::string json = r.ToJson();
+  EXPECT_EQ(json, "{\"runs\": 3, \"seconds\": 0.25}");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry r;
+  Counter* c = r.counter("x");
+  c->Add(5);
+  r.histogram("h")->Record(1.0);
+  r.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(r.counter("x"), c);
+  EXPECT_EQ(r.histogram("h")->count(), 0u);
+}
+
+TEST(MetricsRegistryTest, MergeIntoPrefixesAndAccumulates) {
+  MetricsRegistry local, global;
+  local.counter("iterations")->Add(4);
+  local.gauge("total_seconds")->Set(1.25);
+  local.histogram("risk_eval_seconds")->Record(0.5);
+  local.MergeInto(&global, "cycle.");
+  local.MergeInto(&global, "cycle.");  // Two runs accumulate.
+  EXPECT_EQ(global.counter("cycle.iterations")->value(), 8u);
+  EXPECT_DOUBLE_EQ(global.gauge("cycle.total_seconds")->value(), 1.25);
+  EXPECT_EQ(global.histogram("cycle.risk_eval_seconds")->count(), 2u);
+  EXPECT_DOUBLE_EQ(global.histogram("cycle.risk_eval_seconds")->sum(), 1.0);
+}
+
+}  // namespace
+}  // namespace vadasa::obs

@@ -449,6 +449,36 @@ TEST(EngineTest, RequireWardedRejectsUnwardedProgram) {
   EXPECT_EQ(db.status().code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(EngineTest, RuleFiringsCountEmissionsPerRuleInProgramOrder) {
+  Engine engine;
+  Database db;
+  auto stats = RunSource(
+      "n(1). n(2). n(3).\n"
+      "pair(X, Y) :- n(X), n(Y).\n"
+      "id(X) :- n(X).",
+      &db, &engine);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->rule_firings.size(), 2u);  // Facts are not rules.
+  EXPECT_EQ(stats->rule_firings[0], 9u);      // 3 × 3 complete bindings.
+  EXPECT_EQ(stats->rule_firings[1], 3u);
+}
+
+TEST(EngineTest, RuleFiringsAccumulateAcrossChaseRounds) {
+  Engine engine;
+  Database db;
+  auto stats = RunSource(
+      "edge(n0, n1). edge(n1, n2). edge(n2, n3).\n"
+      "path(X, Y) :- edge(X, Y).\n"
+      "path(X, Z) :- path(X, Y), edge(Y, Z).",
+      &db, &engine);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->rule_firings.size(), 2u);
+  EXPECT_EQ(stats->rule_firings[0], 3u);
+  // Semi-naive: each of the 3 length-≥2 paths is emitted exactly once.
+  EXPECT_EQ(stats->rule_firings[1], 3u);
+  EXPECT_EQ(stats->termination_check_seconds, 0.0);  // Untraced run.
+}
+
 TEST(EngineTest, FinalAggregateRowsPicksExtremes) {
   Database db;
   db.AddFact("out", {Value::String("g"), Value::Int(1)});

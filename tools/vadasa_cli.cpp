@@ -9,11 +9,18 @@
 //       statistically inferred threshold.
 //   vadasa anonymize <in.csv> <out.csv> [--measure M] [--k K]
 //                    [--threshold T] [--standard-nulls] [--single-step]
-//       run the audited anonymization cycle and write the release.
+//                    [--declarative]
+//       run the audited anonymization cycle and write the release;
+//       --declarative routes the run through the Vadalog engine instead of
+//       the native cycle (the paper's reasoning-based pipeline).
 //   vadasa datasets
 //       regenerate and describe the Fig. 6 experimental corpus.
 //
 // Measures: reidentification | k-anonymity | individual | suda.
+//
+// Observability (any command): --trace=out.json writes a Chrome trace_event
+// file (load in Perfetto or chrome://tracing); --metrics=out.json dumps the
+// metrics registry. See docs/observability.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +30,8 @@
 
 #include "common/csv.h"
 #include "core/categorize.h"
+#include "core/vadalog_bridge.h"
+#include "obs/trace.h"
 #include "core/datagen.h"
 #include "core/global_risk.h"
 #include "core/group_index.h"
@@ -39,6 +48,7 @@ struct Flags {
   std::map<std::string, std::string> named;
   bool standard_nulls = false;
   bool single_step = false;
+  bool declarative = false;
 };
 
 Flags ParseFlags(int argc, char** argv) {
@@ -49,6 +59,8 @@ Flags ParseFlags(int argc, char** argv) {
       flags.standard_nulls = true;
     } else if (arg == "--single-step") {
       flags.single_step = true;
+    } else if (arg == "--declarative") {
+      flags.declarative = true;
     } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
       flags.named[arg.substr(2)] = argv[++i];
     } else {
@@ -142,6 +154,27 @@ int CmdAnonymize(const Flags& flags) {
   }
   auto table = LoadAndCategorize(flags.positional[0]);
   if (!table.ok()) return Fail(table.status());
+  if (flags.declarative) {
+    // Reasoning path: the cycle runs as a Vadalog program whose #risk /
+    // #anonymize externals call back into the native measures — traces show
+    // engine.run / engine.round spans with risk.compute children.
+    BridgeOptions bridge_options;
+    bridge_options.risk_measure = FlagOr(flags, "measure", "k-anonymity");
+    bridge_options.k = std::atoi(FlagOr(flags, "k", "2").c_str());
+    bridge_options.threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
+    bridge_options.maybe_match = !flags.standard_nulls;
+    const VadalogBridge bridge(bridge_options);
+    vadalog::RunStats run_stats;
+    auto anonymized = bridge.RunDeclarativeCycle(*table, nullptr, &run_stats);
+    if (!anonymized.ok()) return Fail(anonymized.status());
+    std::printf("declarative cycle: %zu rounds, %zu facts derived, %zu nulls\n",
+                run_stats.rounds, run_stats.facts_derived, run_stats.nulls_created);
+    const Status decl_written =
+        WriteCsvFile(flags.positional[1], anonymized->ToCsv());
+    if (!decl_written.ok()) return Fail(decl_written);
+    std::printf("wrote %s\n", flags.positional[1].c_str());
+    return 0;
+  }
   auto measure = MakeRiskMeasure(FlagOr(flags, "measure", "k-anonymity"));
   if (!measure.ok()) return Fail(measure.status());
   LocalSuppression anonymizer;
@@ -170,19 +203,31 @@ int CmdDatasets() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: vadasa <categorize|risk|anonymize|datasets> [args]\n"
-                 "see the header of tools/vadasa_cli.cpp for details\n");
-    return 2;
-  }
-  const std::string command = argv[1];
-  const Flags flags = ParseFlags(argc, argv);
+int Dispatch(const std::string& command, const Flags& flags) {
   if (command == "categorize") return CmdCategorize(flags);
   if (command == "risk") return CmdRisk(flags);
   if (command == "anonymize") return CmdAnonymize(flags);
   if (command == "datasets") return CmdDatasets();
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
+}
+
+int main(int argc, char** argv) {
+  const obs::TraceArgs trace_args = obs::ExtractTraceArgs(&argc, argv);
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: vadasa <categorize|risk|anonymize|datasets> [args]\n"
+                 "       [--trace=out.json] [--metrics=out.json]\n"
+                 "see the header of tools/vadasa_cli.cpp for details\n");
+    return 2;
+  }
+  if (trace_args.tracing_requested()) obs::StartTracing();
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv);
+  const int code = Dispatch(command, flags);
+  if (!obs::ExportRequested(trace_args)) {
+    std::fprintf(stderr, "error: failed to write --trace/--metrics output\n");
+    return code == 0 ? 1 : code;
+  }
+  return code;
 }
