@@ -1,6 +1,27 @@
 #include "core/anonymize.h"
 
+#include <algorithm>
+
 namespace vadasa::core {
+
+namespace {
+
+/// Highest labelled-null label anywhere in the table. Suppression must start
+/// *above* it: under standard semantics ⊥_i = ⊥_j iff i = j, so reusing a
+/// label already present in a partially pre-anonymized input silently merges
+/// unrelated groups and under-reports risk.
+uint64_t MaxNullLabel(const MicrodataTable& table) {
+  uint64_t max_label = 0;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Value& v = table.cell(r, c);
+      if (v.is_null()) max_label = std::max(max_label, v.null_label());
+    }
+  }
+  return max_label;
+}
+
+}  // namespace
 
 std::string AnonymizationStep::ToString(const MicrodataTable& table) const {
   std::string out = method + ": row " + std::to_string(row) + ", " +
@@ -28,6 +49,10 @@ Result<AnonymizationStep> LocalSuppression::Apply(MicrodataTable* table, size_t 
                                       std::to_string(row) + " column " +
                                       std::to_string(column));
   }
+  if (!label_seeded_) {
+    next_label_ = std::max(next_label_, MaxNullLabel(*table) + 1);
+    label_seeded_ = true;
+  }
   AnonymizationStep step;
   step.row = row;
   step.column = column;
@@ -35,6 +60,7 @@ Result<AnonymizationStep> LocalSuppression::Apply(MicrodataTable* table, size_t 
   step.after = Value::Null(next_label_++);
   step.method = name();
   step.nulls_injected = 1;
+  ++nulls_created_;
   step.changed_rows.push_back(static_cast<uint32_t>(row));
   table->set_cell(row, column, step.after);
   return step;
@@ -147,6 +173,10 @@ Result<AnonymizationStep> RecordSuppression::Apply(MicrodataTable* table, size_t
   if (!CanApply(*table, row, column)) {
     return Status::FailedPrecondition("record suppression not applicable to row " +
                                       std::to_string(row));
+  }
+  if (!label_seeded_) {
+    next_label_ = std::max(next_label_, MaxNullLabel(*table) + 1);
+    label_seeded_ = true;
   }
   AnonymizationStep step;
   step.row = row;

@@ -57,10 +57,12 @@ class LocalSuppression : public Anonymizer {
   Result<AnonymizationStep> Apply(MicrodataTable* table, size_t row,
                                   size_t column) override;
 
-  uint64_t nulls_created() const { return next_label_ - 1; }
+  uint64_t nulls_created() const { return nulls_created_; }
 
  private:
   uint64_t next_label_ = 1;
+  uint64_t nulls_created_ = 0;
+  bool label_seeded_ = false;
 };
 
 /// Global recoding over a domain hierarchy (Algorithm 8): replaces the cell's
@@ -112,6 +114,7 @@ class RecordSuppression : public Anonymizer {
 
  private:
   uint64_t next_label_ = 1;
+  bool label_seeded_ = false;
 };
 
 /// Tries global recoding first and falls back to local suppression when the

@@ -1,0 +1,74 @@
+#ifndef VADASA_TESTING_ORACLES_H_
+#define VADASA_TESTING_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "core/business.h"
+#include "core/cycle.h"
+#include "core/microdata.h"
+#include "core/risk.h"
+
+namespace vadasa::testing {
+
+/// Invariant oracles: each checks one property the paper (or the SDC
+/// literature) guarantees, on arbitrary inputs, and returns OK or a
+/// FailedPrecondition status whose message pinpoints the violating row.
+/// docs/testing.md carries the catalog with paper-algorithm references.
+
+/// Every per-tuple risk is a probability: 0 <= rho <= 1 (Section 4.2 — all
+/// four measures are defined as probabilities of re-identification).
+Status CheckRisksInUnitRange(const std::vector<double>& risks);
+
+/// After an anonymization cycle (Algorithm 2) every tuple's risk is within
+/// the threshold T, or the tuple is exhausted (every quasi-identifier cell
+/// suppressed — nothing left to remove). Checks the released table directly,
+/// independent of how the cycle got there.
+Status CheckPostCycleRisks(const core::MicrodataTable& released,
+                           const core::RiskMeasure& measure,
+                           const core::RiskContext& context, double threshold);
+
+/// Suppressing one more cell never shrinks any maybe-match QI group
+/// (=⊥ semantics, Section 4.3: a null matches anything, so wildcarding a
+/// cell only widens match sets) — hence k-anonymity risk is monotone
+/// non-increasing under suppression (Algorithms 4 and 7). Verifies both the
+/// group frequencies and the k-anonymity risk vector across one suppression
+/// of cell (row, column) applied to a copy of `table`.
+Status CheckSuppressionMonotone(const core::MicrodataTable& table, size_t row,
+                                size_t column, const core::RiskContext& context);
+
+/// Under standard null semantics (⊥_i = ⊥_j iff i = j) a suppression must
+/// inject a *fresh* labelled null: a fresh label matches nothing, so no
+/// row's group frequency may grow when a cell is wildcarded away. A label
+/// collision with a null already present in the input silently merges
+/// unrelated groups and under-reports risk. Applies a real LocalSuppression
+/// step to a copy of `table` at (row, column) and compares frequencies.
+Status CheckSuppressionFreshLabels(const core::MicrodataTable& table, size_t row,
+                                   size_t column);
+
+/// SUDA scores (Algorithm 6) depend only on the multiset of QI projections,
+/// never on row order: permuting the rows must permute the scores.
+Status CheckSudaPermutationInvariance(const core::MicrodataTable& table,
+                                      const core::RiskContext& context, Rng* rng);
+
+/// Cluster risk (Algorithm 9): for every company cluster, the propagated
+/// risk 1 − Π_c (1 − ρ_c) bounds each member's base risk from below, never
+/// exceeds 1, and matches the closed form recomputed from the base risks.
+Status CheckClusterRiskBounds(const core::MicrodataTable& table,
+                              const core::OwnershipGraph& graph,
+                              const std::string& id_column,
+                              const std::vector<double>& base_risks);
+
+/// Information loss is monotone in the number of anonymization steps applied
+/// (Fig. 7b: every suppressed cell adds loss, none ever removes it). Checks
+/// the paper metric and the suppressed-cell fraction across a sequence of
+/// suppressions.
+Status CheckInfoLossMonotone(const core::MicrodataTable& table, size_t steps,
+                             Rng* rng);
+
+}  // namespace vadasa::testing
+
+#endif  // VADASA_TESTING_ORACLES_H_

@@ -1,0 +1,396 @@
+#include "testing/properties.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/anonymize.h"
+#include "core/business.h"
+#include "core/cycle.h"
+#include "core/group_index.h"
+#include "core/microdata.h"
+#include "core/risk.h"
+#include "core/vadalog_bridge.h"
+#include "testing/differential.h"
+#include "testing/generators.h"
+#include "testing/oracles.h"
+#include "vadalog/engine.h"
+#include "vadalog/parser.h"
+
+namespace vadasa::testing {
+
+using core::AttributeCategory;
+using core::MicrodataTable;
+using core::NullSemantics;
+using core::RiskContext;
+
+namespace {
+
+std::string Param(const ReproCase& repro, const std::string& key,
+                  const std::string& fallback) {
+  auto it = repro.params.find(key);
+  return it == repro.params.end() ? fallback : it->second;
+}
+
+uint64_t ParamU64(const ReproCase& repro, const std::string& key, uint64_t fallback) {
+  auto it = repro.params.find(key);
+  return it == repro.params.end() ? fallback : std::stoull(it->second);
+}
+
+double ParamDouble(const ReproCase& repro, const std::string& key, double fallback) {
+  auto it = repro.params.find(key);
+  return it == repro.params.end() ? fallback : std::stod(it->second);
+}
+
+/// Seeds a base case: fresh aux seed plus a generated table.
+ReproCase TableCase(const std::string& property, Rng* rng, uint64_t case_index,
+                    const TableGenOptions& options = {}) {
+  ReproCase repro;
+  repro.property = property;
+  repro.seed = rng->Next();
+  repro.case_index = case_index;
+  repro.table = RandomTable(rng, options);
+  return repro;
+}
+
+RiskContext ContextFrom(const ReproCase& repro) {
+  RiskContext ctx;
+  ctx.k = static_cast<int>(ParamU64(repro, "k", 2));
+  ctx.semantics = Param(repro, "semantics", "maybe") == "standard"
+                      ? NullSemantics::kStandard
+                      : NullSemantics::kMaybeMatch;
+  return ctx;
+}
+
+/// Picks a suppressible cell from the table's current shape. Deterministic in
+/// (seed, table) so shrunk candidates re-pick a valid cell.
+bool PickQiCell(const ReproCase& repro, size_t* row, size_t* column) {
+  const std::vector<size_t> qis = repro.table.QuasiIdentifierColumns();
+  if (qis.empty() || repro.table.num_rows() == 0) return false;
+  Rng aux(repro.seed);
+  *row = aux.NextBelow(repro.table.num_rows());
+  *column = qis[aux.NextBelow(qis.size())];
+  return true;
+}
+
+// --- Evaluators. Each is a pure function of the ReproCase. ---
+
+Status EvalRiskUnitRange(const ReproCase& repro) {
+  RiskContext ctx = ContextFrom(repro);
+  for (const char* name : {"reidentification", "k-anonymity", "individual", "suda"}) {
+    VADASA_ASSIGN_OR_RETURN(const auto measure, core::MakeRiskMeasure(name));
+    VADASA_ASSIGN_OR_RETURN(const std::vector<double> risks,
+                            measure->ComputeRisks(repro.table, ctx));
+    Status st = CheckRisksInUnitRange(risks);
+    if (!st.ok()) {
+      return Status::FailedPrecondition(std::string(name) + ": " + st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalPostCycleSafety(const ReproCase& repro) {
+  const std::string measure_name = Param(repro, "measure", "k-anonymity");
+  const double threshold = ParamDouble(repro, "threshold", 0.5);
+  VADASA_ASSIGN_OR_RETURN(const auto measure, core::MakeRiskMeasure(measure_name));
+  core::CycleOptions options;
+  options.threshold = threshold;
+  options.risk = ContextFrom(repro);
+  core::LocalSuppression suppression;
+  core::AnonymizationCycle cycle(measure.get(), &suppression, options);
+  MicrodataTable released = repro.table;
+  VADASA_RETURN_NOT_OK(cycle.Run(&released).status());
+  return CheckPostCycleRisks(released, *measure, options.risk, threshold);
+}
+
+Status EvalSuppressionMonotone(const ReproCase& repro) {
+  size_t row = 0, column = 0;
+  if (!PickQiCell(repro, &row, &column)) return Status::OK();
+  return CheckSuppressionMonotone(repro.table, row, column, ContextFrom(repro));
+}
+
+Status EvalSuppressionFreshLabels(const ReproCase& repro) {
+  size_t row = 0, column = 0;
+  if (!PickQiCell(repro, &row, &column)) return Status::OK();
+  return CheckSuppressionFreshLabels(repro.table, row, column);
+}
+
+Status EvalSudaPermutation(const ReproCase& repro) {
+  Rng aux(repro.seed);
+  return CheckSudaPermutationInvariance(repro.table, ContextFrom(repro), &aux);
+}
+
+Status EvalClusterRiskBounds(const ReproCase& repro) {
+  const auto id_cols = repro.table.ColumnsWithCategory(AttributeCategory::kIdentifier);
+  if (id_cols.empty() || repro.table.num_rows() == 0) return Status::OK();
+  Rng aux(repro.seed);
+  const core::OwnershipGraph graph =
+      RandomOwnershipGraph(&aux, repro.table, ParamDouble(repro, "edge_p", 0.15));
+  VADASA_ASSIGN_OR_RETURN(const auto measure,
+                          core::MakeRiskMeasure("reidentification"));
+  VADASA_ASSIGN_OR_RETURN(const std::vector<double> base,
+                          measure->ComputeRisks(repro.table, ContextFrom(repro)));
+  return CheckClusterRiskBounds(repro.table, graph,
+                                repro.table.attributes()[id_cols[0]].name, base);
+}
+
+Status EvalInfoLossMonotone(const ReproCase& repro) {
+  Rng aux(repro.seed);
+  const size_t steps = 1 + aux.NextBelow(24);
+  return CheckInfoLossMonotone(repro.table, steps, &aux);
+}
+
+Status EvalCycleDifferential(const ReproCase& repro) {
+  core::BridgeOptions options;
+  options.risk_measure = Param(repro, "measure", "k-anonymity");
+  options.k = static_cast<int>(ParamU64(repro, "k", 2));
+  options.threshold = ParamDouble(repro, "threshold", 0.5);
+  options.maybe_match = Param(repro, "semantics", "maybe") != "standard";
+  if (ParamU64(repro, "with_graph", 0) != 0) {
+    Rng aux(repro.seed);
+    const core::OwnershipGraph graph =
+        RandomOwnershipGraph(&aux, repro.table, ParamDouble(repro, "edge_p", 0.15));
+    return CheckCycleDifferential(repro.table, options, &graph).status();
+  }
+  return CheckCycleDifferential(repro.table, options, nullptr).status();
+}
+
+Status EvalParallelDeterminism(const ReproCase& repro) {
+  core::CycleOptions options;
+  options.threshold = ParamDouble(repro, "threshold", 0.5);
+  options.risk = ContextFrom(repro);
+  const size_t threads = ParamU64(repro, "threads", 4);
+  return CheckParallelDeterminism(repro.table, options,
+                                  Param(repro, "measure", "k-anonymity"), threads);
+}
+
+vadalog::EngineOptions BoundedEngineOptions() {
+  vadalog::EngineOptions options;
+  options.max_rounds = 200;
+  options.max_facts = 20000;
+  options.track_provenance = false;
+  return options;
+}
+
+Status EvalVadalogDeterminism(const ReproCase& repro) {
+  auto program = vadalog::Parse(repro.program);
+  if (!program.ok()) {
+    // The grammar is parseable by construction; a shrunk fragment may not be.
+    return Status::OK();
+  }
+  auto run_once = [&](vadalog::Database* db) {
+    vadalog::Engine engine(BoundedEngineOptions());
+    return engine.Run(*program, db);
+  };
+  vadalog::Database db1, db2;
+  auto r1 = run_once(&db1);
+  auto r2 = run_once(&db2);
+  if (r1.ok() != r2.ok()) {
+    return Status::FailedPrecondition(
+        "engine nondeterministic: one run succeeded, the other failed with " +
+        (r1.ok() ? r2.status() : r1.status()).ToString());
+  }
+  if (!r1.ok()) return Status::OK();  // Same failure both times: deterministic.
+  if (db1.size() != db2.size()) {
+    return Status::FailedPrecondition(
+        "engine nondeterministic: " + std::to_string(db1.size()) + " vs " +
+        std::to_string(db2.size()) + " facts across two identical runs");
+  }
+  for (const std::string& predicate : db1.Predicates()) {
+    if (db1.DumpPredicate(predicate) != db2.DumpPredicate(predicate)) {
+      return Status::FailedPrecondition(
+          "engine nondeterministic: relation \"" + predicate +
+          "\" differs across two identical runs");
+    }
+  }
+  return Status::OK();
+}
+
+Status EvalVadalogRobustness(const ReproCase& repro) {
+  // Must not crash; any Status outcome is acceptable.
+  auto program = vadalog::Parse(repro.program);
+  if (!program.ok()) return Status::OK();
+  vadalog::Database db;
+  vadalog::Engine engine(BoundedEngineOptions());
+  (void)engine.Run(*program, &db);
+  return Status::OK();
+}
+
+// --- Generators. ---
+
+const char* PickMeasure(Rng* rng) {
+  return rng->NextDouble() < 0.5 ? "k-anonymity" : "reidentification";
+}
+
+const char* PickSemantics(Rng* rng, double maybe_probability) {
+  return rng->NextDouble() < maybe_probability ? "maybe" : "standard";
+}
+
+std::vector<Property> BuildCatalog() {
+  std::vector<Property> catalog;
+
+  catalog.push_back(
+      {"risk-unit-range",
+       "every measure's per-tuple risk is a probability in [0,1] (Section 4.2)",
+       false,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro = TableCase("risk-unit-range", rng, i);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         return repro;
+       },
+       EvalRiskUnitRange});
+
+  catalog.push_back(
+      {"post-cycle-safety",
+       "after Algorithm 2 every released tuple is safe (risk <= T) or exhausted",
+       false,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro = TableCase("post-cycle-safety", rng, i);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.7);
+         return repro;
+       },
+       EvalPostCycleSafety});
+
+  catalog.push_back(
+      {"suppression-monotone",
+       "suppression never shrinks a =⊥ group nor raises k-anonymity risk",
+       false,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro = TableCase("suppression-monotone", rng, i);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         return repro;
+       },
+       EvalSuppressionMonotone});
+
+  catalog.push_back(
+      {"suppression-fresh-labels",
+       "an injected null is fresh: standard-semantics groups never grow",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.null_probability = 0.15;  // Pre-suppressed inputs are the point.
+         return TableCase("suppression-fresh-labels", rng, i, options);
+       },
+       EvalSuppressionFreshLabels});
+
+  catalog.push_back(
+      {"suda-permutation",
+       "SUDA scores are invariant under row permutation (Algorithm 6)",
+       false,
+       [](Rng* rng, uint64_t i) { return TableCase("suda-permutation", rng, i); },
+       EvalSudaPermutation});
+
+  catalog.push_back(
+      {"cluster-risk-bounds",
+       "cluster risk equals 1 - prod(1-rho), bounds members, caps at 1 (Alg. 9)",
+       false,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro = TableCase("cluster-risk-bounds", rng, i);
+         repro.params["edge_p"] = "0.15";
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         return repro;
+       },
+       EvalClusterRiskBounds});
+
+  catalog.push_back(
+      {"infoloss-monotone",
+       "information loss is monotone in anonymization steps (Fig. 7b)",
+       false,
+       [](Rng* rng, uint64_t i) { return TableCase("infoloss-monotone", rng, i); },
+       EvalInfoLossMonotone});
+
+  catalog.push_back(
+      {"cycle-differential",
+       "imperative cycle and declarative Vadalog cycle agree on the release contract",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.max_rows = 16;  // Each case spins a full chase; keep it small.
+         options.max_qi = 3;
+         ReproCase repro = TableCase("cycle-differential", rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 3));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.7);
+         repro.params["with_graph"] = rng->NextDouble() < 0.3 ? "1" : "0";
+         repro.params["edge_p"] = "0.15";
+         return repro;
+       },
+       EvalCycleDifferential});
+
+  catalog.push_back(
+      {"parallel-determinism",
+       "sequential and VADASA_THREADS=N runs are bit-identical",
+       false,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro = TableCase("parallel-determinism", rng, i);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["threads"] = std::to_string(rng->NextInt(2, 5));
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         return repro;
+       },
+       EvalParallelDeterminism});
+
+  catalog.push_back(
+      {"vadalog-determinism",
+       "two chases of the same generated warded program agree fact-for-fact",
+       true,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro;
+         repro.property = "vadalog-determinism";
+         repro.seed = rng->Next();
+         repro.case_index = i;
+         repro.program = RandomVadalogProgram(rng);
+         return repro;
+       },
+       EvalVadalogDeterminism});
+
+  catalog.push_back(
+      {"vadalog-robustness",
+       "token soup and byte noise never crash the lexer, parser, or engine",
+       true,
+       [](Rng* rng, uint64_t i) {
+         ReproCase repro;
+         repro.property = "vadalog-robustness";
+         repro.seed = rng->Next();
+         repro.case_index = i;
+         repro.program = rng->NextDouble() < 0.5 ? RandomTokenSoup(rng)
+                                                 : RandomBytes(rng);
+         return repro;
+       },
+       EvalVadalogRobustness});
+
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<Property>& PropertyCatalog() {
+  static const std::vector<Property>* catalog =
+      new std::vector<Property>(BuildCatalog());
+  return *catalog;
+}
+
+const Property* FindProperty(const std::string& name) {
+  for (const Property& property : PropertyCatalog()) {
+    if (property.name == name) return &property;
+  }
+  return nullptr;
+}
+
+Status EvaluateRepro(const ReproCase& repro) {
+  const Property* property = FindProperty(repro.property);
+  if (property == nullptr) {
+    return Status::NotFound("unknown property \"" + repro.property + "\"");
+  }
+  return property->evaluate(repro);
+}
+
+}  // namespace vadasa::testing

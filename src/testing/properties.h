@@ -1,0 +1,43 @@
+#ifndef VADASA_TESTING_PROPERTIES_H_
+#define VADASA_TESTING_PROPERTIES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "testing/repro.h"
+
+namespace vadasa::testing {
+
+/// A named, replayable property: a generator that draws one case from a
+/// master Rng, and an evaluator that re-derives every auxiliary input (cell
+/// choices, permutations, ownership graphs) from the case's own seed — so
+/// evaluation is a pure function of the ReproCase. That makes the same
+/// evaluator serve three roles: the live check, the shrinking predicate, and
+/// the replay of a saved repro file.
+struct Property {
+  std::string name;
+  /// One-line description, mirrored in docs/testing.md.
+  std::string summary;
+  /// Shrink the program (line drops) instead of the table (row/column drops).
+  bool shrink_program = false;
+  std::function<ReproCase(Rng*, uint64_t case_index)> generate;
+  std::function<Status(const ReproCase&)> evaluate;
+};
+
+/// All registered properties, in catalog order.
+const std::vector<Property>& PropertyCatalog();
+
+/// Looks up a property by name; nullptr when unknown.
+const Property* FindProperty(const std::string& name);
+
+/// Re-evaluates a (possibly loaded-from-disk) repro case by dispatching on
+/// its property name. NotFound for an unknown property.
+Status EvaluateRepro(const ReproCase& repro);
+
+}  // namespace vadasa::testing
+
+#endif  // VADASA_TESTING_PROPERTIES_H_

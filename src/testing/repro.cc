@@ -1,0 +1,153 @@
+#include "testing/repro.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace vadasa::testing {
+
+using core::Attribute;
+using core::AttributeCategory;
+using core::MicrodataTable;
+
+namespace {
+
+constexpr const char* kMagic = "# vadasa-prop-repro v1";
+
+std::string OneLine(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ReproToString(const ReproCase& repro) {
+  std::ostringstream os;
+  os << kMagic << "\n";
+  os << "property: " << OneLine(repro.property) << "\n";
+  os << "seed: " << repro.seed << "\n";
+  os << "case: " << repro.case_index << "\n";
+  if (!repro.message.empty()) os << "message: " << OneLine(repro.message) << "\n";
+  for (const auto& [key, value] : repro.params) {
+    os << "param." << OneLine(key) << ": " << OneLine(value) << "\n";
+  }
+  if (repro.table.num_columns() > 0) {
+    os << "table-name: " << OneLine(repro.table.name()) << "\n";
+    std::vector<std::string> columns;
+    for (const Attribute& a : repro.table.attributes()) {
+      columns.push_back(a.name + "=" + AttributeCategoryToString(a.category));
+    }
+    os << "columns: " << Join(columns, "|") << "\n";
+    os << "table:\n" << WriteCsv(repro.table.ToCsv()) << "end-table\n";
+  }
+  if (!repro.program.empty()) {
+    std::string program = repro.program;
+    if (program.back() != '\n') program += '\n';
+    os << "program:\n" << program << "end-program\n";
+  }
+  return os.str();
+}
+
+Result<ReproCase> ReproFromString(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty() || Trim(lines[0]) != kMagic) {
+    return Status::ParseError("not a vadasa prop repro file");
+  }
+  ReproCase repro;
+  std::string table_name = "repro";
+  std::string columns_spec;
+  std::string table_csv;
+  size_t i = 1;
+  for (; i < lines.size(); ++i) {
+    const std::string line = lines[i];
+    if (Trim(line).empty()) continue;
+    if (line == "table:") {
+      for (++i; i < lines.size() && lines[i] != "end-table"; ++i) {
+        table_csv += lines[i] + "\n";
+      }
+      if (i >= lines.size()) return Status::ParseError("unterminated table section");
+      continue;
+    }
+    if (line == "program:") {
+      for (++i; i < lines.size() && lines[i] != "end-program"; ++i) {
+        repro.program += lines[i] + "\n";
+      }
+      if (i >= lines.size()) return Status::ParseError("unterminated program section");
+      continue;
+    }
+    const size_t colon = line.find(": ");
+    if (colon == std::string::npos) {
+      return Status::ParseError("malformed repro line: " + line);
+    }
+    const std::string key = line.substr(0, colon);
+    const std::string value = line.substr(colon + 2);
+    if (key == "property") {
+      repro.property = value;
+    } else if (key == "seed") {
+      repro.seed = std::stoull(value);
+    } else if (key == "case") {
+      repro.case_index = std::stoull(value);
+    } else if (key == "message") {
+      repro.message = value;
+    } else if (key == "table-name") {
+      table_name = value;
+    } else if (key == "columns") {
+      columns_spec = value;
+    } else if (StartsWith(key, "param.")) {
+      repro.params[key.substr(6)] = value;
+    } else {
+      return Status::ParseError("unknown repro key: " + key);
+    }
+  }
+  if (repro.property.empty()) return Status::ParseError("repro has no property");
+
+  if (!columns_spec.empty()) {
+    std::vector<Attribute> attrs;
+    for (const std::string& spec : Split(columns_spec, '|')) {
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("malformed column spec: " + spec);
+      }
+      VADASA_ASSIGN_OR_RETURN(const AttributeCategory category,
+                              core::AttributeCategoryFromString(spec.substr(eq + 1)));
+      attrs.push_back({spec.substr(0, eq), "", category});
+    }
+    repro.table = MicrodataTable(table_name, std::move(attrs));
+    if (!Trim(table_csv).empty()) {
+      VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ParseCsv(table_csv));
+      if (csv.header.size() != repro.table.num_columns()) {
+        return Status::ParseError("repro CSV width disagrees with columns spec");
+      }
+      for (const auto& row : csv.rows) {
+        std::vector<Value> cells;
+        for (const std::string& cell : row) cells.push_back(CellToValue(cell));
+        VADASA_RETURN_NOT_OK(repro.table.AddRow(std::move(cells)));
+      }
+    }
+  }
+  return repro;
+}
+
+Status SaveRepro(const ReproCase& repro, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write repro file " + path);
+  out << ReproToString(repro);
+  out.close();
+  if (!out) return Status::IoError("failed writing repro file " + path);
+  return Status::OK();
+}
+
+Result<ReproCase> LoadRepro(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot read repro file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReproFromString(buffer.str());
+}
+
+}  // namespace vadasa::testing

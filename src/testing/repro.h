@@ -1,0 +1,48 @@
+#ifndef VADASA_TESTING_REPRO_H_
+#define VADASA_TESTING_REPRO_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "core/microdata.h"
+
+namespace vadasa::testing {
+
+/// A self-contained, replayable failure case: the property that failed, the
+/// seed of its auxiliary randomness, the (shrunk) input table and/or program,
+/// and free-form parameters for diagnostics. Serialized to a single text file
+/// so a failing CI run can be replayed locally with
+///   VADASA_PROP_REPRO=case.repro ctest -R prop
+/// or
+///   vadasa_prop_replay --repro=case.repro
+struct ReproCase {
+  std::string property;
+  /// Seed of the property's auxiliary Rng (row choices, permutations, …).
+  uint64_t seed = 0;
+  /// Index of the generated case within its run, for provenance.
+  uint64_t case_index = 0;
+  /// Free-form diagnostics (measure, k, threshold, …). Written and read
+  /// back; properties may consult them on replay.
+  std::map<std::string, std::string> params;
+  /// The failing microdata table (empty for program-only cases).
+  core::MicrodataTable table;
+  /// The failing Vadalog program ("" for table-only cases).
+  std::string program;
+  /// The violation message captured when the case failed.
+  std::string message;
+};
+
+/// Renders a repro case to its file format.
+std::string ReproToString(const ReproCase& repro);
+
+/// Parses a repro case; fails with ParseError on malformed input.
+Result<ReproCase> ReproFromString(const std::string& text);
+
+Status SaveRepro(const ReproCase& repro, const std::string& path);
+Result<ReproCase> LoadRepro(const std::string& path);
+
+}  // namespace vadasa::testing
+
+#endif  // VADASA_TESTING_REPRO_H_

@@ -1,0 +1,50 @@
+#ifndef VADASA_TESTING_SHRINK_H_
+#define VADASA_TESTING_SHRINK_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "core/microdata.h"
+
+namespace vadasa::testing {
+
+/// Greedy failure minimization: given a failing input and a predicate that
+/// re-runs the property ("does this candidate still fail?"), remove as much
+/// as possible while the failure persists. Deterministic — no randomness, so
+/// a shrink of the same input against the same predicate always lands on the
+/// same minimal case.
+
+/// Returns true when the candidate still violates the property.
+using TableStillFails = std::function<bool(const core::MicrodataTable&)>;
+using ProgramStillFails = std::function<bool(const std::string&)>;
+
+struct ShrinkStats {
+  size_t evaluations = 0;
+  size_t rows_removed = 0;
+  size_t columns_removed = 0;
+  size_t lines_removed = 0;
+};
+
+/// Shrinks a failing table: first drops row chunks (halves, quarters, …,
+/// single rows, ddmin-style), then drops quasi-identifier columns, then
+/// repeats until a fixpoint.
+core::MicrodataTable ShrinkTable(const core::MicrodataTable& failing,
+                                 const TableStillFails& still_fails,
+                                 ShrinkStats* stats = nullptr);
+
+/// Shrinks a failing program by greedily dropping lines (rules/facts), then
+/// repeats until a fixpoint.
+std::string ShrinkProgram(const std::string& failing,
+                          const ProgramStillFails& still_fails,
+                          ShrinkStats* stats = nullptr);
+
+/// A copy of `table` without the given row (helper shared with tests).
+core::MicrodataTable DropRow(const core::MicrodataTable& table, size_t row);
+
+/// A copy of `table` without the given column.
+core::MicrodataTable DropColumn(const core::MicrodataTable& table, size_t column);
+
+}  // namespace vadasa::testing
+
+#endif  // VADASA_TESTING_SHRINK_H_

@@ -122,6 +122,63 @@ TEST(AttackTest, AnonymizationDegradesTheAttack) {
   EXPECT_LE(after.reidentified, before.reidentified);
 }
 
+/// A release with QI-only schema matching SmallOracle's 4 quasi-identifiers.
+MicrodataTable EmptyRelease() {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 4; ++i) {
+    attrs.push_back({"Q" + std::to_string(i), "", AttributeCategory::kQuasiIdentifier});
+  }
+  return MicrodataTable("release", std::move(attrs));
+}
+
+TEST(AttackDegenerateTest, EmptyRelease) {
+  const IdentityOracle oracle = SmallOracle();
+  const MicrodataTable released = EmptyRelease();
+  const AttackResult result =
+      RunLinkageAttack(released, released.QuasiIdentifierColumns(), oracle, {}, 1);
+  EXPECT_EQ(result.attempted, 0u);
+  EXPECT_EQ(result.reidentified, 0u);
+  EXPECT_EQ(result.exact_blocks, 0u);
+  // No attempts must not divide by zero: both ratios stay at a clean 0.
+  EXPECT_DOUBLE_EQ(result.avg_block_size, 0.0);
+  EXPECT_DOUBLE_EQ(result.success_rate, 0.0);
+}
+
+TEST(AttackDegenerateTest, SingleTuple) {
+  const IdentityOracle oracle = SmallOracle();
+  const auto sample = oracle.SampleMicrodata(1, 3);
+  ASSERT_TRUE(sample.ok());
+  const AttackResult result = RunLinkageAttack(
+      sample->table, sample->table.QuasiIdentifierColumns(), oracle, sample->truth, 1);
+  EXPECT_EQ(result.attempted, 1u);
+  EXPECT_LE(result.reidentified, 1u);
+  EXPECT_GE(result.avg_block_size, 1.0);
+  EXPECT_GE(result.success_rate, 0.0);
+  EXPECT_LE(result.success_rate, 1.0);
+}
+
+TEST(AttackDegenerateTest, AllSuppressedReleaseBlocksNobody) {
+  const IdentityOracle oracle = SmallOracle();
+  const auto sample = oracle.SampleMicrodata(30, 3);
+  ASSERT_TRUE(sample.ok());
+  MicrodataTable released = sample->table;
+  uint64_t label = 0;
+  for (size_t r = 0; r < released.num_rows(); ++r) {
+    for (const size_t c : released.QuasiIdentifierColumns()) {
+      released.set_cell(r, c, Value::Null(++label));
+    }
+  }
+  const AttackResult result = RunLinkageAttack(
+      released, released.QuasiIdentifierColumns(), oracle, sample->truth, 1);
+  // Every blocking pattern is all-wildcards: the cohort is the whole
+  // population, so no block is exact and the attack degrades to a blind
+  // guess among 4000 candidates.
+  EXPECT_EQ(result.attempted, 30u);
+  EXPECT_EQ(result.exact_blocks, 0u);
+  EXPECT_DOUBLE_EQ(result.avg_block_size, static_cast<double>(oracle.size()));
+  EXPECT_LE(result.success_rate, 1.0 / 100);
+}
+
 TEST(AttackTest, ResultToString) {
   AttackResult r;
   r.attempted = 10;

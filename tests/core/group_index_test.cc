@@ -379,5 +379,107 @@ TEST(RiskEvalCacheTest, MemoDroppedOnRowChange) {
   EXPECT_EQ(cache.incremental_updates(), 1u);
 }
 
+/// A bare QI-only table for the degenerate-input checks below.
+MicrodataTable QiOnlyTable(size_t num_qi) {
+  std::vector<Attribute> attrs;
+  for (size_t i = 0; i < num_qi; ++i) {
+    attrs.push_back({"Q" + std::to_string(i), "", AttributeCategory::kQuasiIdentifier});
+  }
+  return MicrodataTable("degenerate", std::move(attrs));
+}
+
+TEST(GroupIndexDegenerateTest, EmptyTable) {
+  const MicrodataTable t = QiOnlyTable(2);
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const auto semantics : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats stats = ComputeGroupStats(t, qis, semantics);
+    EXPECT_TRUE(stats.frequency.empty());
+    EXPECT_TRUE(stats.weight_sum.empty());
+    GroupIndex index(t, qis, semantics);
+    EXPECT_EQ(index.num_rows(), 0u);
+    EXPECT_EQ(index.num_patterns(), 0u);
+    const PatternMass mass = index.Query({Value::String("a"), Value::Null(1)});
+    EXPECT_DOUBLE_EQ(mass.count, 0.0);
+    EXPECT_DOUBLE_EQ(mass.weight, 0.0);
+  }
+}
+
+TEST(GroupIndexDegenerateTest, SingleTuple) {
+  MicrodataTable t = QiOnlyTable(3);
+  ASSERT_TRUE(t.AddRow({Value::String("a"), Value::Int(1), Value::Null(4)}).ok());
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const auto semantics : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats stats = ComputeGroupStats(t, qis, semantics);
+    ASSERT_EQ(stats.frequency.size(), 1u);
+    EXPECT_DOUBLE_EQ(stats.frequency[0], 1.0);
+  }
+  const auto classes = ComputeEquivalenceClasses(t, qis);
+  EXPECT_EQ(classes.num_classes, 1u);
+  EXPECT_EQ(classes.uniques, 1u);
+  EXPECT_EQ(classes.max_class_size, 1u);
+}
+
+TEST(GroupIndexDegenerateTest, AllSuppressedDistinctLabels) {
+  MicrodataTable t = QiOnlyTable(2);
+  // Three rows, fully suppressed with pairwise-distinct labels — the
+  // post-exhaustion state of record suppression.
+  for (uint64_t r = 0; r < 3; ++r) {
+    ASSERT_TRUE(t.AddRow({Value::Null(2 * r + 1), Value::Null(2 * r + 2)}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  // Maybe-match: every null is a wildcard, so each row maybe-matches all.
+  const GroupStats maybe = ComputeGroupStats(t, qis, NullSemantics::kMaybeMatch);
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(maybe.frequency[r], 3.0) << r;
+  // Standard: ⊥_i = ⊥_j iff i == j, so every row remains unique.
+  const GroupStats standard = ComputeGroupStats(t, qis, NullSemantics::kStandard);
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(standard.frequency[r], 1.0) << r;
+}
+
+TEST(GroupIndexDegenerateTest, AllSuppressedSharedLabels) {
+  MicrodataTable t = QiOnlyTable(2);
+  // Identical labelled-null rows group together even under standard
+  // semantics — the pattern {⊥1, ⊥2} equals itself.
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_TRUE(t.AddRow({Value::Null(1), Value::Null(2)}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const auto semantics : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats stats = ComputeGroupStats(t, qis, semantics);
+    for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(stats.frequency[r], 3.0) << r;
+  }
+}
+
+TEST(GroupIndexDegenerateTest, SingleQiColumn) {
+  MicrodataTable t = QiOnlyTable(1);
+  for (const char* v : {"a", "a", "b"}) {
+    ASSERT_TRUE(t.AddRow({Value::String(v)}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const auto semantics : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats stats = ComputeGroupStats(t, qis, semantics);
+    EXPECT_DOUBLE_EQ(stats.frequency[0], 2.0);
+    EXPECT_DOUBLE_EQ(stats.frequency[1], 2.0);
+    EXPECT_DOUBLE_EQ(stats.frequency[2], 1.0);
+  }
+}
+
+TEST(GroupIndexDegenerateTest, DuplicateRowsFormOneGroup) {
+  MicrodataTable t = QiOnlyTable(2);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(t.AddRow({Value::String("x"), Value::Int(9)}).ok());
+  }
+  const auto qis = t.QuasiIdentifierColumns();
+  for (const auto semantics : {NullSemantics::kMaybeMatch, NullSemantics::kStandard}) {
+    const GroupStats stats = ComputeGroupStats(t, qis, semantics);
+    for (size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(stats.frequency[r], 4.0) << r;
+  }
+  GroupIndex index(t, qis, NullSemantics::kMaybeMatch);
+  EXPECT_EQ(index.num_patterns(), 1u);
+  const auto classes = ComputeEquivalenceClasses(t, qis);
+  EXPECT_EQ(classes.num_classes, 1u);
+  EXPECT_EQ(classes.uniques, 0u);
+  EXPECT_EQ(classes.max_class_size, 4u);
+}
+
 }  // namespace
 }  // namespace vadasa::core

@@ -127,5 +127,94 @@ TEST(EquivalenceClassTest, EmptyTable) {
   EXPECT_EQ(stats.uniques, 0u);
 }
 
+TEST(EquivalenceClassTest, SingleQiColumnWithDuplicates) {
+  MicrodataTable t("d", {{"A", "", AttributeCategory::kQuasiIdentifier}});
+  for (const char* v : {"x", "x", "x", "y"}) {
+    ASSERT_TRUE(t.AddRow({Value::String(v)}).ok());
+  }
+  const auto stats = ComputeEquivalenceClasses(t, t.QuasiIdentifierColumns());
+  EXPECT_EQ(stats.num_classes, 2u);
+  EXPECT_EQ(stats.uniques, 1u);
+  EXPECT_EQ(stats.max_class_size, 3u);
+  EXPECT_NEAR(stats.mean_class_size, 2.0, 1e-12);
+}
+
+/// Small population for the degenerate-release checks: cheap to generate but
+/// large enough that a blind guess almost never hits.
+IdentityOracle TinyOracle() {
+  IdentityOracle::Options options;
+  options.population = 300;
+  options.num_qi = 3;
+  options.seed = 5;
+  return IdentityOracle::Generate(options);
+}
+
+TEST(LinkageDegenerateTest, EmptyRelease) {
+  const IdentityOracle oracle = TinyOracle();
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 3; ++i) {
+    attrs.push_back({"Q" + std::to_string(i), "", AttributeCategory::kQuasiIdentifier});
+  }
+  const MicrodataTable released("release", std::move(attrs));
+  const auto result = RunLinkage(released, oracle, {}, LinkageConfig{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 0u);
+  EXPECT_EQ(result->claimed, 0u);
+  // No attempts and no claims must not divide by zero.
+  EXPECT_DOUBLE_EQ(result->precision, 0.0);
+  EXPECT_DOUBLE_EQ(result->recall, 0.0);
+  EXPECT_DOUBLE_EQ(result->avg_block_size, 0.0);
+}
+
+TEST(LinkageDegenerateTest, SingleTuple) {
+  const IdentityOracle oracle = TinyOracle();
+  const auto sample = oracle.SampleMicrodata(1, 9);
+  ASSERT_TRUE(sample.ok());
+  const auto result = RunLinkage(sample->table, oracle, sample->truth, LinkageConfig{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 1u);
+  EXPECT_LE(result->claimed, 1u);
+  EXPECT_LE(result->correct, result->claimed);
+  EXPECT_GE(result->recall, 0.0);
+  EXPECT_LE(result->recall, 1.0);
+  EXPECT_GE(result->avg_block_size, 1.0);
+}
+
+TEST(LinkageDegenerateTest, AllSuppressedRelease) {
+  const IdentityOracle oracle = TinyOracle();
+  const auto sample = oracle.SampleMicrodata(20, 9);
+  ASSERT_TRUE(sample.ok());
+  MicrodataTable released = sample->table;
+  uint64_t label = 0;
+  for (size_t r = 0; r < released.num_rows(); ++r) {
+    for (const size_t c : released.QuasiIdentifierColumns()) {
+      released.set_cell(r, c, Value::Null(++label));
+    }
+  }
+  // Demand a perfect matching score before claiming: a fully suppressed
+  // release gives the attacker nothing to score against, so the whole
+  // population stays in every block.
+  LinkageConfig config;
+  config.claim_threshold = 1.0;
+  config.blocking_positions = {0};
+  const auto result = RunLinkage(released, oracle, sample->truth, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 20u);
+  EXPECT_DOUBLE_EQ(result->avg_block_size, static_cast<double>(oracle.size()));
+  EXPECT_GE(result->precision, 0.0);
+  EXPECT_LE(result->precision, 1.0);
+}
+
+TEST(LinkageDegenerateTest, KnownQisBeyondReleaseClamps) {
+  const IdentityOracle oracle = TinyOracle();
+  const auto sample = oracle.SampleMicrodata(5, 9);
+  ASSERT_TRUE(sample.ok());
+  LinkageConfig config;
+  config.known_qis = 99;  // More knowledge than QIs exist: clamp, not crash.
+  const auto result = RunLinkage(sample->table, oracle, sample->truth, config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->attempted, 5u);
+}
+
 }  // namespace
 }  // namespace vadasa::core

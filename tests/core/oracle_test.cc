@@ -1,0 +1,138 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csv.h"
+
+namespace vadasa::core {
+namespace {
+
+IdentityOracle SmallOracle(uint64_t seed = 42) {
+  IdentityOracle::Options options;
+  options.population = 500;
+  options.num_qi = 3;
+  options.seed = seed;
+  return IdentityOracle::Generate(options);
+}
+
+TEST(IdentityOracleTest, GenerateShape) {
+  const IdentityOracle oracle = SmallOracle();
+  EXPECT_EQ(oracle.size(), 500u);
+  ASSERT_EQ(oracle.qi_columns().size(), 3u);
+  // Schema: Id, QIs..., Identity — both bookends are direct identifiers.
+  const auto& table = oracle.population();
+  EXPECT_EQ(table.num_columns(), 5u);
+  EXPECT_EQ(table.attributes()[0].category, AttributeCategory::kIdentifier);
+  EXPECT_EQ(table.attributes()[4].category, AttributeCategory::kIdentifier);
+  for (const size_t c : oracle.qi_columns()) {
+    EXPECT_EQ(table.attributes()[c].category, AttributeCategory::kQuasiIdentifier);
+  }
+}
+
+TEST(IdentityOracleTest, GenerateIsDeterministic) {
+  const IdentityOracle a = SmallOracle(7);
+  const IdentityOracle b = SmallOracle(7);
+  EXPECT_EQ(WriteCsv(a.population().ToCsv()), WriteCsv(b.population().ToCsv()));
+}
+
+TEST(IdentityOracleTest, IdentitiesAreDistinct) {
+  const IdentityOracle oracle = SmallOracle();
+  std::set<std::string> identities;
+  for (size_t r = 0; r < oracle.size(); ++r) {
+    identities.insert(oracle.IdentityOf(r));
+  }
+  EXPECT_EQ(identities.size(), oracle.size());
+}
+
+TEST(IdentityOracleTest, SampleRejectsOversizedDraw) {
+  const IdentityOracle oracle = SmallOracle();
+  EXPECT_FALSE(oracle.SampleMicrodata(oracle.size() + 1, 1).ok());
+  EXPECT_TRUE(oracle.SampleMicrodata(oracle.size(), 1).ok());
+}
+
+TEST(IdentityOracleTest, SampleDrawsDistinctRespondentsWithTruth) {
+  const IdentityOracle oracle = SmallOracle();
+  const auto sample = oracle.SampleMicrodata(40, 9);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample->table.num_rows(), 40u);
+  ASSERT_EQ(sample->truth.size(), 40u);
+  std::set<size_t> distinct(sample->truth.begin(), sample->truth.end());
+  EXPECT_EQ(distinct.size(), 40u) << "respondents must be drawn without replacement";
+  // Undistorted: each sample row's QIs equal its truth row's QIs.
+  for (size_t i = 0; i < sample->truth.size(); ++i) {
+    for (size_t q = 0; q < oracle.qi_columns().size(); ++q) {
+      EXPECT_TRUE(sample->table.cell(i, 1 + q).Equals(
+          oracle.population().cell(sample->truth[i], oracle.qi_columns()[q])))
+          << "sample row " << i << " qi " << q;
+    }
+  }
+}
+
+TEST(IdentityOracleTest, SampleWeightIsPopulationFrequency) {
+  const IdentityOracle oracle = SmallOracle();
+  const auto sample = oracle.SampleMicrodata(25, 3);
+  ASSERT_TRUE(sample.ok());
+  const auto weight_cols =
+      sample->table.ColumnsWithCategory(AttributeCategory::kWeight);
+  ASSERT_EQ(weight_cols.size(), 1u);
+  for (size_t i = 0; i < sample->table.num_rows(); ++i) {
+    // Recount the population rows sharing this respondent's QI combination.
+    std::vector<Value> pattern;
+    for (size_t q = 0; q < oracle.qi_columns().size(); ++q) {
+      pattern.push_back(
+          oracle.population().cell(sample->truth[i], oracle.qi_columns()[q]));
+    }
+    const size_t frequency = oracle.Block(pattern).size();
+    EXPECT_EQ(sample->table.cell(i, weight_cols[0]).as_int(),
+              static_cast<int64_t>(frequency))
+        << "W_t must be the population frequency of the QI combination (row "
+        << i << ")";
+  }
+}
+
+TEST(IdentityOracleTest, DistortionPerturbsSomeCells) {
+  const IdentityOracle oracle = SmallOracle();
+  const auto clean = oracle.SampleMicrodata(100, 5, 0.0);
+  const auto noisy = oracle.SampleMicrodata(100, 5, 0.5);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(noisy.ok());
+  size_t mismatched = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t q = 0; q < oracle.qi_columns().size(); ++q) {
+      const Value truth =
+          oracle.population().cell(noisy->truth[i], oracle.qi_columns()[q]);
+      if (!noisy->table.cell(i, 1 + q).Equals(truth)) ++mismatched;
+    }
+  }
+  EXPECT_GT(mismatched, 0u) << "distortion 0.5 must perturb some QI cells";
+}
+
+TEST(IdentityOracleTest, BlockMatchesExactAndWildcard) {
+  const IdentityOracle oracle = SmallOracle();
+  // Exact pattern of row 0 must contain row 0.
+  std::vector<Value> pattern;
+  for (const size_t c : oracle.qi_columns()) {
+    pattern.push_back(oracle.population().cell(0, c));
+  }
+  const auto exact = oracle.Block(pattern);
+  EXPECT_NE(std::find(exact.begin(), exact.end(), 0u), exact.end());
+  // Every matched row really carries the pattern's values.
+  for (const size_t r : exact) {
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      EXPECT_TRUE(
+          oracle.population().cell(r, oracle.qi_columns()[i]).Equals(pattern[i]));
+    }
+  }
+  // All-null pattern is the degenerate block: it matches the whole population.
+  std::vector<Value> wildcard(oracle.qi_columns().size(), Value::Null(1));
+  EXPECT_EQ(oracle.Block(wildcard).size(), oracle.size());
+  // Widening one cell to null can only grow the block.
+  std::vector<Value> widened = pattern;
+  widened[0] = Value::Null(2);
+  EXPECT_GE(oracle.Block(widened).size(), exact.size());
+}
+
+}  // namespace
+}  // namespace vadasa::core

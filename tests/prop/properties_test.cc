@@ -1,0 +1,95 @@
+#include "testing/properties.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "testing/harness.h"
+
+namespace vadasa::testing {
+namespace {
+
+std::vector<std::string> PropertyNames() {
+  std::vector<std::string> names;
+  for (const Property& property : PropertyCatalog()) names.push_back(property.name);
+  return names;
+}
+
+TEST(PropCatalogTest, LookupWorks) {
+  EXPECT_GE(PropertyCatalog().size(), 10u);
+  for (const Property& property : PropertyCatalog()) {
+    ASSERT_NE(FindProperty(property.name), nullptr);
+    EXPECT_EQ(FindProperty(property.name)->name, property.name);
+    EXPECT_FALSE(property.summary.empty()) << property.name;
+  }
+  EXPECT_EQ(FindProperty("no-such-property"), nullptr);
+  ReproCase unknown;
+  unknown.property = "no-such-property";
+  EXPECT_FALSE(EvaluateRepro(unknown).ok());
+}
+
+TEST(PropCatalogTest, GenerationIsDeterministic) {
+  for (const Property& property : PropertyCatalog()) {
+    Rng a(7), b(7);
+    const ReproCase ca = property.generate(&a, 0);
+    const ReproCase cb = property.generate(&b, 0);
+    EXPECT_EQ(ReproToString(ca), ReproToString(cb)) << property.name;
+  }
+}
+
+TEST(PropCatalogTest, DefaultRunCoversAtLeast200Cases) {
+  const HarnessOptions options = HarnessOptionsFromEnv();
+  EXPECT_GE(PropertyCatalog().size() * options.cases_per_property, 200u)
+      << "the prop suite must generate at least 200 cases per run";
+}
+
+/// One discovered ctest entry per property; each runs its full generated-case
+/// budget (cases × properties >= 200 per full suite run).
+class PropertyRunTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PropertyRunTest, HoldsOnGeneratedCases) {
+  const Property* property = FindProperty(GetParam());
+  ASSERT_NE(property, nullptr);
+  const HarnessOptions options = HarnessOptionsFromEnv();
+  const HarnessReport report = RunProperty(*property, options);
+  EXPECT_GT(report.cases_run, 0u);
+  if (options.budget_ms == 0) {
+    EXPECT_EQ(report.cases_run, options.cases_per_property);
+  }
+  std::string diagnostics;
+  for (const ReproCase& repro : report.repros) {
+    diagnostics += "\n--- shrunk repro ---\n" + ReproToString(repro);
+  }
+  EXPECT_EQ(report.failures, 0u)
+      << property->name << " violated on " << report.failures << "/"
+      << report.cases_run << " generated cases (seed " << options.seed << ")"
+      << diagnostics;
+}
+
+std::string SanitizeName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = info.param;
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, PropertyRunTest,
+                         ::testing::ValuesIn(PropertyNames()), SanitizeName);
+
+/// Replays a failure file from a previous run:
+///   VADASA_PROP_REPRO=case.repro ctest -R prop
+/// The test fails while the bug reproduces and passes once it is fixed.
+TEST(PropReplayTest, EnvRepro) {
+  const char* path = std::getenv("VADASA_PROP_REPRO");
+  if (path == nullptr || *path == '\0') {
+    GTEST_SKIP() << "VADASA_PROP_REPRO not set";
+  }
+  const Status verdict = ReplayReproFile(path);
+  EXPECT_TRUE(verdict.ok()) << verdict.ToString();
+}
+
+}  // namespace
+}  // namespace vadasa::testing

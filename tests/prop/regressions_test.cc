@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testing/harness.h"
+#include "testing/properties.h"
+#include "testing/repro.h"
+
+namespace vadasa::testing {
+namespace {
+
+/// Every shrunk repro committed under tests/prop/regressions/ documents a
+/// real invariant violation the harness once surfaced. Replaying them must
+/// stay clean: a failure here means the original bug regressed.
+TEST(PropRegressionsTest, CommittedReprosStayFixed) {
+  const std::filesystem::path dir = VADASA_PROP_REGRESSION_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".repro") files.push_back(entry.path());
+  }
+  ASSERT_FALSE(files.empty()) << "no committed regression repros found in " << dir;
+  for (const auto& file : files) {
+    const auto repro = LoadRepro(file.string());
+    ASSERT_TRUE(repro.ok()) << file << ": " << repro.status().ToString();
+    ASSERT_NE(FindProperty(repro->property), nullptr)
+        << file << " names unknown property \"" << repro->property << "\"";
+    const Status verdict = EvaluateRepro(*repro);
+    EXPECT_TRUE(verdict.ok()) << file << " regressed: " << verdict.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace vadasa::testing

@@ -1,0 +1,106 @@
+#include "testing/repro.h"
+
+#include <gtest/gtest.h>
+
+#include "core/microdata.h"
+
+namespace vadasa::testing {
+namespace {
+
+using core::Attribute;
+using core::AttributeCategory;
+using core::MicrodataTable;
+
+ReproCase MakeCase() {
+  ReproCase repro;
+  repro.property = "suppression-monotone";
+  repro.seed = 123456789;
+  repro.case_index = 7;
+  repro.message = "row 1 had its group shrunk";
+  repro.params["k"] = "3";
+  repro.params["semantics"] = "maybe";
+  MicrodataTable table(
+      "t", {{"Id", "", AttributeCategory::kIdentifier},
+            {"Q1", "", AttributeCategory::kQuasiIdentifier},
+            {"Q2", "", AttributeCategory::kQuasiIdentifier},
+            {"W", "", AttributeCategory::kWeight}});
+  EXPECT_TRUE(table.AddRow({Value::String("e0"), Value::String("v1"),
+                            Value::Int(4), Value::Double(2.5)})
+                  .ok());
+  EXPECT_TRUE(table.AddRow({Value::String("e1"), Value::Null(3), Value::Int(4),
+                            Value::Double(1.0)})
+                  .ok());
+  repro.table = std::move(table);
+  return repro;
+}
+
+TEST(ReproTest, RoundTripsTableCase) {
+  const ReproCase original = MakeCase();
+  const auto loaded = ReproFromString(ReproToString(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->property, original.property);
+  EXPECT_EQ(loaded->seed, original.seed);
+  EXPECT_EQ(loaded->case_index, original.case_index);
+  EXPECT_EQ(loaded->message, original.message);
+  EXPECT_EQ(loaded->params, original.params);
+  ASSERT_EQ(loaded->table.num_rows(), original.table.num_rows());
+  ASSERT_EQ(loaded->table.num_columns(), original.table.num_columns());
+  for (size_t c = 0; c < original.table.num_columns(); ++c) {
+    EXPECT_EQ(loaded->table.attributes()[c].name, original.table.attributes()[c].name);
+    EXPECT_EQ(loaded->table.attributes()[c].category,
+              original.table.attributes()[c].category);
+  }
+  for (size_t r = 0; r < original.table.num_rows(); ++r) {
+    for (size_t c = 0; c < original.table.num_columns(); ++c) {
+      const Value& want = original.table.cell(r, c);
+      const Value& got = loaded->table.cell(r, c);
+      EXPECT_TRUE(got.Equals(want)) << "(" << r << "," << c << ")";
+      if (want.is_null()) {
+        EXPECT_EQ(got.null_label(), want.null_label());
+      }
+    }
+  }
+}
+
+TEST(ReproTest, RoundTripsProgramCase) {
+  ReproCase repro;
+  repro.property = "vadalog-determinism";
+  repro.seed = 99;
+  repro.program = "p(a).\nq(X) :- p(X).\n";
+  const auto loaded = ReproFromString(ReproToString(repro));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->program, repro.program);
+  EXPECT_EQ(loaded->table.num_columns(), 0u);
+}
+
+TEST(ReproTest, SerializationIsStable) {
+  const ReproCase repro = MakeCase();
+  const std::string once = ReproToString(repro);
+  const auto loaded = ReproFromString(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(ReproToString(*loaded), once) << "repro files must be canonical";
+}
+
+TEST(ReproTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ReproFromString("").ok());
+  EXPECT_FALSE(ReproFromString("not a repro\n").ok());
+  EXPECT_FALSE(ReproFromString("# vadasa-prop-repro v1\nbogus line\n").ok());
+  EXPECT_FALSE(
+      ReproFromString("# vadasa-prop-repro v1\nproperty: x\ntable:\nQ1\n").ok())
+      << "unterminated table section must be rejected";
+  EXPECT_FALSE(ReproFromString("# vadasa-prop-repro v1\nseed: 1\n").ok())
+      << "a repro without a property is unusable";
+}
+
+TEST(ReproTest, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "repro_roundtrip.repro";
+  const ReproCase repro = MakeCase();
+  ASSERT_TRUE(SaveRepro(repro, path).ok());
+  const auto loaded = LoadRepro(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ReproToString(*loaded), ReproToString(repro));
+  EXPECT_FALSE(LoadRepro(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace vadasa::testing

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "core/group_index.h"
+#include "core/microdata.h"
+#include "testing/generators.h"
+#include "testing/harness.h"
+#include "testing/properties.h"
+
+namespace vadasa::testing {
+namespace {
+
+using core::MicrodataTable;
+using core::NullSemantics;
+
+/// Mutation smoke-checks: the harness is only trustworthy if a deliberately
+/// broken invariant is (a) caught, (b) shrunk to a minimal input, and (c)
+/// saved as a repro that still fails when replayed from disk.
+
+Property BrokenRowCountProperty() {
+  Property broken;
+  broken.name = "selftest-broken";
+  broken.summary = "deliberately false: every table has fewer than 2 rows";
+  broken.generate = [](Rng* rng, uint64_t i) {
+    ReproCase repro;
+    repro.property = "selftest-broken";
+    repro.seed = rng->Next();
+    repro.case_index = i;
+    TableGenOptions options;
+    options.min_rows = 5;
+    repro.table = RandomTable(rng, options);
+    return repro;
+  };
+  broken.evaluate = [](const ReproCase& repro) {
+    if (repro.table.num_rows() >= 2 &&
+        !repro.table.QuasiIdentifierColumns().empty()) {
+      return Status::FailedPrecondition(
+          "mutation: table has " + std::to_string(repro.table.num_rows()) +
+          " rows and a quasi-identifier");
+    }
+    return Status::OK();
+  };
+  return broken;
+}
+
+TEST(HarnessSelfTest, BrokenInvariantIsCaughtShrunkAndReplayable) {
+  const Property broken = BrokenRowCountProperty();
+  HarnessOptions options;
+  options.seed = 2021;
+  options.cases_per_property = 5;
+  options.repro_dir = ::testing::TempDir();
+  const HarnessReport report = RunProperty(broken, options);
+
+  // (a) Caught: every generated table trips the mutated invariant.
+  EXPECT_EQ(report.failures, report.cases_run);
+  ASSERT_FALSE(report.repros.empty());
+
+  // (b) Shrunk to the minimal failing input: 2 rows, 1 quasi-identifier.
+  const ReproCase& shrunk = report.repros[0];
+  EXPECT_EQ(shrunk.table.num_rows(), 2u);
+  EXPECT_EQ(shrunk.table.num_columns(), 1u);
+  EXPECT_FALSE(shrunk.message.empty());
+  EXPECT_FALSE(broken.evaluate(shrunk).ok());
+
+  // (c) Replayable: the saved file reproduces the identical case.
+  ASSERT_FALSE(report.saved_paths.empty());
+  const auto loaded = LoadRepro(report.saved_paths[0]);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(ReproToString(*loaded), ReproToString(shrunk));
+  EXPECT_FALSE(broken.evaluate(*loaded).ok())
+      << "the shrunk repro must still fail after a disk round-trip";
+}
+
+/// Emulates the pre-fix LocalSuppression behavior — always injecting ⊥_1
+/// regardless of labels already present — and checks that the
+/// fresh-labels oracle logic detects the resulting group merge. This is the
+/// harness-level regression for the label-collision bug fixed in
+/// src/core/anonymize.cc (see tests/prop/regressions/).
+Property BuggySuppressionProperty() {
+  Property buggy;
+  buggy.name = "selftest-buggy-suppression";
+  buggy.summary = "deliberately reintroduces the ⊥-label collision bug";
+  buggy.generate = [](Rng* rng, uint64_t i) {
+    ReproCase repro;
+    repro.property = "selftest-buggy-suppression";
+    repro.seed = rng->Next();
+    repro.case_index = i;
+    TableGenOptions options;
+    options.min_qi = 1;
+    options.max_qi = 1;
+    options.min_rows = 6;
+    options.max_rows = 12;
+    options.max_domain = 3;
+    options.null_probability = 0.3;
+    repro.table = RandomTable(rng, options);
+    return repro;
+  };
+  buggy.evaluate = [](const ReproCase& repro) {
+    const auto qis = repro.table.QuasiIdentifierColumns();
+    if (qis.empty() || repro.table.num_rows() == 0) return Status::OK();
+    // First non-null QI cell: content-based, so the pick is stable while the
+    // shrinker removes rows and the minimal 2-row case is reachable.
+    size_t row = repro.table.num_rows();
+    const size_t col = qis[0];
+    for (size_t r = 0; r < repro.table.num_rows(); ++r) {
+      if (!repro.table.cell(r, col).is_null()) {
+        row = r;
+        break;
+      }
+    }
+    if (row == repro.table.num_rows()) return Status::OK();
+    const auto before =
+        core::ComputeGroupStats(repro.table, qis, NullSemantics::kStandard);
+    MicrodataTable suppressed = repro.table;
+    suppressed.set_cell(row, col, Value::Null(1));  // Pre-fix: label reuse.
+    const auto after =
+        core::ComputeGroupStats(suppressed, qis, NullSemantics::kStandard);
+    for (size_t r = 0; r < repro.table.num_rows(); ++r) {
+      if (after.frequency[r] > before.frequency[r] + 1e-9) {
+        return Status::FailedPrecondition(
+            "label collision merged groups at row " + std::to_string(r));
+      }
+    }
+    return Status::OK();
+  };
+  return buggy;
+}
+
+TEST(HarnessSelfTest, HistoricalLabelCollisionBugIsCaught) {
+  const Property buggy = BuggySuppressionProperty();
+  HarnessOptions options;
+  options.seed = 2021;
+  options.cases_per_property = 60;
+  const HarnessReport report = RunProperty(buggy, options);
+  ASSERT_GT(report.failures, 0u)
+      << "the fresh-labels oracle must catch reused null labels";
+  const ReproCase& shrunk = report.repros[0];
+  EXPECT_FALSE(buggy.evaluate(shrunk).ok());
+  EXPECT_EQ(shrunk.table.num_columns(), 1u);
+  EXPECT_EQ(shrunk.table.num_rows(), 2u)
+      << "minimal collision: the suppressed row plus the pre-existing ⊥_1 row";
+}
+
+TEST(HarnessSelfTest, FixedSuppressionPassesSameCases) {
+  // The identical generator run against the real (fixed) LocalSuppression —
+  // via the catalog's fresh-labels property evaluator — must be clean.
+  const Property buggy = BuggySuppressionProperty();
+  const Property* fixed = FindProperty("suppression-fresh-labels");
+  ASSERT_NE(fixed, nullptr);
+  Rng rng(2021);
+  for (uint64_t i = 0; i < 60; ++i) {
+    ReproCase repro = buggy.generate(&rng, i);
+    repro.property = fixed->name;
+    EXPECT_TRUE(fixed->evaluate(repro).ok())
+        << "case " << i << " failed against the fixed suppression";
+  }
+}
+
+TEST(HarnessSelfTest, BudgetStopsGeneration) {
+  const Property broken = BrokenRowCountProperty();
+  HarnessOptions options;
+  options.seed = 2021;
+  options.cases_per_property = 1000000;  // Would run forever without a budget.
+  options.budget_ms = 1;
+  const HarnessReport report = RunProperty(broken, options);
+  EXPECT_LT(report.cases_run, 1000000u);
+}
+
+}  // namespace
+}  // namespace vadasa::testing

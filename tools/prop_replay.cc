@@ -1,0 +1,68 @@
+// Replays property-harness repro files outside the test runner:
+//   vadasa_prop_replay --repro=case.repro [more.repro ...]
+// Exit code 0 when every repro evaluates clean (bug fixed), 1 when any still
+// reproduces, 2 on usage or file errors. `--list` prints the property
+// catalog with one-line summaries.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "testing/harness.h"
+#include "testing/properties.h"
+#include "testing/repro.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vadasa_prop_replay --repro=PATH [--repro=PATH ...]\n"
+               "       vadasa_prop_replay PATH [PATH ...]\n"
+               "       vadasa_prop_replay --list\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const auto& property : vadasa::testing::PropertyCatalog()) {
+        std::printf("%-28s %s\n", property.name.c_str(), property.summary.c_str());
+      }
+      return 0;
+    }
+    if (arg.rfind("--repro=", 0) == 0) {
+      paths.push_back(arg.substr(std::strlen("--repro=")));
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    const auto repro = vadasa::testing::LoadRepro(path);
+    if (!repro.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   repro.status().ToString().c_str());
+      return 2;
+    }
+    const vadasa::Status verdict = vadasa::testing::EvaluateRepro(*repro);
+    if (verdict.ok()) {
+      std::printf("%s: PASS (property \"%s\" holds — bug no longer reproduces)\n",
+                  path.c_str(), repro->property.c_str());
+    } else {
+      ++failures;
+      std::printf("%s: FAIL — %s\n", path.c_str(), verdict.ToString().c_str());
+      if (!repro->message.empty()) {
+        std::printf("  originally: %s\n", repro->message.c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
