@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Smoke-test client for vadasa_serve (docs/serving.md).
+
+Default mode drives the full smoke scenario CI runs: N concurrent clients
+submit anonymize + risk jobs over one shared dataset, every job must come
+back "done", all anonymize jobs must return byte-identical CSVs, and the
+metrics endpoint must expose the serve.* namespace. With --expect-csv the
+released bytes are also compared against a reference file (produced by
+`vadasa anonymize`).
+
+With --raw it is a plain NDJSON pipe instead: requests are read from stdin
+one JSON object per line, responses are printed to stdout — the minimal
+reference client.
+
+Exit codes: 0 success, 1 any check failed.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import socket
+import sys
+
+
+def request(sock_path, payload, timeout=120.0):
+    """One connection, one request line, one response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(sock_path)
+        sock.sendall((json.dumps(payload) + "\n").encode())
+        buf = b""
+        while b"\n" not in buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.split(b"\n", 1)[0].decode())
+
+
+def run_job(sock_path, submit):
+    submitted = request(sock_path, submit)
+    if not submitted.get("ok"):
+        return submitted
+    return request(sock_path, {"op": "result", "id": submitted["id"]})
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True, help="vadasa_serve socket path")
+    parser.add_argument("--dataset", help="CSV path to submit jobs against")
+    parser.add_argument("--jobs", type=int, default=8, help="concurrent jobs")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--expect-csv", help="reference release CSV to compare against")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send {\"op\":\"shutdown\"} at the end")
+    parser.add_argument("--raw", action="store_true",
+                        help="pipe NDJSON requests from stdin instead")
+    args = parser.parse_args()
+
+    if args.raw:
+        for line in sys.stdin:
+            line = line.strip()
+            if line:
+                print(json.dumps(request(args.socket, json.loads(line))))
+        return
+
+    if not args.dataset:
+        fail("--dataset is required outside --raw mode")
+
+    if not request(args.socket, {"op": "ping"}).get("ok"):
+        fail("ping failed")
+
+    # Half anonymize, half risk, all over the same dataset + policy so the
+    # scheduler's warmup coalescing path is exercised too.
+    submits = []
+    for j in range(args.jobs):
+        action = "anonymize" if j % 2 == 0 else "risk"
+        submits.append({"op": "submit", "dataset": args.dataset,
+                        "action": action, "k": args.k, "priority": j % 3})
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        results = list(pool.map(lambda s: run_job(args.socket, s), submits))
+
+    csvs = set()
+    for submit, result in zip(submits, results):
+        if not result.get("ok") or result.get("state") != "done":
+            fail(f"job {submit} -> {result}")
+        if submit["action"] == "anonymize":
+            csvs.add(result["csv"])
+            if not result.get("audit"):
+                fail("anonymize result has no audit")
+        else:
+            risks = result["risk"]["tuple_risks"]
+            if not risks or any(not 0.0 <= r <= 1.0 for r in risks):
+                fail(f"bad tuple_risks: {risks[:5]}...")
+    if len(csvs) != 1:
+        fail(f"{len(csvs)} distinct releases across identical jobs (want 1)")
+    if args.expect_csv:
+        with open(args.expect_csv, encoding="utf-8") as ref:
+            if csvs.pop() != ref.read():
+                fail("release differs from the vadasa_cli reference")
+        csvs = set()
+
+    metrics = request(args.socket, {"op": "metrics"})
+    if not metrics.get("ok"):
+        fail("metrics op failed")
+    serve_keys = [k for k in metrics["metrics"] if k.startswith("serve.")]
+    for needed in ("serve.submitted", "serve.completed", "serve.queue_depth"):
+        if needed not in metrics["metrics"]:
+            fail(f"missing metric {needed} (have {serve_keys})")
+
+    if args.shutdown and not request(args.socket, {"op": "shutdown"}).get("ok"):
+        fail("shutdown op failed")
+
+    print(f"serve_smoke: OK — {args.jobs} jobs done, "
+          f"{len(serve_keys)} serve.* metrics")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#ifndef VADASA_API_FLAGS_H_
+#define VADASA_API_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace vadasa::api {
+
+/// A strict, declarative command-line flag parser shared by the vadasa tools
+/// (vadasa_cli, vadasa_prop_replay, vadasa_serve). Strict means: unknown
+/// `--flags` are errors, typed values are fully validated (`--k twelve`,
+/// `--threshold 1.5`, `--trace=` with an empty path all fail), and the error
+/// Status carries a message suitable for stderr. Tools map InvalidArgument to
+/// the conventional usage exit code 2.
+///
+/// Both `--flag value` and `--flag=value` spellings are accepted; boolean
+/// flags take no value. `--` ends flag parsing (everything after is
+/// positional).
+class FlagParser {
+ public:
+  FlagParser& Bool(const std::string& name, const std::string& help);
+  FlagParser& String(const std::string& name, const std::string& help);
+  /// String flag whose value must be non-empty (e.g. output paths, so a bare
+  /// `--trace=` is rejected instead of silently disabling the export).
+  FlagParser& Path(const std::string& name, const std::string& help);
+  FlagParser& Int(const std::string& name, const std::string& help,
+                  long min_value, long max_value);
+  FlagParser& Double(const std::string& name, const std::string& help,
+                     double min_value, double max_value);
+
+  /// One line per flag, for usage messages.
+  std::string Help(const std::string& indent = "  ") const;
+
+  class Parsed {
+   public:
+    const std::vector<std::string>& positional() const { return positional_; }
+    bool Has(const std::string& name) const { return values_.count(name) > 0; }
+    bool GetBool(const std::string& name) const { return Has(name); }
+    std::string GetString(const std::string& name, const std::string& fallback) const;
+    long GetInt(const std::string& name, long fallback) const;
+    double GetDouble(const std::string& name, double fallback) const;
+    /// Every occurrence of a repeatable flag, in command-line order (the
+    /// single-value getters return the last one).
+    std::vector<std::string> GetAll(const std::string& name) const;
+
+   private:
+    friend class FlagParser;
+    std::vector<std::string> positional_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::pair<std::string, std::string>> occurrences_;
+  };
+
+  /// Parses argv[first..argc). Fails with InvalidArgument on the first
+  /// unknown flag, missing value, or malformed/out-of-range typed value.
+  Result<Parsed> Parse(int argc, const char* const* argv, int first = 1) const;
+
+  /// Convenience overload for a pre-split argument vector (tests).
+  Result<Parsed> Parse(const std::vector<std::string>& args) const;
+
+ private:
+  enum class Kind { kBool, kString, kPath, kInt, kDouble };
+  struct Spec {
+    Kind kind = Kind::kString;
+    std::string help;
+    long int_min = 0, int_max = 0;
+    double double_min = 0.0, double_max = 0.0;
+  };
+  Status ValidateValue(const std::string& name, const Spec& spec,
+                       const std::string& value) const;
+
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace vadasa::api
+
+#endif  // VADASA_API_FLAGS_H_

@@ -1,0 +1,62 @@
+#ifndef VADASA_COMMON_CANCEL_H_
+#define VADASA_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace vadasa {
+
+/// Cooperative cancellation + deadline token shared between a controller (a
+/// job scheduler, a signal handler) and long-running library code (the
+/// anonymization cycle). The controller flips Cancel() or arms a deadline;
+/// workers poll Check() at natural yield points (iteration boundaries) and
+/// unwind with a non-OK Status. Polling is a relaxed atomic load plus, when a
+/// deadline is armed, one steady_clock read — cheap enough for per-iteration
+/// checks, not meant for per-row ones.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms an absolute deadline; Check() fails once steady_clock passes it.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// Arms a deadline `timeout` from now. Non-positive timeouts are ignored.
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    if (timeout.count() <= 0) return;
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  bool deadline_expired() const {
+    const int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// OK while neither cancelled nor past the deadline.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("operation cancelled");
+    if (deadline_expired()) return Status::DeadlineExceeded("deadline expired");
+    return Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock deadline in ns-since-epoch; 0 = no deadline armed.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace vadasa
+
+#endif  // VADASA_COMMON_CANCEL_H_

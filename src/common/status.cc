@@ -30,6 +30,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

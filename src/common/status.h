@@ -22,6 +22,9 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kNotImplemented,
+  kCancelled,          ///< The operation was cooperatively cancelled.
+  kDeadlineExceeded,   ///< A job deadline/timeout expired.
+  kUnavailable,        ///< A bounded resource (e.g. admission queue) is full.
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK", "ParseError"...).
@@ -74,6 +77,15 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -92,6 +92,9 @@ Result<CycleStats> AnonymizationCycle::Run(MicrodataTable* table) {
   RiskEvalCache cache;
 
   for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    if (options_.cancel != nullptr) {
+      VADASA_RETURN_NOT_OK(options_.cancel->Check());
+    }
     obs::Span iteration_span("cycle.iteration");
     meters.iterations->Add(1);
     // --- Risk evaluation (the component Fig. 7e singles out). ---

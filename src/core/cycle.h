@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "core/anonymize.h"
 #include "core/heuristics.h"
@@ -41,6 +42,12 @@ struct CycleOptions {
   /// further justifications are dropped (counted in CycleStats.log_dropped).
   size_t max_log_steps = 10000;
   RiskTransform risk_transform;
+  /// Cooperative cancellation / deadline token, polled at every iteration
+  /// boundary (before each risk evaluation). When it fires, Run unwinds with
+  /// Cancelled/DeadlineExceeded and the table is left mid-anonymization —
+  /// callers must treat the table as scratch on a non-OK result. Not owned;
+  /// nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome and accounting of a cycle run.

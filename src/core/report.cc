@@ -49,6 +49,9 @@ Result<ReleaseAudit> RunAuditedRelease(MicrodataTable* table,
   AnonymizationCycle cycle(&measure, anonymizer, options);
   VADASA_ASSIGN_OR_RETURN(audit.cycle, cycle.Run(table));
 
+  // The cycle mutated the table, so any warm stats handed in for the
+  // before-evaluation are stale now — drop them before re-evaluating.
+  options.risk.warm_stats.reset();
   VADASA_ASSIGN_OR_RETURN(
       audit.risk_after,
       ComputeGlobalRisk(*table, measure, options.risk, options.threshold));

@@ -24,12 +24,22 @@ uint64_t ShardSeed(uint64_t seed, uint64_t shard) {
   return z ^ (z >> 31);
 }
 
-/// Group stats via the cache (incremental index, shared across the iteration)
-/// or a one-shot computation into `scratch` when no cache was provided.
+/// Group stats via the cache (incremental index, shared across the iteration),
+/// via the context's shared warm stats (cache-less serving calls on an
+/// immutable table), or a one-shot computation into `scratch`. The cache takes
+/// precedence: it tracks mutations, while warm stats are only valid for the
+/// exact table contents they were computed from (guarded by a row-count check
+/// — the caller owns the stronger same-contents contract, see risk.h).
 const GroupStats& CachedStats(const MicrodataTable& table,
                               const std::vector<size_t>& qis, NullSemantics semantics,
-                              RiskEvalCache* cache, GroupStats* scratch) {
+                              const RiskContext& context, RiskEvalCache* cache,
+                              GroupStats* scratch) {
   if (cache != nullptr) return cache->Stats(table, qis, semantics);
+  if (context.warm_stats != nullptr &&
+      context.warm_stats->frequency.size() == table.num_rows()) {
+    VADASA_METRIC_COUNT("risk.warm_stats_hits", 1);
+    return *context.warm_stats;
+  }
   *scratch = ComputeGroupStats(table, qis, semantics);
   return *scratch;
 }
@@ -60,7 +70,7 @@ Result<std::vector<double>> ReidentificationRisk::ComputeRisks(
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;
-  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, context, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
     const double w = stats.weight_sum[r];
@@ -76,7 +86,7 @@ Result<std::vector<double>> KAnonymityRisk::ComputeRisks(const MicrodataTable& t
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;
-  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, context, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   for (size_t r = 0; r < risks.size(); ++r) {
     risks[r] = stats.frequency[r] < static_cast<double>(context.k) ? 1.0 : 0.0;
@@ -94,7 +104,7 @@ std::string KAnonymityRisk::Explain(const MicrodataTable& table,
   // With a cache this is one incremental-index lookup; without one it falls
   // back to a full O(n) group-stats pass per explained row.
   GroupStats scratch;
-  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, context, cache, &scratch);
   std::string combo;
   for (const size_t c : qis) {
     if (!combo.empty()) combo += ", ";
@@ -123,7 +133,7 @@ Result<std::vector<double>> IndividualRisk::ComputeRisks(const MicrodataTable& t
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   GroupStats scratch;
-  const GroupStats& stats = CachedStats(table, qis, context.semantics, cache, &scratch);
+  const GroupStats& stats = CachedStats(table, qis, context.semantics, context, cache, &scratch);
   std::vector<double> risks(table.num_rows());
   if (context.posterior_draws <= 0) {
     for (size_t r = 0; r < risks.size(); ++r) {
@@ -148,6 +158,16 @@ Result<std::vector<double>> IndividualRisk::ComputeRisks(const MicrodataTable& t
         }
       });
   return risks;
+}
+
+Result<std::shared_ptr<const GroupStats>> ComputeWarmGroupStats(
+    const MicrodataTable& table, const RiskContext& context) {
+  obs::Span span("risk.warm_group_stats");
+  const auto qis = context.ResolveQiColumns(table);
+  VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
+  auto stats = std::make_shared<GroupStats>(
+      ComputeGroupStats(table, qis, context.semantics));
+  return std::shared_ptr<const GroupStats>(std::move(stats));
 }
 
 Result<std::unique_ptr<RiskMeasure>> MakeRiskMeasure(const std::string& name) {

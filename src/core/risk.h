@@ -32,9 +32,25 @@ struct RiskContext {
   /// Seed for the sampled estimator.
   uint64_t seed = 7;
 
+  /// Optional pre-computed group statistics for (table, AnonSet, semantics),
+  /// shared read-only across evaluations — the serving layer's batch warmup:
+  /// concurrent jobs against the same immutable dataset coalesce the group
+  /// pass into one computation instead of redoing it per job. Contract: the
+  /// stats must have been produced by ComputeGroupStats on the *exact current
+  /// contents* of the table with the same resolved QI columns and semantics;
+  /// callers must drop the pointer when the table mutates (the cycle is safe:
+  /// it evaluates through its RiskEvalCache, which takes precedence). Ignored
+  /// by measures that do not group (SUDA) and whenever a cache is supplied.
+  std::shared_ptr<const GroupStats> warm_stats;
+
   /// Resolves qi_columns against the table's schema.
   std::vector<size_t> ResolveQiColumns(const MicrodataTable& table) const;
 };
+
+/// Computes group statistics for `context` over `table` once, wrapped for
+/// sharing via RiskContext::warm_stats. Validates the QI width first.
+Result<std::shared_ptr<const GroupStats>> ComputeWarmGroupStats(
+    const MicrodataTable& table, const RiskContext& context);
 
 /// A pluggable per-tuple statistical disclosure risk estimator. All risks are
 /// in [0,1]; a tuple is "risky" when its risk exceeds the cycle threshold T.

@@ -1,0 +1,79 @@
+#include "serve/dataset_registry.h"
+
+#include <utility>
+
+#include "common/csv.h"
+#include "core/categorize.h"
+#include "obs/trace.h"
+
+namespace vadasa::serve {
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::Load(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = datasets_.find(path);
+    if (it != datasets_.end()) {
+      VADASA_METRIC_COUNT("serve.registry.hits", 1);
+      return it->second;
+    }
+  }
+  // Load outside the lock: parsing a big CSV must not serialize lookups of
+  // already-cached datasets. A racing double-load is benign — last one wins
+  // and both snapshots are correct.
+  obs::Span span("serve.registry.load");
+  VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
+  VADASA_ASSIGN_OR_RETURN(core::MicrodataTable table,
+                          core::MicrodataTable::FromCsv(path, csv, {}, ""));
+  core::AttributeCategorizer categorizer =
+      core::AttributeCategorizer::WithDefaultExperience();
+  auto dictionary = std::make_shared<core::MetadataDictionary>();
+  VADASA_RETURN_NOT_OK(
+      categorizer.CategorizeTable(&table, dictionary.get()).status());
+  auto loaded = std::make_shared<LoadedDataset>();
+  loaded->path = path;
+  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
+  loaded->dictionary = std::move(dictionary);
+  VADASA_METRIC_COUNT("serve.registry.loads", 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.emplace(path, std::move(loaded));
+  if (inserted) order_.push_back(path);
+  return it->second;
+}
+
+Status DatasetRegistry::Register(const std::string& name,
+                                 core::MicrodataTable table) {
+  VADASA_RETURN_NOT_OK(table.Validate());
+  auto loaded = std::make_shared<LoadedDataset>();
+  loaded->path = name;
+  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
+  loaded->dictionary = std::make_shared<core::MetadataDictionary>();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.emplace(name, std::move(loaded));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("dataset \"" + name + "\" already registered");
+  }
+  order_.push_back(name);
+  return Status::OK();
+}
+
+Result<api::Session> DatasetRegistry::OpenSession(const std::string& path,
+                                                  api::SessionOptions options) {
+  VADASA_ASSIGN_OR_RETURN(const auto dataset, Load(path));
+  return api::Session::FromShared(dataset->table, dataset->dictionary,
+                                  std::move(options));
+}
+
+std::vector<std::string> DatasetRegistry::Catalog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return order_;
+}
+
+void DatasetRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_.clear();
+  order_.clear();
+}
+
+}  // namespace vadasa::serve

@@ -1,0 +1,60 @@
+#ifndef VADASA_SERVE_DATASET_REGISTRY_H_
+#define VADASA_SERVE_DATASET_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/vadasa.h"
+#include "common/result.h"
+#include "core/metadata.h"
+#include "core/microdata.h"
+
+namespace vadasa::serve {
+
+/// One loaded, categorized, immutable dataset — the unit the registry shares
+/// (refcounted) across every job that names the same path.
+struct LoadedDataset {
+  std::string path;
+  std::shared_ptr<const core::MicrodataTable> table;
+  std::shared_ptr<const core::MetadataDictionary> dictionary;
+};
+
+/// Loads microdata tables + metadata dictionaries once and hands out shared
+/// const snapshots, so a thousand jobs against the same CSV parse and
+/// categorize it exactly once. Thread-safe; lookups after the first load are
+/// a map hit under a mutex. Metrics: serve.registry.loads / .hits.
+class DatasetRegistry {
+ public:
+  DatasetRegistry() = default;
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// The dataset at `path`, loading and categorizing on first use.
+  Result<std::shared_ptr<const LoadedDataset>> Load(const std::string& path);
+
+  /// Registers an in-memory table under a name (tests, generated corpora).
+  /// Fails on a name collision.
+  Status Register(const std::string& name, core::MicrodataTable table);
+
+  /// A Session over the dataset at `path` with the given policy.
+  Result<api::Session> OpenSession(const std::string& path,
+                                   api::SessionOptions options);
+
+  /// Paths/names currently cached, in load order.
+  std::vector<std::string> Catalog() const;
+
+  /// Drops every cached dataset (in-flight shared_ptrs stay valid).
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::shared_ptr<const LoadedDataset>> datasets_;
+};
+
+}  // namespace vadasa::serve
+
+#endif  // VADASA_SERVE_DATASET_REGISTRY_H_

@@ -1,0 +1,187 @@
+#include "serve/protocol.h"
+
+#include <utility>
+
+#include "common/csv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vadasa::serve {
+
+namespace {
+
+std::string OkLine(Json::Object fields) {
+  Json::Object object = std::move(fields);
+  object["ok"] = true;
+  return Json(std::move(object)).Dump();
+}
+
+std::string ErrorLine(const Status& status) {
+  Json::Object object;
+  object["ok"] = false;
+  object["error"] = status.message();
+  object["code"] = std::string(StatusCodeToString(status.code()));
+  return Json(std::move(object)).Dump();
+}
+
+Json RiskJson(const api::RiskReport& report) {
+  Json::Object risk;
+  Json::Array tuple_risks;
+  tuple_risks.reserve(report.tuple_risks.size());
+  for (double r : report.tuple_risks) tuple_risks.emplace_back(r);
+  risk["tuple_risks"] = std::move(tuple_risks);
+  risk["threshold"] = report.threshold;
+  if (report.inferred_threshold >= 0.0) {
+    risk["inferred_threshold"] = report.inferred_threshold;
+  }
+  Json::Array risky;
+  risky.reserve(report.risky.size());
+  for (const api::RiskyTuple& tuple : report.risky) {
+    Json::Object entry;
+    entry["row"] = static_cast<int64_t>(tuple.row);
+    entry["risk"] = tuple.risk;
+    if (!tuple.explanation.empty()) entry["explanation"] = tuple.explanation;
+    risky.push_back(std::move(entry));
+  }
+  risk["risky"] = std::move(risky);
+  Json::Object global;
+  global["expected_reidentifications"] = report.global.expected_reidentifications;
+  global["global_risk_rate"] = report.global.global_risk_rate;
+  global["tuples_over_threshold"] =
+      static_cast<int64_t>(report.global.tuples_over_threshold);
+  global["max_risk"] = report.global.max_risk;
+  global["sample_uniques"] = static_cast<int64_t>(report.global.sample_uniques);
+  risk["global"] = std::move(global);
+  return Json(std::move(risk));
+}
+
+/// Decodes the SessionOptions fields of a submit request; unknown measure
+/// names and out-of-range k/threshold are caught by ValidateSessionOptions
+/// inside Session construction.
+api::SessionOptions OptionsFrom(const Json& request) {
+  api::SessionOptions options;
+  options.risk_measure = request.GetString("measure", options.risk_measure);
+  options.k = static_cast<int>(request.GetInt("k", options.k));
+  options.threshold = request.GetDouble("threshold", options.threshold);
+  options.standard_nulls =
+      request.GetBool("standard_nulls", options.standard_nulls);
+  options.single_step = request.GetBool("single_step", options.single_step);
+  options.declarative = request.GetBool("declarative", options.declarative);
+  options.posterior_draws =
+      static_cast<int>(request.GetInt("posterior_draws", options.posterior_draws));
+  options.seed = static_cast<uint64_t>(request.GetInt("seed", static_cast<int64_t>(options.seed)));
+  return options;
+}
+
+}  // namespace
+
+std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) {
+  obs::Span span("serve.request");
+  auto parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    return ErrorLine(parsed.status());
+  }
+  const Json& request = *parsed;
+  const std::string op = request.GetString("op", "");
+  if (op.empty()) {
+    return ErrorLine(Status::InvalidArgument("request has no \"op\" field"));
+  }
+
+  if (op == "ping") {
+    return OkLine({{"op", Json("ping")}});
+  }
+  if (op == "datasets") {
+    Json::Array names;
+    for (const std::string& name : registry_->Catalog()) names.emplace_back(name);
+    return OkLine({{"datasets", Json(std::move(names))}});
+  }
+  if (op == "submit") {
+    return HandleSubmit(request);
+  }
+  if (op == "metrics") {
+    auto metrics = Json::Parse(obs::MetricsRegistry::Global().ToJson());
+    if (!metrics.ok()) return ErrorLine(metrics.status());
+    return OkLine({{"metrics", std::move(*metrics)}});
+  }
+  if (op == "shutdown") {
+    if (shutdown_requested != nullptr) *shutdown_requested = true;
+    return OkLine({});
+  }
+
+  // The remaining operations address a job by id.
+  if (op != "status" && op != "result" && op != "cancel") {
+    return ErrorLine(Status::InvalidArgument("unknown op \"" + op + "\""));
+  }
+  if (!request.Has("id") || !request["id"].is_number()) {
+    return ErrorLine(
+        Status::InvalidArgument("op \"" + op + "\" requires a numeric \"id\""));
+  }
+  const uint64_t id = static_cast<uint64_t>(request.GetInt("id", 0));
+  if (op == "status") {
+    auto state = scheduler_->State(id);
+    if (!state.ok()) return ErrorLine(state.status());
+    auto snapshot = scheduler_->Peek(id);
+    if (!snapshot.ok()) return ErrorLine(snapshot.status());
+    return OkLine({{"id", Json(id)},
+                   {"state", Json(JobStateToString(*state))},
+                   {"queue_seconds", Json(snapshot->queue_seconds)},
+                   {"run_seconds", Json(snapshot->run_seconds)}});
+  }
+  if (op == "result") {
+    return HandleResult(id);
+  }
+  // op == "cancel"
+  Status status = scheduler_->Cancel(id);
+  if (!status.ok()) return ErrorLine(status);
+  return OkLine({{"id", Json(id)}});
+}
+
+std::string Protocol::HandleSubmit(const Json& request) {
+  const std::string dataset = request.GetString("dataset", "");
+  if (dataset.empty()) {
+    return ErrorLine(Status::InvalidArgument("submit requires a \"dataset\""));
+  }
+  const std::string action = request.GetString("action", "anonymize");
+  if (action != "risk" && action != "anonymize") {
+    return ErrorLine(Status::InvalidArgument(
+        "unknown action \"" + action + "\" (want \"risk\" or \"anonymize\")"));
+  }
+  auto session = registry_->OpenSession(dataset, OptionsFrom(request));
+  if (!session.ok()) return ErrorLine(session.status());
+
+  JobRequest job;
+  job.session = std::move(*session);
+  job.action = action == "risk" ? JobAction::kRisk : JobAction::kAnonymize;
+  job.quantile = request.GetDouble("quantile", -1.0);
+  job.explain = request.GetBool("explain", false);
+  JobOptions options;
+  options.priority = static_cast<int>(request.GetInt("priority", 0));
+  options.timeout_seconds = request.GetDouble("timeout_seconds", 0.0);
+  auto id = scheduler_->Submit(std::move(job), options);
+  if (!id.ok()) return ErrorLine(id.status());
+  return OkLine({{"id", Json(*id)}, {"state", Json("queued")}});
+}
+
+std::string Protocol::HandleResult(uint64_t id) {
+  auto result = scheduler_->Wait(id);
+  if (!result.ok()) return ErrorLine(result.status());
+  Json::Object fields;
+  fields["id"] = Json(id);
+  fields["state"] = JobStateToString(result->state);
+  fields["queue_seconds"] = result->queue_seconds;
+  fields["run_seconds"] = result->run_seconds;
+  if (result->state == JobState::kDone) {
+    if (result->action == JobAction::kRisk) {
+      fields["risk"] = RiskJson(result->risk);
+    } else {
+      fields["csv"] = WriteCsv(result->anonymize.table.ToCsv());
+      fields["audit"] = result->anonymize.ToText();
+    }
+  } else {
+    fields["error"] = result->status.message();
+    fields["code"] = std::string(StatusCodeToString(result->status.code()));
+  }
+  return OkLine(std::move(fields));
+}
+
+}  // namespace vadasa::serve

@@ -1,0 +1,49 @@
+#ifndef VADASA_SERVE_PROTOCOL_H_
+#define VADASA_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "serve/dataset_registry.h"
+#include "serve/scheduler.h"
+
+namespace vadasa::serve {
+
+/// The newline-delimited JSON request/response protocol of vadasa_serve
+/// (docs/serving.md). Each request is one JSON object on one line; each
+/// response is one JSON object on one line with an "ok" bool — protocol-level
+/// failures carry "error" and "code", job-level failures arrive as terminal
+/// job states inside an ok:true envelope.
+///
+/// Operations:
+///   {"op":"ping"}
+///   {"op":"datasets"}
+///   {"op":"submit","dataset":PATH,"action":"risk"|"anonymize", ...options}
+///   {"op":"status","id":N}
+///   {"op":"result","id":N}        — blocks until the job is terminal
+///   {"op":"cancel","id":N}
+///   {"op":"metrics"}              — serve.* / cycle.* metrics snapshot
+///   {"op":"shutdown"}
+///
+/// The class is stateless beyond its two collaborators and safe to call from
+/// concurrent connection threads.
+class Protocol {
+ public:
+  Protocol(DatasetRegistry* registry, JobScheduler* scheduler)
+      : registry_(registry), scheduler_(scheduler) {}
+
+  /// Handles one request line, returning the response line (no trailing
+  /// newline). Sets *shutdown_requested on {"op":"shutdown"}; never throws.
+  std::string Handle(const std::string& line, bool* shutdown_requested);
+
+ private:
+  std::string HandleSubmit(const Json& request);
+  std::string HandleResult(uint64_t id);
+
+  DatasetRegistry* registry_;
+  JobScheduler* scheduler_;
+};
+
+}  // namespace vadasa::serve
+
+#endif  // VADASA_SERVE_PROTOCOL_H_

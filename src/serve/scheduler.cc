@@ -1,0 +1,408 @@
+#include "serve/scheduler.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vadasa::serve {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Handles resolved once; every instance meters into the global registry.
+struct ServeMeters {
+  obs::Counter* submitted;
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Counter* expired;
+  obs::Counter* warmups;
+  obs::Counter* coalesce_hits;
+  obs::Gauge* queue_depth;
+  obs::Histogram* queue_wait_ms;
+  obs::Histogram* job_ms;
+
+  static ServeMeters& Get() {
+    static ServeMeters* meters = [] {
+      auto& registry = obs::MetricsRegistry::Global();
+      auto* m = new ServeMeters();
+      m->submitted = registry.counter("serve.submitted");
+      m->admitted = registry.counter("serve.admitted");
+      m->rejected = registry.counter("serve.rejected");
+      m->completed = registry.counter("serve.completed");
+      m->failed = registry.counter("serve.failed");
+      m->cancelled = registry.counter("serve.cancelled");
+      m->expired = registry.counter("serve.expired");
+      m->warmups = registry.counter("serve.batch.warmups");
+      m->coalesce_hits = registry.counter("serve.batch.coalesce_hits");
+      m->queue_depth = registry.gauge("serve.queue_depth");
+      m->queue_wait_ms = registry.histogram("serve.queue_wait_ms");
+      m->job_ms = registry.histogram("serve.job_ms");
+      return m;
+    }();
+    return *meters;
+  }
+};
+
+}  // namespace
+
+std::string JobStateToString(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+struct JobScheduler::Job {
+  uint64_t id = 0;
+  JobRequest request;
+  JobOptions options;
+  CancelToken cancel;
+  JobState state = JobState::kQueued;
+  Status status;
+  api::RiskReport risk;
+  api::AnonymizeResponse anonymize;
+  std::chrono::steady_clock::time_point submitted;
+  std::chrono::steady_clock::time_point started;
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+/// One coalesced warmup per (dataset, semantics): the first job computes the
+/// shared group statistics, concurrent peers block briefly and adopt them.
+struct JobScheduler::WarmSlot {
+  std::mutex mutex;
+  std::condition_variable ready_cv;
+  bool computing = false;
+  bool ready = false;
+  Status status;
+  std::shared_ptr<const core::GroupStats> stats;
+};
+
+JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_queue < 1) options_.max_queue = 1;
+  paused_ = options_.start_paused;
+  ServeMeters::Get();  // Register the handles before any job runs.
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobScheduler::~JobScheduler() { Shutdown(/*drain=*/true); }
+
+Result<uint64_t> JobScheduler::Submit(JobRequest request, JobOptions options) {
+  auto& meters = ServeMeters::Get();
+  meters.submitted->Add(1);
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->options = options;
+  job->submitted = std::chrono::steady_clock::now();
+  if (options.timeout_seconds > 0.0) {
+    job->cancel.SetTimeout(std::chrono::nanoseconds(
+        static_cast<int64_t>(options.timeout_seconds * 1e9)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      meters.rejected->Add(1);
+      return Status::Unavailable("scheduler is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      meters.rejected->Add(1);
+      return Status::Unavailable(
+          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.max_queue) + " jobs queued)");
+    }
+    job->id = next_id_++;
+    queue_.emplace(std::make_pair(-options.priority, job->id), job);
+    jobs_.emplace(job->id, job);
+    meters.admitted->Add(1);
+    meters.queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.notify_one();
+  return job->id;
+}
+
+Result<JobState> JobScheduler::State(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  return it->second->state;
+}
+
+/// Snapshot helpers shared by Peek/Wait; caller holds the scheduler mutex.
+namespace {
+
+JobResult MakeSnapshot(uint64_t id, JobAction action, JobState state,
+                       const Status& status, const api::RiskReport& risk,
+                       const api::AnonymizeResponse& anonymize,
+                       double queue_seconds, double run_seconds) {
+  JobResult result;
+  result.id = id;
+  result.action = action;
+  result.state = state;
+  result.status = status;
+  if (state == JobState::kDone) {
+    result.risk = risk;
+    result.anonymize = anonymize;
+  }
+  result.queue_seconds = queue_seconds;
+  result.run_seconds = run_seconds;
+  return result;
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled || state == JobState::kExpired;
+}
+
+}  // namespace
+
+Result<JobResult> JobScheduler::Peek(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  const Job& job = *it->second;
+  return MakeSnapshot(id, job.request.action, job.state, job.status, job.risk,
+                      job.anonymize, job.queue_seconds, job.run_seconds);
+}
+
+Result<JobResult> JobScheduler::Wait(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  std::shared_ptr<Job> job = it->second;
+  done_cv_.wait(lock, [&] { return IsTerminal(job->state); });
+  return MakeSnapshot(id, job->request.action, job->state, job->status,
+                      job->risk, job->anonymize, job->queue_seconds,
+                      job->run_seconds);
+}
+
+Status JobScheduler::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("unknown job id " + std::to_string(id));
+  }
+  Job* job = it->second.get();
+  if (job->state == JobState::kQueued) {
+    queue_.erase(std::make_pair(-job->options.priority, job->id));
+    ServeMeters::Get().queue_depth->Set(static_cast<double>(queue_.size()));
+    FinishLocked(job, JobState::kCancelled,
+                 Status::Cancelled("cancelled while queued"));
+    return Status::OK();
+  }
+  if (job->state == JobState::kRunning) {
+    job->cancel.Cancel();  // The job unwinds at its next iteration boundary.
+  }
+  return Status::OK();
+}
+
+void JobScheduler::Shutdown(bool drain) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    if (!drain) {
+      auto& meters = ServeMeters::Get();
+      for (auto& [key, job] : queue_) {
+        (void)key;
+        FinishLocked(job.get(), JobState::kCancelled,
+                     Status::Cancelled("cancelled at shutdown"));
+      }
+      queue_.clear();
+      meters.queue_depth->Set(0.0);
+    }
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void JobScheduler::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+size_t JobScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+size_t JobScheduler::running_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+/// Transition to a terminal state; caller holds the mutex.
+void JobScheduler::FinishLocked(Job* job, JobState state, Status status) {
+  auto& meters = ServeMeters::Get();
+  job->state = state;
+  job->status = std::move(status);
+  switch (state) {
+    case JobState::kDone: meters.completed->Add(1); break;
+    case JobState::kFailed: meters.failed->Add(1); break;
+    case JobState::kCancelled: meters.cancelled->Add(1); break;
+    case JobState::kExpired: meters.expired->Add(1); break;
+    default: break;
+  }
+  done_cv_.notify_all();
+}
+
+void JobScheduler::WorkerLoop() {
+  auto& meters = ServeMeters::Get();
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // shutdown_ overrides paused_ so a drain always completes.
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
+      if (queue_.empty()) {
+        if (shutdown_) return;  // Drained: nothing left to run.
+        continue;
+      }
+      auto it = queue_.begin();
+      job = it->second;
+      queue_.erase(it);
+      meters.queue_depth->Set(static_cast<double>(queue_.size()));
+      job->started = std::chrono::steady_clock::now();
+      job->queue_seconds = SecondsBetween(job->submitted, job->started);
+      meters.queue_wait_ms->Record(job->queue_seconds * 1e3);
+      if (!job->cancel.Check().ok()) {
+        // Cancelled or expired while queued; never starts.
+        const Status verdict = job->cancel.Check();
+        FinishLocked(job.get(),
+                     verdict.code() == StatusCode::kDeadlineExceeded
+                         ? JobState::kExpired
+                         : JobState::kCancelled,
+                     verdict);
+        continue;
+      }
+      job->state = JobState::kRunning;
+      ++running_;
+    }
+    Execute(job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+  }
+}
+
+void JobScheduler::WarmUp(Job* job) {
+  // SUDA never reads group statistics; warming would be wasted work.
+  if (!options_.coalesce_warmup ||
+      job->request.session.options().risk_measure == "suda") {
+    return;
+  }
+  char key[64];
+  std::snprintf(key, sizeof(key), "%p|%s",
+                static_cast<const void*>(job->request.session.shared_table().get()),
+                job->request.session.options().GroupKey().c_str());
+  std::shared_ptr<WarmSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    auto& entry = warm_[key];
+    if (entry == nullptr) entry = std::make_shared<WarmSlot>();
+    slot = entry;
+  }
+  auto& meters = ServeMeters::Get();
+  std::unique_lock<std::mutex> lock(slot->mutex);
+  if (slot->ready) {
+    meters.coalesce_hits->Add(1);
+  } else if (slot->computing) {
+    meters.coalesce_hits->Add(1);
+    slot->ready_cv.wait(lock, [&] { return slot->ready; });
+  } else {
+    slot->computing = true;
+    lock.unlock();
+    obs::Span span("serve.warmup");
+    meters.warmups->Add(1);
+    Status status = job->request.session.Warm();
+    lock.lock();
+    slot->status = status;
+    slot->stats = job->request.session.warm_stats();
+    slot->ready = true;
+    slot->ready_cv.notify_all();
+    return;  // This session is already warm.
+  }
+  if (slot->status.ok() && slot->stats != nullptr) {
+    job->request.session.AdoptWarmStats(slot->stats);
+  }
+  // A failed warmup (e.g. too many QI columns for the semantics) is not a job
+  // failure: the un-warmed call path will surface the same error itself.
+}
+
+void JobScheduler::Execute(const std::shared_ptr<Job>& job) {
+  obs::Span span("serve.job");
+  auto& meters = ServeMeters::Get();
+  WarmUp(job.get());
+
+  Status verdict = job->cancel.Check();
+  api::RiskReport risk;
+  api::AnonymizeResponse anonymize;
+  if (verdict.ok()) {
+    if (job->request.action == JobAction::kRisk) {
+      auto result = job->request.session.Risk(job->request.quantile,
+                                              job->request.explain);
+      if (result.ok()) {
+        risk = std::move(*result);
+      } else {
+        verdict = result.status();
+      }
+    } else {
+      api::AnonymizeRequest anonymize_request;
+      anonymize_request.cancel = &job->cancel;
+      auto result = job->request.session.Anonymize(anonymize_request);
+      if (result.ok()) {
+        anonymize = std::move(*result);
+      } else {
+        verdict = result.status();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  job->run_seconds =
+      SecondsBetween(job->started, std::chrono::steady_clock::now());
+  meters.job_ms->Record(job->run_seconds * 1e3);
+  if (verdict.ok()) {
+    job->risk = std::move(risk);
+    job->anonymize = std::move(anonymize);
+    FinishLocked(job.get(), JobState::kDone, Status::OK());
+  } else if (verdict.code() == StatusCode::kCancelled) {
+    FinishLocked(job.get(), JobState::kCancelled, verdict);
+  } else if (verdict.code() == StatusCode::kDeadlineExceeded) {
+    FinishLocked(job.get(), JobState::kExpired, verdict);
+  } else {
+    FinishLocked(job.get(), JobState::kFailed, verdict);
+  }
+}
+
+}  // namespace vadasa::serve

@@ -1,0 +1,161 @@
+#ifndef VADASA_SERVE_SCHEDULER_H_
+#define VADASA_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/vadasa.h"
+#include "common/cancel.h"
+#include "common/result.h"
+
+namespace vadasa::serve {
+
+/// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled, kExpired.
+/// (Jobs refused at admission never get an id or a state — Submit returns
+/// Unavailable instead; that is the rejection the metrics count.)
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,     ///< The library call returned a non-OK, non-cancel Status.
+  kCancelled,  ///< Cancelled while queued, or cooperatively while running.
+  kExpired,    ///< The deadline fired (while queued or mid-run).
+};
+
+std::string JobStateToString(JobState state);
+
+/// What to run against the session.
+enum class JobAction { kRisk, kAnonymize };
+
+/// One unit of work: an immutable Session (shared dataset + policy) plus the
+/// action. Executing it is a pure function of this struct, which is what
+/// keeps N concurrent jobs bit-identical to N sequential facade calls.
+struct JobRequest {
+  api::Session session;
+  JobAction action = JobAction::kAnonymize;
+  /// Risk-only: infer the threshold at this quantile (< 0 = skip) and attach
+  /// per-tuple explanations.
+  double quantile = -1.0;
+  bool explain = false;
+};
+
+/// Per-job scheduling knobs.
+struct JobOptions {
+  /// Higher runs earlier; ties broken FIFO by admission order.
+  int priority = 0;
+  /// End-to-end deadline (queue wait + execution), seconds. 0 = none.
+  double timeout_seconds = 0.0;
+};
+
+/// Terminal snapshot of a job.
+struct JobResult {
+  uint64_t id = 0;
+  JobAction action = JobAction::kAnonymize;
+  JobState state = JobState::kQueued;
+  Status status;  ///< Failure/cancel reason; OK for kDone.
+  api::RiskReport risk;            ///< kRisk jobs.
+  api::AnonymizeResponse anonymize;  ///< kAnonymize jobs.
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+struct SchedulerOptions {
+  /// Executor threads. Each runs one job at a time; the data-parallel work
+  /// inside a job still rides ThreadPool::Global()'s deterministic shards.
+  size_t workers = 2;
+  /// Bound of the admission queue (jobs queued, not counting running ones).
+  /// Submission beyond it is *rejected* with Unavailable, never blocked —
+  /// backpressure surfaces at the edge instead of wedging clients.
+  size_t max_queue = 64;
+  /// Coalesce group-statistics warmup across jobs that share a dataset and
+  /// null semantics (the batching of docs/serving.md).
+  bool coalesce_warmup = true;
+  /// Admit jobs but do not run any until Resume() — deterministic setup for
+  /// tests and warm server starts. Shutdown(drain=true) implies Resume.
+  bool start_paused = false;
+};
+
+/// A bounded, prioritized, cancellable job executor over api::Session calls —
+/// the long-lived serving core. Admission control rejects overflow instead of
+/// blocking; per-job CancelTokens give cooperative cancellation and deadline
+/// enforcement; jobs that share a dataset+semantics coalesce their group-index
+/// warmup. All serve.* metrics flow through obs::MetricsRegistry::Global().
+class JobScheduler {
+ public:
+  explicit JobScheduler(SchedulerOptions options = {});
+  ~JobScheduler();  ///< Shutdown(/*drain=*/true).
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Admits a job or rejects it (Unavailable when the queue is full or the
+  /// scheduler is shutting down). Never blocks on a full queue.
+  Result<uint64_t> Submit(JobRequest request, JobOptions options = {});
+
+  /// Current state; NotFound for unknown ids.
+  Result<JobState> State(uint64_t id) const;
+
+  /// Non-blocking snapshot (results only populated in terminal states).
+  Result<JobResult> Peek(uint64_t id) const;
+
+  /// Blocks until the job reaches a terminal state; returns the snapshot.
+  Result<JobResult> Wait(uint64_t id);
+
+  /// Queued job: removed and marked kCancelled. Running job: its token is
+  /// flipped and the job unwinds at the next cycle-iteration boundary.
+  /// Terminal job: no-op. NotFound for unknown ids.
+  Status Cancel(uint64_t id);
+
+  /// Stops admission, then either drains the queue (drain=true: queued jobs
+  /// still execute) or cancels every queued job; running jobs always finish
+  /// (their tokens are left alone — drain=false only cancels queued work).
+  /// Joins the workers. Idempotent.
+  void Shutdown(bool drain = true);
+
+  /// Starts execution after a start_paused construction. No-op otherwise.
+  void Resume();
+
+  size_t queue_depth() const;
+  size_t running_jobs() const;
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct WarmSlot;
+
+  void WorkerLoop();
+  void Execute(const std::shared_ptr<Job>& job);
+  void WarmUp(Job* job);
+  void FinishLocked(Job* job, JobState state, Status status);
+
+  SchedulerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Workers: queue non-empty / shutdown.
+  std::condition_variable done_cv_;   ///< Waiters: some job reached terminal.
+  /// Admission order within a priority band; also the id source.
+  uint64_t next_id_ = 1;
+  bool draining_ = false;   ///< Admission closed.
+  bool shutdown_ = false;   ///< Workers told to exit once the queue is empty.
+  bool paused_ = false;     ///< Workers admit but do not pop until Resume.
+  /// Ready queue keyed by (-priority, admission seq): begin() is next to run.
+  std::map<std::pair<int, uint64_t>, std::shared_ptr<Job>> queue_;
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+  size_t running_ = 0;
+
+  std::mutex warm_mutex_;
+  std::map<std::string, std::shared_ptr<WarmSlot>> warm_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vadasa::serve
+
+#endif  // VADASA_SERVE_SCHEDULER_H_

@@ -1,0 +1,164 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vadasa::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR and short writes.
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Server::Start() {
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("server needs a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::IoError("bind " + options_.socket_path + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed (Stop) or fatal; either way we are done.
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    VADASA_METRIC_COUNT("serve.connections", 1);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    live_fds_.insert(fd);
+    connections_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_requested = false;
+  while (!shutdown_requested) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // Client hung up.
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while (!shutdown_requested &&
+           (newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::string response = protocol_->Handle(line, &shutdown_requested);
+      response.push_back('\n');
+      if (!WriteAll(fd, response.data(), response.size())) {
+        shutdown_requested = false;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    live_fds_.erase(fd);
+  }
+  ::close(fd);
+  if (shutdown_requested) {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+}
+
+void Server::AwaitShutdown() {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller still wants the joins below to have happened; the first
+    // call does them, so just fall through when the thread is already gone.
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    // Kick idle connections out of their blocking read; each thread closes
+    // its own fd on the way out.
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (std::thread& connection : connections) {
+    if (connection.joinable()) connection.join();
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+  }
+}
+
+}  // namespace vadasa::serve

@@ -1,0 +1,72 @@
+#ifndef VADASA_SERVE_SERVER_H_
+#define VADASA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace vadasa::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix domain socket. An existing stale socket
+  /// file at this path is unlinked before binding.
+  std::string socket_path;
+  /// listen(2) backlog.
+  int backlog = 16;
+};
+
+/// A newline-delimited-JSON server over a Unix domain socket: one thread per
+/// connection, each line handed to Protocol::Handle. `{"op":"shutdown"}`
+/// (or Stop()) stops the accept loop, closes the listener and joins every
+/// connection thread. Single-use: Serve() then Stop().
+class Server {
+ public:
+  Server(Protocol* protocol, ServerOptions options)
+      : protocol_(protocol), options_(std::move(options)) {}
+  ~Server() { Stop(); }
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens. Returns once the socket is accepting, with the
+  /// accept loop running on a background thread.
+  Status Start();
+
+  /// Blocks until shutdown is requested (protocol op or Stop()).
+  void AwaitShutdown();
+
+  /// Idempotent: closes the listener, joins the accept loop and every
+  /// connection thread, unlinks the socket file.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Protocol* protocol_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> connections_;
+  std::set<int> live_fds_;  ///< Open connection sockets, for Stop() to poke.
+
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace vadasa::serve
+
+#endif  // VADASA_SERVE_SERVER_H_

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "api/vadasa.h"
+#include "common/csv.h"
+#include "common/thread_pool.h"
 #include "core/anonymize.h"
 #include "core/business.h"
 #include "core/cycle.h"
@@ -12,6 +17,7 @@
 #include "core/microdata.h"
 #include "core/risk.h"
 #include "core/vadalog_bridge.h"
+#include "serve/scheduler.h"
 #include "testing/differential.h"
 #include "testing/generators.h"
 #include "testing/oracles.h"
@@ -163,6 +169,88 @@ Status EvalParallelDeterminism(const ReproCase& repro) {
   const size_t threads = ParamU64(repro, "threads", 4);
   return CheckParallelDeterminism(repro.table, options,
                                   Param(repro, "measure", "k-anonymity"), threads);
+}
+
+Status EvalServeConcurrentBitIdentical(const ReproCase& repro) {
+  api::SessionOptions options;
+  options.risk_measure = Param(repro, "measure", "k-anonymity");
+  options.k = static_cast<int>(ParamU64(repro, "k", 2));
+  options.threshold = ParamDouble(repro, "threshold", 0.5);
+  options.standard_nulls = Param(repro, "semantics", "maybe") == "standard";
+
+  const auto shared =
+      std::make_shared<const MicrodataTable>(repro.table);
+  VADASA_ASSIGN_OR_RETURN(api::Session session,
+                          api::Session::FromShared(shared, nullptr, options));
+
+  const size_t njobs = ParamU64(repro, "njobs", 4);
+  // Alternate actions so one case exercises both result paths.
+  auto action_for = [](size_t j) {
+    return j % 2 == 1 ? serve::JobAction::kRisk : serve::JobAction::kAnonymize;
+  };
+
+  // References: sequential facade calls on a single library thread.
+  struct Reference {
+    std::string csv;
+    std::vector<double> risks;
+  };
+  const size_t previous = ThreadPool::SetGlobalThreads(1);
+  auto run = [&]() -> Status {
+    std::vector<Reference> expected(njobs);
+    for (size_t j = 0; j < njobs; ++j) {
+      if (action_for(j) == serve::JobAction::kRisk) {
+        VADASA_ASSIGN_OR_RETURN(const api::RiskReport report, session.Risk());
+        expected[j].risks = report.tuple_risks;
+      } else {
+        VADASA_ASSIGN_OR_RETURN(const api::AnonymizeResponse response,
+                                session.Anonymize());
+        expected[j].csv = WriteCsv(response.table.ToCsv());
+      }
+    }
+
+    // Same jobs through the scheduler, concurrently, with data-parallel shards.
+    ThreadPool::SetGlobalThreads(ParamU64(repro, "threads", 2));
+    serve::SchedulerOptions scheduler_options;
+    scheduler_options.workers = ParamU64(repro, "workers", 2);
+    scheduler_options.max_queue = njobs;
+    serve::JobScheduler scheduler(scheduler_options);
+    std::vector<uint64_t> ids(njobs);
+    for (size_t j = 0; j < njobs; ++j) {
+      serve::JobRequest request;
+      request.session = session;
+      request.action = action_for(j);
+      VADASA_ASSIGN_OR_RETURN(ids[j], scheduler.Submit(std::move(request)));
+    }
+    for (size_t j = 0; j < njobs; ++j) {
+      VADASA_ASSIGN_OR_RETURN(const serve::JobResult result,
+                              scheduler.Wait(ids[j]));
+      if (result.state != serve::JobState::kDone) {
+        return Status::FailedPrecondition(
+            "job " + std::to_string(j) + " ended " +
+            serve::JobStateToString(result.state) + ": " +
+            result.status.ToString());
+      }
+      if (action_for(j) == serve::JobAction::kRisk) {
+        if (result.risk.tuple_risks != expected[j].risks) {
+          return Status::FailedPrecondition(
+              "job " + std::to_string(j) +
+              ": scheduler risks differ from the sequential facade call");
+        }
+      } else {
+        const std::string csv = WriteCsv(result.anonymize.table.ToCsv());
+        if (csv != expected[j].csv) {
+          return Status::FailedPrecondition(
+              "job " + std::to_string(j) +
+              ": scheduler release is not byte-identical to the facade call");
+        }
+      }
+    }
+    scheduler.Shutdown(/*drain=*/true);
+    return Status::OK();
+  };
+  const Status status = run();
+  ThreadPool::SetGlobalThreads(previous);
+  return status;
 }
 
 vadalog::EngineOptions BoundedEngineOptions() {
@@ -337,6 +425,28 @@ std::vector<Property> BuildCatalog() {
          return repro;
        },
        EvalParallelDeterminism});
+
+  catalog.push_back(
+      {"serve-concurrent-jobs-bit-identical",
+       "N concurrent scheduler jobs match N sequential facade calls byte-for-byte",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.max_rows = 20;  // njobs full cycles per case; keep each cheap.
+         options.max_qi = 3;
+         ReproCase repro =
+             TableCase("serve-concurrent-jobs-bit-identical", rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         repro.params["njobs"] = std::to_string(rng->NextInt(2, 6));
+         repro.params["workers"] = std::to_string(rng->NextInt(1, 4));
+         repro.params["threads"] = std::to_string(rng->NextInt(2, 5));
+         return repro;
+       },
+       EvalServeConcurrentBitIdentical});
 
   catalog.push_back(
       {"vadalog-determinism",

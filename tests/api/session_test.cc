@@ -1,0 +1,195 @@
+#include "api/vadasa.h"
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "core/cycle.h"
+#include "core/datagen.h"
+#include "core/report.h"
+
+namespace vadasa::api {
+namespace {
+
+using core::Figure5Microdata;
+using core::MicrodataTable;
+
+TEST(SessionOptionsTest, ValidationCatchesBadPolicies) {
+  {
+    SessionOptions options;
+    options.risk_measure = "nonsense";
+    EXPECT_FALSE(ValidateSessionOptions(options).ok());
+  }
+  {
+    SessionOptions options;
+    options.k = 0;
+    EXPECT_FALSE(ValidateSessionOptions(options).ok());
+  }
+  {
+    SessionOptions options;
+    options.threshold = 1.5;
+    EXPECT_FALSE(ValidateSessionOptions(options).ok());
+  }
+  {
+    SessionOptions options;
+    options.posterior_draws = -1;
+    EXPECT_FALSE(ValidateSessionOptions(options).ok());
+  }
+  EXPECT_TRUE(ValidateSessionOptions(SessionOptions{}).ok());
+}
+
+TEST(SessionOptionsTest, GroupKeyTracksNullSemantics) {
+  SessionOptions options;
+  const std::string maybe = options.GroupKey();
+  options.standard_nulls = true;
+  EXPECT_NE(maybe, options.GroupKey());
+}
+
+TEST(SessionTest, EmptySessionFailsGracefully) {
+  Session session;
+  EXPECT_EQ(session.Risk().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Anonymize().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Warm().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, FromTableRejectsInvalidOptions) {
+  SessionOptions options;
+  options.risk_measure = "nonsense";
+  EXPECT_FALSE(Session::FromTable(Figure5Microdata(), options).ok());
+}
+
+TEST(SessionTest, RiskMatchesDirectCorePath) {
+  SessionOptions options;
+  options.k = 2;
+  auto session = Session::FromTable(Figure5Microdata(), options);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto report = session->Risk();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const MicrodataTable table = Figure5Microdata();
+  auto measure = core::MakeRiskMeasure("k-anonymity");
+  ASSERT_TRUE(measure.ok());
+  core::RiskContext ctx;
+  ctx.k = 2;
+  auto direct = (*measure)->ComputeRisks(table, ctx);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(report->tuple_risks.size(), direct->size());
+  for (size_t r = 0; r < direct->size(); ++r) {
+    EXPECT_EQ(report->tuple_risks[r], (*direct)[r]) << "row " << r;
+  }
+  // Risky rows are exactly the over-threshold ones, with explanations.
+  for (const RiskyTuple& risky : report->risky) {
+    EXPECT_GT(risky.risk, options.threshold);
+    EXPECT_FALSE(risky.explanation.empty());
+  }
+}
+
+TEST(SessionTest, AnonymizeMatchesDirectCorePath) {
+  SessionOptions options;
+  options.k = 2;
+  auto session = Session::FromTable(Figure5Microdata(), options);
+  ASSERT_TRUE(session.ok());
+  auto response = session->Anonymize();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  MicrodataTable direct = Figure5Microdata();
+  auto measure = core::MakeRiskMeasure("k-anonymity");
+  ASSERT_TRUE(measure.ok());
+  core::LocalSuppression anonymizer;
+  core::CycleOptions cycle_options;
+  cycle_options.threshold = 0.5;
+  cycle_options.risk.k = 2;
+  auto audit =
+      core::RunAuditedRelease(&direct, **measure, &anonymizer, cycle_options);
+  ASSERT_TRUE(audit.ok());
+
+  EXPECT_EQ(WriteCsv(response->table.ToCsv()), WriteCsv(direct.ToCsv()));
+  EXPECT_FALSE(response->ToText().empty());
+}
+
+TEST(SessionTest, AnonymizeDoesNotMutateTheSession) {
+  auto session = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(session.ok());
+  const std::string before = WriteCsv(session->table().ToCsv());
+  ASSERT_TRUE(session->Anonymize().ok());
+  EXPECT_EQ(WriteCsv(session->table().ToCsv()), before);
+}
+
+TEST(SessionTest, WarmDoesNotChangeRiskResults) {
+  auto cold = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(cold.ok());
+  auto warm = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->Warm().ok());
+  ASSERT_NE(warm->warm_stats(), nullptr);
+
+  auto cold_report = cold->Risk(/*quantile=*/0.9);
+  auto warm_report = warm->Risk(/*quantile=*/0.9);
+  ASSERT_TRUE(cold_report.ok());
+  ASSERT_TRUE(warm_report.ok());
+  ASSERT_EQ(cold_report->tuple_risks.size(), warm_report->tuple_risks.size());
+  for (size_t r = 0; r < cold_report->tuple_risks.size(); ++r) {
+    EXPECT_EQ(cold_report->tuple_risks[r], warm_report->tuple_risks[r]);
+  }
+  EXPECT_EQ(cold_report->inferred_threshold, warm_report->inferred_threshold);
+  EXPECT_EQ(cold_report->global.expected_reidentifications,
+            warm_report->global.expected_reidentifications);
+}
+
+TEST(SessionTest, WarmDoesNotChangeAnonymizeResults) {
+  auto cold = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(cold.ok());
+  auto warm = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm->Warm().ok());
+  auto cold_response = cold->Anonymize();
+  auto warm_response = warm->Anonymize();
+  ASSERT_TRUE(cold_response.ok());
+  ASSERT_TRUE(warm_response.ok());
+  EXPECT_EQ(WriteCsv(warm_response->table.ToCsv()),
+            WriteCsv(cold_response->table.ToCsv()));
+  EXPECT_EQ(warm_response->ToText(), cold_response->ToText());
+}
+
+TEST(SessionTest, PreCancelledTokenShortCircuitsAnonymize) {
+  auto session = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(session.ok());
+  CancelToken token;
+  token.Cancel();
+  AnonymizeRequest request;
+  request.cancel = &token;
+  EXPECT_EQ(session->Anonymize(request).status().code(),
+            StatusCode::kCancelled);
+}
+
+TEST(SessionTest, ExpiredDeadlineShortCircuitsAnonymize) {
+  auto session = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(session.ok());
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  AnonymizeRequest request;
+  request.cancel = &token;
+  EXPECT_EQ(session->Anonymize(request).status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(SessionTest, SharedTableServesManySessions) {
+  auto table = std::make_shared<const MicrodataTable>(Figure5Microdata());
+  SessionOptions strict;
+  strict.k = 3;
+  auto a = Session::FromShared(table, nullptr, {});
+  auto b = Session::FromShared(table, nullptr, strict);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->shared_table().get(), b->shared_table().get());
+  auto risks_a = a->Risk();
+  auto risks_b = b->Risk();
+  ASSERT_TRUE(risks_a.ok());
+  ASSERT_TRUE(risks_b.ok());
+  // Different k policies over the same shared snapshot stay independent.
+  EXPECT_GE(risks_b->risky.size(), risks_a->risky.size());
+}
+
+}  // namespace
+}  // namespace vadasa::api

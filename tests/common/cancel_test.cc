@@ -1,0 +1,65 @@
+#include "common/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace vadasa {
+namespace {
+
+TEST(CancelTokenTest, DefaultIsLive) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancelFlips) {
+  CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  const Status status = token.Check();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReports) {
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.deadline_expired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FutureDeadlineStaysLive) {
+  CancelToken token;
+  token.SetTimeout(std::chrono::hours(1));
+  EXPECT_FALSE(token.deadline_expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, NonPositiveTimeoutIgnored) {
+  CancelToken token;
+  token.SetTimeout(std::chrono::nanoseconds(0));
+  token.SetTimeout(std::chrono::nanoseconds(-5));
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancelTokenTest, CancelWinsOverDeadline) {
+  // A job that is both cancelled and past deadline reports the explicit
+  // cancel — the more intentional signal.
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, VisibleAcrossThreads) {
+  CancelToken token;
+  std::thread other([&token] { token.Cancel(); });
+  other.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+}  // namespace
+}  // namespace vadasa

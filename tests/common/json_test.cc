@@ -1,0 +1,91 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace vadasa {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_FALSE(Json::Parse("false")->AsBool(true));
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25")->AsDouble(), 3.25);
+  EXPECT_EQ(Json::Parse("-17")->AsInt(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto doc = Json::Parse(R"({"op":"submit","k":2,"tags":["a","b"],"inner":{"x":true}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("op", ""), "submit");
+  EXPECT_EQ(doc->GetInt("k", 0), 2);
+  EXPECT_EQ((*doc)["tags"].AsArray().size(), 2u);
+  EXPECT_EQ((*doc)["tags"].AsArray()[1].AsString(), "b");
+  EXPECT_TRUE((*doc)["inner"].GetBool("x", false));
+  EXPECT_FALSE(doc->Has("missing"));
+  EXPECT_TRUE((*doc)["missing"].is_null());
+}
+
+TEST(JsonTest, DecodesStringEscapes) {
+  auto doc = Json::Parse(R"("a\"b\\c\nd\u0041\u00e9")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(JsonTest, DecodesSurrogatePairs) {
+  auto doc = Json::Parse(R"("\ud83d\ude00")");  // 😀 U+1F600
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "nul", "01", "1.", "+1", "\"unterminated",
+        "{\"a\":1} trailing", "\"bad\\escape\"", "[1 2]", "{\"a\" 1}",
+        "{1:2}"}) {
+    auto doc = Json::Parse(bad);
+    EXPECT_FALSE(doc.ok()) << "should reject: " << bad;
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kParseError) << bad;
+    }
+  }
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json::Object object;
+  object["s"] = "quote\" slash\\ newline\n";
+  object["n"] = 1.5;
+  object["b"] = true;
+  object["z"] = nullptr;
+  object["arr"] = Json::Array{Json(1), Json("two"), Json(false)};
+  const Json original{std::move(object)};
+  auto reparsed = Json::Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok()) << original.Dump();
+  EXPECT_EQ(reparsed->Dump(), original.Dump());
+  EXPECT_EQ(reparsed->GetString("s", ""), "quote\" slash\\ newline\n");
+}
+
+TEST(JsonTest, IntegersDumpWithoutExponent) {
+  // Job ids travel as JSON numbers; they must survive a round trip exactly.
+  Json::Object object;
+  object["id"] = static_cast<uint64_t>(123456789);
+  const std::string text = Json(std::move(object)).Dump();
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->GetInt("id", 0), 123456789);
+}
+
+TEST(JsonTest, JsonQuoteEscapesControlCharacters) {
+  EXPECT_EQ(JsonQuote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+}  // namespace
+}  // namespace vadasa

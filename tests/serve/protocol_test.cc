@@ -1,0 +1,130 @@
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "core/datagen.h"
+
+namespace vadasa::serve {
+namespace {
+
+class ProtocolTest : public ::testing::Test {
+ protected:
+  ProtocolTest() : scheduler_(SchedulerOptions{}), protocol_(&registry_, &scheduler_) {
+    EXPECT_TRUE(registry_.Register("fig5", core::Figure5Microdata()).ok());
+  }
+
+  Json Call(const std::string& line) {
+    bool shutdown = false;
+    auto parsed = Json::Parse(protocol_.Handle(line, &shutdown));
+    EXPECT_TRUE(parsed.ok());
+    return parsed.ok() ? *parsed : Json();
+  }
+
+  DatasetRegistry registry_;
+  JobScheduler scheduler_;
+  Protocol protocol_;
+};
+
+TEST_F(ProtocolTest, PingAndDatasets) {
+  EXPECT_TRUE(Call(R"({"op":"ping"})").GetBool("ok", false));
+  const Json datasets = Call(R"({"op":"datasets"})");
+  ASSERT_TRUE(datasets.GetBool("ok", false));
+  ASSERT_EQ(datasets["datasets"].AsArray().size(), 1u);
+  EXPECT_EQ(datasets["datasets"].AsArray()[0].AsString(), "fig5");
+}
+
+TEST_F(ProtocolTest, SubmitRiskRoundTrip) {
+  const Json submitted =
+      Call(R"({"op":"submit","dataset":"fig5","action":"risk","k":2,"explain":true})");
+  ASSERT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+  const int64_t id = submitted.GetInt("id", -1);
+  ASSERT_GT(id, 0);
+  const Json result =
+      Call(std::string(R"({"op":"result","id":)") + std::to_string(id) + "}");
+  ASSERT_TRUE(result.GetBool("ok", false)) << result.Dump();
+  EXPECT_EQ(result.GetString("state", ""), "done");
+  EXPECT_EQ(result["risk"]["tuple_risks"].AsArray().size(), 7u);
+  EXPECT_TRUE(result["risk"].Has("global"));
+}
+
+TEST_F(ProtocolTest, SubmitAnonymizeReturnsCsvAndAudit) {
+  const Json submitted =
+      Call(R"({"op":"submit","dataset":"fig5","action":"anonymize"})");
+  ASSERT_TRUE(submitted.GetBool("ok", false));
+  const Json result = Call(std::string(R"({"op":"result","id":)") +
+                           std::to_string(submitted.GetInt("id", 0)) + "}");
+  ASSERT_TRUE(result.GetBool("ok", false)) << result.Dump();
+  EXPECT_EQ(result.GetString("state", ""), "done");
+  EXPECT_NE(result.GetString("csv", "").find('\n'), std::string::npos);
+  EXPECT_FALSE(result.GetString("audit", "").empty());
+}
+
+TEST_F(ProtocolTest, StatusReportsTerminalState) {
+  const Json submitted =
+      Call(R"({"op":"submit","dataset":"fig5","action":"risk"})");
+  const std::string id = std::to_string(submitted.GetInt("id", 0));
+  Call(R"({"op":"result","id":)" + id + "}");  // Wait for completion.
+  const Json status = Call(R"({"op":"status","id":)" + id + "}");
+  ASSERT_TRUE(status.GetBool("ok", false));
+  EXPECT_EQ(status.GetString("state", ""), "done");
+}
+
+TEST_F(ProtocolTest, ErrorsAreStructured) {
+  const Json garbage = Call("this is not json");
+  EXPECT_FALSE(garbage.GetBool("ok", true));
+  EXPECT_EQ(garbage.GetString("code", ""), "ParseError");
+
+  const Json no_op = Call(R"({"dataset":"fig5"})");
+  EXPECT_FALSE(no_op.GetBool("ok", true));
+
+  const Json bad_op = Call(R"({"op":"frobnicate"})");
+  EXPECT_FALSE(bad_op.GetBool("ok", true));
+  EXPECT_EQ(bad_op.GetString("code", ""), "InvalidArgument");
+
+  const Json bad_dataset =
+      Call(R"({"op":"submit","dataset":"/missing.csv"})");
+  EXPECT_FALSE(bad_dataset.GetBool("ok", true));
+
+  const Json bad_action =
+      Call(R"({"op":"submit","dataset":"fig5","action":"delete"})");
+  EXPECT_FALSE(bad_action.GetBool("ok", true));
+
+  const Json bad_id = Call(R"({"op":"result","id":999})");
+  EXPECT_FALSE(bad_id.GetBool("ok", true));
+  EXPECT_EQ(bad_id.GetString("code", ""), "NotFound");
+
+  const Json no_id = Call(R"({"op":"result"})");
+  EXPECT_FALSE(no_id.GetBool("ok", true));
+
+  const Json bad_policy =
+      Call(R"({"op":"submit","dataset":"fig5","measure":"nonsense"})");
+  EXPECT_FALSE(bad_policy.GetBool("ok", true));
+}
+
+TEST_F(ProtocolTest, CancelUnknownJobFails) {
+  const Json cancelled = Call(R"({"op":"cancel","id":12345})");
+  EXPECT_FALSE(cancelled.GetBool("ok", true));
+  EXPECT_EQ(cancelled.GetString("code", ""), "NotFound");
+}
+
+TEST_F(ProtocolTest, MetricsExposeServeNamespace) {
+  Call(R"({"op":"submit","dataset":"fig5","action":"risk"})");
+  const Json metrics = Call(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.GetBool("ok", false));
+  EXPECT_TRUE(metrics["metrics"].Has("serve.submitted"));
+  EXPECT_TRUE(metrics["metrics"].Has("serve.admitted"));
+  EXPECT_TRUE(metrics["metrics"].Has("serve.queue_depth"));
+}
+
+TEST_F(ProtocolTest, ShutdownSetsTheFlag) {
+  bool shutdown = false;
+  const std::string response = protocol_.Handle(R"({"op":"shutdown"})", &shutdown);
+  EXPECT_TRUE(shutdown);
+  auto parsed = Json::Parse(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->GetBool("ok", false));
+}
+
+}  // namespace
+}  // namespace vadasa::serve

@@ -1,0 +1,90 @@
+#include "serve/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/datagen.h"
+
+namespace vadasa::serve {
+namespace {
+
+/// Writes a small CSV to a unique temp path; removed at destruction.
+class TempCsv {
+ public:
+  explicit TempCsv(const std::string& contents) {
+    path_ = ::testing::TempDir() + "vadasa_registry_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempCsv() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kCsv =
+    "name,zip,age\nalice,10001,34\nbob,10001,34\ncarol,10002,41\n";
+
+TEST(DatasetRegistryTest, LoadsOnceAndShares) {
+  TempCsv csv(kCsv);
+  DatasetRegistry registry;
+  auto first = registry.Load(csv.path());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = registry.Load(csv.path());
+  ASSERT_TRUE(second.ok());
+  // Same shared snapshot, not a re-parse.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ((*first)->table->num_rows(), 3u);
+  EXPECT_EQ(registry.Catalog(), std::vector<std::string>{csv.path()});
+}
+
+TEST(DatasetRegistryTest, MissingFileFails) {
+  DatasetRegistry registry;
+  auto loaded = registry.Load("/does/not/exist.csv");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(registry.Catalog().empty());
+}
+
+TEST(DatasetRegistryTest, RegisterRejectsCollisions) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  const Status dup = registry.Register("fig5", core::Figure5Microdata());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatasetRegistryTest, OpenSessionSharesTheSnapshot) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  auto a = registry.OpenSession("fig5", {});
+  auto b = registry.OpenSession("fig5", {});
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->shared_table().get(), b->shared_table().get());
+  EXPECT_TRUE(a->Risk().ok());
+}
+
+TEST(DatasetRegistryTest, OpenSessionValidatesOptions) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  api::SessionOptions bad;
+  bad.risk_measure = "nonsense";
+  EXPECT_FALSE(registry.OpenSession("fig5", bad).ok());
+}
+
+TEST(DatasetRegistryTest, ClearKeepsLiveSnapshotsValid) {
+  TempCsv csv(kCsv);
+  DatasetRegistry registry;
+  auto loaded = registry.Load(csv.path());
+  ASSERT_TRUE(loaded.ok());
+  registry.Clear();
+  EXPECT_TRUE(registry.Catalog().empty());
+  // The shared_ptr we hold keeps the dataset alive past the eviction.
+  EXPECT_EQ((*loaded)->table->num_rows(), 3u);
+}
+
+}  // namespace
+}  // namespace vadasa::serve

@@ -4,45 +4,45 @@
 // reproduces, 2 on usage or file errors. `--list` prints the property
 // catalog with one-line summaries.
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "api/flags.h"
 #include "testing/harness.h"
 #include "testing/properties.h"
 #include "testing/repro.h"
 
 namespace {
 
-int Usage() {
+int Usage(const vadasa::api::FlagParser& parser, const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "error: %s\n", error.c_str());
   std::fprintf(stderr,
                "usage: vadasa_prop_replay --repro=PATH [--repro=PATH ...]\n"
                "       vadasa_prop_replay PATH [PATH ...]\n"
-               "       vadasa_prop_replay --list\n");
+               "       vadasa_prop_replay --list\noptions:\n%s",
+               parser.Help().c_str());
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") {
-      for (const auto& property : vadasa::testing::PropertyCatalog()) {
-        std::printf("%-28s %s\n", property.name.c_str(), property.summary.c_str());
-      }
-      return 0;
+  vadasa::api::FlagParser parser;
+  parser.Bool("list", "print the property catalog and exit")
+      .Path("repro", "a repro file to replay (repeatable as positionals)");
+  auto flags = parser.Parse(argc, argv, /*first=*/1);
+  if (!flags.ok()) return Usage(parser, flags.status().message());
+
+  if (flags->GetBool("list")) {
+    for (const auto& property : vadasa::testing::PropertyCatalog()) {
+      std::printf("%-36s %s\n", property.name.c_str(), property.summary.c_str());
     }
-    if (arg.rfind("--repro=", 0) == 0) {
-      paths.push_back(arg.substr(std::strlen("--repro=")));
-    } else if (arg.rfind("--", 0) == 0) {
-      return Usage();
-    } else {
-      paths.push_back(arg);
-    }
+    return 0;
   }
-  if (paths.empty()) return Usage();
+
+  std::vector<std::string> paths = flags->positional();
+  for (std::string& path : flags->GetAll("repro")) paths.push_back(std::move(path));
+  if (paths.empty()) return Usage(parser, "no repro files given");
 
   int failures = 0;
   for (const std::string& path : paths) {

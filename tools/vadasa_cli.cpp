@@ -4,7 +4,7 @@
 //   vadasa categorize <in.csv>
 //       categorize attributes via the default experience base and print the
 //       metadata dictionary (Figure 4 layout).
-//   vadasa risk <in.csv> [--measure M] [--k K] [--quantile Q]
+//   vadasa risk <in.csv> [--measure M] [--k K] [--threshold T] [--quantile Q]
 //       per-tuple and file-level disclosure risk; with --quantile also the
 //       statistically inferred threshold.
 //   vadasa anonymize <in.csv> <out.csv> [--measure M] [--k K]
@@ -21,68 +21,58 @@
 // Observability (any command): --trace=out.json writes a Chrome trace_event
 // file (load in Perfetto or chrome://tracing); --metrics=out.json dumps the
 // metrics registry. See docs/observability.md.
+//
+// Everything here goes through the stable vadasa::api facade (docs/api.md);
+// exit codes: 0 success, 1 runtime failure, 2 usage/flag error.
 
 #include <cstdio>
-#include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "api/flags.h"
+#include "api/vadasa.h"
 #include "common/csv.h"
-#include "core/categorize.h"
-#include "core/vadalog_bridge.h"
-#include "obs/trace.h"
 #include "core/datagen.h"
-#include "core/global_risk.h"
-#include "core/group_index.h"
-#include "core/rdc.h"
-#include "core/report.h"
+#include "obs/trace.h"
 
 namespace {
 
 using namespace vadasa;
-using namespace vadasa::core;
 
-struct Flags {
-  std::vector<std::string> positional;
-  std::map<std::string, std::string> named;
-  bool standard_nulls = false;
-  bool single_step = false;
-  bool declarative = false;
-};
-
-Flags ParseFlags(int argc, char** argv) {
-  Flags flags;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--standard-nulls") {
-      flags.standard_nulls = true;
-    } else if (arg == "--single-step") {
-      flags.single_step = true;
-    } else if (arg == "--declarative") {
-      flags.declarative = true;
-    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
-      flags.named[arg.substr(2)] = argv[++i];
-    } else {
-      flags.positional.push_back(arg);
-    }
-  }
-  return flags;
+api::FlagParser CommonFlags() {
+  api::FlagParser parser;
+  parser.Path("trace", "write a Chrome trace_event JSON file")
+      .Path("metrics", "write a metrics registry JSON dump");
+  return parser;
 }
 
-std::string FlagOr(const Flags& flags, const std::string& name,
-                   const std::string& fallback) {
-  auto it = flags.named.find(name);
-  return it == flags.named.end() ? fallback : it->second;
+api::FlagParser PolicyFlags() {
+  api::FlagParser parser = CommonFlags();
+  parser
+      .String("measure",
+              "risk measure: reidentification|k-anonymity|individual|suda")
+      .Int("k", "k of k-anonymity / SUDA MSU bound", 1, 1000000)
+      .Double("threshold", "risk threshold T in [0,1]", 0.0, 1.0)
+      .Bool("standard-nulls", "standard (Skolem) null semantics instead of =⊥")
+      .Int("posterior-draws", "Monte-Carlo draws for individual risk", 0,
+           100000000)
+      .Int("seed", "seed of the sampled estimator", 0, 0x7fffffffffffffffL);
+  return parser;
 }
 
-Result<MicrodataTable> LoadAndCategorize(const std::string& path) {
-  VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
-  VADASA_ASSIGN_OR_RETURN(MicrodataTable table,
-                          MicrodataTable::FromCsv(path, csv, {}, ""));
-  AttributeCategorizer categorizer = AttributeCategorizer::WithDefaultExperience();
-  VADASA_RETURN_NOT_OK(categorizer.CategorizeTable(&table, nullptr).status());
-  return table;
+api::SessionOptions OptionsFrom(const api::FlagParser::Parsed& flags) {
+  api::SessionOptions options;
+  options.risk_measure = flags.GetString("measure", options.risk_measure);
+  options.k = static_cast<int>(flags.GetInt("k", options.k));
+  options.threshold = flags.GetDouble("threshold", options.threshold);
+  options.standard_nulls = flags.GetBool("standard-nulls");
+  options.single_step = flags.GetBool("single-step");
+  options.declarative = flags.GetBool("declarative");
+  options.posterior_draws =
+      static_cast<int>(flags.GetInt("posterior-draws", options.posterior_draws));
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<long>(options.seed)));
+  return options;
 }
 
 int Fail(const Status& status) {
@@ -90,130 +80,78 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int CmdCategorize(const Flags& flags) {
-  if (flags.positional.empty()) {
-    std::fprintf(stderr, "usage: vadasa categorize <in.csv>\n");
-    return 2;
-  }
-  auto csv = ReadCsvFile(flags.positional[0]);
-  if (!csv.ok()) return Fail(csv.status());
-  auto table = MicrodataTable::FromCsv(flags.positional[0], *csv, {}, "");
-  if (!table.ok()) return Fail(table.status());
-  AttributeCategorizer categorizer = AttributeCategorizer::WithDefaultExperience();
-  MetadataDictionary dictionary;
-  auto decisions = categorizer.CategorizeTable(&*table, &dictionary);
-  if (!decisions.ok()) return Fail(decisions.status());
-  std::printf("%s", dictionary.ToText(table->name()).c_str());
-  for (const auto& conflict : categorizer.conflicts()) {
+int Usage(const std::string& message, const api::FlagParser& parser) {
+  std::fprintf(stderr, "%s\noptions:\n%s", message.c_str(),
+               parser.Help().c_str());
+  return 2;
+}
+
+/// Parses with `parser`; on success fills trace/metrics export args.
+Result<api::FlagParser::Parsed> ParseOrUsage(const api::FlagParser& parser,
+                                             int argc, char** argv,
+                                             obs::TraceArgs* trace_args) {
+  VADASA_ASSIGN_OR_RETURN(auto flags, parser.Parse(argc, argv, /*first=*/2));
+  trace_args->trace_path = flags.GetString("trace", "");
+  trace_args->metrics_path = flags.GetString("metrics", "");
+  if (trace_args->tracing_requested()) obs::StartTracing();
+  return flags;
+}
+
+int CmdCategorize(const api::FlagParser::Parsed& flags) {
+  auto session = api::Session::Open(flags.positional()[0], {});
+  if (!session.ok()) return Fail(session.status());
+  std::printf("%s", session->dictionary().ToText(session->table().name()).c_str());
+  for (const auto& conflict : session->conflicts()) {
     std::printf("!! conflict on %s: %s vs %s\n", conflict.attribute.c_str(),
-                AttributeCategoryToString(conflict.first).c_str(),
-                AttributeCategoryToString(conflict.second).c_str());
+                core::AttributeCategoryToString(conflict.first).c_str(),
+                core::AttributeCategoryToString(conflict.second).c_str());
   }
   return 0;
 }
 
-int CmdRisk(const Flags& flags) {
-  if (flags.positional.empty()) {
-    std::fprintf(stderr, "usage: vadasa risk <in.csv> [--measure M] [--k K]\n");
-    return 2;
-  }
-  auto table = LoadAndCategorize(flags.positional[0]);
-  if (!table.ok()) return Fail(table.status());
-  auto measure = MakeRiskMeasure(FlagOr(flags, "measure", "k-anonymity"));
-  if (!measure.ok()) return Fail(measure.status());
-  RiskContext ctx;
-  ctx.k = std::atoi(FlagOr(flags, "k", "2").c_str());
-  if (flags.standard_nulls) ctx.semantics = NullSemantics::kStandard;
-  const double threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
-
-  auto risks = (*measure)->ComputeRisks(*table, ctx);
-  if (!risks.ok()) return Fail(risks.status());
-  for (size_t r = 0; r < risks->size(); ++r) {
-    if ((*risks)[r] > threshold) {
-      std::printf("tuple %zu: risk %.4f  %s\n", r + 1, (*risks)[r],
-                  (*measure)->Explain(*table, ctx, r, (*risks)[r]).c_str());
-    }
-  }
-  auto report = ComputeGlobalRisk(*table, **measure, ctx, threshold);
+int CmdRisk(const api::FlagParser::Parsed& flags, double quantile) {
+  auto session = api::Session::Open(flags.positional()[0], OptionsFrom(flags));
+  if (!session.ok()) return Fail(session.status());
+  auto report = session->Risk(quantile, /*explain=*/true);
   if (!report.ok()) return Fail(report.status());
-  std::printf("\nfile-level: %s\n", report->ToString().c_str());
-  const std::string quantile = FlagOr(flags, "quantile", "");
-  if (!quantile.empty()) {
-    auto inferred = InferThreshold(*table, **measure, ctx, std::atof(quantile.c_str()));
-    if (!inferred.ok()) return Fail(inferred.status());
-    std::printf("inferred threshold at quantile %s: %.6f\n", quantile.c_str(),
-                *inferred);
+  for (const api::RiskyTuple& tuple : report->risky) {
+    std::printf("tuple %zu: risk %.4f  %s\n", tuple.row + 1, tuple.risk,
+                tuple.explanation.c_str());
+  }
+  std::printf("\nfile-level: %s\n", report->global.ToString().c_str());
+  if (quantile > 0.0) {
+    std::printf("inferred threshold at quantile %g: %.6f\n", quantile,
+                report->inferred_threshold);
   }
   return 0;
 }
 
-int CmdAnonymize(const Flags& flags) {
-  if (flags.positional.size() < 2) {
-    std::fprintf(stderr, "usage: vadasa anonymize <in.csv> <out.csv> [options]\n");
-    return 2;
-  }
-  auto table = LoadAndCategorize(flags.positional[0]);
-  if (!table.ok()) return Fail(table.status());
-  if (flags.declarative) {
-    // Reasoning path: the cycle runs as a Vadalog program whose #risk /
-    // #anonymize externals call back into the native measures — traces show
-    // engine.run / engine.round spans with risk.compute children.
-    BridgeOptions bridge_options;
-    bridge_options.risk_measure = FlagOr(flags, "measure", "k-anonymity");
-    bridge_options.k = std::atoi(FlagOr(flags, "k", "2").c_str());
-    bridge_options.threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
-    bridge_options.maybe_match = !flags.standard_nulls;
-    const VadalogBridge bridge(bridge_options);
-    vadalog::RunStats run_stats;
-    auto anonymized = bridge.RunDeclarativeCycle(*table, nullptr, &run_stats);
-    if (!anonymized.ok()) return Fail(anonymized.status());
-    std::printf("declarative cycle: %zu rounds, %zu facts derived, %zu nulls\n",
-                run_stats.rounds, run_stats.facts_derived, run_stats.nulls_created);
-    const Status decl_written =
-        WriteCsvFile(flags.positional[1], anonymized->ToCsv());
-    if (!decl_written.ok()) return Fail(decl_written);
-    std::printf("wrote %s\n", flags.positional[1].c_str());
-    return 0;
-  }
-  auto measure = MakeRiskMeasure(FlagOr(flags, "measure", "k-anonymity"));
-  if (!measure.ok()) return Fail(measure.status());
-  LocalSuppression anonymizer;
-  CycleOptions options;
-  options.risk.k = std::atoi(FlagOr(flags, "k", "2").c_str());
-  options.threshold = std::atof(FlagOr(flags, "threshold", "0.5").c_str());
-  if (flags.standard_nulls) options.risk.semantics = NullSemantics::kStandard;
-  options.single_step = flags.single_step;
-  auto audit = RunAuditedRelease(&*table, **measure, &anonymizer, options);
-  if (!audit.ok()) return Fail(audit.status());
-  std::printf("%s\n", audit->ToText().c_str());
-  const Status written = WriteCsvFile(flags.positional[1], table->ToCsv());
+int CmdAnonymize(const api::FlagParser::Parsed& flags) {
+  auto session = api::Session::Open(flags.positional()[0], OptionsFrom(flags));
+  if (!session.ok()) return Fail(session.status());
+  auto response = session->Anonymize();
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response->ToText().c_str());
+  const Status written =
+      WriteCsvFile(flags.positional()[1], response->table.ToCsv());
   if (!written.ok()) return Fail(written);
-  std::printf("wrote %s\n", flags.positional[1].c_str());
+  std::printf("wrote %s\n", flags.positional()[1].c_str());
   return 0;
 }
 
 int CmdDatasets() {
   std::printf("%-10s %-5s %-8s %-5s\n", "name", "QIs", "tuples", "dist");
-  for (const DatasetSpec& spec : Figure6Corpus()) {
+  for (const core::DatasetSpec& spec : core::Figure6Corpus()) {
     std::printf("%-10s %-5d %-8zu %-5s\n", spec.name.c_str(), spec.num_qi,
-                spec.num_tuples, DistributionKindToString(spec.distribution).c_str());
+                spec.num_tuples,
+                core::DistributionKindToString(spec.distribution).c_str());
   }
   return 0;
 }
 
 }  // namespace
 
-int Dispatch(const std::string& command, const Flags& flags) {
-  if (command == "categorize") return CmdCategorize(flags);
-  if (command == "risk") return CmdRisk(flags);
-  if (command == "anonymize") return CmdAnonymize(flags);
-  if (command == "datasets") return CmdDatasets();
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
-}
-
 int main(int argc, char** argv) {
-  const obs::TraceArgs trace_args = obs::ExtractTraceArgs(&argc, argv);
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vadasa <categorize|risk|anonymize|datasets> [args]\n"
@@ -221,10 +159,49 @@ int main(int argc, char** argv) {
                  "see the header of tools/vadasa_cli.cpp for details\n");
     return 2;
   }
-  if (trace_args.tracing_requested()) obs::StartTracing();
   const std::string command = argv[1];
-  const Flags flags = ParseFlags(argc, argv);
-  const int code = Dispatch(command, flags);
+  obs::TraceArgs trace_args;
+  int code = 0;
+
+  if (command == "categorize") {
+    const api::FlagParser parser = CommonFlags();
+    auto flags = ParseOrUsage(parser, argc, argv, &trace_args);
+    if (!flags.ok()) return Usage(flags.status().message(), parser);
+    if (flags->positional().size() != 1) {
+      return Usage("usage: vadasa categorize <in.csv>", parser);
+    }
+    code = CmdCategorize(*flags);
+  } else if (command == "risk") {
+    api::FlagParser parser = PolicyFlags();
+    parser.Double("quantile", "also infer the threshold at this quantile",
+                  0.0, 1.0);
+    auto flags = ParseOrUsage(parser, argc, argv, &trace_args);
+    if (!flags.ok()) return Usage(flags.status().message(), parser);
+    if (flags->positional().size() != 1) {
+      return Usage("usage: vadasa risk <in.csv> [options]", parser);
+    }
+    code = CmdRisk(*flags, flags->GetDouble("quantile", -1.0));
+  } else if (command == "anonymize") {
+    api::FlagParser parser = PolicyFlags();
+    parser.Bool("single-step", "paper-literal single-step cycle")
+        .Bool("declarative", "run the cycle on the Vadalog engine");
+    auto flags = ParseOrUsage(parser, argc, argv, &trace_args);
+    if (!flags.ok()) return Usage(flags.status().message(), parser);
+    if (flags->positional().size() != 2) {
+      return Usage("usage: vadasa anonymize <in.csv> <out.csv> [options]",
+                   parser);
+    }
+    code = CmdAnonymize(*flags);
+  } else if (command == "datasets") {
+    const api::FlagParser parser = CommonFlags();
+    auto flags = ParseOrUsage(parser, argc, argv, &trace_args);
+    if (!flags.ok()) return Usage(flags.status().message(), parser);
+    code = CmdDatasets();
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+  }
+
   if (!obs::ExportRequested(trace_args)) {
     std::fprintf(stderr, "error: failed to write --trace/--metrics output\n");
     return code == 0 ? 1 : code;

@@ -1,0 +1,81 @@
+// vadasa_serve — the long-lived anonymization job service (docs/serving.md):
+//
+//   vadasa_serve --socket=/tmp/vadasa.sock [--workers=N] [--max-queue=N]
+//                [--no-coalesce] [--trace=out.json] [--metrics=out.json]
+//
+// Speaks newline-delimited JSON over a Unix domain socket: submit / status /
+// result / cancel / metrics / shutdown (see src/serve/protocol.h for the
+// wire format). Datasets are loaded once by the registry and shared across
+// jobs; the scheduler bounds admission, honors per-job priorities and
+// deadlines, and coalesces group-statistics warmup across jobs that share a
+// dataset. On shutdown the queue drains, then --trace/--metrics export.
+//
+// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage/flag error.
+
+#include <cstdio>
+#include <string>
+
+#include "api/flags.h"
+#include "obs/trace.h"
+#include "serve/dataset_registry.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/server.h"
+
+int main(int argc, char** argv) {
+  using namespace vadasa;
+
+  api::FlagParser parser;
+  parser.Path("socket", "Unix domain socket path to listen on (required)")
+      .Int("workers", "executor threads", 1, 256)
+      .Int("max-queue", "admission queue bound (reject beyond)", 1, 1 << 20)
+      .Bool("no-coalesce", "disable shared warmup batching")
+      .Path("trace", "write a Chrome trace_event JSON file at shutdown")
+      .Path("metrics", "write a metrics registry JSON dump at shutdown");
+
+  auto flags = parser.Parse(argc, argv, /*first=*/1);
+  if (!flags.ok() || !flags->Has("socket") || !flags->positional().empty()) {
+    if (!flags.ok()) {
+      std::fprintf(stderr, "error: %s\n", flags.status().message().c_str());
+    }
+    std::fprintf(stderr, "usage: vadasa_serve --socket=PATH [options]\noptions:\n%s",
+                 parser.Help().c_str());
+    return 2;
+  }
+
+  obs::TraceArgs trace_args;
+  trace_args.trace_path = flags->GetString("trace", "");
+  trace_args.metrics_path = flags->GetString("metrics", "");
+  if (trace_args.tracing_requested()) obs::StartTracing();
+
+  serve::DatasetRegistry registry;
+  serve::SchedulerOptions scheduler_options;
+  scheduler_options.workers = static_cast<size_t>(flags->GetInt("workers", 2));
+  scheduler_options.max_queue =
+      static_cast<size_t>(flags->GetInt("max-queue", 64));
+  scheduler_options.coalesce_warmup = !flags->GetBool("no-coalesce");
+  serve::JobScheduler scheduler(scheduler_options);
+  serve::Protocol protocol(&registry, &scheduler);
+
+  serve::ServerOptions server_options;
+  server_options.socket_path = flags->GetString("socket", "");
+  serve::Server server(&protocol, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "vadasa_serve: listening on %s (%zu workers, queue %zu)\n",
+               server.socket_path().c_str(), scheduler_options.workers,
+               scheduler_options.max_queue);
+
+  server.AwaitShutdown();   // {"op":"shutdown"} from a client.
+  scheduler.Shutdown(/*drain=*/true);
+  server.Stop();
+
+  if (!obs::ExportRequested(trace_args)) {
+    std::fprintf(stderr, "error: failed to write --trace/--metrics output\n");
+    return 1;
+  }
+  return 0;
+}
