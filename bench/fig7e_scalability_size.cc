@@ -14,6 +14,8 @@
 
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_json.h"
 #include "obs/trace.h"
@@ -29,12 +31,19 @@ using namespace vadasa::core;
 
 bench::JsonWriter* g_json = nullptr;
 
+/// The million-tuple extrapolation point behind --large: same unbalanced A4U
+/// family as Fig. 6, one decade beyond the paper's largest dataset.
+DatasetSpec LargeDatasetSpec() {
+  return {"R1MA4U", 4, 1000000, DistributionKind::kUnbalanced, true};
+}
+
 const MicrodataTable& CachedDataset(const std::string& name) {
   static std::map<std::string, MicrodataTable>* cache =
       new std::map<std::string, MicrodataTable>();
   auto it = cache->find(name);
   if (it == cache->end()) {
-    auto spec = FindDataset(name);
+    auto spec = name == LargeDatasetSpec().name ? Result<DatasetSpec>(LargeDatasetSpec())
+                                                : FindDataset(name);
     it = cache->emplace(name, GenerateDataset(*spec)).first;
   }
   return it->second;
@@ -92,7 +101,20 @@ int main(int argc, char** argv) {
   g_json = &json;
   const vadasa::obs::TraceArgs trace_args = vadasa::obs::ExtractTraceArgs(&argc, argv);
   if (trace_args.tracing_requested()) vadasa::obs::StartTracing();
-  for (const char* dataset : {"R6A4U", "R12A4U", "R50A4U", "R100A4U"}) {
+  // --large appends the 1M-tuple point (minutes of generation + cycle time;
+  // off by default so CI and quick local sweeps stay fast).
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--large") {
+      large = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  std::vector<std::string> datasets = {"R6A4U", "R12A4U", "R50A4U", "R100A4U"};
+  if (large) datasets.push_back(LargeDatasetSpec().name);
+  for (const std::string& dataset : datasets) {
     for (const char* technique : {"individual", "k-anonymity", "suda"}) {
       benchmark::RegisterBenchmark(
           (std::string("fig7e/") + dataset + "/" + technique).c_str(),

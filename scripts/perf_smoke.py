@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: compare a fresh fig7e --json run against the
+committed baseline and fail on a >2x wall-clock regression.
+
+Usage:
+    perf_smoke.py --baseline bench/baselines/BENCH_fig7e.json \
+                  --current fig7e-smoke.json [--max-ratio 2.0]
+
+Only records present in BOTH files are compared (the smoke run covers the
+small 6k/12k datasets; the baseline also holds the big sweep points). The
+threshold is deliberately loose — 2x absorbs shared-runner noise while still
+catching an accidental O(n) -> O(n^2) slip or a plane misconfiguration.
+Sub-10ms rows are skipped: at that scale timer and scheduler jitter dwarf
+any real signal.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["dataset"], r["technique"]): r for r in doc["records"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="skip rows whose baseline wall time is below "
+                             "this (pure noise on shared runners)")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf-smoke: no overlapping (dataset, technique) records", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in shared:
+        base = baseline[key]["wall_seconds"]
+        now = current[key]["wall_seconds"]
+        if base < args.min_seconds:
+            print(f"  {key[0]}/{key[1]}: baseline {base:.4f}s below noise floor, skipped")
+            continue
+        ratio = now / base
+        marker = "FAIL" if ratio > args.max_ratio else "ok"
+        print(f"  {key[0]}/{key[1]}: {base:.4f}s -> {now:.4f}s ({ratio:.2f}x) {marker}")
+        if ratio > args.max_ratio:
+            failures.append((key, ratio))
+
+    if failures:
+        print(f"perf-smoke: {len(failures)} row(s) regressed beyond "
+              f"{args.max_ratio}x the committed baseline", file=sys.stderr)
+        return 1
+    print(f"perf-smoke: {len(shared)} row(s) within {args.max_ratio}x — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

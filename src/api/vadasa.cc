@@ -100,12 +100,20 @@ core::RiskContext Session::MakeRiskContext() const {
   ctx.posterior_draws = options_.posterior_draws;
   ctx.seed = options_.seed;
   ctx.warm_stats = warm_;
+  ctx.warm_view = warm_view_;
   return ctx;
 }
 
 Status Session::Warm() {
   VADASA_RETURN_NOT_OK(CheckOpen());
   if (warm_ != nullptr) return Status::OK();
+  // Under the columnar plane the warmup also materializes the shared view,
+  // so the group pass below — and every later cache-less evaluation — reads
+  // interned codes instead of re-walking Values.
+  if (core::ActiveDataPlane() == core::DataPlane::kColumnar &&
+      warm_view_ == nullptr) {
+    warm_view_ = std::make_shared<core::ColumnarView>(*table_);
+  }
   core::RiskContext ctx = MakeRiskContext();
   VADASA_ASSIGN_OR_RETURN(warm_, core::ComputeWarmGroupStats(*table_, ctx));
   return Status::OK();

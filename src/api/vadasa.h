@@ -154,13 +154,22 @@ class Session {
   /// the serving layer shares across a batch. No-op if already warm.
   Status Warm();
 
-  /// Adopts warm statistics computed elsewhere (the scheduler's coalesced
-  /// warmup). They must come from ComputeWarmGroupStats over this session's
-  /// table and semantics.
-  void AdoptWarmStats(std::shared_ptr<const core::GroupStats> stats) {
+  /// Adopts warm statistics (and, optionally, the columnar view they were
+  /// computed through) produced elsewhere — the scheduler's coalesced warmup.
+  /// They must come from ComputeWarmGroupStats over this session's table and
+  /// semantics.
+  void AdoptWarmStats(std::shared_ptr<const core::GroupStats> stats,
+                      std::shared_ptr<const core::ColumnarView> view = nullptr) {
     warm_ = std::move(stats);
+    if (view != nullptr) warm_view_ = std::move(view);
   }
   const std::shared_ptr<const core::GroupStats>& warm_stats() const { return warm_; }
+  /// The shared columnar materialization created by Warm() under the
+  /// columnar plane (null otherwise) — handed to sibling sessions alongside
+  /// the warm stats so a batch interns each column once.
+  const std::shared_ptr<const core::ColumnarView>& warm_view() const {
+    return warm_view_;
+  }
 
  private:
   Status CheckOpen() const;
@@ -171,6 +180,7 @@ class Session {
   std::vector<core::CategorizationConflict> conflicts_;
   SessionOptions options_;
   std::shared_ptr<const core::GroupStats> warm_;
+  std::shared_ptr<const core::ColumnarView> warm_view_;
 };
 
 }  // namespace vadasa::api

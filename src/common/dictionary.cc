@@ -1,0 +1,74 @@
+#include "common/dictionary.h"
+
+#include <mutex>
+
+namespace vadasa {
+
+uint32_t Dictionary::Intern(const Value& v) {
+  {
+    std::shared_lock<std::shared_mutex> read(mutex_);
+    if (v.is_null()) {
+      auto it = null_codes_.find(v.null_label());
+      if (it != null_codes_.end()) return kNullCodeBase + it->second;
+    } else {
+      auto it = value_codes_.find(v);
+      if (it != value_codes_.end()) return it->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> write(mutex_);
+  return InternLocked(v);
+}
+
+uint32_t Dictionary::InternLocked(const Value& v) {
+  if (v.is_null()) {
+    auto [it, inserted] = null_codes_.emplace(
+        v.null_label(), static_cast<uint32_t>(null_labels_.size()));
+    if (inserted) null_labels_.push_back(v.null_label());
+    return kNullCodeBase + it->second;
+  }
+  auto [it, inserted] = value_codes_.emplace(v, static_cast<uint32_t>(values_.size()));
+  if (inserted) values_.push_back(v);
+  return it->second;
+}
+
+bool Dictionary::TryCode(const Value& v, uint32_t* code) const {
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  if (v.is_null()) {
+    auto it = null_codes_.find(v.null_label());
+    if (it == null_codes_.end()) return false;
+    *code = kNullCodeBase + it->second;
+    return true;
+  }
+  auto it = value_codes_.find(v);
+  if (it == value_codes_.end()) return false;
+  *code = it->second;
+  return true;
+}
+
+Value Dictionary::Decode(uint32_t code) const {
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  if (IsNullCode(code)) {
+    const uint32_t index = code - kNullCodeBase;
+    if (index >= null_labels_.size()) return Value();
+    return Value::Null(null_labels_[index]);
+  }
+  if (code >= values_.size()) return Value();
+  return values_[code];
+}
+
+size_t Dictionary::num_values() const {
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  return values_.size();
+}
+
+size_t Dictionary::num_nulls() const {
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  return null_labels_.size();
+}
+
+size_t Dictionary::size() const {
+  std::shared_lock<std::shared_mutex> read(mutex_);
+  return values_.size() + null_labels_.size();
+}
+
+}  // namespace vadasa

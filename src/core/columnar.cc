@@ -1,0 +1,109 @@
+#include "core/columnar.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vadasa::core {
+
+namespace {
+
+std::atomic<int>& PlaneFlag() {
+  static std::atomic<int>* flag = [] {
+    auto* f = new std::atomic<int>(static_cast<int>(DataPlane::kColumnar));
+    const char* env = std::getenv("VADASA_DATA_PLANE");
+    if (env != nullptr && std::string(env) == "row") {
+      f->store(static_cast<int>(DataPlane::kRow));
+    }
+    return f;
+  }();
+  return *flag;
+}
+
+void RecordInternSeconds(double seconds) {
+#ifndef VADASA_DISABLE_OBS
+  static obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().histogram("columnar.intern_seconds");
+  histogram->Record(seconds);
+#else
+  (void)seconds;
+#endif
+}
+
+}  // namespace
+
+DataPlane ActiveDataPlane() {
+  return static_cast<DataPlane>(PlaneFlag().load(std::memory_order_relaxed));
+}
+
+DataPlane SetDataPlane(DataPlane plane) {
+  return static_cast<DataPlane>(
+      PlaneFlag().exchange(static_cast<int>(plane), std::memory_order_relaxed));
+}
+
+ColumnarView::ColumnarView(const MicrodataTable& table)
+    : num_rows_(table.num_rows()), columns_(table.num_columns()) {
+  weights_.resize(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) weights_[r] = table.RowWeight(r);
+}
+
+void ColumnarView::EnsureColumns(const MicrodataTable& table,
+                                 const std::vector<size_t>& cols) const {
+  std::lock_guard<std::mutex> lock(materialize_mutex_);
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t interned_cells = 0;
+  for (const size_t c : cols) {
+    Column& column = columns_[c];
+    if (column.materialized) continue;
+    obs::Span span("columnar.materialize_column");
+    column.codes.resize(num_rows_);
+    for (size_t r = 0; r < num_rows_; ++r) {
+      column.codes[r] = column.dict.Intern(table.cell(r, c));
+    }
+    column.materialized = true;
+    interned_cells += num_rows_;
+    VADASA_METRIC_COUNT("columnar.codes_bytes", num_rows_ * sizeof(uint32_t));
+    VADASA_METRIC_COUNT("columnar.dict_entries", column.dict.size());
+    VADASA_METRIC_COUNT("columnar.columns_materialized", 1);
+  }
+  if (interned_cells > 0) {
+    RecordInternSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+}
+
+void ColumnarView::UpdateRows(const MicrodataTable& table,
+                              const std::vector<uint32_t>& rows) {
+  obs::Span span("columnar.update_rows");
+  VADASA_METRIC_COUNT("columnar.row_updates", rows.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column& column = columns_[c];
+    if (!column.materialized) continue;
+    for (const uint32_t r : rows) {
+      column.codes[r] = column.dict.Intern(table.cell(r, c));
+    }
+  }
+  for (const uint32_t r : rows) weights_[r] = table.RowWeight(r);
+}
+
+size_t ColumnarView::codes_bytes() const {
+  std::lock_guard<std::mutex> lock(materialize_mutex_);
+  size_t bytes = 0;
+  for (const Column& column : columns_) {
+    bytes += column.codes.capacity() * sizeof(uint32_t);
+  }
+  return bytes + weights_.capacity() * sizeof(double);
+}
+
+size_t ColumnarView::dict_entries() const {
+  std::lock_guard<std::mutex> lock(materialize_mutex_);
+  size_t entries = 0;
+  for (const Column& column : columns_) entries += column.dict.size();
+  return entries;
+}
+
+}  // namespace vadasa::core

@@ -1,0 +1,104 @@
+#ifndef VADASA_CORE_COLUMNAR_H_
+#define VADASA_CORE_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// Which data plane the grouping/risk hot paths run on.
+///
+/// The columnar plane (default) materializes QI columns into dictionary
+/// codes once and groups/hashes/compares packed uint32_t rows; the row plane
+/// is the original Value-vector implementation, kept as the differential
+/// reference for the `columnar-vs-row-bit-identical` property. Both planes
+/// produce bit-identical results by construction (same pattern order, same
+/// floating-point accumulation order).
+enum class DataPlane {
+  kColumnar,
+  kRow,
+};
+
+/// The active plane: VADASA_DATA_PLANE=row in the environment selects the
+/// row plane at startup, otherwise columnar. SetDataPlane overrides at
+/// runtime (differential tests); returns the previous plane.
+DataPlane ActiveDataPlane();
+DataPlane SetDataPlane(DataPlane plane);
+
+/// A columnar (SoA) materialization of a MicrodataTable: one dense
+/// uint32_t code array per column, one Dictionary per column as the decode
+/// table, plus the row weights as a flat double array. The table stays the
+/// source of truth — the view is a derived index the hot paths read instead
+/// of chasing Value variants, kept in sync in place via UpdateRows as the
+/// anonymizer suppresses or recodes cells.
+///
+/// Columns are materialized on demand (EnsureColumns): a risk evaluation
+/// over 4 QI columns of a 40-column table never pays for the other 36.
+/// Thread safety: EnsureColumns/CodeForQuery/Decode are safe to call
+/// concurrently (serve-layer jobs share one view per dataset); UpdateRows
+/// requires external synchronization against readers, exactly like mutating
+/// the underlying table.
+class ColumnarView {
+ public:
+  explicit ColumnarView(const MicrodataTable& table);
+
+  ColumnarView(const ColumnarView&) = delete;
+  ColumnarView& operator=(const ColumnarView&) = delete;
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Interns every cell of the listed columns that is not yet materialized.
+  /// Idempotent; safe to race with other EnsureColumns/readers.
+  void EnsureColumns(const MicrodataTable& table, const std::vector<size_t>& cols) const;
+
+  /// The code array of a column. Precondition: the column was ensured (by
+  /// this caller or an EnsureColumns it synchronizes with).
+  const std::vector<uint32_t>& Codes(size_t col) const { return columns_[col].codes; }
+
+  /// Row weights (the weight cell as double, 1.0 fallback) — one load per
+  /// row instead of a per-call schema scan plus variant dispatch.
+  const std::vector<double>& Weights() const { return weights_; }
+
+  /// Per-column decode table.
+  const Dictionary& dict(size_t col) const { return columns_[col].dict; }
+  Value Decode(size_t col, uint32_t code) const { return columns_[col].dict.Decode(code); }
+
+  /// Code of `v` in the column's dictionary, interning it when absent — the
+  /// translation used for what-if query patterns, which may probe values
+  /// that occur nowhere in the column. Thread-safe.
+  uint32_t CodeForQuery(size_t col, const Value& v) const {
+    return columns_[col].dict.Intern(v);
+  }
+
+  /// Re-reads the given rows of `table` into every materialized column,
+  /// interning new cell values and updating codes (and weights) in place.
+  void UpdateRows(const MicrodataTable& table, const std::vector<uint32_t>& rows);
+
+  /// Bytes held in materialized code arrays (the columnar.codes_bytes
+  /// metric).
+  size_t codes_bytes() const;
+  /// Total dictionary entries across materialized columns.
+  size_t dict_entries() const;
+
+ private:
+  struct Column {
+    Dictionary dict;
+    std::vector<uint32_t> codes;
+    bool materialized = false;
+  };
+
+  size_t num_rows_ = 0;
+  mutable std::mutex materialize_mutex_;
+  mutable std::vector<Column> columns_;
+  std::vector<double> weights_;
+};
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_COLUMNAR_H_

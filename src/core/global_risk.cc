@@ -32,9 +32,21 @@ Result<GlobalRiskReport> ComputeGlobalRisk(const MicrodataTable& table,
     report.global_risk_rate =
         report.expected_reidentifications / static_cast<double>(risks.size());
   }
-  const GroupStats stats = ComputeGroupStats(table, context.ResolveQiColumns(table),
-                                             context.semantics);
-  for (const double f : stats.frequency) {
+  // Sample uniques need group frequencies; reuse the context's warm stats
+  // when they cover this table (same contract as the risk measures), else
+  // compute once — through the shared columnar view when one is supplied.
+  GroupStats scratch;
+  const GroupStats* stats = context.warm_stats != nullptr &&
+                                    context.warm_stats->frequency.size() ==
+                                        table.num_rows()
+                                ? context.warm_stats.get()
+                                : nullptr;
+  if (stats == nullptr) {
+    scratch = ComputeGroupStats(table, context.ResolveQiColumns(table),
+                                context.semantics, context.warm_view);
+    stats = &scratch;
+  }
+  for (const double f : stats->frequency) {
     if (f == 1.0) ++report.sample_uniques;
   }
   return report;

@@ -3,12 +3,32 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 #include <utility>
 
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+
+// Dual-plane grouping
+// -------------------
+// The pattern machinery below is templated on a "plane": the representation
+// rows are projected into before grouping. The row plane keys patterns on
+// std::vector<Value> (the original implementation, kept as the differential
+// reference); the columnar plane keys them on std::vector<uint32_t>
+// dictionary codes read out of a ColumnarView, which turns per-cell variant
+// hashing and comparison into flat word operations.
+//
+// Both planes run the *same* algorithm skeleton — identical shard
+// decomposition, identical first-occurrence pattern order, identical
+// ascending-row weight accumulation, identical ascending-class-mask
+// aggregation — and code equality coincides with Value::Equals exactly (the
+// Dictionary interns through ValueHash/Equals, and labelled nulls get one
+// code per label in a reserved band). No output depends on a hash table's
+// iteration order or on the numeric value of a code, so the two planes are
+// bit-identical by construction; the `columnar-vs-row-bit-identical`
+// property in src/testing/properties.cc enforces this end to end.
 
 namespace vadasa::core {
 
@@ -18,14 +38,6 @@ namespace {
 /// derived from the pool size) so the shard decomposition — and therefore the
 /// result — is identical for every thread count.
 constexpr size_t kCollapseGrain = 2048;
-
-struct PatternInfo {
-  std::vector<Value> pattern;
-  uint32_t null_mask = 0;  // Bit i set iff pattern[i] is a labelled null.
-  double count = 0.0;
-  double weight_sum = 0.0;
-  std::vector<uint32_t> rows;  // Ascending.
-};
 
 struct VecHash {
   size_t operator()(const std::vector<Value>& v) const { return HashValues(v); }
@@ -40,52 +52,150 @@ struct VecEq {
   }
 };
 
-/// Null positions of a pattern, confined to the mask width: bit i is set iff
-/// pattern[i] is null and i < kMaxMaybeMatchQis. The explicit bound keeps
+/// splitmix64-style mix over packed code rows. Only hash-table layout depends
+/// on this, never results.
+struct CodeVecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+    for (const uint32_t x : v) {
+      uint64_t z = (h ^ x) + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+struct CodeVecEq {
+  bool operator()(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+    return a == b;
+  }
+};
+
+/// The original Value-space plane. Keys are QI projections of the table rows;
+/// equality/hashing go through Value (cross-kind numeric identity included).
+struct RowPlane {
+  using Key = std::vector<Value>;
+  using Hash = VecHash;
+  using Eq = VecEq;
+
+  const MicrodataTable* table = nullptr;
+  const std::vector<size_t>* qis = nullptr;
+
+  void Bind(const MicrodataTable& t, const std::vector<size_t>& q) {
+    table = &t;
+    qis = &q;
+  }
+  Key MakeKey(size_t r) const {
+    Key p;
+    p.reserve(qis->size());
+    for (const size_t c : *qis) p.push_back(table->cell(r, c));
+    return p;
+  }
+  double Weight(size_t r) const { return table->RowWeight(r); }
+  static bool IsNull(const Value& v) { return v.is_null(); }
+};
+
+/// The code-space plane. Keys are packed dictionary codes read from a
+/// ColumnarView; labelled nulls live in the reserved code band so the null
+/// test is one unsigned compare. Bind caches raw pointers to the code and
+/// weight arrays — UpdateRows rewrites them in place and never reallocates,
+/// so the pointers stay valid for the life of the binding.
+struct ColumnarPlane {
+  using Key = std::vector<uint32_t>;
+  using Hash = CodeVecHash;
+  using Eq = CodeVecEq;
+
+  std::shared_ptr<const ColumnarView> view;
+  std::vector<const uint32_t*> cols;
+  const double* weights = nullptr;
+
+  void Bind(const MicrodataTable& t, const std::vector<size_t>& q) {
+    view->EnsureColumns(t, q);
+    cols.clear();
+    cols.reserve(q.size());
+    for (const size_t c : q) cols.push_back(view->Codes(c).data());
+    weights = view->Weights().data();
+  }
+  Key MakeKey(size_t r) const {
+    Key p;
+    p.reserve(cols.size());
+    for (const uint32_t* col : cols) p.push_back(col[r]);
+    return p;
+  }
+  double Weight(size_t r) const { return weights[r]; }
+  static bool IsNull(uint32_t code) { return IsNullCode(code); }
+};
+
+/// Null positions of a key, confined to the mask width: bit i is set iff
+/// key[i] is null and i < kMaxMaybeMatchQis. The explicit bound keeps
 /// `1u << i` defined for arbitrarily wide AnonSets (ValidateQiWidth rejects
 /// maybe-match grouping beyond the mask width at the risk-measure level).
-uint32_t NullMaskOf(const std::vector<Value>& pattern) {
+template <class Plane>
+uint32_t NullMaskOfKey(const typename Plane::Key& key) {
   uint32_t mask = 0;
-  const size_t limit = std::min(pattern.size(), kMaxMaybeMatchQis);
+  const size_t limit = std::min(key.size(), kMaxMaybeMatchQis);
   for (size_t i = 0; i < limit; ++i) {
-    if (pattern[i].is_null()) mask |= (1u << i);
+    if (Plane::IsNull(key[i])) mask |= (1u << i);
   }
   return mask;
 }
 
-/// Projection of a pattern onto the positions NOT in `mask`.
-std::vector<Value> ProjectOut(const std::vector<Value>& pattern, uint32_t mask) {
-  std::vector<Value> out;
-  out.reserve(pattern.size());
-  const size_t limit = std::min(pattern.size(), kMaxMaybeMatchQis);
+/// Projection of a key onto the positions NOT in `mask`.
+template <class Key>
+Key ProjectOutKey(const Key& key, uint32_t mask) {
+  Key out;
+  out.reserve(key.size());
+  const size_t limit = std::min(key.size(), kMaxMaybeMatchQis);
   for (size_t i = 0; i < limit; ++i) {
-    if ((mask & (1u << i)) == 0) out.push_back(pattern[i]);
+    if ((mask & (1u << i)) == 0) out.push_back(key[i]);
   }
-  for (size_t i = limit; i < pattern.size(); ++i) out.push_back(pattern[i]);
+  for (size_t i = limit; i < key.size(); ++i) out.push_back(key[i]);
   return out;
 }
+
+using ProjIndexKey = std::pair<uint32_t, uint32_t>;  // (class mask, union mask)
+
+/// Plane-dependent container types of the pattern machinery.
+template <class Plane>
+struct PlaneTraits {
+  using Key = typename Plane::Key;
+  struct PatternInfo {
+    Key pattern;
+    uint32_t null_mask = 0;  // Bit i set iff pattern[i] is a labelled null.
+    double count = 0.0;
+    double weight_sum = 0.0;
+    std::vector<uint32_t> rows;  // Ascending.
+  };
+  using KeyIdMap = std::unordered_map<Key, size_t, typename Plane::Hash, typename Plane::Eq>;
+  /// Projection index of one null-mask class under one union mask:
+  /// projected key -> (count, weight) totals.
+  using ProjIndex =
+      std::unordered_map<Key, std::pair<double, double>, typename Plane::Hash,
+                         typename Plane::Eq>;
+  struct Collapsed {
+    std::vector<PatternInfo> patterns;
+    std::vector<size_t> row_pattern;
+  };
+};
 
 /// Rows collapsed into distinct strict-equality patterns. Pattern ids are
 /// assigned in first-occurrence (row) order and per-pattern aggregates are
 /// accumulated in row order, so the output is independent of the thread
-/// count.
-struct CollapsedPatterns {
-  std::vector<PatternInfo> patterns;
-  std::vector<size_t> row_pattern;
-};
-
-CollapsedPatterns CollapseRows(const MicrodataTable& table,
-                               const std::vector<size_t>& qi_columns,
-                               NullSemantics semantics) {
-  const size_t n = table.num_rows();
-  CollapsedPatterns out;
+/// count — and of the plane.
+template <class Plane>
+typename PlaneTraits<Plane>::Collapsed CollapseRows(const Plane& plane, size_t n,
+                                                    NullSemantics semantics) {
+  using Traits = PlaneTraits<Plane>;
+  using Key = typename Plane::Key;
+  typename Traits::Collapsed out;
   out.row_pattern.assign(n, 0);
   if (n == 0) return out;
 
   // Parallel phase: each fixed shard of rows builds its own pattern table —
   // the per-row projection, hashing and equality probing is the hot part.
   struct ShardPattern {
-    std::vector<Value> values;
+    Key values;
     std::vector<uint32_t> rows;
   };
   const size_t num_shards = (n + kCollapseGrain - 1) / kCollapseGrain;
@@ -93,12 +203,10 @@ CollapsedPatterns CollapseRows(const MicrodataTable& table,
   ThreadPool::Global().ParallelFor(
       0, n, kCollapseGrain, [&](size_t lo, size_t hi, size_t shard) {
         auto& local = shards[shard];
-        std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> ids;
+        typename Traits::KeyIdMap ids;
         ids.reserve((hi - lo) * 2);
         for (size_t r = lo; r < hi; ++r) {
-          std::vector<Value> p;
-          p.reserve(qi_columns.size());
-          for (const size_t c : qi_columns) p.push_back(table.cell(r, c));
+          Key p = plane.MakeKey(r);
           auto it = ids.find(p);
           size_t id;
           if (it == ids.end()) {
@@ -116,7 +224,7 @@ CollapsedPatterns CollapseRows(const MicrodataTable& table,
   // so global first-occurrence order equals row order and every pattern's
   // count/weight accumulates in ascending row order — exactly what a
   // sequential pass produces.
-  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> ids;
+  typename Traits::KeyIdMap ids;
   ids.reserve(n * 2);
   for (auto& shard : shards) {
     for (auto& sp : shard) {
@@ -124,19 +232,19 @@ CollapsedPatterns CollapseRows(const MicrodataTable& table,
       size_t id;
       if (it == ids.end()) {
         id = out.patterns.size();
-        PatternInfo info;
+        typename Traits::PatternInfo info;
         info.null_mask =
-            semantics == NullSemantics::kMaybeMatch ? NullMaskOf(sp.values) : 0;
+            semantics == NullSemantics::kMaybeMatch ? NullMaskOfKey<Plane>(sp.values) : 0;
         info.pattern = std::move(sp.values);
         out.patterns.push_back(std::move(info));
         ids.emplace(out.patterns.back().pattern, id);
       } else {
         id = it->second;
       }
-      PatternInfo& info = out.patterns[id];
+      typename Traits::PatternInfo& info = out.patterns[id];
       for (const uint32_t r : sp.rows) {
         info.count += 1.0;
-        info.weight_sum += table.RowWeight(r);
+        info.weight_sum += plane.Weight(r);
         info.rows.push_back(r);
         out.row_pattern[r] = id;
       }
@@ -145,18 +253,14 @@ CollapsedPatterns CollapseRows(const MicrodataTable& table,
   return out;
 }
 
-/// Projection index of one null-mask class under one union mask: projected
-/// pattern -> (count, weight) totals.
-using ProjIndex =
-    std::unordered_map<std::vector<Value>, std::pair<double, double>, VecHash, VecEq>;
-using ProjIndexKey = std::pair<uint32_t, uint32_t>;  // (class mask, union mask)
-
-ProjIndex BuildProjIndex(const std::vector<PatternInfo>& patterns,
-                         const std::vector<size_t>& class_ids, uint32_t union_mask) {
-  ProjIndex index;
+template <class Plane>
+typename PlaneTraits<Plane>::ProjIndex BuildProjIndex(
+    const std::vector<typename PlaneTraits<Plane>::PatternInfo>& patterns,
+    const std::vector<size_t>& class_ids, uint32_t union_mask) {
+  typename PlaneTraits<Plane>::ProjIndex index;
   index.reserve(class_ids.size() * 2);
   for (const size_t p : class_ids) {
-    auto key = ProjectOut(patterns[p].pattern, union_mask);
+    auto key = ProjectOutKey(patterns[p].pattern, union_mask);
     auto& agg = index[std::move(key)];
     agg.first += patterns[p].count;
     agg.second += patterns[p].weight_sum;
@@ -171,10 +275,13 @@ ProjIndex BuildProjIndex(const std::vector<PatternInfo>& patterns,
 /// re-aggregating); missing indexes are built in parallel, and the
 /// per-pattern sums run one class per task. All sums are accumulated in
 /// ascending class-mask order — deterministic for any thread count.
-void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
-                         const std::map<uint32_t, std::vector<size_t>>& classes,
-                         std::map<ProjIndexKey, ProjIndex>* memo,
-                         std::vector<double>* pat_freq, std::vector<double>* pat_wsum) {
+template <class Plane>
+void AggregateMaybeMatch(
+    const std::vector<typename PlaneTraits<Plane>::PatternInfo>& patterns,
+    const std::map<uint32_t, std::vector<size_t>>& classes,
+    std::map<ProjIndexKey, typename PlaneTraits<Plane>::ProjIndex>* memo,
+    std::vector<double>* pat_freq, std::vector<double>* pat_wsum) {
+  using ProjIndex = typename PlaneTraits<Plane>::ProjIndex;
   pat_freq->assign(patterns.size(), 0.0);
   pat_wsum->assign(patterns.size(), 0.0);
   std::vector<uint32_t> masks;
@@ -200,7 +307,7 @@ void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
   ThreadPool::Global().ParallelFor(0, missing.size(), 1,
                                    [&](size_t lo, size_t hi, size_t) {
                                      for (size_t i = lo; i < hi; ++i) {
-                                       built[i] = BuildProjIndex(
+                                       built[i] = BuildProjIndex<Plane>(
                                            patterns, classes.at(missing[i].first),
                                            missing[i].second);
                                      }
@@ -221,7 +328,7 @@ void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
             for (const uint32_t mask2 : masks) {
               const uint32_t u = mask1 | mask2;
               const ProjIndex& index = memo->at({mask2, u});
-              const auto proj = ProjectOut(patterns[p1].pattern, u);
+              const auto proj = ProjectOutKey(patterns[p1].pattern, u);
               auto hit = index.find(proj);
               if (hit != index.end()) {
                 freq += hit->second.first;
@@ -233,6 +340,192 @@ void AggregateMaybeMatch(const std::vector<PatternInfo>& patterns,
           }
         }
       });
+}
+
+/// The plane-generic pattern partition: distinct keys, row membership,
+/// null-mask classes, memoized projection indexes. Shared by both GroupIndex
+/// impls (and, through GroupIndex, by PatternUniverse).
+template <class Plane>
+struct PlaneCore {
+  using Traits = PlaneTraits<Plane>;
+  using Key = typename Plane::Key;
+  using PatternInfo = typename Traits::PatternInfo;
+
+  Plane plane;
+  std::vector<PatternInfo> patterns;
+  typename Traits::KeyIdMap pattern_ids;
+  std::vector<size_t> row_pattern;
+  std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
+
+  // Memoized projection indexes, shared by Stats() re-aggregation and
+  // Query(); entries of a dirty class are dropped on UpdateRows.
+  mutable std::map<ProjIndexKey, typename Traits::ProjIndex> proj_indexes;
+
+  void Build(size_t n, NullSemantics semantics) {
+    auto collapsed = CollapseRows(plane, n, semantics);
+    patterns = std::move(collapsed.patterns);
+    row_pattern = std::move(collapsed.row_pattern);
+    pattern_ids.clear();
+    pattern_ids.reserve(patterns.size() * 2);
+    classes.clear();
+    for (size_t id = 0; id < patterns.size(); ++id) {
+      pattern_ids.emplace(patterns[id].pattern, id);
+      classes[patterns[id].null_mask].push_back(id);
+    }
+    proj_indexes.clear();
+  }
+
+  /// Re-derives a pattern's count/weight from its row list in row order, so
+  /// the aggregates never drift through subtract-then-add rounding.
+  void RecomputePatternAggregates(PatternInfo* info) {
+    info->count = static_cast<double>(info->rows.size());
+    info->weight_sum = 0.0;
+    for (const uint32_t r : info->rows) info->weight_sum += plane.Weight(r);
+  }
+
+  /// Moves the given rows between patterns per their current keys; returns
+  /// the dirtied null-mask classes (their projection indexes are dropped).
+  std::set<uint32_t> UpdateRows(const std::vector<uint32_t>& rows,
+                                NullSemantics semantics) {
+    std::set<uint32_t> dirty_classes;
+    for (const uint32_t r : rows) {
+      Key p = plane.MakeKey(r);
+      const size_t old_id = row_pattern[r];
+      if (typename Plane::Eq{}(p, patterns[old_id].pattern)) continue;  // No-op change.
+
+      // Detach the row from its old pattern.
+      PatternInfo& old_pat = patterns[old_id];
+      old_pat.rows.erase(std::find(old_pat.rows.begin(), old_pat.rows.end(), r));
+      RecomputePatternAggregates(&old_pat);
+      dirty_classes.insert(old_pat.null_mask);
+
+      // Attach it to the (possibly new) pattern of its current projection.
+      const uint32_t mask =
+          semantics == NullSemantics::kMaybeMatch ? NullMaskOfKey<Plane>(p) : 0;
+      auto it = pattern_ids.find(p);
+      size_t id;
+      if (it == pattern_ids.end()) {
+        id = patterns.size();
+        PatternInfo info;
+        info.null_mask = mask;
+        info.pattern = std::move(p);
+        patterns.push_back(std::move(info));
+        pattern_ids.emplace(patterns.back().pattern, id);
+        classes[mask].push_back(id);
+      } else {
+        id = it->second;
+      }
+      PatternInfo& new_pat = patterns[id];
+      new_pat.rows.insert(
+          std::upper_bound(new_pat.rows.begin(), new_pat.rows.end(), r), r);
+      RecomputePatternAggregates(&new_pat);
+      dirty_classes.insert(new_pat.null_mask);
+      row_pattern[r] = id;
+    }
+    if (dirty_classes.empty()) return dirty_classes;
+    VADASA_METRIC_COUNT("group_index.dirty_classes", dirty_classes.size());
+
+    // Dirty-group invalidation: only projection indexes involving a touched
+    // null-mask class are rebuilt by the next Stats()/Query().
+    size_t dropped = 0;
+    for (auto it = proj_indexes.begin(); it != proj_indexes.end();) {
+      if (dirty_classes.count(it->first.first) > 0) {
+        it = proj_indexes.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    VADASA_METRIC_COUNT("group_index.proj_indexes_dropped", dropped);
+    return dirty_classes;
+  }
+
+  void RecomputeStats(size_t num_rows, NullSemantics semantics,
+                      GroupStats* stats) const {
+    stats->frequency.assign(num_rows, 0.0);
+    stats->weight_sum.assign(num_rows, 0.0);
+    std::vector<double> pat_freq(patterns.size(), 0.0);
+    std::vector<double> pat_wsum(patterns.size(), 0.0);
+    if (semantics == NullSemantics::kStandard) {
+      for (size_t p = 0; p < patterns.size(); ++p) {
+        pat_freq[p] = patterns[p].count;
+        pat_wsum[p] = patterns[p].weight_sum;
+      }
+    } else {
+      AggregateMaybeMatch<Plane>(patterns, classes, &proj_indexes, &pat_freq,
+                                 &pat_wsum);
+    }
+    for (size_t r = 0; r < num_rows; ++r) {
+      stats->frequency[r] = pat_freq[row_pattern[r]];
+      stats->weight_sum[r] = pat_wsum[row_pattern[r]];
+    }
+  }
+
+  PatternMass QueryKey(const Key& key, NullSemantics semantics) const {
+    PatternMass mass;
+    if (semantics == NullSemantics::kStandard) {
+      auto it = pattern_ids.find(key);
+      if (it != pattern_ids.end()) {
+        mass.count = patterns[it->second].count;
+        mass.weight = patterns[it->second].weight_sum;
+      }
+      return mass;
+    }
+    const uint32_t qmask = NullMaskOfKey<Plane>(key);
+    for (const auto& [cmask, ids] : classes) {
+      const uint32_t u = qmask | cmask;
+      const ProjIndexKey pkey{cmask, u};
+      auto it = proj_indexes.find(pkey);
+      if (it == proj_indexes.end()) {
+        VADASA_METRIC_COUNT("group_index.proj_indexes_built", 1);
+        it = proj_indexes.emplace(pkey, BuildProjIndex<Plane>(patterns, ids, u)).first;
+      }
+      const auto proj = ProjectOutKey(key, u);
+      auto hit = it->second.find(proj);
+      if (hit != it->second.end()) {
+        mass.count += hit->second.first;
+        mass.weight += hit->second.second;
+      }
+    }
+    return mass;
+  }
+};
+
+template <class Plane>
+GroupStats ComputeStatsOnPlane(const Plane& plane, size_t n, NullSemantics semantics) {
+  GroupStats stats;
+  stats.frequency.assign(n, 0.0);
+  stats.weight_sum.assign(n, 0.0);
+
+  // 1. Collapse rows into distinct patterns (strict equality; null labels
+  //    distinguish). Under kStandard this already yields the answer.
+  auto collapsed = CollapseRows(plane, n, semantics);
+  const auto& patterns = collapsed.patterns;
+
+  std::vector<double> pat_freq(patterns.size(), 0.0);
+  std::vector<double> pat_wsum(patterns.size(), 0.0);
+
+  if (semantics == NullSemantics::kStandard) {
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      pat_freq[p] = patterns[p].count;
+      pat_wsum[p] = patterns[p].weight_sum;
+    }
+  } else {
+    // 2. Maybe-match: group patterns by null-mask class and exchange mass
+    //    between classes through shared projections.
+    std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
+    for (size_t p = 0; p < patterns.size(); ++p) {
+      classes[patterns[p].null_mask].push_back(p);
+    }
+    std::map<ProjIndexKey, typename PlaneTraits<Plane>::ProjIndex> memo;
+    AggregateMaybeMatch<Plane>(patterns, classes, &memo, &pat_freq, &pat_wsum);
+  }
+
+  for (size_t r = 0; r < n; ++r) {
+    stats.frequency[r] = pat_freq[collapsed.row_pattern[r]];
+    stats.weight_sum[r] = pat_wsum[collapsed.row_pattern[r]];
+  }
+  return stats;
 }
 
 }  // namespace
@@ -251,41 +544,22 @@ Status ValidateQiWidth(const std::vector<size_t>& qi_columns, NullSemantics sema
 
 GroupStats ComputeGroupStats(const MicrodataTable& table,
                              const std::vector<size_t>& qi_columns,
-                             NullSemantics semantics) {
+                             NullSemantics semantics,
+                             std::shared_ptr<const ColumnarView> shared_view) {
   const size_t n = table.num_rows();
-  GroupStats stats;
-  stats.frequency.assign(n, 0.0);
-  stats.weight_sum.assign(n, 0.0);
-
-  // 1. Collapse rows into distinct patterns (strict equality; null labels
-  //    distinguish). Under kStandard this already yields the answer.
-  CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
-  const std::vector<PatternInfo>& patterns = collapsed.patterns;
-
-  std::vector<double> pat_freq(patterns.size(), 0.0);
-  std::vector<double> pat_wsum(patterns.size(), 0.0);
-
-  if (semantics == NullSemantics::kStandard) {
-    for (size_t p = 0; p < patterns.size(); ++p) {
-      pat_freq[p] = patterns[p].count;
-      pat_wsum[p] = patterns[p].weight_sum;
+  if (ActiveDataPlane() == DataPlane::kColumnar) {
+    std::shared_ptr<const ColumnarView> view = std::move(shared_view);
+    if (view == nullptr || view->num_rows() != n) {
+      view = std::make_shared<ColumnarView>(table);
     }
-  } else {
-    // 2. Maybe-match: group patterns by null-mask class and exchange mass
-    //    between classes through shared projections.
-    std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
-    for (size_t p = 0; p < patterns.size(); ++p) {
-      classes[patterns[p].null_mask].push_back(p);
-    }
-    std::map<ProjIndexKey, ProjIndex> memo;
-    AggregateMaybeMatch(patterns, classes, &memo, &pat_freq, &pat_wsum);
+    ColumnarPlane plane;
+    plane.view = std::move(view);
+    plane.Bind(table, qi_columns);
+    return ComputeStatsOnPlane(plane, n, semantics);
   }
-
-  for (size_t r = 0; r < n; ++r) {
-    stats.frequency[r] = pat_freq[collapsed.row_pattern[r]];
-    stats.weight_sum[r] = pat_wsum[collapsed.row_pattern[r]];
-  }
-  return stats;
+  RowPlane plane;
+  plane.Bind(table, qi_columns);
+  return ComputeStatsOnPlane(plane, n, semantics);
 }
 
 EquivalenceClassStats ComputeEquivalenceClasses(
@@ -314,83 +588,6 @@ EquivalenceClassStats ComputeEquivalenceClasses(
   return stats;
 }
 
-struct PatternUniverse::Impl {
-  NullSemantics semantics = NullSemantics::kMaybeMatch;
-  size_t width = 0;
-  struct Pat {
-    std::vector<Value> values;
-    uint32_t mask = 0;
-    double count = 0.0;
-    double weight = 0.0;
-  };
-  std::vector<Pat> patterns;
-  // Null-mask class -> pattern ids.
-  std::map<uint32_t, std::vector<size_t>> classes;
-  // Exact-match index (kStandard fast path).
-  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> exact;
-  // Memoized projection indexes: (class mask, union mask) -> proj -> mass.
-  mutable std::map<ProjIndexKey, ProjIndex> proj_indexes;
-};
-
-PatternUniverse::PatternUniverse(const MicrodataTable& table,
-                                 std::vector<size_t> qi_columns,
-                                 NullSemantics semantics) {
-  impl_ = std::make_shared<Impl>();
-  impl_->semantics = semantics;
-  impl_->width = qi_columns.size();
-  CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
-  impl_->patterns.reserve(collapsed.patterns.size());
-  for (size_t id = 0; id < collapsed.patterns.size(); ++id) {
-    PatternInfo& info = collapsed.patterns[id];
-    Impl::Pat pat;
-    pat.mask = info.null_mask;
-    pat.count = info.count;
-    pat.weight = info.weight_sum;
-    pat.values = std::move(info.pattern);
-    impl_->patterns.push_back(std::move(pat));
-    impl_->exact.emplace(impl_->patterns.back().values, id);
-    impl_->classes[impl_->patterns.back().mask].push_back(id);
-  }
-  pattern_count_ = impl_->patterns.size();
-}
-
-PatternUniverse::Mass PatternUniverse::Query(const std::vector<Value>& pattern) const {
-  Mass mass;
-  if (pattern.size() != impl_->width) return mass;
-  if (impl_->semantics == NullSemantics::kStandard) {
-    auto it = impl_->exact.find(pattern);
-    if (it != impl_->exact.end()) {
-      mass.count = impl_->patterns[it->second].count;
-      mass.weight = impl_->patterns[it->second].weight;
-    }
-    return mass;
-  }
-  const uint32_t qmask = NullMaskOf(pattern);
-  for (const auto& [cmask, ids] : impl_->classes) {
-    const uint32_t u = qmask | cmask;
-    auto key = std::make_pair(cmask, u);
-    auto it = impl_->proj_indexes.find(key);
-    if (it == impl_->proj_indexes.end()) {
-      ProjIndex index;
-      index.reserve(ids.size() * 2);
-      for (const size_t id : ids) {
-        auto proj = ProjectOut(impl_->patterns[id].values, u);
-        auto& agg = index[std::move(proj)];
-        agg.first += impl_->patterns[id].count;
-        agg.second += impl_->patterns[id].weight;
-      }
-      it = impl_->proj_indexes.emplace(key, std::move(index)).first;
-    }
-    const auto proj = ProjectOut(pattern, u);
-    auto hit = it->second.find(proj);
-    if (hit != it->second.end()) {
-      mass.count += hit->second.first;
-      mass.weight += hit->second.second;
-    }
-  }
-  return mass;
-}
-
 double CountMatches(const MicrodataTable& table, const std::vector<size_t>& qi_columns,
                     const std::vector<Value>& pattern, NullSemantics semantics) {
   double count = 0.0;
@@ -408,21 +605,14 @@ double CountMatches(const MicrodataTable& table, const std::vector<size_t>& qi_c
 
 // ---------------------------------------------------------------------------
 // GroupIndex: the incremental index behind the cycle's risk-evaluation loop.
+// One abstract Impl per plane; both delegate to the shared PlaneCore.
 // ---------------------------------------------------------------------------
 
 struct GroupIndex::Impl {
   std::vector<size_t> qi_columns;
   NullSemantics semantics = NullSemantics::kMaybeMatch;
+  DataPlane plane = DataPlane::kRow;
   size_t num_rows = 0;
-
-  std::vector<PatternInfo> patterns;
-  std::unordered_map<std::vector<Value>, size_t, VecHash, VecEq> pattern_ids;
-  std::vector<size_t> row_pattern;
-  std::map<uint32_t, std::vector<size_t>> classes;  // mask -> pattern ids
-
-  // Memoized projection indexes, shared by Stats() re-aggregation and
-  // Query(); entries of a dirty class are dropped on UpdateRows.
-  mutable std::map<ProjIndexKey, ProjIndex> proj_indexes;
 
   mutable GroupStats stats;
   mutable bool stats_dirty = true;
@@ -430,59 +620,130 @@ struct GroupIndex::Impl {
   size_t full_builds = 0;
   size_t incremental_updates = 0;
 
-  void Build(const MicrodataTable& table) {
+  virtual ~Impl() = default;
+  virtual void Build(const MicrodataTable& table) = 0;
+  /// Precondition: the table shape matches num_rows (GroupIndex::UpdateRows
+  /// rebuilds otherwise).
+  virtual void Update(const MicrodataTable& table, const std::vector<uint32_t>& rows) = 0;
+  virtual void Recompute() const = 0;
+  virtual PatternMass QueryPattern(const std::vector<Value>& pattern) const = 0;
+  virtual size_t pattern_count() const = 0;
+  virtual void AdoptSharedView(std::shared_ptr<ColumnarView> view) { (void)view; }
+};
+
+namespace {
+
+struct RowImpl final : GroupIndex::Impl {
+  PlaneCore<RowPlane> core;
+
+  void Build(const MicrodataTable& table) override {
     obs::Span span("group_index.build");
     VADASA_METRIC_COUNT("group_index.full_builds", 1);
     num_rows = table.num_rows();
-    CollapsedPatterns collapsed = CollapseRows(table, qi_columns, semantics);
-    patterns = std::move(collapsed.patterns);
-    row_pattern = std::move(collapsed.row_pattern);
-    pattern_ids.clear();
-    pattern_ids.reserve(patterns.size() * 2);
-    classes.clear();
-    for (size_t id = 0; id < patterns.size(); ++id) {
-      pattern_ids.emplace(patterns[id].pattern, id);
-      classes[patterns[id].null_mask].push_back(id);
-    }
-    proj_indexes.clear();
+    core.plane.Bind(table, qi_columns);
+    core.Build(num_rows, semantics);
     stats_dirty = true;
     ++full_builds;
   }
 
-  /// Re-derives a pattern's count/weight from its row list in row order, so
-  /// the aggregates never drift through subtract-then-add rounding.
-  void RecomputePatternAggregates(PatternInfo* info, const MicrodataTable& table) {
-    info->count = static_cast<double>(info->rows.size());
-    info->weight_sum = 0.0;
-    for (const uint32_t r : info->rows) info->weight_sum += table.RowWeight(r);
+  void Update(const MicrodataTable& table, const std::vector<uint32_t>& rows) override {
+    core.plane.Bind(table, qi_columns);
+    if (!core.UpdateRows(rows, semantics).empty()) stats_dirty = true;
   }
 
-  void RecomputeStats() const {
+  void Recompute() const override {
     obs::Span span("group_index.recompute_stats");
-    const size_t n = num_rows;
-    stats.frequency.assign(n, 0.0);
-    stats.weight_sum.assign(n, 0.0);
-    std::vector<double> pat_freq(patterns.size(), 0.0);
-    std::vector<double> pat_wsum(patterns.size(), 0.0);
-    if (semantics == NullSemantics::kStandard) {
-      for (size_t p = 0; p < patterns.size(); ++p) {
-        pat_freq[p] = patterns[p].count;
-        pat_wsum[p] = patterns[p].weight_sum;
-      }
-    } else {
-      AggregateMaybeMatch(patterns, classes, &proj_indexes, &pat_freq, &pat_wsum);
-    }
-    for (size_t r = 0; r < n; ++r) {
-      stats.frequency[r] = pat_freq[row_pattern[r]];
-      stats.weight_sum[r] = pat_wsum[row_pattern[r]];
-    }
+    core.RecomputeStats(num_rows, semantics, &stats);
     stats_dirty = false;
+  }
+
+  PatternMass QueryPattern(const std::vector<Value>& pattern) const override {
+    return core.QueryKey(pattern, semantics);
+  }
+
+  size_t pattern_count() const override { return core.patterns.size(); }
+};
+
+struct ColumnarImpl final : GroupIndex::Impl {
+  PlaneCore<ColumnarPlane> core;
+  /// The mutable handle to the view the plane reads. When owns_view, this
+  /// index refreshes the view's codes itself inside Update; otherwise the
+  /// owner (RiskEvalCache) refreshes once per batch before calling it.
+  std::shared_ptr<ColumnarView> view;
+  bool owns_view = true;
+
+  void Rebind(const MicrodataTable& table) {
+    if (view == nullptr || view->num_rows() != table.num_rows()) {
+      view = std::make_shared<ColumnarView>(table);
+    }
+    core.plane.view = view;
+    core.plane.Bind(table, qi_columns);
+  }
+
+  void Build(const MicrodataTable& table) override {
+    obs::Span span("group_index.build");
+    VADASA_METRIC_COUNT("group_index.full_builds", 1);
+    num_rows = table.num_rows();
+    Rebind(table);
+    core.Build(num_rows, semantics);
+    stats_dirty = true;
+    ++full_builds;
+  }
+
+  void Update(const MicrodataTable& table, const std::vector<uint32_t>& rows) override {
+    if (core.plane.view.get() != view.get()) {
+      // The shared view was swapped (AdoptSharedView) — rebind and rebuild.
+      Build(table);
+      return;
+    }
+    if (owns_view) view->UpdateRows(table, rows);
+    if (!core.UpdateRows(rows, semantics).empty()) stats_dirty = true;
+  }
+
+  void Recompute() const override {
+    obs::Span span("group_index.recompute_stats");
+    core.RecomputeStats(num_rows, semantics, &stats);
+    stats_dirty = false;
+  }
+
+  PatternMass QueryPattern(const std::vector<Value>& pattern) const override {
+    std::vector<uint32_t> key;
+    key.reserve(pattern.size());
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      key.push_back(view->CodeForQuery(qi_columns[i], pattern[i]));
+    }
+    return core.QueryKey(key, semantics);
+  }
+
+  size_t pattern_count() const override { return core.patterns.size(); }
+
+  void AdoptSharedView(std::shared_ptr<ColumnarView> v) override {
+    view = std::move(v);
   }
 };
 
+}  // namespace
+
 GroupIndex::GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
                        NullSemantics semantics)
-    : impl_(std::make_unique<Impl>()) {
+    : GroupIndex(table, std::move(qi_columns), semantics, nullptr) {}
+
+GroupIndex::GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
+                       NullSemantics semantics,
+                       std::shared_ptr<ColumnarView> shared_view) {
+  if (ActiveDataPlane() == DataPlane::kColumnar) {
+    auto impl = std::make_unique<ColumnarImpl>();
+    if (shared_view != nullptr) {
+      impl->view = std::move(shared_view);
+      impl->owns_view = false;
+    }
+    impl->plane = DataPlane::kColumnar;
+    impl_ = std::move(impl);
+  } else {
+    auto impl = std::make_unique<RowImpl>();
+    impl->plane = DataPlane::kRow;
+    impl_ = std::move(impl);
+  }
   impl_->qi_columns = std::move(qi_columns);
   impl_->semantics = semantics;
   impl_->Build(table);
@@ -501,103 +762,50 @@ void GroupIndex::UpdateRows(const MicrodataTable& table,
   obs::Span span("group_index.update_rows");
   ++im.incremental_updates;
   VADASA_METRIC_COUNT("group_index.incremental_updates", 1);
-  std::set<uint32_t> dirty_classes;
-  for (const uint32_t r : rows) {
-    std::vector<Value> p;
-    p.reserve(im.qi_columns.size());
-    for (const size_t c : im.qi_columns) p.push_back(table.cell(r, c));
-    const size_t old_id = im.row_pattern[r];
-    if (VecEq{}(p, im.patterns[old_id].pattern)) continue;  // No-op change.
-
-    // Detach the row from its old pattern.
-    PatternInfo& old_pat = im.patterns[old_id];
-    old_pat.rows.erase(std::find(old_pat.rows.begin(), old_pat.rows.end(), r));
-    im.RecomputePatternAggregates(&old_pat, table);
-    dirty_classes.insert(old_pat.null_mask);
-
-    // Attach it to the (possibly new) pattern of its current projection.
-    const uint32_t mask =
-        im.semantics == NullSemantics::kMaybeMatch ? NullMaskOf(p) : 0;
-    auto it = im.pattern_ids.find(p);
-    size_t id;
-    if (it == im.pattern_ids.end()) {
-      id = im.patterns.size();
-      PatternInfo info;
-      info.null_mask = mask;
-      info.pattern = std::move(p);
-      im.patterns.push_back(std::move(info));
-      im.pattern_ids.emplace(im.patterns.back().pattern, id);
-      im.classes[mask].push_back(id);
-    } else {
-      id = it->second;
-    }
-    PatternInfo& new_pat = im.patterns[id];
-    new_pat.rows.insert(std::upper_bound(new_pat.rows.begin(), new_pat.rows.end(), r),
-                        r);
-    im.RecomputePatternAggregates(&new_pat, table);
-    dirty_classes.insert(new_pat.null_mask);
-    im.row_pattern[r] = id;
-  }
-  if (dirty_classes.empty()) return;
-  VADASA_METRIC_COUNT("group_index.dirty_classes", dirty_classes.size());
-
-  // Dirty-group invalidation: only projection indexes involving a touched
-  // null-mask class are rebuilt by the next Stats()/Query().
-  size_t dropped = 0;
-  for (auto it = im.proj_indexes.begin(); it != im.proj_indexes.end();) {
-    if (dirty_classes.count(it->first.first) > 0) {
-      it = im.proj_indexes.erase(it);
-      ++dropped;
-    } else {
-      ++it;
-    }
-  }
-  VADASA_METRIC_COUNT("group_index.proj_indexes_dropped", dropped);
-  im.stats_dirty = true;
+  im.Update(table, rows);
 }
 
 const GroupStats& GroupIndex::Stats() const {
-  if (impl_->stats_dirty) impl_->RecomputeStats();
+  if (impl_->stats_dirty) impl_->Recompute();
   return impl_->stats;
 }
 
 PatternMass GroupIndex::Query(const std::vector<Value>& pattern) const {
-  PatternMass mass;
-  const Impl& im = *impl_;
-  if (pattern.size() != im.qi_columns.size()) return mass;
-  if (im.semantics == NullSemantics::kStandard) {
-    auto it = im.pattern_ids.find(pattern);
-    if (it != im.pattern_ids.end()) {
-      mass.count = im.patterns[it->second].count;
-      mass.weight = im.patterns[it->second].weight_sum;
-    }
-    return mass;
-  }
-  const uint32_t qmask = NullMaskOf(pattern);
-  for (const auto& [cmask, ids] : im.classes) {
-    const uint32_t u = qmask | cmask;
-    const ProjIndexKey key{cmask, u};
-    auto it = im.proj_indexes.find(key);
-    if (it == im.proj_indexes.end()) {
-      VADASA_METRIC_COUNT("group_index.proj_indexes_built", 1);
-      it = im.proj_indexes.emplace(key, BuildProjIndex(im.patterns, ids, u)).first;
-    }
-    const auto proj = ProjectOut(pattern, u);
-    auto hit = it->second.find(proj);
-    if (hit != it->second.end()) {
-      mass.count += hit->second.first;
-      mass.weight += hit->second.second;
-    }
-  }
-  return mass;
+  if (pattern.size() != impl_->qi_columns.size()) return PatternMass{};
+  return impl_->QueryPattern(pattern);
 }
 
 const std::vector<size_t>& GroupIndex::qi_columns() const { return impl_->qi_columns; }
 NullSemantics GroupIndex::semantics() const { return impl_->semantics; }
 size_t GroupIndex::num_rows() const { return impl_->num_rows; }
-size_t GroupIndex::num_patterns() const { return impl_->patterns.size(); }
+size_t GroupIndex::num_patterns() const { return impl_->pattern_count(); }
+DataPlane GroupIndex::data_plane() const { return impl_->plane; }
+void GroupIndex::AdoptView(std::shared_ptr<ColumnarView> view) {
+  impl_->AdoptSharedView(std::move(view));
+}
 size_t GroupIndex::full_builds() const { return impl_->full_builds; }
 size_t GroupIndex::incremental_updates() const { return impl_->incremental_updates; }
+
+// ---------------------------------------------------------------------------
+// PatternUniverse: an immutable what-if snapshot. A thin wrapper over
+// GroupIndex (shared_ptr for cheap copies) — both planes, one code path.
+// ---------------------------------------------------------------------------
+
+struct PatternUniverse::Impl {
+  std::unique_ptr<GroupIndex> index;
+};
+
+PatternUniverse::PatternUniverse(const MicrodataTable& table,
+                                 std::vector<size_t> qi_columns,
+                                 NullSemantics semantics) {
+  impl_ = std::make_shared<Impl>();
+  impl_->index = std::make_unique<GroupIndex>(table, std::move(qi_columns), semantics);
+  pattern_count_ = impl_->index->num_patterns();
+}
+
+PatternUniverse::Mass PatternUniverse::Query(const std::vector<Value>& pattern) const {
+  return impl_->index->Query(pattern);
+}
 
 // ---------------------------------------------------------------------------
 // RiskEvalCache
@@ -615,6 +823,18 @@ struct RiskEvalCache::Impl {
   std::map<Key, std::unique_ptr<GroupIndex>> indexes;
   std::map<std::string, std::shared_ptr<void>> memos;
   uint64_t version = 0;
+
+  /// One columnar materialization shared by every index of this cache (and
+  /// by the cycle's pattern guards). Null under the row plane.
+  std::shared_ptr<ColumnarView> view;
+
+  std::shared_ptr<ColumnarView> EnsureView(const MicrodataTable& table) {
+    if (ActiveDataPlane() != DataPlane::kColumnar) return nullptr;
+    if (view == nullptr || view->num_rows() != table.num_rows()) {
+      view = std::make_shared<ColumnarView>(table);
+    }
+    return view;
+  }
 };
 
 RiskEvalCache::RiskEvalCache() : impl_(std::make_unique<Impl>()) {}
@@ -623,16 +843,20 @@ RiskEvalCache::~RiskEvalCache() = default;
 GroupIndex& RiskEvalCache::Index(const MicrodataTable& table,
                                  const std::vector<size_t>& qi_columns,
                                  NullSemantics semantics) {
+  std::shared_ptr<ColumnarView> shared = impl_->EnsureView(table);
   const Impl::Key key{qi_columns, semantics};
   auto it = impl_->indexes.find(key);
   if (it == impl_->indexes.end()) {
     VADASA_METRIC_COUNT("risk_cache.index_misses", 1);
     it = impl_->indexes
-             .emplace(key, std::make_unique<GroupIndex>(table, qi_columns, semantics))
+             .emplace(key, std::make_unique<GroupIndex>(table, qi_columns, semantics,
+                                                        std::move(shared)))
              .first;
-  } else if (it->second->num_rows() != table.num_rows()) {
+  } else if (it->second->num_rows() != table.num_rows() ||
+             it->second->data_plane() != ActiveDataPlane()) {
     VADASA_METRIC_COUNT("risk_cache.index_misses", 1);
-    it->second = std::make_unique<GroupIndex>(table, qi_columns, semantics);
+    it->second = std::make_unique<GroupIndex>(table, qi_columns, semantics,
+                                              std::move(shared));
   } else {
     VADASA_METRIC_COUNT("risk_cache.index_hits", 1);
   }
@@ -649,10 +873,29 @@ void RiskEvalCache::NotifyRowsChanged(const MicrodataTable& table,
                                       const std::vector<uint32_t>& rows) {
   ++impl_->version;
   impl_->memos.clear();
+  if (impl_->view != nullptr) {
+    if (table.num_rows() != impl_->view->num_rows()) {
+      // Shape changed: rematerialize and hand the fresh view to every index
+      // (each rebuilds from it on its UpdateRows below).
+      impl_->view = std::make_shared<ColumnarView>(table);
+      for (auto& [key, index] : impl_->indexes) {
+        (void)key;
+        index->AdoptView(impl_->view);
+      }
+    } else {
+      // One in-place code refresh serves all indexes.
+      impl_->view->UpdateRows(table, rows);
+    }
+  }
   for (auto& [key, index] : impl_->indexes) {
     (void)key;
     index->UpdateRows(table, rows);
   }
+}
+
+std::shared_ptr<const ColumnarView> RiskEvalCache::SharedView(
+    const MicrodataTable& table) {
+  return impl_->EnsureView(table);
 }
 
 uint64_t RiskEvalCache::version() const { return impl_->version; }

@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/value.h"
+#include "core/columnar.h"
 #include "core/microdata.h"
 
 namespace vadasa::core {
@@ -52,10 +53,18 @@ struct GroupStats {
 /// O(#rows^2 · |qi|).
 ///
 /// The row→pattern projection and hashing run on ThreadPool::Global(); the
-/// result is bit-identical for any thread count (see thread_pool.h).
+/// result is bit-identical for any thread count (see thread_pool.h) and for
+/// either data plane (see columnar.h — the columnar plane groups packed
+/// dictionary codes instead of Value vectors, but pattern order and
+/// floating-point accumulation order are unchanged).
+///
+/// `shared_view` lets warm callers reuse an existing columnar
+/// materialization; it is consulted only under the columnar plane and only
+/// when its row count matches the table.
 GroupStats ComputeGroupStats(const MicrodataTable& table,
                              const std::vector<size_t>& qi_columns,
-                             NullSemantics semantics);
+                             NullSemantics semantics,
+                             std::shared_ptr<const ColumnarView> shared_view = nullptr);
 
 /// Counts rows of `table` whose QI projection maybe-matches `pattern`
 /// (`pattern` has one entry per qi_column; nulls are wildcards). Under
@@ -137,6 +146,14 @@ class GroupIndex : public PatternOracle {
  public:
   GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
              NullSemantics semantics);
+
+  /// Columnar-plane constructor sharing a caller-owned view: the caller (the
+  /// RiskEvalCache) updates the view once per batch of row changes before
+  /// calling UpdateRows, so indexes over different QI subsets never re-intern
+  /// the same cells. Ignored (may be null) under the row plane; a null view
+  /// under the columnar plane makes the index materialize its own.
+  GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
+             NullSemantics semantics, std::shared_ptr<ColumnarView> shared_view);
   ~GroupIndex() override;
 
   GroupIndex(const GroupIndex&) = delete;
@@ -157,14 +174,26 @@ class GroupIndex : public PatternOracle {
   size_t num_rows() const;
   size_t num_patterns() const;
 
+  /// Which plane this index was built on (fixed at construction; the cache
+  /// rebuilds an index whose plane no longer matches ActiveDataPlane()).
+  DataPlane data_plane() const;
+
+  /// Replaces the shared columnar view (cache-internal, used when the table
+  /// shape changed and the cache rematerialized). The next UpdateRows
+  /// detects the swap and rebuilds from the new view. No-op on the row plane.
+  void AdoptView(std::shared_ptr<ColumnarView> view);
+
   /// Observability: how many times the index was built from scratch (1 unless
   /// the table shape changed under us) and how many incremental row updates
   /// it absorbed.
   size_t full_builds() const;
   size_t incremental_updates() const;
 
- private:
+  /// Opaque implementation base; one derived impl per data plane (defined in
+  /// group_index.cc). Public only so those impls can inherit from it.
   struct Impl;
+
+ private:
   std::unique_ptr<Impl> impl_;
 };
 
@@ -194,9 +223,17 @@ class RiskEvalCache {
                           NullSemantics semantics);
 
   /// Reports that the given rows of the table were mutated since the last
-  /// call. Forwards to every index and drops the type-erased memos.
+  /// call. Updates the shared columnar view once (all indexes read the same
+  /// refreshed codes), then forwards to every index and drops the
+  /// type-erased memos.
   void NotifyRowsChanged(const MicrodataTable& table,
                          const std::vector<uint32_t>& rows);
+
+  /// The columnar view shared by this cache's indexes, created on first use
+  /// (and recreated when the table shape changes). Null under the row plane.
+  /// The cycle and SUDA reuse it for code-space pattern guards and
+  /// projections instead of materializing their own.
+  std::shared_ptr<const ColumnarView> SharedView(const MicrodataTable& table);
 
   /// Bumped on every NotifyRowsChanged; lets measures key their own state.
   uint64_t version() const;

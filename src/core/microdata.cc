@@ -38,11 +38,23 @@ Status MicrodataTable::AddRow(std::vector<Value> row) {
   return Status::OK();
 }
 
-int MicrodataTable::ColumnIndex(const std::string& name) const {
+void MicrodataTable::ReindexSchema() {
+  name_index_.clear();
+  name_index_.reserve(attributes_.size());
+  weight_column_ = -1;
   for (size_t i = 0; i < attributes_.size(); ++i) {
-    if (attributes_[i].name == name) return static_cast<int>(i);
+    // First occurrence wins, matching the former linear scan on duplicates.
+    name_index_.emplace(attributes_[i].name, static_cast<int>(i));
+    if (weight_column_ < 0 &&
+        attributes_[i].category == AttributeCategory::kWeight) {
+      weight_column_ = static_cast<int>(i);
+    }
   }
-  return -1;
+}
+
+int MicrodataTable::ColumnIndex(const std::string& name) const {
+  auto it = name_index_.find(name);
+  return it == name_index_.end() ? -1 : it->second;
 }
 
 Status MicrodataTable::SetCategory(const std::string& attribute,
@@ -50,6 +62,7 @@ Status MicrodataTable::SetCategory(const std::string& attribute,
   const int idx = ColumnIndex(attribute);
   if (idx < 0) return Status::NotFound("no attribute named " + attribute);
   attributes_[idx].category = category;
+  ReindexSchema();
   return Status::OK();
 }
 
@@ -62,17 +75,8 @@ std::vector<size_t> MicrodataTable::ColumnsWithCategory(
   return out;
 }
 
-int MicrodataTable::WeightColumn() const {
-  for (size_t i = 0; i < attributes_.size(); ++i) {
-    if (attributes_[i].category == AttributeCategory::kWeight) {
-      return static_cast<int>(i);
-    }
-  }
-  return -1;
-}
-
 double MicrodataTable::RowWeight(size_t row) const {
-  const int w = WeightColumn();
+  const int w = weight_column_;
   if (w < 0) return 1.0;
   const Value& v = rows_[row][static_cast<size_t>(w)];
   return v.is_numeric() ? v.as_double() : 1.0;

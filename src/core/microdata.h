@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/csv.h"
@@ -36,7 +37,9 @@ class MicrodataTable {
  public:
   MicrodataTable() = default;
   MicrodataTable(std::string name, std::vector<Attribute> attributes)
-      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+      : name_(std::move(name)), attributes_(std::move(attributes)) {
+    ReindexSchema();
+  }
 
   const std::string& name() const { return name_; }
   const std::vector<Attribute>& attributes() const { return attributes_; }
@@ -51,7 +54,9 @@ class MicrodataTable {
   /// Appends a row; must match the column count.
   Status AddRow(std::vector<Value> row);
 
-  /// Column index by attribute name; -1 if absent.
+  /// Column index by attribute name; -1 if absent. One hash lookup — the
+  /// name→index map is cached and rebuilt on schema mutation, so per-row
+  /// callers (RowWeight via WeightColumn) never pay a linear schema scan.
   int ColumnIndex(const std::string& name) const;
 
   /// Changes the category of a named attribute.
@@ -65,8 +70,9 @@ class MicrodataTable {
     return ColumnsWithCategory(AttributeCategory::kQuasiIdentifier);
   }
 
-  /// Index of the (single) weight column; -1 if none.
-  int WeightColumn() const;
+  /// Index of the (single) weight column; -1 if none. Cached; invalidated on
+  /// schema mutation (SetCategory).
+  int WeightColumn() const { return weight_column_; }
 
   /// Sampling weight of a row: the weight cell as double, or 1.0 when the
   /// table has no weight column.
@@ -93,9 +99,16 @@ class MicrodataTable {
   std::string ToText(size_t max_rows = 25) const;
 
  private:
+  /// Rebuilds the name→index map and the cached weight column. Called from
+  /// every schema mutation (construction, SetCategory) — the caches are
+  /// always current, so const readers need no lazy state or locking.
+  void ReindexSchema();
+
   std::string name_;
   std::vector<Attribute> attributes_;
   std::vector<std::vector<Value>> rows_;
+  std::unordered_map<std::string, int> name_index_;
+  int weight_column_ = -1;
 };
 
 }  // namespace vadasa::core

@@ -49,9 +49,11 @@ Result<ReleaseAudit> RunAuditedRelease(MicrodataTable* table,
   AnonymizationCycle cycle(&measure, anonymizer, options);
   VADASA_ASSIGN_OR_RETURN(audit.cycle, cycle.Run(table));
 
-  // The cycle mutated the table, so any warm stats handed in for the
-  // before-evaluation are stale now — drop them before re-evaluating.
+  // The cycle mutated the table, so any warm stats or columnar view handed
+  // in for the before-evaluation are stale now (the row count still matches,
+  // so the guards cannot catch it) — drop both before re-evaluating.
   options.risk.warm_stats.reset();
+  options.risk.warm_view.reset();
   VADASA_ASSIGN_OR_RETURN(
       audit.risk_after,
       ComputeGlobalRisk(*table, measure, options.risk, options.threshold));

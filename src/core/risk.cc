@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "core/suda.h"
@@ -11,10 +14,11 @@ namespace vadasa::core {
 
 namespace {
 
-/// Rows per sampling shard of the Monte-Carlo individual-risk estimator.
-/// Fixed (independent of the pool size) so each shard's Rng stream — and
-/// therefore the risk vector — is identical for any thread count.
-constexpr size_t kSampleShardRows = 1024;
+/// Distinct (frequency, weight_sum) pairs per sampling shard of the
+/// Monte-Carlo individual-risk estimator. Fixed (independent of the pool
+/// size) so each shard's Rng stream — and therefore the risk vector — is
+/// identical for any thread count.
+constexpr size_t kSampleShardPairs = 64;
 
 /// splitmix64 of (seed, shard): decorrelates the per-shard Rng streams.
 uint64_t ShardSeed(uint64_t seed, uint64_t shard) {
@@ -40,7 +44,7 @@ const GroupStats& CachedStats(const MicrodataTable& table,
     VADASA_METRIC_COUNT("risk.warm_stats_hits", 1);
     return *context.warm_stats;
   }
-  *scratch = ComputeGroupStats(table, qis, semantics);
+  *scratch = ComputeGroupStats(table, qis, semantics, context.warm_view);
   return *scratch;
 }
 
@@ -145,18 +149,50 @@ Result<std::vector<double>> IndividualRisk::ComputeRisks(const MicrodataTable& t
     }
     return risks;
   }
-  // Monte-Carlo mode: one Rng stream per fixed shard of rows, so shards can
-  // sample concurrently and the draws are reproducible for any thread count.
+  // Monte-Carlo mode. Rows with identical (frequency, weight_sum) describe
+  // the same equivalence-class posterior, so each distinct pair is sampled
+  // once and the estimate broadcast to its rows — exactly as the closed form
+  // maps equal group stats to equal risk. At scale that collapses millions
+  // of row draws into thousands of pair draws per evaluation. Pair ids are
+  // assigned in first-row order and sampled in fixed shards with one Rng
+  // stream each, so the vector is deterministic in (table, seed) and
+  // bit-identical for any thread count (and either data plane).
   const int draws = context.posterior_draws;
   const uint64_t seed = context.seed;
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      uint64_t z = p.first ^ (p.second * 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<size_t>(z ^ (z >> 27));
+    }
+  };
+  auto bits = [](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::unordered_map<std::pair<uint64_t, uint64_t>, uint32_t, PairHash> pair_ids;
+  pair_ids.reserve(risks.size() / 4);
+  std::vector<std::pair<double, double>> distinct;
+  std::vector<uint32_t> row_pair(risks.size());
+  for (size_t r = 0; r < risks.size(); ++r) {
+    const auto [it, inserted] = pair_ids.emplace(
+        std::make_pair(bits(stats.frequency[r]), bits(stats.weight_sum[r])),
+        static_cast<uint32_t>(distinct.size()));
+    if (inserted) distinct.emplace_back(stats.frequency[r], stats.weight_sum[r]);
+    row_pair[r] = it->second;
+  }
+  std::vector<double> pair_risk(distinct.size());
   ThreadPool::Global().ParallelFor(
-      0, risks.size(), kSampleShardRows, [&](size_t lo, size_t hi, size_t shard) {
+      0, distinct.size(), kSampleShardPairs,
+      [&](size_t lo, size_t hi, size_t shard) {
         Rng rng(ShardSeed(seed, shard));
-        for (size_t r = lo; r < hi; ++r) {
-          risks[r] = stats::NegBinomialPosteriorRiskSampled(
-              stats.frequency[r], stats.weight_sum[r], draws, &rng);
+        for (size_t i = lo; i < hi; ++i) {
+          pair_risk[i] = stats::NegBinomialPosteriorRiskSampled(
+              distinct[i].first, distinct[i].second, draws, &rng);
         }
       });
+  for (size_t r = 0; r < risks.size(); ++r) risks[r] = pair_risk[row_pair[r]];
   return risks;
 }
 
@@ -166,7 +202,7 @@ Result<std::shared_ptr<const GroupStats>> ComputeWarmGroupStats(
   const auto qis = context.ResolveQiColumns(table);
   VADASA_RETURN_NOT_OK(ValidateQiWidth(qis, context.semantics));
   auto stats = std::make_shared<GroupStats>(
-      ComputeGroupStats(table, qis, context.semantics));
+      ComputeGroupStats(table, qis, context.semantics, context.warm_view));
   return std::shared_ptr<const GroupStats>(std::move(stats));
 }
 

@@ -43,6 +43,14 @@ struct RiskContext {
   /// by measures that do not group (SUDA) and whenever a cache is supplied.
   std::shared_ptr<const GroupStats> warm_stats;
 
+  /// Optional shared columnar materialization of the table (see columnar.h),
+  /// with the same contract as warm_stats: valid for the exact current table
+  /// contents only. Consulted under the columnar plane by cache-less
+  /// evaluations that must compute group stats from scratch (e.g. a serve job
+  /// whose warm_stats cover a different AnonSet, or SUDA's projections), so
+  /// concurrent jobs on one immutable dataset intern each column once.
+  std::shared_ptr<const ColumnarView> warm_view;
+
   /// Resolves qi_columns against the table's schema.
   std::vector<size_t> ResolveQiColumns(const MicrodataTable& table) const;
 };

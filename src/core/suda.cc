@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "core/columnar.h"
 #include "obs/trace.h"
 
 namespace vadasa::core {
@@ -24,6 +25,30 @@ struct VecEq {
     }
     return true;
   }
+};
+struct ValueIsNull {
+  bool operator()(const Value& v) const { return v.is_null(); }
+};
+
+struct CodeVecHash {
+  size_t operator()(const std::vector<uint32_t>& v) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+    for (const uint32_t x : v) {
+      uint64_t z = (h ^ x) + 0x9e3779b97f4a7c15ULL;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      h = z ^ (z >> 31);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+struct CodeVecEq {
+  bool operator()(const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) const {
+    return a == b;
+  }
+};
+struct CodeIsNull {
+  bool operator()(uint32_t code) const { return IsNullCode(code); }
 };
 
 int Popcount(uint32_t m) { return __builtin_popcount(m); }
@@ -53,54 +78,28 @@ std::string DetailsMemoKey(const RiskContext& context, const SudaOptions& option
   return key;
 }
 
-}  // namespace
-
-Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
-                                             const RiskContext& context,
-                                             RiskEvalCache* cache) const {
-  const auto qis = context.ResolveQiColumns(table);
-  const int q = static_cast<int>(qis.size());
-  if (q > 20) {
-    return Status::InvalidArgument("SUDA supports at most 20 quasi-identifiers, got " +
-                                   std::to_string(q));
-  }
-  const std::string memo_key = DetailsMemoKey(context, options_, qis);
-  if (cache != nullptr) {
-    if (auto memo = cache->Memo(memo_key)) {
-      return *std::static_pointer_cast<SudaDetails>(memo);
-    }
-  }
-  const size_t n = table.num_rows();
-  SudaDetails details;
-  details.msus.assign(n, {});
-  if (q == 0 || n == 0) return details;
-
-  const int max_size =
-      options_.max_search_size > 0 ? std::min(options_.max_search_size, q)
-                                   : std::min(context.k, q);
-
-  // Project every row once onto the full AnonSet.
-  std::vector<std::vector<Value>> proj(n);
-  for (size_t r = 0; r < n; ++r) {
-    proj[r].reserve(qis.size());
-    for (const size_t c : qis) proj[r].push_back(table.cell(r, c));
-  }
+/// The MSU search over pre-projected rows. Elem is a Value (row plane) or a
+/// dictionary code (columnar plane); code equality coincides with
+/// Value::Equals and the null-band test with Value::is_null, and every
+/// decision (prune, candidate, minimality) plus the merge order is
+/// plane-independent, so both instantiations produce identical details.
+template <class Hash, class Eq, class IsNull, class Elem>
+void FindMsus(const std::vector<std::vector<Elem>>& proj, int q, int max_size,
+              bool exhaustive, SudaDetails* details) {
+  const size_t n = proj.size();
 
   // Candidates: rows unique on the full AnonSet (a sample unique on any
   // subset implies uniqueness on the full set).
   std::vector<uint32_t> candidates;
   {
-    std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
+    std::unordered_map<std::vector<Elem>, int, Hash, Eq> counts;
     counts.reserve(n * 2);
     for (size_t r = 0; r < n; ++r) counts[proj[r]]++;
     for (size_t r = 0; r < n; ++r) {
       if (counts[proj[r]] == 1) candidates.push_back(static_cast<uint32_t>(r));
     }
   }
-  if (candidates.empty()) {
-    if (cache != nullptr) cache->SetMemo(memo_key, std::make_shared<SudaDetails>(details));
-    return details;
-  }
+  if (candidates.empty()) return;
 
   // Per candidate: masks of combinations already known to be sample unique
   // (used both for minimality and for pruning). Within one level this is
@@ -118,7 +117,7 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
     std::vector<uint32_t> eval;
     eval.reserve(combos.size());
     for (const uint32_t mask : combos) {
-      if (!options_.exhaustive) {
+      if (!exhaustive) {
         // Prune: skip the combination when every candidate already owns a
         // unique proper subset of it — it cannot produce a new MSU.
         bool needed = false;
@@ -136,24 +135,24 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
           }
         }
         if (!needed) {
-          ++details.combos_pruned;
+          ++details->combos_pruned;
           continue;
         }
       }
       eval.push_back(mask);
     }
-    details.combos_evaluated += eval.size();
+    details->combos_evaluated += eval.size();
 
     // Evaluate the level's combinations concurrently; each produces its
     // candidate hits against the frozen prior-level unique_combos.
     std::vector<std::vector<UniqueHit>> hits(eval.size());
     ThreadPool::Global().ParallelFor(
         0, eval.size(), 1, [&](size_t lo, size_t hi, size_t /*shard*/) {
-          std::vector<Value> key;
+          std::vector<Elem> key;
           for (size_t i = lo; i < hi; ++i) {
             const uint32_t mask = eval[i];
             // Count projections of ALL rows onto this combination.
-            std::unordered_map<std::vector<Value>, int, VecHash, VecEq> counts;
+            std::unordered_map<std::vector<Elem>, int, Hash, Eq> counts;
             counts.reserve(n * 2);
             for (size_t r = 0; r < n; ++r) {
               key.clear();
@@ -167,7 +166,7 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
               bool has_null = false;
               for (int b = 0; b < q; ++b) {
                 if (mask & (1u << b)) {
-                  if (proj[r][b].is_null()) has_null = true;
+                  if (IsNull{}(proj[r][b])) has_null = true;
                   key.push_back(proj[r][b]);
                 }
               }
@@ -195,10 +194,69 @@ Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
       for (const UniqueHit& hit : hits[i]) {
         unique_combos[hit.row].push_back(mask);
         if (hit.minimal) {
-          details.msus[hit.row].push_back(MinimalSampleUnique{mask, s});
+          details->msus[hit.row].push_back(MinimalSampleUnique{mask, s});
         }
       }
     }
+  }
+}
+
+}  // namespace
+
+Result<SudaDetails> SudaRisk::ComputeDetails(const MicrodataTable& table,
+                                             const RiskContext& context,
+                                             RiskEvalCache* cache) const {
+  const auto qis = context.ResolveQiColumns(table);
+  const int q = static_cast<int>(qis.size());
+  if (q > 20) {
+    return Status::InvalidArgument("SUDA supports at most 20 quasi-identifiers, got " +
+                                   std::to_string(q));
+  }
+  const std::string memo_key = DetailsMemoKey(context, options_, qis);
+  if (cache != nullptr) {
+    if (auto memo = cache->Memo(memo_key)) {
+      return *std::static_pointer_cast<SudaDetails>(memo);
+    }
+  }
+  const size_t n = table.num_rows();
+  SudaDetails details;
+  details.msus.assign(n, {});
+  if (q == 0 || n == 0) return details;
+
+  const int max_size =
+      options_.max_search_size > 0 ? std::min(options_.max_search_size, q)
+                                   : std::min(context.k, q);
+
+  if (ActiveDataPlane() == DataPlane::kColumnar) {
+    // Columnar plane: project every row once onto the full AnonSet as
+    // dictionary codes; the per-combination counting maps then hash and
+    // compare flat words. Reuse the cache's (or the context's warm) view so
+    // the interning is shared with the grouping measures.
+    std::shared_ptr<const ColumnarView> view =
+        cache != nullptr ? cache->SharedView(table) : context.warm_view;
+    if (view == nullptr || view->num_rows() != n) {
+      view = std::make_shared<ColumnarView>(table);
+    }
+    view->EnsureColumns(table, qis);
+    std::vector<const uint32_t*> cols;
+    cols.reserve(qis.size());
+    for (const size_t c : qis) cols.push_back(view->Codes(c).data());
+    std::vector<std::vector<uint32_t>> proj(n);
+    for (size_t r = 0; r < n; ++r) {
+      proj[r].reserve(cols.size());
+      for (const uint32_t* col : cols) proj[r].push_back(col[r]);
+    }
+    FindMsus<CodeVecHash, CodeVecEq, CodeIsNull>(proj, q, max_size,
+                                                 options_.exhaustive, &details);
+  } else {
+    // Row plane: project every row once onto the full AnonSet as Values.
+    std::vector<std::vector<Value>> proj(n);
+    for (size_t r = 0; r < n; ++r) {
+      proj[r].reserve(qis.size());
+      for (const size_t c : qis) proj[r].push_back(table.cell(r, c));
+    }
+    FindMsus<VecHash, VecEq, ValueIsNull>(proj, q, max_size, options_.exhaustive,
+                                          &details);
   }
   if (cache != nullptr) cache->SetMemo(memo_key, std::make_shared<SudaDetails>(details));
   return details;

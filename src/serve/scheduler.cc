@@ -90,6 +90,7 @@ struct JobScheduler::WarmSlot {
   bool ready = false;
   Status status;
   std::shared_ptr<const core::GroupStats> stats;
+  std::shared_ptr<const core::ColumnarView> view;
 };
 
 JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
@@ -348,12 +349,13 @@ void JobScheduler::WarmUp(Job* job) {
     lock.lock();
     slot->status = status;
     slot->stats = job->request.session.warm_stats();
+    slot->view = job->request.session.warm_view();
     slot->ready = true;
     slot->ready_cv.notify_all();
     return;  // This session is already warm.
   }
   if (slot->status.ok() && slot->stats != nullptr) {
-    job->request.session.AdoptWarmStats(slot->stats);
+    job->request.session.AdoptWarmStats(slot->stats, slot->view);
   }
   // A failed warmup (e.g. too many QI columns for the semantics) is not a job
   // failure: the un-warmed call path will surface the same error itself.

@@ -12,6 +12,7 @@
 #include "common/thread_pool.h"
 #include "core/anonymize.h"
 #include "core/business.h"
+#include "core/columnar.h"
 #include "core/cycle.h"
 #include "core/group_index.h"
 #include "core/microdata.h"
@@ -253,6 +254,67 @@ Status EvalServeConcurrentBitIdentical(const ReproCase& repro) {
   return status;
 }
 
+Status EvalColumnarRowBitIdentical(const ReproCase& repro) {
+  // The columnar plane is a pure representation change (docs/performance.md):
+  // every risk vector and every released byte must match the row plane
+  // exactly. Run the four measures plus a full audited cycle under each
+  // plane and compare.
+  const std::string measure_name = Param(repro, "measure", "k-anonymity");
+  core::CycleOptions options;
+  options.threshold = ParamDouble(repro, "threshold", 0.5);
+  options.risk = ContextFrom(repro);
+
+  struct PlaneOutput {
+    std::vector<std::vector<double>> risks;  // One vector per measure.
+    std::string released_csv;
+  };
+  const char* kMeasures[] = {"k-anonymity", "reidentification", "individual",
+                             "suda"};
+  auto run_on_plane = [&](core::DataPlane plane) -> Result<PlaneOutput> {
+    const core::DataPlane previous = core::ActiveDataPlane();
+    core::SetDataPlane(plane);
+    auto run = [&]() -> Result<PlaneOutput> {
+      PlaneOutput out;
+      for (const char* name : kMeasures) {
+        VADASA_ASSIGN_OR_RETURN(const auto measure, core::MakeRiskMeasure(name));
+        VADASA_ASSIGN_OR_RETURN(std::vector<double> risks,
+                                measure->ComputeRisks(repro.table, options.risk));
+        out.risks.push_back(std::move(risks));
+      }
+      VADASA_ASSIGN_OR_RETURN(const auto cycle_measure,
+                              core::MakeRiskMeasure(measure_name));
+      core::LocalSuppression suppression;
+      core::AnonymizationCycle cycle(cycle_measure.get(), &suppression, options);
+      MicrodataTable released = repro.table;
+      VADASA_RETURN_NOT_OK(cycle.Run(&released).status());
+      out.released_csv = WriteCsv(released.ToCsv());
+      return out;
+    };
+    Result<PlaneOutput> result = run();
+    core::SetDataPlane(previous);
+    return result;
+  };
+
+  VADASA_ASSIGN_OR_RETURN(const PlaneOutput row,
+                          run_on_plane(core::DataPlane::kRow));
+  VADASA_ASSIGN_OR_RETURN(const PlaneOutput columnar,
+                          run_on_plane(core::DataPlane::kColumnar));
+  for (size_t m = 0; m < std::size(kMeasures); ++m) {
+    // Bit-identical, not approximately equal: memcmp via the == on doubles.
+    if (row.risks[m] != columnar.risks[m]) {
+      return Status::FailedPrecondition(
+          std::string(kMeasures[m]) +
+          ": columnar risks differ from the row plane");
+    }
+  }
+  if (row.released_csv != columnar.released_csv) {
+    return Status::FailedPrecondition(
+        "cycle(" + measure_name +
+        "): columnar release is not byte-identical to the row plane");
+  }
+  return Status::OK();
+}
+
 vadalog::EngineOptions BoundedEngineOptions() {
   vadalog::EngineOptions options;
   options.max_rounds = 200;
@@ -447,6 +509,24 @@ std::vector<Property> BuildCatalog() {
          return repro;
        },
        EvalServeConcurrentBitIdentical});
+
+  catalog.push_back(
+      {"columnar-vs-row-bit-identical",
+       "the dictionary-coded columnar plane reproduces the row plane byte-for-byte",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.null_probability = 0.12;  // Exercise the reserved null band.
+         ReproCase repro =
+             TableCase("columnar-vs-row-bit-identical", rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.6);
+         return repro;
+       },
+       EvalColumnarRowBitIdentical});
 
   catalog.push_back(
       {"vadalog-determinism",

@@ -45,6 +45,27 @@ TEST(PropCatalogTest, DefaultRunCoversAtLeast200Cases) {
       << "the prop suite must generate at least 200 cases per run";
 }
 
+/// The columnar data plane's acceptance bar: 220+ generated cases (labelled
+/// nulls, weights, duplicate rows) where the dictionary-coded plane must
+/// reproduce the row plane byte-for-byte — risks of all four measures plus a
+/// full audited cycle. A wider sweep than the per-property default because
+/// the plane switch silently rewires every grouping hot path.
+TEST(PropCatalogTest, ColumnarRowDifferentialWideSweep) {
+  const Property* property = FindProperty("columnar-vs-row-bit-identical");
+  ASSERT_NE(property, nullptr);
+  HarnessOptions options;
+  options.cases_per_property = 220;
+  const HarnessReport report = RunProperty(*property, options);
+  EXPECT_EQ(report.cases_run, 220u);
+  std::string diagnostics;
+  for (const ReproCase& repro : report.repros) {
+    diagnostics += "\n--- shrunk repro ---\n" + ReproToString(repro);
+  }
+  EXPECT_EQ(report.failures, 0u)
+      << "columnar plane diverged from the row plane on " << report.failures
+      << "/" << report.cases_run << " cases" << diagnostics;
+}
+
 /// One discovered ctest entry per property; each runs its full generated-case
 /// budget (cases × properties >= 200 per full suite run).
 class PropertyRunTest : public ::testing::TestWithParam<std::string> {};
