@@ -1,11 +1,13 @@
 #include "bench_json.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <utility>
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 
 namespace vadasa::bench {
 
@@ -59,14 +61,22 @@ JsonWriter JsonWriter::FromArgs(std::string bench_name, int* argc, char** argv) 
   JsonWriter writer;
   writer.bench_ = std::move(bench_name);
   const std::string prefix = "--json=";
+  const std::string sample_prefix = "--sample-ms=";
+  long sample_ms = 50;
+  int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       writer.path_ = arg.substr(prefix.size());
-      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
-      --*argc;
-      break;
+    } else if (arg.rfind(sample_prefix, 0) == 0) {
+      sample_ms = std::strtol(arg.c_str() + sample_prefix.size(), nullptr, 10);
+    } else {
+      argv[kept++] = argv[i];
     }
+  }
+  *argc = kept;
+  if (writer.active() && sample_ms > 0) {
+    obs::TelemetrySampler::Global().Start(sample_ms);
   }
   return writer;
 }
@@ -93,8 +103,12 @@ bool JsonWriter::Flush() const {
   // Process-wide metrics accumulated over the run (cycle.*, group_index.*,
   // risk_cache.*, vadalog.*) — the flat exporter view, embedded so baseline
   // JSONs carry the counters alongside the timings.
-  out << "\n  ],\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson()
-      << "\n}\n";
+  out << "\n  ],\n  \"metrics\": " << obs::MetricsRegistry::Global().ToJson();
+  // The sampler's gauge series over the run (RSS growth, metric cardinality);
+  // stopped here so the document captures a complete window.
+  obs::TelemetrySampler& sampler = obs::TelemetrySampler::Global();
+  if (sampler.running()) sampler.Stop();
+  out << ",\n  \"telemetry\": " << sampler.TimeSeriesJson() << "\n}\n";
   return static_cast<bool>(out);
 }
 

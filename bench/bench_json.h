@@ -22,13 +22,17 @@ struct JsonField {
 
 /// Dependency-free collector for machine-readable benchmark baselines.
 /// Activated by a `--json=PATH` argument; writes a document of the form
-///   {"bench": "...", "threads": N, "records": [{...}, ...]}
-/// where `threads` is the global thread-pool size the run used.
+///   {"bench": "...", "threads": N, "records": [{...}, ...],
+///    "metrics": {...}, "telemetry": {...}}
+/// where `threads` is the global thread-pool size the run used and
+/// `telemetry` is the continuous sampler's time series over the run.
 class JsonWriter {
  public:
   /// Scans argv for `--json=PATH` and strips it (google-benchmark rejects
   /// unknown flags). The returned writer is inactive when the flag is absent;
-  /// Add/Flush become no-ops then.
+  /// Add/Flush become no-ops then. Also strips `--sample-ms=N` (default 50,
+  /// 0 disables) and, when the writer is active, starts the global telemetry
+  /// sampler at that interval so Flush can embed the series.
   static JsonWriter FromArgs(std::string bench_name, int* argc, char** argv);
 
   bool active() const { return !path_.empty(); }

@@ -12,6 +12,16 @@ threshold is deliberately loose — 2x absorbs shared-runner noise while still
 catching an accidental O(n) -> O(n^2) slip or a plane misconfiguration.
 Sub-10ms rows are skipped: at that scale timer and scheduler jitter dwarf
 any real signal.
+
+Sampler-overhead mode (docs/observability.md):
+
+    perf_smoke.py --overhead-on with-sampler.json \
+                  --overhead-off without-sampler.json
+
+compares the summed wall time of the same bench run with the telemetry
+sampler on (default --sample-ms) vs off (--sample-ms=0) and fails when the
+sampler costs more than --overhead-max-pct of wall time beyond an absolute
+noise floor (--overhead-floor-s) — the "<1% overhead" contract.
 """
 
 import argparse
@@ -25,15 +35,56 @@ def load_records(path):
     return {(r["dataset"], r["technique"]): r for r in doc["records"]}
 
 
+def check_overhead(args):
+    on = load_records(args.overhead_on)
+    off = load_records(args.overhead_off)
+    shared = sorted(set(on) & set(off))
+    if not shared:
+        print("perf-smoke: no overlapping records in overhead runs", file=sys.stderr)
+        return 2
+    on_total = sum(on[k]["wall_seconds"] for k in shared)
+    off_total = sum(off[k]["wall_seconds"] for k in shared)
+    delta = on_total - off_total
+    budget = max(args.overhead_floor_s,
+                 off_total * args.overhead_max_pct / 100.0)
+    print(f"perf-smoke: sampler overhead over {len(shared)} row(s): "
+          f"{off_total:.4f}s off -> {on_total:.4f}s on "
+          f"(delta {delta:+.4f}s, budget {budget:.4f}s)")
+    if delta > budget:
+        print(f"perf-smoke: telemetry sampler costs {delta:.4f}s > "
+              f"budget {budget:.4f}s "
+              f"({args.overhead_max_pct}% of wall, floor "
+              f"{args.overhead_floor_s}s)", file=sys.stderr)
+        return 1
+    print("perf-smoke: sampler overhead within budget — OK")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--current")
     parser.add_argument("--max-ratio", type=float, default=2.0)
     parser.add_argument("--min-seconds", type=float, default=0.01,
                         help="skip rows whose baseline wall time is below "
                              "this (pure noise on shared runners)")
+    parser.add_argument("--overhead-on",
+                        help="bench --json output with the sampler enabled")
+    parser.add_argument("--overhead-off",
+                        help="bench --json output with --sample-ms=0")
+    parser.add_argument("--overhead-max-pct", type=float, default=1.0)
+    parser.add_argument("--overhead-floor-s", type=float, default=0.05,
+                        help="absolute slack absorbing scheduler jitter on "
+                             "runs too short for a stable percentage")
     args = parser.parse_args()
+
+    if bool(args.overhead_on) != bool(args.overhead_off):
+        parser.error("--overhead-on and --overhead-off go together")
+    if args.overhead_on:
+        return check_overhead(args)
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required outside "
+                     "overhead mode")
 
     baseline = load_records(args.baseline)
     current = load_records(args.current)

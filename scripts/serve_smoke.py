@@ -8,6 +8,13 @@ metrics endpoint must expose the serve.* namespace. With --expect-csv the
 released bytes are also compared against a reference file (produced by
 `vadasa anonymize`).
 
+Telemetry checks (docs/observability.md): every response must echo a 16-hex
+"trace_id", every job result must report the trace id of its submit request
+as "job_trace_id" plus queued_ns/run_ns timings, and {"op":"telemetry"} is
+scraped MID-LOAD — while jobs are still in flight — and its Prometheus
+exposition validated line-by-line (# TYPE headers, name alphabet, numeric
+samples, the labelled per-op latency family).
+
 With --raw it is a plain NDJSON pipe instead: requests are read from stdin
 one JSON object per line, responses are printed to stdout — the minimal
 reference client.
@@ -18,6 +25,7 @@ Exit codes: 0 success, 1 any check failed.
 import argparse
 import concurrent.futures
 import json
+import re
 import socket
 import sys
 
@@ -37,16 +45,88 @@ def request(sock_path, payload, timeout=120.0):
     return json.loads(buf.split(b"\n", 1)[0].decode())
 
 
-def run_job(sock_path, submit):
-    submitted = request(sock_path, submit)
-    if not submitted.get("ok"):
-        return submitted
-    return request(sock_path, {"op": "result", "id": submitted["id"]})
-
-
 def fail(message):
     print(f"serve_smoke: FAIL: {message}", file=sys.stderr)
     sys.exit(1)
+
+
+TRACE_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def check_trace(response, context):
+    """Every protocol response echoes a non-zero 16-hex trace_id."""
+    trace = response.get("trace_id", "")
+    if not TRACE_RE.match(trace) or trace == "0" * 16:
+        fail(f"{context}: bad trace_id {trace!r} in {response}")
+    return trace
+
+
+# Prometheus text exposition 0.0.4: `# TYPE <name> <kind>` headers, sample
+# lines `name{labels} value`. Names use [a-zA-Z_:][a-zA-Z0-9_:]*.
+PROM_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                          r"(counter|gauge|summary|histogram|untyped)$")
+PROM_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                            r'(\{[a-zA-Z0-9_]+="[^"]*"'
+                            r'(,[a-zA-Z0-9_]+="[^"]*")*\})? (\S+)$')
+
+
+def check_prometheus(text):
+    """Validates exposition line-by-line; returns the declared families."""
+    families = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("#"):
+            m = PROM_TYPE_RE.match(line)
+            if not m:
+                fail(f"prometheus line {lineno}: bad comment {line!r}")
+            families[m.group(1)] = m.group(2)
+            continue
+        m = PROM_SAMPLE_RE.match(line)
+        if not m:
+            fail(f"prometheus line {lineno}: unparsable sample {line!r}")
+        name = m.group(1)
+        # _sum/_count/_min/_max belong to the base family's TYPE header.
+        base = re.sub(r"_(sum|count|min|max)$", "", name)
+        if name not in families and base not in families:
+            fail(f"prometheus line {lineno}: sample {name} has no # TYPE")
+        try:
+            float(m.group(4))
+        except ValueError:
+            fail(f"prometheus line {lineno}: non-numeric value {line!r}")
+    if not families:
+        fail("prometheus exposition declared no families")
+    return families
+
+
+def check_telemetry(sock_path):
+    """Scrapes {"op":"telemetry"} and validates exposition + time series."""
+    telemetry = request(sock_path, {"op": "telemetry"})
+    if not telemetry.get("ok"):
+        fail(f"telemetry op failed: {telemetry}")
+    check_trace(telemetry, "telemetry")
+    families = check_prometheus(telemetry.get("prometheus", ""))
+    for needed in ("vadasa_serve_submitted", "vadasa_serve_queue_depth",
+                   "vadasa_serve_op_latency_ms"):
+        if needed not in families:
+            fail(f"prometheus missing family {needed} "
+                 f"(have {sorted(families)})")
+    if 'vadasa_serve_op_latency_ms{op="submit",quantile="0.5"}' not in \
+            telemetry["prometheus"]:
+        fail("per-op latency family has no op=\"submit\" series")
+    series = telemetry.get("series")
+    if not isinstance(series, dict):
+        fail(f"telemetry has no series block: {telemetry}")
+    count = series.get("count", -1)
+    columns = ("t_ms", "queue_depth", "running", "workers", "rss_mb",
+               "metric_count")
+    for column in columns:
+        values = series.get(column)
+        if not isinstance(values, list) or len(values) != count:
+            fail(f"series column {column} misaligned: "
+                 f"{len(values) if isinstance(values, list) else values} "
+                 f"values for count={count}")
+    return families
 
 
 def main():
@@ -72,23 +152,45 @@ def main():
     if not args.dataset:
         fail("--dataset is required outside --raw mode")
 
-    if not request(args.socket, {"op": "ping"}).get("ok"):
+    ping = request(args.socket, {"op": "ping"})
+    if not ping.get("ok"):
         fail("ping failed")
+    check_trace(ping, "ping")
 
     # Half anonymize, half risk, all over the same dataset + policy so the
-    # scheduler's warmup coalescing path is exercised too.
+    # scheduler's warmup coalescing path is exercised too. All jobs are
+    # submitted up front so the telemetry scrape below happens mid-load,
+    # while the scheduler still has queued/running work.
     submits = []
     for j in range(args.jobs):
         action = "anonymize" if j % 2 == 0 else "risk"
         submits.append({"op": "submit", "dataset": args.dataset,
                         "action": action, "k": args.k, "priority": j % 3})
+    submitted = [request(args.socket, s) for s in submits]
+    for s, response in zip(submits, submitted):
+        if not response.get("ok"):
+            fail(f"submit {s} -> {response}")
+        check_trace(response, "submit")
+
+    check_telemetry(args.socket)  # Mid-load: jobs are still in flight.
+
     with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
-        results = list(pool.map(lambda s: run_job(args.socket, s), submits))
+        results = list(pool.map(
+            lambda r: request(args.socket, {"op": "result", "id": r["id"]}),
+            submitted))
 
     csvs = set()
-    for submit, result in zip(submits, results):
+    for submit, accepted, result in zip(submits, submitted, results):
         if not result.get("ok") or result.get("state") != "done":
             fail(f"job {submit} -> {result}")
+        check_trace(result, "result")
+        # The job reports the trace of the request that submitted it, plus
+        # nanosecond queue/run timings from the scheduler.
+        if result.get("job_trace_id") != accepted["trace_id"]:
+            fail(f"job_trace_id {result.get('job_trace_id')!r} != submit "
+                 f"trace {accepted['trace_id']!r}")
+        if result.get("queued_ns", -1) < 0 or result.get("run_ns", 0) <= 0:
+            fail(f"missing queued_ns/run_ns in {result}")
         if submit["action"] == "anonymize":
             csvs.add(result["csv"])
             if not result.get("audit"):
@@ -113,11 +215,14 @@ def main():
         if needed not in metrics["metrics"]:
             fail(f"missing metric {needed} (have {serve_keys})")
 
+    families = check_telemetry(args.socket)  # Post-load scrape still valid.
+
     if args.shutdown and not request(args.socket, {"op": "shutdown"}).get("ok"):
         fail("shutdown op failed")
 
     print(f"serve_smoke: OK — {args.jobs} jobs done, "
-          f"{len(serve_keys)} serve.* metrics")
+          f"{len(serve_keys)} serve.* metrics, "
+          f"{len(families)} prometheus families")
 
 
 if __name__ == "__main__":

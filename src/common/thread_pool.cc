@@ -32,7 +32,7 @@ struct ThreadPool::Impl {
     size_t grain = 1;
     size_t num_shards = 0;
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
-    uint64_t context = 0;  ///< Captured on the submitting thread (see hooks).
+    ThreadPool::TaskContext context;  ///< Captured on the submitting thread (see hooks).
     std::atomic<size_t> next_shard{0};
     std::atomic<size_t> pending_shards{0};
   };
@@ -79,7 +79,7 @@ struct ThreadPool::Impl {
       }
       const auto install = g_context_install.load(std::memory_order_acquire);
       const auto restore = g_context_restore.load(std::memory_order_acquire);
-      uint64_t previous = 0;
+      ThreadPool::TaskContext previous;
       if (install != nullptr) previous = install(current->context);
       RunShards(*current);
       if (install != nullptr && restore != nullptr) restore(previous);

@@ -54,13 +54,18 @@ class ThreadPool {
   /// submitting thread when a job is published; `install` runs on a worker
   /// before it claims shards of that job and returns the value to restore;
   /// `restore` runs after the worker finished the job. The tracing layer uses
-  /// this to parent shard spans to the submitting thread's open span — the
-  /// pool itself carries an opaque token and has no observability dependency.
-  /// Hooks are process-global; pass nullptrs to clear. Registering while jobs
-  /// are in flight is safe (each hook is checked independently).
-  using ContextCaptureFn = uint64_t (*)();
-  using ContextInstallFn = uint64_t (*)(uint64_t context);
-  using ContextRestoreFn = void (*)(uint64_t previous);
+  /// this to parent shard spans to the submitting thread's open span and to
+  /// carry the request's trace id onto the workers — the pool itself carries
+  /// an opaque token pair and has no observability dependency. Hooks are
+  /// process-global; pass nullptrs to clear. Registering while jobs are in
+  /// flight is safe (each hook is checked independently).
+  struct TaskContext {
+    uint64_t span = 0;
+    uint64_t trace = 0;
+  };
+  using ContextCaptureFn = TaskContext (*)();
+  using ContextInstallFn = TaskContext (*)(TaskContext context);
+  using ContextRestoreFn = void (*)(TaskContext previous);
   static void SetContextHooks(ContextCaptureFn capture, ContextInstallFn install,
                               ContextRestoreFn restore);
 

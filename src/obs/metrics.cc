@@ -13,6 +13,27 @@ void Gauge::Add(double delta) {
   }
 }
 
+uint64_t Histogram::NextRandomLocked() {
+  // xorshift64*; state is never 0 (seeded non-zero, bijective updates).
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+void Histogram::RetainLocked(double v) {
+  if (samples_.size() < kMaxRetainedSamples) {
+    samples_.push_back(v);
+    return;
+  }
+  // Algorithm R: the count_-th sample replaces a random retained slot with
+  // probability cap/count_, keeping the reservoir a uniform sample.
+  const uint64_t slot = NextRandomLocked() % count_;
+  if (slot < kMaxRetainedSamples) samples_[slot] = v;
+}
+
 void Histogram::Record(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (count_ == 0) {
@@ -23,7 +44,7 @@ void Histogram::Record(double v) {
   }
   ++count_;
   sum_ += v;
-  if (samples_.size() < kMaxRetainedSamples) samples_.push_back(v);
+  RetainLocked(v);
 }
 
 void Histogram::Merge(const Histogram& other) {
@@ -48,12 +69,17 @@ void Histogram::Merge(const Histogram& other) {
     min_ = std::min(min_, src_min);
     max_ = std::max(max_, src_max);
   }
-  count_ += src_count;
   sum_ += src_sum;
+  // Feed the source's retained samples through the same reservoir step the
+  // direct Record path uses; count_ advances per sample so replacement
+  // probabilities stay correct.
   for (const double v : src_samples) {
-    if (samples_.size() >= kMaxRetainedSamples) break;
-    samples_.push_back(v);
+    ++count_;
+    RetainLocked(v);
   }
+  // Source samples past its own cap were dropped there; the aggregate count
+  // still reflects them.
+  count_ += src_count - src_samples.size();
 }
 
 size_t Histogram::count() const {
@@ -99,6 +125,7 @@ void Histogram::Reset() {
   samples_.clear();
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
+  rng_state_ = 0x9e3779b97f4a7c15ULL;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -164,6 +191,46 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues() const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues() const {
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::HistogramStats>>
+MetricsRegistry::HistogramValues() const {
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats stats;
+    stats.count = h->count();
+    stats.sum = h->sum();
+    stats.min = h->min();
+    stats.max = h->max();
+    stats.p50 = h->Percentile(50.0);
+    stats.p90 = h->Percentile(90.0);
+    stats.p99 = h->Percentile(99.0);
+    out.emplace_back(name, stats);
+  }
+  return out;
+}
+
+size_t MetricsRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 std::string MetricsRegistry::ToJson() const {

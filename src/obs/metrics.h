@@ -37,12 +37,16 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// A sample-recording histogram with exact nearest-rank percentiles.
+/// A sample-recording histogram with exact nearest-rank percentiles under a
+/// bounded memory cap.
 ///
-/// Samples are retained verbatim up to kMaxRetainedSamples; count/sum/min/max
-/// stay exact beyond that, while percentiles are computed over the retained
-/// prefix (run telemetry records thousands of iteration timings, not
-/// millions).
+/// The first kMaxRetainedSamples samples are retained verbatim, so
+/// percentiles are exact below the cap (test-pinned). Past the cap the
+/// retained set becomes a uniform reservoir (Algorithm R with a fixed-seed
+/// per-histogram generator, so identical record sequences retain identical
+/// samples): count/sum/min/max stay exact forever, percentiles become an
+/// unbiased estimate over 2^16 samples — and a serve process that records
+/// millions of request latencies holds at most 512 KiB per histogram.
 class Histogram {
  public:
   static constexpr size_t kMaxRetainedSamples = 1 << 16;
@@ -56,21 +60,29 @@ class Histogram {
   double min() const;  ///< 0 when empty.
   double max() const;  ///< 0 when empty.
 
-  /// Exact nearest-rank percentile over the retained samples: the smallest
-  /// retained value v such that at least p% of samples are <= v. p is clamped
-  /// to [0, 100]; returns 0 when empty.
+  /// Nearest-rank percentile over the retained samples: the smallest
+  /// retained value v such that at least p% of samples are <= v. Exact while
+  /// count() <= kMaxRetainedSamples. p is clamped to [0, 100]; returns 0
+  /// when empty.
   double Percentile(double p) const;
 
   std::vector<double> samples() const;
   void Reset();
 
  private:
+  /// Reservoir retention step for one sample; caller holds mutex_ and has
+  /// already updated count_/sum_/min_/max_.
+  void RetainLocked(double v);
+  uint64_t NextRandomLocked();
+
   mutable std::mutex mutex_;
   std::vector<double> samples_;
   size_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  /// xorshift64* state for the reservoir; fixed seed => deterministic.
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
 };
 
 /// A named collection of counters, gauges and histograms.
@@ -104,6 +116,21 @@ class MetricsRegistry {
   /// Flat name->value view, sorted by name. Histograms expand into
   /// `<name>.count/.sum/.min/.max/.p50/.p90/.p99`.
   std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  /// Typed views for encoders that must distinguish metric kinds (the
+  /// Prometheus exposition): name-sorted values per kind.
+  struct HistogramStats {
+    size_t count = 0;
+    double sum = 0.0, min = 0.0, max = 0.0;
+    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  };
+  std::vector<std::pair<std::string, uint64_t>> CounterValues() const;
+  std::vector<std::pair<std::string, double>> GaugeValues() const;
+  std::vector<std::pair<std::string, HistogramStats>> HistogramValues() const;
+
+  /// Number of registered metrics (counters + gauges + histograms) — the
+  /// cheap cardinality probe the telemetry sampler records.
+  size_t MetricCount() const;
 
   /// The flat snapshot as a single JSON object, `{"name": value, ...}`.
   std::string ToJson() const;

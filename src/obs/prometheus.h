@@ -1,0 +1,37 @@
+#ifndef VADASA_OBS_PROMETHEUS_H_
+#define VADASA_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+/// Prometheus text-exposition (version 0.0.4) encoding of a MetricsRegistry.
+///
+/// Every metric is prefixed `vadasa_` and sanitized to the Prometheus name
+/// alphabet ([a-zA-Z0-9_:], dots become underscores). Counters emit as
+/// `# TYPE ... counter`, gauges as `gauge`, histograms as Prometheus
+/// summaries: `<name>{quantile="0.5|0.9|0.99"}`, `<name>_sum`,
+/// `<name>_count`, plus `<name>_min`/`<name>_max` gauges.
+///
+/// The per-op serve latency family is special-cased: metrics named
+/// `serve.op.<verb>.latency_ms` fold into one
+/// `vadasa_serve_op_latency_ms{op="<verb>"}` summary family with a single
+/// `# TYPE` header, which is what a Prometheus scrape expects for a labelled
+/// family.
+
+namespace vadasa::obs {
+
+/// `vadasa_` + `name` with every character outside [a-zA-Z0-9_:] replaced by
+/// '_'. Exposed for tests.
+std::string PrometheusMetricName(const std::string& name);
+
+/// Serializes `registry` as Prometheus text exposition. Deterministic: output
+/// order is sorted by metric name within each kind.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// Writes ToPrometheusText(registry) to `path`. Returns false on I/O failure.
+bool WritePrometheus(const MetricsRegistry& registry, const std::string& path);
+
+}  // namespace vadasa::obs
+
+#endif  // VADASA_OBS_PROMETHEUS_H_

@@ -1,0 +1,39 @@
+#include "obs/request_log.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace vadasa::obs {
+
+RequestLog::RequestLog(const std::string& path, double threshold_ms)
+    : out_(path, std::ios::app), threshold_ms_(threshold_ms) {
+  ok_ = static_cast<bool>(out_);
+}
+
+bool RequestLog::Record(const RequestLogEntry& entry) {
+  if (!ok_) return false;
+  if (entry.queue_ms + entry.run_ms < threshold_ms_) return false;
+  char num[64];
+  std::string line = "{\"trace_id\": \"" + TraceIdToHex(entry.trace_id) + "\"";
+  line += ", \"op\": " + JsonQuote(entry.op);
+  line += ", \"dataset\": " + JsonQuote(entry.dataset);
+  std::snprintf(num, sizeof(num), "%.3f", entry.queue_ms);
+  line += std::string(", \"queue_ms\": ") + num;
+  std::snprintf(num, sizeof(num), "%.3f", entry.run_ms);
+  line += std::string(", \"run_ms\": ") + num;
+  line += ", \"outcome\": " + JsonQuote(entry.outcome) + "}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+  out_.flush();
+  ++lines_written_;
+  return true;
+}
+
+uint64_t RequestLog::lines_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_written_;
+}
+
+}  // namespace vadasa::obs

@@ -1,0 +1,56 @@
+#ifndef VADASA_OBS_REQUEST_LOG_H_
+#define VADASA_OBS_REQUEST_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+/// Structured slow-request logging: requests whose total latency crosses a
+/// threshold are appended as one NDJSON line each, giving operators a
+/// greppable record (trace_id joins the log line to the Chrome-trace spans
+/// and the protocol response for the same request).
+
+namespace vadasa::obs {
+
+/// One loggable request outcome.
+struct RequestLogEntry {
+  uint64_t trace_id = 0;
+  std::string op;       ///< Protocol verb or job kind.
+  std::string dataset;  ///< Dataset name, empty when not applicable.
+  double queue_ms = 0;  ///< Time spent queued before execution.
+  double run_ms = 0;    ///< Execution time.
+  std::string outcome;  ///< "ok", "error", "cancelled", ...
+};
+
+/// A threshold-gated NDJSON writer. Record() is cheap for fast requests (one
+/// comparison); slow ones serialize under a mutex and flush per line so a
+/// crashed process keeps its log. threshold_ms <= 0 logs everything.
+class RequestLog {
+ public:
+  /// Opens `path` for append. ok() reports whether the stream opened.
+  RequestLog(const std::string& path, double threshold_ms);
+
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  bool ok() const { return ok_; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  /// Writes `entry` if queue_ms + run_ms >= threshold_ms. Returns true when
+  /// a line was written.
+  bool Record(const RequestLogEntry& entry);
+
+  uint64_t lines_written() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  bool ok_ = false;
+  double threshold_ms_ = 0;
+  uint64_t lines_written_ = 0;
+};
+
+}  // namespace vadasa::obs
+
+#endif  // VADASA_OBS_REQUEST_LOG_H_

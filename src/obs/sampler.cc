@@ -1,0 +1,179 @@
+#include "obs/sampler.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+namespace vadasa::obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendColumn(const char* name, const std::vector<TelemetrySample>& samples,
+                  double (*get)(const TelemetrySample&), std::string* out) {
+  *out += "\"";
+  *out += name;
+  *out += "\": [";
+  char buf[32];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) *out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.12g", get(samples[i]));
+    *out += buf;
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+TelemetrySampler& TelemetrySampler::Global() {
+  static TelemetrySampler* sampler = new TelemetrySampler();
+  return *sampler;
+}
+
+double TelemetrySampler::CurrentRssMb() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0.0;
+  long total_pages = 0, resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  if (!statm) return 0.0;
+  const long page_size = sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident_pages) * static_cast<double>(page_size) /
+         (1024.0 * 1024.0);
+}
+
+void TelemetrySampler::SampleOnce() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  TelemetrySample s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t base = start_ns_ == 0 ? NowNs() : start_ns_;
+    if (start_ns_ == 0) start_ns_ = base;
+    s.t_ms = (NowNs() - base) / 1000000;
+  }
+  s.queue_depth = registry.gauge("serve.queue_depth")->value();
+  s.running = registry.gauge("serve.running")->value();
+  s.workers = registry.gauge("serve.workers")->value();
+  s.rss_mb = CurrentRssMb();
+  s.metric_count = static_cast<double>(registry.MetricCount());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(s);
+  } else {
+    ring_[head_] = s;
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void TelemetrySampler::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [&] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    SampleOnce();
+  }
+}
+
+void TelemetrySampler::Start(int64_t interval_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+    interval_ms_ = interval_ms < 1 ? 1 : interval_ms;
+    if (start_ns_ == 0) start_ns_ = NowNs();
+  }
+  SampleOnce();
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+void TelemetrySampler::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  head_ = 0;
+  start_ns_ = 0;
+}
+
+std::vector<TelemetrySample> TelemetrySampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TelemetrySample> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring wrapped; 0 otherwise.
+  const size_t n = ring_.size();
+  const size_t start = n < capacity_ ? 0 : head_;
+  for (size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+  return out;
+}
+
+std::string TelemetrySampler::TimeSeriesJson() const {
+  const std::vector<TelemetrySample> samples = Samples();
+  int64_t interval;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    interval = interval_ms_;
+  }
+  std::string out = "{";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"interval_ms\": %lld, \"count\": %zu, ",
+                static_cast<long long>(interval), samples.size());
+  out += buf;
+  out += "\"t_ms\": [";
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(samples[i].t_ms));
+    out += buf;
+  }
+  out += "], ";
+  AppendColumn("queue_depth", samples,
+               [](const TelemetrySample& s) { return s.queue_depth; }, &out);
+  out += ", ";
+  AppendColumn("running", samples,
+               [](const TelemetrySample& s) { return s.running; }, &out);
+  out += ", ";
+  AppendColumn("workers", samples,
+               [](const TelemetrySample& s) { return s.workers; }, &out);
+  out += ", ";
+  AppendColumn("rss_mb", samples,
+               [](const TelemetrySample& s) { return s.rss_mb; }, &out);
+  out += ", ";
+  AppendColumn("metric_count", samples,
+               [](const TelemetrySample& s) { return s.metric_count; }, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace vadasa::obs

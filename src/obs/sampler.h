@@ -1,0 +1,88 @@
+#ifndef VADASA_OBS_SAMPLER_H_
+#define VADASA_OBS_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// Continuous process telemetry: a background thread snapshots a handful of
+/// load gauges at a fixed interval into a bounded ring buffer, giving every
+/// export (bench --json, the serve `telemetry` verb, vadasa_top) a time
+/// series instead of a single end-of-run value.
+
+namespace vadasa::obs {
+
+/// One periodic snapshot. Gauge columns read the global MetricsRegistry, so
+/// the sampler sees whatever the serve scheduler (or anything else)
+/// publishes without a direct dependency.
+struct TelemetrySample {
+  int64_t t_ms = 0;       ///< Milliseconds since Start().
+  double queue_depth = 0;  ///< Gauge "serve.queue_depth".
+  double running = 0;      ///< Gauge "serve.running".
+  double workers = 0;      ///< Gauge "serve.workers".
+  double rss_mb = 0;       ///< Resident set size from /proc/self/statm.
+  double metric_count = 0;  ///< MetricsRegistry::Global().MetricCount().
+};
+
+/// A bounded-ring background sampler. Start() spawns the thread; Stop()
+/// joins it. When the ring fills, the oldest samples are overwritten — at
+/// the default 100 ms x 600 slots the window is the last minute.
+class TelemetrySampler {
+ public:
+  explicit TelemetrySampler(size_t capacity = 600);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Process-wide sampler used by vadasa_serve and the bench JSON writer.
+  static TelemetrySampler& Global();
+
+  /// Starts the background thread at `interval_ms` (clamped to >= 1). No-op
+  /// if already running.
+  void Start(int64_t interval_ms);
+  /// Stops and joins the thread; recorded samples stay readable.
+  void Stop();
+  bool running() const;
+
+  /// Takes one snapshot immediately on the calling thread (test hook; also
+  /// used by Start for a t=0 sample).
+  void SampleOnce();
+
+  void Clear();
+
+  /// Samples in ring order, oldest first.
+  std::vector<TelemetrySample> Samples() const;
+
+  /// The series as a columnar JSON object:
+  /// `{"interval_ms": I, "count": N, "t_ms": [...], "queue_depth": [...],
+  ///   "running": [...], "workers": [...], "rss_mb": [...],
+  ///   "metric_count": [...]}`.
+  std::string TimeSeriesJson() const;
+
+  /// Resident set size of this process in MiB (0 where /proc is missing).
+  static double CurrentRssMb();
+
+ private:
+  void Loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  int64_t interval_ms_ = 100;
+  int64_t start_ns_ = 0;
+  size_t capacity_;
+  size_t head_ = 0;  ///< Next write slot once the ring is full.
+  std::vector<TelemetrySample> ring_;
+};
+
+}  // namespace vadasa::obs
+
+#endif  // VADASA_OBS_SAMPLER_H_

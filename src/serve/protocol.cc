@@ -1,18 +1,25 @@
 #include "serve/protocol.h"
 
+#include <chrono>
+#include <optional>
 #include <utility>
 
 #include "common/csv.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace vadasa::serve {
 
 namespace {
 
+/// Every response line echoes the trace id installed on the handling thread,
+/// joining it to the request's spans and slow-log line.
 std::string OkLine(Json::Object fields) {
   Json::Object object = std::move(fields);
   object["ok"] = true;
+  object["trace_id"] = obs::TraceIdToHex(obs::CurrentTraceId());
   return Json(std::move(object)).Dump();
 }
 
@@ -21,7 +28,16 @@ std::string ErrorLine(const Status& status) {
   object["ok"] = false;
   object["error"] = status.message();
   object["code"] = std::string(StatusCodeToString(status.code()));
+  object["trace_id"] = obs::TraceIdToHex(obs::CurrentTraceId());
   return Json(std::move(object)).Dump();
+}
+
+/// Latency histograms keyed by verb. Only known verbs get a metric —
+/// arbitrary op strings must not mint unbounded registry entries.
+bool IsKnownOp(const std::string& op) {
+  return op == "ping" || op == "datasets" || op == "submit" || op == "status" ||
+         op == "result" || op == "cancel" || op == "metrics" ||
+         op == "telemetry" || op == "shutdown";
 }
 
 Json RiskJson(const api::RiskReport& report) {
@@ -76,13 +92,36 @@ api::SessionOptions OptionsFrom(const Json& request) {
 }  // namespace
 
 std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) {
+  // The server installs a freshly minted trace id per request line; when the
+  // protocol is embedded directly (tests, tools) Handle mints its own so
+  // every response still carries one.
+  std::optional<obs::ScopedTraceId> minted;
+  if (obs::CurrentTraceId() == 0) minted.emplace(obs::MintTraceId());
   obs::Span span("serve.request");
+  const auto start = std::chrono::steady_clock::now();
+  std::string op;
+  std::string response = Dispatch(line, shutdown_requested, &op);
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                start)
+          .count();
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.counter("serve.requests")->Add(1);
+  registry.histogram("serve.op." + (IsKnownOp(op) ? op : "invalid") +
+                     ".latency_ms")
+      ->Record(ms);
+  return response;
+}
+
+std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested,
+                               std::string* op_out) {
   auto parsed = Json::Parse(line);
   if (!parsed.ok()) {
     return ErrorLine(parsed.status());
   }
   const Json& request = *parsed;
   const std::string op = request.GetString("op", "");
+  *op_out = op;
   if (op.empty()) {
     return ErrorLine(Status::InvalidArgument("request has no \"op\" field"));
   }
@@ -102,6 +141,17 @@ std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) 
     auto metrics = Json::Parse(obs::MetricsRegistry::Global().ToJson());
     if (!metrics.ok()) return ErrorLine(metrics.status());
     return OkLine({{"metrics", std::move(*metrics)}});
+  }
+  if (op == "telemetry") {
+    // One scrape: the Prometheus exposition plus the sampler's time series
+    // (vadasa_top polls this; serve_smoke validates the exposition).
+    auto series =
+        Json::Parse(obs::TelemetrySampler::Global().TimeSeriesJson());
+    if (!series.ok()) return ErrorLine(series.status());
+    return OkLine(
+        {{"prometheus", Json(obs::ToPrometheusText(obs::MetricsRegistry::Global()))},
+         {"series", std::move(*series)},
+         {"sampler_running", Json(obs::TelemetrySampler::Global().running())}});
   }
   if (op == "shutdown") {
     if (shutdown_requested != nullptr) *shutdown_requested = true;
@@ -125,7 +175,10 @@ std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) 
     return OkLine({{"id", Json(id)},
                    {"state", Json(JobStateToString(*state))},
                    {"queue_seconds", Json(snapshot->queue_seconds)},
-                   {"run_seconds", Json(snapshot->run_seconds)}});
+                   {"run_seconds", Json(snapshot->run_seconds)},
+                   {"queued_ns", Json(snapshot->queued_ns)},
+                   {"run_ns", Json(snapshot->run_ns)},
+                   {"job_trace_id", Json(obs::TraceIdToHex(snapshot->trace))}});
   }
   if (op == "result") {
     return HandleResult(id);
@@ -151,6 +204,7 @@ std::string Protocol::HandleSubmit(const Json& request) {
 
   JobRequest job;
   job.session = std::move(*session);
+  job.label = dataset;
   job.action = action == "risk" ? JobAction::kRisk : JobAction::kAnonymize;
   job.quantile = request.GetDouble("quantile", -1.0);
   job.explain = request.GetBool("explain", false);
@@ -170,6 +224,9 @@ std::string Protocol::HandleResult(uint64_t id) {
   fields["state"] = JobStateToString(result->state);
   fields["queue_seconds"] = result->queue_seconds;
   fields["run_seconds"] = result->run_seconds;
+  fields["queued_ns"] = Json(result->queued_ns);
+  fields["run_ns"] = Json(result->run_ns);
+  fields["job_trace_id"] = obs::TraceIdToHex(result->trace);
   if (result->state == JobState::kDone) {
     if (result->action == JobAction::kRisk) {
       fields["risk"] = RiskJson(result->risk);

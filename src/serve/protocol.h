@@ -23,7 +23,13 @@ namespace vadasa::serve {
 ///   {"op":"result","id":N}        — blocks until the job is terminal
 ///   {"op":"cancel","id":N}
 ///   {"op":"metrics"}              — serve.* / cycle.* metrics snapshot
+///   {"op":"telemetry"}            — Prometheus exposition + sampler series
 ///   {"op":"shutdown"}
+///
+/// Telemetry (docs/observability.md): every response echoes the request's
+/// trace id as `"trace_id"` (16 hex digits) — minted per connection line by
+/// the server, or by Handle itself when none is installed — and each known
+/// verb meters its handling latency into `serve.op.<verb>.latency_ms`.
 ///
 /// The class is stateless beyond its two collaborators and safe to call from
 /// concurrent connection threads.
@@ -37,6 +43,8 @@ class Protocol {
   std::string Handle(const std::string& line, bool* shutdown_requested);
 
  private:
+  std::string Dispatch(const std::string& line, bool* shutdown_requested,
+                       std::string* op_out);
   std::string HandleSubmit(const Json& request);
   std::string HandleResult(uint64_t id);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/request_log.h"
 #include "obs/trace.h"
 
 namespace vadasa::serve {
@@ -13,6 +14,19 @@ namespace {
 double SecondsBetween(std::chrono::steady_clock::time_point a,
                       std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+int64_t NsBetween(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+}
+
+/// Steady-clock nanoseconds since epoch — the tracer's timeline, so scheduler
+/// timestamps can feed obs::EmitSpan directly.
+int64_t ToTraceNs(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
 }
 
 /// Handles resolved once; every instance meters into the global registry.
@@ -27,6 +41,8 @@ struct ServeMeters {
   obs::Counter* warmups;
   obs::Counter* coalesce_hits;
   obs::Gauge* queue_depth;
+  obs::Gauge* running;
+  obs::Gauge* workers;
   obs::Histogram* queue_wait_ms;
   obs::Histogram* job_ms;
 
@@ -44,6 +60,8 @@ struct ServeMeters {
       m->warmups = registry.counter("serve.batch.warmups");
       m->coalesce_hits = registry.counter("serve.batch.coalesce_hits");
       m->queue_depth = registry.gauge("serve.queue_depth");
+      m->running = registry.gauge("serve.running");
+      m->workers = registry.gauge("serve.workers");
       m->queue_wait_ms = registry.histogram("serve.queue_wait_ms");
       m->job_ms = registry.histogram("serve.job_ms");
       return m;
@@ -68,6 +86,7 @@ std::string JobStateToString(JobState state) {
 
 struct JobScheduler::Job {
   uint64_t id = 0;
+  uint64_t trace = 0;  ///< Trace id of the submitting request (0 = none).
   JobRequest request;
   JobOptions options;
   CancelToken cancel;
@@ -79,6 +98,8 @@ struct JobScheduler::Job {
   std::chrono::steady_clock::time_point started;
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  int64_t queued_ns = 0;
+  int64_t run_ns = 0;
 };
 
 /// One coalesced warmup per (dataset, semantics): the first job computes the
@@ -97,7 +118,7 @@ JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_queue < 1) options_.max_queue = 1;
   paused_ = options_.start_paused;
-  ServeMeters::Get();  // Register the handles before any job runs.
+  ServeMeters::Get().workers->Set(static_cast<double>(options_.workers));
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -110,6 +131,7 @@ Result<uint64_t> JobScheduler::Submit(JobRequest request, JobOptions options) {
   auto& meters = ServeMeters::Get();
   meters.submitted->Add(1);
   auto job = std::make_shared<Job>();
+  job->trace = obs::CurrentTraceId();
   job->request = std::move(request);
   job->options = options;
   job->submitted = std::chrono::steady_clock::now();
@@ -154,7 +176,8 @@ namespace {
 JobResult MakeSnapshot(uint64_t id, JobAction action, JobState state,
                        const Status& status, const api::RiskReport& risk,
                        const api::AnonymizeResponse& anonymize,
-                       double queue_seconds, double run_seconds) {
+                       double queue_seconds, double run_seconds,
+                       int64_t queued_ns, int64_t run_ns, uint64_t trace) {
   JobResult result;
   result.id = id;
   result.action = action;
@@ -166,6 +189,9 @@ JobResult MakeSnapshot(uint64_t id, JobAction action, JobState state,
   }
   result.queue_seconds = queue_seconds;
   result.run_seconds = run_seconds;
+  result.queued_ns = queued_ns;
+  result.run_ns = run_ns;
+  result.trace = trace;
   return result;
 }
 
@@ -184,7 +210,8 @@ Result<JobResult> JobScheduler::Peek(uint64_t id) const {
   }
   const Job& job = *it->second;
   return MakeSnapshot(id, job.request.action, job.state, job.status, job.risk,
-                      job.anonymize, job.queue_seconds, job.run_seconds);
+                      job.anonymize, job.queue_seconds, job.run_seconds,
+                      job.queued_ns, job.run_ns, job.trace);
 }
 
 Result<JobResult> JobScheduler::Wait(uint64_t id) {
@@ -197,7 +224,8 @@ Result<JobResult> JobScheduler::Wait(uint64_t id) {
   done_cv_.wait(lock, [&] { return IsTerminal(job->state); });
   return MakeSnapshot(id, job->request.action, job->state, job->status,
                       job->risk, job->anonymize, job->queue_seconds,
-                      job->run_seconds);
+                      job->run_seconds, job->queued_ns, job->run_ns,
+                      job->trace);
 }
 
 Status JobScheduler::Cancel(uint64_t id) {
@@ -263,6 +291,13 @@ size_t JobScheduler::running_jobs() const {
 /// Transition to a terminal state; caller holds the mutex.
 void JobScheduler::FinishLocked(Job* job, JobState state, Status status) {
   auto& meters = ServeMeters::Get();
+  if (job->started == std::chrono::steady_clock::time_point{}) {
+    // Never dequeued (cancelled/expired while queued): the whole lifetime
+    // was queue wait.
+    const auto now = std::chrono::steady_clock::now();
+    job->queue_seconds = SecondsBetween(job->submitted, now);
+    job->queued_ns = NsBetween(job->submitted, now);
+  }
   job->state = state;
   job->status = std::move(status);
   switch (state) {
@@ -271,6 +306,16 @@ void JobScheduler::FinishLocked(Job* job, JobState state, Status status) {
     case JobState::kCancelled: meters.cancelled->Add(1); break;
     case JobState::kExpired: meters.expired->Add(1); break;
     default: break;
+  }
+  if (options_.slow_log != nullptr) {
+    obs::RequestLogEntry entry;
+    entry.trace_id = job->trace;
+    entry.op = job->request.action == JobAction::kRisk ? "risk" : "anonymize";
+    entry.dataset = job->request.label;
+    entry.queue_ms = job->queue_seconds * 1e3;
+    entry.run_ms = job->run_seconds * 1e3;
+    entry.outcome = JobStateToString(state);
+    options_.slow_log->Record(entry);
   }
   done_cv_.notify_all();
 }
@@ -294,6 +339,7 @@ void JobScheduler::WorkerLoop() {
       meters.queue_depth->Set(static_cast<double>(queue_.size()));
       job->started = std::chrono::steady_clock::now();
       job->queue_seconds = SecondsBetween(job->submitted, job->started);
+      job->queued_ns = NsBetween(job->submitted, job->started);
       meters.queue_wait_ms->Record(job->queue_seconds * 1e3);
       if (!job->cancel.Check().ok()) {
         // Cancelled or expired while queued; never starts.
@@ -307,11 +353,13 @@ void JobScheduler::WorkerLoop() {
       }
       job->state = JobState::kRunning;
       ++running_;
+      meters.running->Set(static_cast<double>(running_));
     }
     Execute(job);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
+      meters.running->Set(static_cast<double>(running_));
     }
   }
 }
@@ -362,6 +410,12 @@ void JobScheduler::WarmUp(Job* job) {
 }
 
 void JobScheduler::Execute(const std::shared_ptr<Job>& job) {
+  // Re-install the submitting request's trace id on the executor thread so
+  // the job/warmup spans (and the ParallelFor shards under them) group with
+  // the protocol spans of the same request in one trace.
+  obs::ScopedTraceId trace_scope(job->trace);
+  obs::EmitSpan("serve.queue_wait", ToTraceNs(job->submitted),
+                ToTraceNs(job->started));
   obs::Span span("serve.job");
   auto& meters = ServeMeters::Get();
   WarmUp(job.get());
@@ -391,8 +445,9 @@ void JobScheduler::Execute(const std::shared_ptr<Job>& job) {
   }
 
   std::lock_guard<std::mutex> lock(mutex_);
-  job->run_seconds =
-      SecondsBetween(job->started, std::chrono::steady_clock::now());
+  const auto finished = std::chrono::steady_clock::now();
+  job->run_seconds = SecondsBetween(job->started, finished);
+  job->run_ns = NsBetween(job->started, finished);
   meters.job_ms->Record(job->run_seconds * 1e3);
   if (verdict.ok()) {
     job->risk = std::move(risk);

@@ -15,6 +15,10 @@
 #include "common/cancel.h"
 #include "common/result.h"
 
+namespace vadasa::obs {
+class RequestLog;
+}
+
 namespace vadasa::serve {
 
 /// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled, kExpired.
@@ -44,6 +48,8 @@ struct JobRequest {
   /// per-tuple explanations.
   double quantile = -1.0;
   bool explain = false;
+  /// Operator-facing name (dataset) carried into the slow-request log.
+  std::string label;
 };
 
 /// Per-job scheduling knobs.
@@ -64,6 +70,12 @@ struct JobResult {
   api::AnonymizeResponse anonymize;  ///< kAnonymize jobs.
   double queue_seconds = 0.0;
   double run_seconds = 0.0;
+  /// Integer-nanosecond spellings of the phases above (protocol timing
+  /// fields; exact on the steady-clock timeline).
+  int64_t queued_ns = 0;
+  int64_t run_ns = 0;
+  /// Trace id current on the submitting thread at Submit (0 = none).
+  uint64_t trace = 0;
 };
 
 struct SchedulerOptions {
@@ -80,6 +92,10 @@ struct SchedulerOptions {
   /// Admit jobs but do not run any until Resume() — deterministic setup for
   /// tests and warm server starts. Shutdown(drain=true) implies Resume.
   bool start_paused = false;
+  /// When set, terminal jobs crossing the log's threshold append one NDJSON
+  /// line (trace_id, op, dataset, queue_ms, run_ms, outcome). Not owned;
+  /// must outlive the scheduler.
+  obs::RequestLog* slow_log = nullptr;
 };
 
 /// A bounded, prioritized, cancellable job executor over api::Session calls —

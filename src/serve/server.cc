@@ -104,7 +104,14 @@ void Server::HandleConnection(int fd) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (line.empty()) continue;
-      std::string response = protocol_->Handle(line, &shutdown_requested);
+      std::string response;
+      {
+        // One trace id per request line: every span opened while handling —
+        // including job spans re-installed on scheduler workers — and the
+        // response's "trace_id" echo share it.
+        obs::ScopedTraceId trace_scope(obs::MintTraceId());
+        response = protocol_->Handle(line, &shutdown_requested);
+      }
       response.push_back('\n');
       if (!WriteAll(fd, response.data(), response.size())) {
         shutdown_requested = false;

@@ -91,6 +91,92 @@ TEST(HistogramTest, MergeFoldsCountsSumsAndSamples) {
   EXPECT_EQ(a.count(), 3u);
 }
 
+TEST(HistogramTest, RetainsEverySampleUpToTheCap) {
+  Histogram h;
+  for (size_t i = 0; i < Histogram::kMaxRetainedSamples; ++i) {
+    h.Record(static_cast<double>(i));
+  }
+  EXPECT_EQ(h.samples().size(), Histogram::kMaxRetainedSamples);
+  EXPECT_EQ(h.count(), Histogram::kMaxRetainedSamples);
+  // Exact below the cap: the maximum retained value is the maximum recorded.
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0),
+                   static_cast<double>(Histogram::kMaxRetainedSamples - 1));
+}
+
+TEST(HistogramTest, ReservoirCapsRetentionButKeepsAggregatesExact) {
+  Histogram h;
+  const size_t n = Histogram::kMaxRetainedSamples + 50000;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    h.Record(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  EXPECT_EQ(h.samples().size(), Histogram::kMaxRetainedSamples);
+  EXPECT_EQ(h.count(), n);
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(n - 1));
+  // The reservoir stays a plausible uniform sample: the median estimate of a
+  // uniform ramp lands near the true median (a 10% band is ~60 sigma wide for
+  // a 2^16 reservoir — failure means the reservoir is biased, not unlucky).
+  const double p50 = h.Percentile(50.0);
+  EXPECT_GT(p50, 0.40 * static_cast<double>(n));
+  EXPECT_LT(p50, 0.60 * static_cast<double>(n));
+}
+
+TEST(HistogramTest, ReservoirIsDeterministic) {
+  // Same record sequence => identical retained samples (fixed-seed RNG).
+  Histogram a, b;
+  const size_t n = Histogram::kMaxRetainedSamples + 10000;
+  for (size_t i = 0; i < n; ++i) {
+    a.Record(static_cast<double>(i % 997));
+    b.Record(static_cast<double>(i % 997));
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+  // Reset rewinds the RNG too: a replay matches.
+  a.Reset();
+  for (size_t i = 0; i < n; ++i) a.Record(static_cast<double>(i % 997));
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(HistogramTest, MergePastCapKeepsCountExact) {
+  Histogram dst, src;
+  const size_t n = Histogram::kMaxRetainedSamples / 2 + 100;
+  for (size_t i = 0; i < n; ++i) {
+    dst.Record(1.0);
+    src.Record(2.0);
+  }
+  dst.Merge(src);
+  dst.Merge(src);  // Crosses the cap: 3n > kMaxRetainedSamples.
+  EXPECT_EQ(dst.count(), 3 * n);
+  EXPECT_DOUBLE_EQ(dst.sum(), static_cast<double>(n) * 5.0);
+  EXPECT_EQ(dst.samples().size(), Histogram::kMaxRetainedSamples);
+}
+
+TEST(MetricsRegistryTest, TypedValueViews) {
+  MetricsRegistry r;
+  r.counter("c")->Add(3);
+  r.gauge("g")->Set(1.5);
+  Histogram* h = r.histogram("h");
+  h->Record(2.0);
+  h->Record(4.0);
+  const auto counters = r.CounterValues();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].first, "c");
+  EXPECT_EQ(counters[0].second, 3u);
+  const auto gauges = r.GaugeValues();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(gauges[0].second, 1.5);
+  const auto hists = r.HistogramValues();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].first, "h");
+  EXPECT_EQ(hists[0].second.count, 2u);
+  EXPECT_DOUBLE_EQ(hists[0].second.sum, 6.0);
+  EXPECT_DOUBLE_EQ(hists[0].second.p50, 2.0);
+  EXPECT_DOUBLE_EQ(hists[0].second.p99, 4.0);
+  EXPECT_EQ(r.MetricCount(), 3u);
+}
+
 TEST(MetricsRegistryTest, HandlesAreStable) {
   MetricsRegistry r;
   Counter* c1 = r.counter("x");

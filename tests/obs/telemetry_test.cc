@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/request_log.h"
+#include "obs/sampler.h"
+
+namespace vadasa::obs {
+namespace {
+
+std::string TempPath(const char* stem) {
+  return testing::TempDir() + "/" + stem + "_" +
+         std::to_string(::getpid()) + ".tmp";
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(PrometheusTest, SanitizesMetricNames) {
+  EXPECT_EQ(PrometheusMetricName("serve.queue_depth"), "vadasa_serve_queue_depth");
+  EXPECT_EQ(PrometheusMetricName("cycle.risk-eval ms"), "vadasa_cycle_risk_eval_ms");
+  EXPECT_EQ(PrometheusMetricName("already_fine:yes"), "vadasa_already_fine:yes");
+}
+
+TEST(PrometheusTest, EncodesCountersGaugesAndSummaries) {
+  MetricsRegistry r;
+  r.counter("serve.requests")->Add(5);
+  r.gauge("serve.queue_depth")->Set(2.5);
+  Histogram* h = r.histogram("serve.job_ms");
+  h->Record(1.0);
+  h->Record(3.0);
+  const std::string text = ToPrometheusText(r);
+  EXPECT_NE(text.find("# TYPE vadasa_serve_requests counter\n"
+                      "vadasa_serve_requests 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vadasa_serve_queue_depth gauge\n"
+                      "vadasa_serve_queue_depth 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE vadasa_serve_job_ms summary\n"), std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms{quantile=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms{quantile=\"0.99\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms_sum 4\n"), std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms_min 1\n"), std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_job_ms_max 3\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, FoldsPerOpLatenciesIntoOneLabelledFamily) {
+  MetricsRegistry r;
+  r.histogram("serve.op.ping.latency_ms")->Record(0.5);
+  r.histogram("serve.op.submit.latency_ms")->Record(8.0);
+  const std::string text = ToPrometheusText(r);
+  // Exactly one TYPE header for the family, then one series per verb.
+  size_t count = 0, pos = 0;
+  const std::string header = "# TYPE vadasa_serve_op_latency_ms summary";
+  while ((pos = text.find(header, pos)) != std::string::npos) {
+    ++count;
+    pos += header.size();
+  }
+  EXPECT_EQ(count, 1u);
+  EXPECT_NE(text.find("vadasa_serve_op_latency_ms{op=\"ping\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_op_latency_ms{op=\"submit\",quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("vadasa_serve_op_latency_ms_count{op=\"ping\"} 1"),
+            std::string::npos);
+  // No per-verb unlabelled metric leaked out.
+  EXPECT_EQ(text.find("vadasa_serve_op_ping_latency_ms"), std::string::npos);
+}
+
+TEST(PrometheusTest, WriteProducesParsableFile) {
+  MetricsRegistry r;
+  r.counter("runs")->Add(1);
+  const std::string path = TempPath("prom");
+  ASSERT_TRUE(WritePrometheus(r, path));
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), ToPrometheusText(r));
+  std::remove(path.c_str());
+}
+
+// --- Telemetry sampler ------------------------------------------------------
+
+TEST(TelemetrySamplerTest, SampleOnceReadsGaugesAndRss) {
+  MetricsRegistry::Global().gauge("serve.queue_depth")->Set(4.0);
+  MetricsRegistry::Global().gauge("serve.running")->Set(2.0);
+  TelemetrySampler sampler;
+  sampler.SampleOnce();
+  const auto samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].queue_depth, 4.0);
+  EXPECT_DOUBLE_EQ(samples[0].running, 2.0);
+  EXPECT_GT(samples[0].rss_mb, 0.0);  // /proc/self/statm is live on Linux.
+  EXPECT_GT(samples[0].metric_count, 0.0);
+  MetricsRegistry::Global().gauge("serve.queue_depth")->Set(0.0);
+  MetricsRegistry::Global().gauge("serve.running")->Set(0.0);
+}
+
+TEST(TelemetrySamplerTest, RingOverwritesOldestBeyondCapacity) {
+  TelemetrySampler sampler(/*capacity=*/4);
+  MetricsRegistry::Global().gauge("serve.queue_depth")->Set(0.0);
+  for (int i = 0; i < 7; ++i) {
+    MetricsRegistry::Global().gauge("serve.queue_depth")->Set(i);
+    sampler.SampleOnce();
+  }
+  MetricsRegistry::Global().gauge("serve.queue_depth")->Set(0.0);
+  const auto samples = sampler.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  // Oldest-first: the last 4 of the 7 snapshots, in order.
+  EXPECT_DOUBLE_EQ(samples[0].queue_depth, 3.0);
+  EXPECT_DOUBLE_EQ(samples[3].queue_depth, 6.0);
+}
+
+TEST(TelemetrySamplerTest, TimeSeriesJsonParsesWithAlignedColumns) {
+  TelemetrySampler sampler(/*capacity=*/8);
+  sampler.SampleOnce();
+  sampler.SampleOnce();
+  auto parsed = Json::Parse(sampler.TimeSeriesJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& series = *parsed;
+  EXPECT_EQ(series.GetInt("count", -1), 2);
+  for (const char* column : {"t_ms", "queue_depth", "running", "workers",
+                             "rss_mb", "metric_count"}) {
+    ASSERT_TRUE(series[column].is_array()) << column;
+    EXPECT_EQ(series[column].AsArray().size(), 2u) << column;
+  }
+}
+
+TEST(TelemetrySamplerTest, BackgroundThreadCollectsAndStops) {
+  TelemetrySampler sampler(/*capacity=*/64);
+  sampler.Start(/*interval_ms=*/1);
+  EXPECT_TRUE(sampler.running());
+  // The t=0 sample is taken synchronously by Start.
+  EXPECT_GE(sampler.Samples().size(), 1u);
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  const size_t after_stop = sampler.Samples().size();
+  sampler.Clear();
+  EXPECT_TRUE(sampler.Samples().empty());
+  (void)after_stop;
+}
+
+// --- Slow-request log -------------------------------------------------------
+
+TEST(RequestLogTest, ThresholdGatesAndWritesNdjson) {
+  const std::string path = TempPath("slowlog");
+  {
+    RequestLog log(path, /*threshold_ms=*/10.0);
+    ASSERT_TRUE(log.ok());
+    RequestLogEntry fast;
+    fast.op = "risk";
+    fast.queue_ms = 1.0;
+    fast.run_ms = 2.0;
+    EXPECT_FALSE(log.Record(fast));  // Under threshold: no line.
+    RequestLogEntry slow;
+    slow.trace_id = 0xabcULL;
+    slow.op = "anonymize";
+    slow.dataset = "hospital \"ae\"";  // Exercises JSON escaping.
+    slow.queue_ms = 4.0;
+    slow.run_ms = 20.0;
+    slow.outcome = "done";
+    EXPECT_TRUE(log.Record(slow));  // queue+run >= threshold.
+    EXPECT_EQ(log.lines_written(), 1u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = Json::Parse(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_EQ(parsed->GetString("trace_id", ""), "0000000000000abc");
+  EXPECT_EQ(parsed->GetString("op", ""), "anonymize");
+  EXPECT_EQ(parsed->GetString("dataset", ""), "hospital \"ae\"");
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("queue_ms", 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(parsed->GetDouble("run_ms", 0.0), 20.0);
+  EXPECT_EQ(parsed->GetString("outcome", ""), "done");
+  EXPECT_FALSE(std::getline(in, line));  // Exactly one line.
+  std::remove(path.c_str());
+}
+
+TEST(RequestLogTest, ZeroThresholdLogsEverythingAndAppends) {
+  const std::string path = TempPath("slowlog_all");
+  {
+    RequestLog log(path, 0.0);
+    RequestLogEntry e;
+    e.op = "ping";
+    e.outcome = "ok";
+    EXPECT_TRUE(log.Record(e));
+  }
+  {
+    RequestLog log(path, 0.0);  // Reopen appends, not truncates.
+    RequestLogEntry e;
+    e.op = "ping";
+    e.outcome = "ok";
+    EXPECT_TRUE(log.Record(e));
+  }
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vadasa::obs

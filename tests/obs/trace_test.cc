@@ -164,6 +164,107 @@ TEST(TraceTest, StartTracingClearsPreviousSpans) {
   EXPECT_EQ(SpansNamed(spans, "new").size(), 1u);
 }
 
+TEST(TraceIdTest, HexRoundTripAndMalformedInput) {
+  EXPECT_EQ(TraceIdToHex(0), "0000000000000000");
+  EXPECT_EQ(TraceIdToHex(0xdeadbeef12345678ULL), "deadbeef12345678");
+  EXPECT_EQ(TraceIdFromHex("deadbeef12345678"), 0xdeadbeef12345678ULL);
+  EXPECT_EQ(TraceIdFromHex(TraceIdToHex(42)), 42u);
+  EXPECT_EQ(TraceIdFromHex(""), 0u);
+  EXPECT_EQ(TraceIdFromHex("deadbeef"), 0u);           // Too short.
+  EXPECT_EQ(TraceIdFromHex("DEADBEEF12345678"), 0u);   // Uppercase rejected.
+  EXPECT_EQ(TraceIdFromHex("xeadbeef12345678"), 0u);   // Bad digit.
+}
+
+TEST(TraceIdTest, SeededMintingIsDeterministicAndNonzero) {
+  SeedTraceIds(1234);
+  const uint64_t a = MintTraceId();
+  const uint64_t b = MintTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  SeedTraceIds(1234);
+  EXPECT_EQ(MintTraceId(), a);
+  EXPECT_EQ(MintTraceId(), b);
+}
+
+TEST(TraceIdTest, ScopedTraceIdInstallsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    ScopedTraceId outer(7);
+    EXPECT_EQ(CurrentTraceId(), 7u);
+    {
+      ScopedTraceId inner(9);
+      EXPECT_EQ(CurrentTraceId(), 9u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 7u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST(TraceIdTest, SpansRecordTheInstalledTraceId) {
+  StartTracing();
+  {
+    ScopedTraceId trace(11);
+    Span traced("traced");
+  }
+  { Span untraced("untraced"); }
+  StopTracing();
+  const auto spans = CollectSpans();
+  ASSERT_EQ(SpansNamed(spans, "traced").size(), 1u);
+  ASSERT_EQ(SpansNamed(spans, "untraced").size(), 1u);
+  EXPECT_EQ(SpansNamed(spans, "traced")[0].trace, 11u);
+  EXPECT_EQ(SpansNamed(spans, "untraced")[0].trace, 0u);
+}
+
+TEST(TraceIdTest, ParallelForCarriesTraceIdToShards) {
+  ScopedThreads threads(4);
+  constexpr size_t kShards = 32;
+  StartTracing();
+  {
+    ScopedTraceId trace(21);
+    Span outer("submit");
+    ThreadPool::Global().ParallelFor(0, kShards, 1,
+                                     [](size_t, size_t, size_t) {
+                                       Span shard("shard");
+                                     });
+  }
+  StopTracing();
+  const auto shards = SpansNamed(CollectSpans(), "shard");
+  ASSERT_EQ(shards.size(), kShards);
+  for (const SpanEvent& s : shards) EXPECT_EQ(s.trace, 21u);
+}
+
+TEST(TraceIdTest, EmitSpanRecordsCompletedSpanWithContext) {
+  StartTracing();
+  {
+    ScopedTraceId trace(33);
+    Span open("open");
+    EmitSpan("manual", 100, 250);
+  }
+  StopTracing();
+  const auto spans = CollectSpans();
+  const auto manual = SpansNamed(spans, "manual");
+  const auto open = SpansNamed(spans, "open");
+  ASSERT_EQ(manual.size(), 1u);
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(manual[0].start_ns, 100);
+  EXPECT_EQ(manual[0].end_ns, 250);
+  EXPECT_EQ(manual[0].trace, 33u);
+  EXPECT_EQ(manual[0].parent, open[0].id);
+  EXPECT_NE(manual[0].id, open[0].id);
+}
+
+TEST(TraceIdTest, ChromeExportCarriesTraceHex) {
+  StartTracing();
+  {
+    ScopedTraceId trace(TraceIdFromHex("00000000000000ff"));
+    Span span("traced.phase");
+  }
+  StopTracing();
+  const std::string json = ToChromeTraceJson();
+  EXPECT_NE(json.find("\"trace\": \"00000000000000ff\""), std::string::npos);
+}
+
 TEST(TraceTest, ChromeTraceJsonIsWellFormed) {
   StartTracing();
   {

@@ -20,7 +20,8 @@
 //
 // Observability (any command): --trace=out.json writes a Chrome trace_event
 // file (load in Perfetto or chrome://tracing); --metrics=out.json dumps the
-// metrics registry. See docs/observability.md.
+// metrics registry; --prom=out.prom writes a Prometheus text exposition.
+// See docs/observability.md.
 //
 // Everything here goes through the stable vadasa::api facade (docs/api.md);
 // exit codes: 0 success, 1 runtime failure, 2 usage/flag error.
@@ -42,7 +43,8 @@ using namespace vadasa;
 api::FlagParser CommonFlags() {
   api::FlagParser parser;
   parser.Path("trace", "write a Chrome trace_event JSON file")
-      .Path("metrics", "write a metrics registry JSON dump");
+      .Path("metrics", "write a metrics registry JSON dump")
+      .Path("prom", "write a Prometheus text exposition");
   return parser;
 }
 
@@ -93,6 +95,7 @@ Result<api::FlagParser::Parsed> ParseOrUsage(const api::FlagParser& parser,
   VADASA_ASSIGN_OR_RETURN(auto flags, parser.Parse(argc, argv, /*first=*/2));
   trace_args->trace_path = flags.GetString("trace", "");
   trace_args->metrics_path = flags.GetString("metrics", "");
+  trace_args->prom_path = flags.GetString("prom", "");
   if (trace_args->tracing_requested()) obs::StartTracing();
   return flags;
 }
@@ -155,7 +158,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: vadasa <categorize|risk|anonymize|datasets> [args]\n"
-                 "       [--trace=out.json] [--metrics=out.json]\n"
+                 "       [--trace=out.json] [--metrics=out.json] [--prom=out.prom]\n"
                  "see the header of tools/vadasa_cli.cpp for details\n");
     return 2;
   }
@@ -203,7 +206,7 @@ int main(int argc, char** argv) {
   }
 
   if (!obs::ExportRequested(trace_args)) {
-    std::fprintf(stderr, "error: failed to write --trace/--metrics output\n");
+    std::fprintf(stderr, "error: failed to write --trace/--metrics/--prom output\n");
     return code == 0 ? 1 : code;
   }
   return code;

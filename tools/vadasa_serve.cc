@@ -2,20 +2,28 @@
 //
 //   vadasa_serve --socket=/tmp/vadasa.sock [--workers=N] [--max-queue=N]
 //                [--no-coalesce] [--trace=out.json] [--metrics=out.json]
+//                [--prom=out.prom] [--slow-log=out.ndjson] [--slow-ms=MS]
+//                [--sample-ms=MS]
 //
 // Speaks newline-delimited JSON over a Unix domain socket: submit / status /
-// result / cancel / metrics / shutdown (see src/serve/protocol.h for the
-// wire format). Datasets are loaded once by the registry and shared across
-// jobs; the scheduler bounds admission, honors per-job priorities and
+// result / cancel / metrics / telemetry / shutdown (see src/serve/protocol.h
+// for the wire format). Datasets are loaded once by the registry and shared
+// across jobs; the scheduler bounds admission, honors per-job priorities and
 // deadlines, and coalesces group-statistics warmup across jobs that share a
-// dataset. On shutdown the queue drains, then --trace/--metrics export.
+// dataset. Telemetry (docs/observability.md): every request line gets a
+// trace id echoed in its responses, --slow-log appends NDJSON lines for jobs
+// slower than --slow-ms, --sample-ms runs the background gauge sampler
+// (0 = off), and on shutdown --trace/--metrics/--prom export.
 //
 // Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage/flag error.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "api/flags.h"
+#include "obs/request_log.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "serve/dataset_registry.h"
 #include "serve/protocol.h"
@@ -31,7 +39,11 @@ int main(int argc, char** argv) {
       .Int("max-queue", "admission queue bound (reject beyond)", 1, 1 << 20)
       .Bool("no-coalesce", "disable shared warmup batching")
       .Path("trace", "write a Chrome trace_event JSON file at shutdown")
-      .Path("metrics", "write a metrics registry JSON dump at shutdown");
+      .Path("metrics", "write a metrics registry JSON dump at shutdown")
+      .Path("prom", "write a Prometheus text exposition at shutdown")
+      .Path("slow-log", "append slow-request NDJSON lines to this file")
+      .Double("slow-ms", "slow-log threshold, milliseconds", 0.0, 1e9)
+      .Int("sample-ms", "telemetry sampler interval, 0 disables", 0, 3600000);
 
   auto flags = parser.Parse(argc, argv, /*first=*/1);
   if (!flags.ok() || !flags->Has("socket") || !flags->positional().empty()) {
@@ -46,7 +58,21 @@ int main(int argc, char** argv) {
   obs::TraceArgs trace_args;
   trace_args.trace_path = flags->GetString("trace", "");
   trace_args.metrics_path = flags->GetString("metrics", "");
+  trace_args.prom_path = flags->GetString("prom", "");
   if (trace_args.tracing_requested()) obs::StartTracing();
+
+  std::unique_ptr<obs::RequestLog> slow_log;
+  if (flags->Has("slow-log")) {
+    slow_log = std::make_unique<obs::RequestLog>(
+        flags->GetString("slow-log", ""), flags->GetDouble("slow-ms", 0.0));
+    if (!slow_log->ok()) {
+      std::fprintf(stderr, "error: cannot open --slow-log file\n");
+      return 2;
+    }
+  }
+
+  const int sample_ms = static_cast<int>(flags->GetInt("sample-ms", 100));
+  if (sample_ms > 0) obs::TelemetrySampler::Global().Start(sample_ms);
 
   serve::DatasetRegistry registry;
   serve::SchedulerOptions scheduler_options;
@@ -54,6 +80,7 @@ int main(int argc, char** argv) {
   scheduler_options.max_queue =
       static_cast<size_t>(flags->GetInt("max-queue", 64));
   scheduler_options.coalesce_warmup = !flags->GetBool("no-coalesce");
+  scheduler_options.slow_log = slow_log.get();
   serve::JobScheduler scheduler(scheduler_options);
   serve::Protocol protocol(&registry, &scheduler);
 
@@ -72,9 +99,11 @@ int main(int argc, char** argv) {
   server.AwaitShutdown();   // {"op":"shutdown"} from a client.
   scheduler.Shutdown(/*drain=*/true);
   server.Stop();
+  if (sample_ms > 0) obs::TelemetrySampler::Global().Stop();
 
   if (!obs::ExportRequested(trace_args)) {
-    std::fprintf(stderr, "error: failed to write --trace/--metrics output\n");
+    std::fprintf(stderr,
+                 "error: failed to write --trace/--metrics/--prom output\n");
     return 1;
   }
   return 0;

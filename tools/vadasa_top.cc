@@ -1,0 +1,211 @@
+// vadasa_top — a live terminal dashboard for a running vadasa_serve:
+//
+//   vadasa_top --socket=/tmp/vadasa.sock [--interval-ms=1000] [--frames=0]
+//
+// Each frame opens a connection, issues {"op":"telemetry"} and renders the
+// response: the sampler's recent gauge series (queue depth, running jobs,
+// RSS) as sparklines plus a per-op latency table decoded from the Prometheus
+// exposition. --frames bounds the number of refreshes (0 = until the server
+// goes away; CI uses --frames=1 as a scrape smoke test).
+//
+// Exit codes: 0 clean, 1 connection/protocol failure, 2 usage error.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/flags.h"
+#include "common/json.h"
+
+namespace {
+
+using vadasa::Json;
+
+/// One request/response round trip on a fresh connection. Returns false on
+/// any socket failure.
+bool CallTelemetry(const std::string& socket_path, std::string* response) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request = "{\"op\": \"telemetry\"}\n";
+  size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n =
+        ::write(fd, request.data() + written, request.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  response->clear();
+  char chunk[4096];
+  while (response->find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    response->append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response->find('\n') != std::string::npos;
+}
+
+/// Renders `values` as a fixed-width ASCII sparkline scaled to its own max.
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char levels[] = " .:-=+*#";
+  const size_t num_levels = sizeof(levels) - 2;  // Index of the densest glyph.
+  std::string out(width, ' ');
+  if (values.empty()) return out;
+  double max = 0.0;
+  for (const double v : values) max = std::max(max, v);
+  const size_t start = values.size() > width ? values.size() - width : 0;
+  const size_t offset = width - (values.size() - start);
+  for (size_t i = start; i < values.size(); ++i) {
+    const double v = values[i];
+    size_t level = 0;
+    if (max > 0.0 && v > 0.0) {
+      level = 1 + static_cast<size_t>(v / max * static_cast<double>(num_levels - 1));
+      level = std::min(level, num_levels);
+    }
+    out[offset + i - start] = levels[level];
+  }
+  return out;
+}
+
+std::vector<double> Column(const Json& series, const char* name) {
+  std::vector<double> out;
+  const Json::Array& arr = series[name].AsArray();
+  out.reserve(arr.size());
+  for (const Json& v : arr) out.push_back(v.AsDouble());
+  return out;
+}
+
+/// Per-op latency rows decoded from the Prometheus exposition.
+struct OpRow {
+  double count = 0, p50 = 0, p90 = 0, p99 = 0;
+};
+
+std::map<std::string, OpRow> ParseOpTable(const std::string& prom) {
+  std::map<std::string, OpRow> ops;
+  size_t pos = 0;
+  const std::string family = "vadasa_serve_op_latency_ms";
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    const std::string line = prom.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(family, 0) != 0) continue;
+    const size_t op_key = line.find("op=\"");
+    if (op_key == std::string::npos) continue;
+    const size_t op_start = op_key + 4;
+    const size_t op_end = line.find('"', op_start);
+    const size_t space = line.rfind(' ');
+    if (op_end == std::string::npos || space == std::string::npos) continue;
+    const std::string op = line.substr(op_start, op_end - op_start);
+    const double value = std::strtod(line.c_str() + space + 1, nullptr);
+    OpRow& row = ops[op];
+    if (line.find("_count{") != std::string::npos) row.count = value;
+    else if (line.find("quantile=\"0.5\"") != std::string::npos) row.p50 = value;
+    else if (line.find("quantile=\"0.9\"") != std::string::npos) row.p90 = value;
+    else if (line.find("quantile=\"0.99\"") != std::string::npos) row.p99 = value;
+  }
+  return ops;
+}
+
+double Last(const std::vector<double>& values) {
+  return values.empty() ? 0.0 : values.back();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vadasa;
+
+  api::FlagParser parser;
+  parser.Path("socket", "Unix domain socket of the vadasa_serve to watch")
+      .Int("interval-ms", "refresh interval", 50, 3600000)
+      .Int("frames", "number of refreshes, 0 = until the server exits", 0,
+           1 << 30);
+  auto flags = parser.Parse(argc, argv, /*first=*/1);
+  if (!flags.ok() || !flags->Has("socket") || !flags->positional().empty()) {
+    if (!flags.ok()) {
+      std::fprintf(stderr, "error: %s\n", flags.status().message().c_str());
+    }
+    std::fprintf(stderr, "usage: vadasa_top --socket=PATH [options]\noptions:\n%s",
+                 parser.Help().c_str());
+    return 2;
+  }
+  const std::string socket_path = flags->GetString("socket", "");
+  const int64_t interval_ms = flags->GetInt("interval-ms", 1000);
+  const int64_t frames = flags->GetInt("frames", 0);
+
+  for (int64_t frame = 0; frames == 0 || frame < frames; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string line;
+    if (!CallTelemetry(socket_path, &line)) {
+      if (frame > 0 && frames == 0) return 0;  // Server went away; clean exit.
+      std::fprintf(stderr, "error: cannot reach %s\n", socket_path.c_str());
+      return 1;
+    }
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok() || !(*parsed).GetBool("ok", false)) {
+      std::fprintf(stderr, "error: bad telemetry response\n");
+      return 1;
+    }
+    const Json& response = *parsed;
+    const Json& series = response["series"];
+    const std::vector<double> queue = Column(series, "queue_depth");
+    const std::vector<double> running = Column(series, "running");
+    const std::vector<double> rss = Column(series, "rss_mb");
+
+    if (frames != 1) std::printf("\x1b[2J\x1b[H");
+    std::printf("vadasa_top — %s   sampler=%s   samples=%lld\n",
+                socket_path.c_str(),
+                response.GetBool("sampler_running", false) ? "on" : "off",
+                static_cast<long long>(series.GetInt("count", 0)));
+    std::printf("  queue   %6.0f  |%s|\n", Last(queue), Sparkline(queue, 48).c_str());
+    std::printf("  running %6.0f  |%s|\n", Last(running),
+                Sparkline(running, 48).c_str());
+    std::printf("  workers %6.0f   rss %.1f MiB\n",
+                Last(Column(series, "workers")), Last(rss));
+    const auto ops = ParseOpTable(response.GetString("prometheus", ""));
+    if (!ops.empty()) {
+      std::printf("  %-10s %10s %10s %10s %10s\n", "op", "count", "p50_ms",
+                  "p90_ms", "p99_ms");
+      for (const auto& [op, row] : ops) {
+        std::printf("  %-10s %10.0f %10.3f %10.3f %10.3f\n", op.c_str(),
+                    row.count, row.p50, row.p90, row.p99);
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
