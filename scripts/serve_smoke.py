@@ -19,6 +19,17 @@ With --raw it is a plain NDJSON pipe instead: requests are read from stdin
 one JSON object per line, responses are printed to stdout — the minimal
 reference client.
 
+With --chaos the server is expected to be running with VADASA_FAILPOINTS
+armed (docs/robustness.md), so individual submits may be rejected and jobs
+may fail — that is the point. The checks weaken from "everything succeeds"
+to "nothing corrupts": every response must still be one well-formed JSON
+line with an "ok" bool and a 16-hex trace_id, rejections must carry an
+"error", every accepted job must reach a terminal state, all successful
+anonymize jobs must still release byte-identical CSVs, and the telemetry
+scrape must still parse. The SIGTERM/drain check rides in CI around this
+script: the workflow signals the server afterwards and asserts exit 0
+within the drain budget.
+
 Exit codes: 0 success, 1 any check failed.
 """
 
@@ -30,12 +41,14 @@ import socket
 import sys
 
 
-def request(sock_path, payload, timeout=120.0):
-    """One connection, one request line, one response line."""
+def request(sock_path, payload, timeout=120.0, raw=False):
+    """One connection, one request line, one response line. `raw` sends the
+    payload string verbatim (chaos mode's malformed-line probe)."""
+    line = payload if raw else json.dumps(payload)
     with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
         sock.settimeout(timeout)
         sock.connect(sock_path)
-        sock.sendall((json.dumps(payload) + "\n").encode())
+        sock.sendall((line + "\n").encode())
         buf = b""
         while b"\n" not in buf:
             chunk = sock.recv(65536)
@@ -129,6 +142,72 @@ def check_telemetry(sock_path):
     return families
 
 
+def check_wellformed(response, context):
+    """Chaos-mode floor: ok bool, trace id, and an error string on failure."""
+    if not isinstance(response, dict) or not isinstance(response.get("ok"), bool):
+        fail(f"{context}: malformed response {response!r}")
+    check_trace(response, context)
+    if not response["ok"] and not response.get("error"):
+        fail(f"{context}: rejection without an error message: {response}")
+
+
+def chaos_main(args):
+    """Faulted-server sweep: responses stay well-formed, no result corrupts."""
+    ping = request(args.socket, {"op": "ping"})
+    check_wellformed(ping, "ping")
+    if not ping["ok"]:
+        fail(f"ping rejected: {ping}")
+
+    accepted, rejected = [], 0
+    for j in range(args.jobs):
+        action = "anonymize" if j % 2 == 0 else "risk"
+        response = request(args.socket,
+                           {"op": "submit", "dataset": args.dataset,
+                            "action": action, "k": args.k})
+        check_wellformed(response, f"chaos submit {j}")
+        if response["ok"]:
+            accepted.append((action, response["id"]))
+        else:
+            rejected += 1
+
+    csvs = set()
+    done = failed = 0
+    for action, job_id in accepted:
+        result = request(args.socket, {"op": "result", "id": job_id})
+        check_wellformed(result, f"chaos result {job_id}")
+        if not result["ok"]:
+            fail(f"accepted job {job_id} lost by the scheduler: {result}")
+        state = result.get("state")
+        if state == "done":
+            done += 1
+            if action == "anonymize":
+                csvs.add(result["csv"])
+        elif state in ("failed", "cancelled", "expired"):
+            failed += 1  # Injected faults land here; that is fine.
+        else:
+            fail(f"job {job_id} in non-terminal state {state!r}: {result}")
+
+    if len(csvs) > 1:
+        fail(f"{len(csvs)} distinct releases across identical jobs under "
+             f"faults (corruption — want at most 1)")
+
+    # Unknown ids and garbage must still come back as structured errors.
+    unknown = request(args.socket, {"op": "status", "id": 2**53})
+    check_wellformed(unknown, "chaos unknown-id")
+    if unknown["ok"]:
+        fail(f"status of an unknown id claimed ok: {unknown}")
+    garbled = request(args.socket, "{definitely not json", raw=True)
+    check_wellformed(garbled, "chaos garbled line")
+    if garbled["ok"]:
+        fail(f"garbled request claimed ok: {garbled}")
+
+    check_telemetry(args.socket)  # The scrape must survive armed faults too.
+
+    print(f"serve_smoke: OK (chaos) — {args.jobs} submits: {len(accepted)} "
+          f"accepted ({done} done, {failed} faulted), {rejected} rejected; "
+          f"all responses well-formed")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--socket", required=True, help="vadasa_serve socket path")
@@ -140,6 +219,10 @@ def main():
                         help="send {\"op\":\"shutdown\"} at the end")
     parser.add_argument("--raw", action="store_true",
                         help="pipe NDJSON requests from stdin instead")
+    parser.add_argument("--chaos", action="store_true",
+                        help="faulted-server mode: jobs may fail, but every "
+                             "response must stay well-formed and successful "
+                             "releases identical (docs/robustness.md)")
     args = parser.parse_args()
 
     if args.raw:
@@ -151,6 +234,10 @@ def main():
 
     if not args.dataset:
         fail("--dataset is required outside --raw mode")
+
+    if args.chaos:
+        chaos_main(args)
+        return
 
     ping = request(args.socket, {"op": "ping"})
     if not ping.get("ok"):

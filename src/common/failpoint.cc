@@ -1,0 +1,274 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace vadasa::failpoint {
+
+namespace {
+
+/// Site registry. Handles are never deleted, so call sites may cache them in
+/// function-local statics (the VADASA_FAILPOINT macro does).
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Failpoint>> sites;
+
+  Failpoint* GetOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = sites[name];
+    if (slot == nullptr) slot = std::make_unique<Failpoint>(name);
+    return slot.get();
+  }
+
+  static Registry& Instance() {
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+};
+
+StatusCode CodeFromName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name.empty() || name == "internal") return StatusCode::kInternal;
+  if (name == "io") return StatusCode::kIoError;
+  if (name == "unavailable") return StatusCode::kUnavailable;
+  if (name == "failed") return StatusCode::kFailedPrecondition;
+  if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "deadline") return StatusCode::kDeadlineExceeded;
+  *ok = false;
+  return StatusCode::kInternal;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Splits "head(a,b)" into head and its argument list; no-paren input is all
+/// head. Returns false on mismatched parentheses or trailing junk.
+bool SplitCall(const std::string& text, std::string* head,
+               std::vector<std::string>* args) {
+  const size_t open = text.find('(');
+  if (open == std::string::npos) {
+    *head = text;
+    return true;
+  }
+  const size_t close = text.find(')', open);
+  if (close == std::string::npos || close != text.size() - 1) return false;
+  *head = Trim(text.substr(0, open));
+  std::string inner = text.substr(open + 1, close - open - 1);
+  size_t pos = 0;
+  while (pos <= inner.size()) {
+    const size_t comma = inner.find(',', pos);
+    if (comma == std::string::npos) {
+      args->push_back(Trim(inner.substr(pos)));
+      break;
+    }
+    args->push_back(Trim(inner.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Applies VADASA_FAILPOINTS exactly once per process, before the first site
+/// is handed out. A malformed spec is a startup warning, not a crash — the
+/// process runs fault-free rather than not at all.
+void EnsureEnvApplied() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* spec = std::getenv("VADASA_FAILPOINTS");
+    if (spec == nullptr || *spec == '\0') return;
+    const Status status = ArmFromSpec(spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "warning: VADASA_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
+    }
+  });
+}
+
+}  // namespace
+
+/// Installs `policy` on `site`: payload first, mode last, so a concurrent
+/// Eval never observes an armed mode with a stale argument. Re-arming resets
+/// the crash-once latch.
+void ApplyPolicy(Failpoint* site, const Policy& policy) {
+  site->arg_.store(policy.arg, std::memory_order_relaxed);
+  site->code_.store(policy.code, std::memory_order_relaxed);
+  site->crash_latched_.store(false, std::memory_order_relaxed);
+  site->mode_.store(policy.mode, std::memory_order_release);
+}
+
+Status Failpoint::Eval() {
+  const Mode mode = mode_.load(std::memory_order_acquire);
+  if (mode == Mode::kOff) return Status::OK();
+  const uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto injected = [&]() -> Status {
+    fires_.fetch_add(1, std::memory_order_relaxed);
+    return Status(code_.load(std::memory_order_relaxed),
+                  "failpoint \"" + name_ + "\" injected failure");
+  };
+  switch (mode) {
+    case Mode::kOff:
+      return Status::OK();
+    case Mode::kError:
+      return injected();
+    case Mode::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(arg_.load(std::memory_order_relaxed)));
+      return Status::OK();
+    case Mode::kCrashOnce:
+      if (!crash_latched_.exchange(true, std::memory_order_acq_rel)) {
+        std::fprintf(stderr, "failpoint \"%s\": crash-once fired, aborting\n",
+                     name_.c_str());
+        std::abort();
+      }
+      return Status::OK();
+    case Mode::kEveryNth: {
+      const uint64_t n = std::max<uint64_t>(1, arg_.load(std::memory_order_relaxed));
+      if (hit % n == 0) return injected();
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Policy Failpoint::policy() const {
+  Policy policy;
+  policy.mode = mode_.load(std::memory_order_acquire);
+  policy.arg = arg_.load(std::memory_order_relaxed);
+  policy.code = code_.load(std::memory_order_relaxed);
+  return policy;
+}
+
+Failpoint* GetFailpoint(const std::string& name) {
+  EnsureEnvApplied();
+  return Registry::Instance().GetOrCreate(name);
+}
+
+Result<Policy> ParsePolicy(const std::string& text) {
+  std::string head;
+  std::vector<std::string> args;
+  if (!SplitCall(Trim(text), &head, &args)) {
+    return Status::ParseError("malformed failpoint policy \"" + text + "\"");
+  }
+  Policy policy;
+  bool code_ok = true;
+  if (head == "off") {
+    if (!args.empty()) {
+      return Status::ParseError("policy \"off\" takes no arguments");
+    }
+    policy.mode = Mode::kOff;
+  } else if (head == "error") {
+    policy.mode = Mode::kError;
+    if (args.size() > 1) {
+      return Status::ParseError("policy \"error\" takes at most one code");
+    }
+    if (!args.empty()) policy.code = CodeFromName(args[0], &code_ok);
+  } else if (head == "delay") {
+    policy.mode = Mode::kDelay;
+    if (args.size() != 1 || !ParseU64(args[0], &policy.arg)) {
+      return Status::ParseError("policy \"delay\" needs delay(MS)");
+    }
+  } else if (head == "crash-once") {
+    if (!args.empty()) {
+      return Status::ParseError("policy \"crash-once\" takes no arguments");
+    }
+    policy.mode = Mode::kCrashOnce;
+  } else if (head == "every") {
+    policy.mode = Mode::kEveryNth;
+    if (args.empty() || args.size() > 2 || !ParseU64(args[0], &policy.arg) ||
+        policy.arg == 0) {
+      return Status::ParseError("policy \"every\" needs every(N[,code]) with N >= 1");
+    }
+    if (args.size() == 2) policy.code = CodeFromName(args[1], &code_ok);
+  } else {
+    return Status::ParseError("unknown failpoint policy \"" + head + "\"");
+  }
+  if (!code_ok) {
+    return Status::ParseError("unknown status code in policy \"" + text +
+                              "\" (want internal/io/unavailable/failed/"
+                              "cancelled/deadline)");
+  }
+  return policy;
+}
+
+Status Arm(const std::string& name, Policy policy) {
+  EnsureEnvApplied();
+  if (name.empty()) return Status::InvalidArgument("failpoint name is empty");
+  ApplyPolicy(Registry::Instance().GetOrCreate(name), policy);
+  return Status::OK();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string::npos) sep = spec.size();
+    const std::string segment = Trim(spec.substr(pos, sep - pos));
+    pos = sep + 1;
+    if (segment.empty()) continue;
+    const size_t eq = segment.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("failpoint spec segment \"" + segment +
+                                "\" has no '=' (want site=policy)");
+    }
+    const std::string name = Trim(segment.substr(0, eq));
+    if (name.empty()) {
+      return Status::ParseError("failpoint spec segment \"" + segment +
+                                "\" names no site");
+    }
+    VADASA_ASSIGN_OR_RETURN(const Policy policy,
+                            ParsePolicy(segment.substr(eq + 1)));
+    ApplyPolicy(Registry::Instance().GetOrCreate(name), policy);
+  }
+  return Status::OK();
+}
+
+void DisarmAll() {
+  EnsureEnvApplied();
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& [name, site] : registry.sites) {
+    (void)name;
+    ApplyPolicy(site.get(), Policy{});
+  }
+}
+
+std::vector<std::pair<std::string, Policy>> ArmedSites() {
+  EnsureEnvApplied();
+  Registry& registry = Registry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::pair<std::string, Policy>> armed;
+  for (const auto& [name, site] : registry.sites) {
+    if (site->armed()) armed.emplace_back(name, site->policy());
+  }
+  return armed;
+}
+
+ScopedFailpoints::ScopedFailpoints(const std::string& spec) {
+  const Status status = ArmFromSpec(spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: ScopedFailpoints: %s\n",
+                 status.ToString().c_str());
+  }
+}
+
+}  // namespace vadasa::failpoint

@@ -1,0 +1,156 @@
+#ifndef VADASA_COMMON_FAILPOINT_H_
+#define VADASA_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+/// Deterministic fault injection for the serving stack (docs/robustness.md).
+///
+/// A failpoint is a named site in production code where a test, a chaos run,
+/// or an operator can inject a failure without recompiling. Sites are
+/// always compiled in and always cheap: a disarmed site costs one relaxed
+/// atomic load (the same discipline as the obs tracer), so the serving hot
+/// path pays nothing measurable for the coverage.
+///
+/// Per-site policies:
+///   off          never fires (the default)
+///   error        every evaluation fails with an injected Status
+///   delay(MS)    every evaluation sleeps MS milliseconds, then succeeds
+///   crash-once   the first evaluation aborts the process; later ones pass
+///   every(N)     every Nth evaluation (N, 2N, ...) fails; others pass
+///
+/// `error` and `every` accept an optional status-code name — e.g.
+/// `error(io)`, `every(3,unavailable)` — from {internal, io, unavailable,
+/// failed, cancelled, deadline}; the default is internal.
+///
+/// Arming:
+///   - process-wide, at startup: VADASA_FAILPOINTS="site=policy;site=policy"
+///     (read once, on first registry access);
+///   - programmatically: Arm() / ArmFromSpec() / DisarmAll() — the test API
+///     the chaos property drives with seeded random policies.
+///
+/// Everything is deterministic: policies count evaluations, never flip coins.
+/// Injection must never corrupt: a fired site either returns a clean non-OK
+/// Status the caller already handles, sleeps, or (crash-once) kills the
+/// process outright — there is no partial-effect mode.
+namespace vadasa::failpoint {
+
+enum class Mode : uint8_t {
+  kOff = 0,
+  kError,
+  kDelay,
+  kCrashOnce,
+  kEveryNth,
+};
+
+/// The armed behavior of one site.
+struct Policy {
+  Mode mode = Mode::kOff;
+  /// kDelay: milliseconds to sleep. kEveryNth: the period N (>= 1).
+  uint64_t arg = 0;
+  /// Status code injected by kError / kEveryNth fires.
+  StatusCode code = StatusCode::kInternal;
+};
+
+/// One registered site. Handles are stable for the process lifetime; resolve
+/// once per call site (the VADASA_FAILPOINT macro does) and evaluate per
+/// pass. All members are safe to call from concurrent threads.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// The fast path: false (one relaxed load) while the site is disarmed.
+  bool armed() const {
+    return mode_.load(std::memory_order_relaxed) != Mode::kOff;
+  }
+
+  /// Full evaluation: counts the hit, applies the policy (sleeping for
+  /// kDelay, aborting for an unlatched kCrashOnce) and returns the injected
+  /// Status for a fired error policy, OK otherwise. Callers on the fast path
+  /// should gate on armed() first — the macro below does.
+  Status Eval();
+
+  /// Like Eval() for call sites that cannot propagate a Status (socket
+  /// loops): true when an error policy fired this evaluation. Delays still
+  /// sleep; crash-once still aborts.
+  bool Fires() { return !Eval().ok(); }
+
+  const std::string& name() const { return name_; }
+  Policy policy() const;
+  /// Evaluations seen while armed (any mode), and error-policy firings.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+ private:
+  friend void ApplyPolicy(Failpoint*, const Policy&);
+
+  const std::string name_;
+  std::atomic<Mode> mode_{Mode::kOff};
+  std::atomic<uint64_t> arg_{0};
+  std::atomic<StatusCode> code_{StatusCode::kInternal};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> fires_{0};
+  std::atomic<bool> crash_latched_{false};
+};
+
+/// The stable handle for `name`, registering the site on first use. The
+/// first registry access of the process also arms every site named in
+/// VADASA_FAILPOINTS.
+Failpoint* GetFailpoint(const std::string& name);
+
+/// Parses one policy text ("off", "error", "error(io)", "delay(25)",
+/// "crash-once", "every(3)", "every(3,unavailable)").
+Result<Policy> ParsePolicy(const std::string& text);
+
+/// Arms one site (test API). Counters keep accumulating across re-arms;
+/// arming Mode::kOff disarms.
+Status Arm(const std::string& name, Policy policy);
+
+/// Arms every `site=policy` pair of a VADASA_FAILPOINTS-syntax spec
+/// (";"-separated; empty segments ignored). Fails atomically-per-site: sites
+/// before a malformed segment stay armed.
+Status ArmFromSpec(const std::string& spec);
+
+/// Disarms every site (policies to kOff; registrations and counters remain).
+void DisarmAll();
+
+/// Name + policy of every currently armed site, name-sorted.
+std::vector<std::pair<std::string, Policy>> ArmedSites();
+
+/// RAII arming for tests and properties: arms `spec` on construction (empty
+/// = none) and disarms every site on destruction, so a failed test cannot
+/// leak faults into the next one.
+class ScopedFailpoints {
+ public:
+  ScopedFailpoints() = default;
+  explicit ScopedFailpoints(const std::string& spec);
+  ~ScopedFailpoints() { DisarmAll(); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+}  // namespace vadasa::failpoint
+
+/// Status-returning failpoint site: resolves the handle once, then pays one
+/// relaxed load per pass while disarmed. When the site fires an error policy
+/// the enclosing function returns the injected Status (it must return Status
+/// or Result<T>).
+#define VADASA_FAILPOINT(site_name)                                  \
+  do {                                                               \
+    static ::vadasa::failpoint::Failpoint* vadasa_failpoint_ =       \
+        ::vadasa::failpoint::GetFailpoint(site_name);                \
+    if (vadasa_failpoint_->armed()) {                                \
+      ::vadasa::Status vadasa_failpoint_status_ =                    \
+          vadasa_failpoint_->Eval();                                 \
+      if (!vadasa_failpoint_status_.ok()) return vadasa_failpoint_status_; \
+    }                                                                \
+  } while (0)
+
+#endif  // VADASA_COMMON_FAILPOINT_H_

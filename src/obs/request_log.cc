@@ -12,9 +12,9 @@ RequestLog::RequestLog(const std::string& path, double threshold_ms)
   ok_ = static_cast<bool>(out_);
 }
 
-bool RequestLog::Record(const RequestLogEntry& entry) {
+bool RequestLog::Record(const RequestLogEntry& entry, bool force) {
   if (!ok_) return false;
-  if (entry.queue_ms + entry.run_ms < threshold_ms_) return false;
+  if (!force && entry.queue_ms + entry.run_ms < threshold_ms_) return false;
   char num[64];
   std::string line = "{\"trace_id\": \"" + TraceIdToHex(entry.trace_id) + "\"";
   line += ", \"op\": " + JsonQuote(entry.op);

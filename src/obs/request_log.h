@@ -38,8 +38,10 @@ class RequestLog {
   double threshold_ms() const { return threshold_ms_; }
 
   /// Writes `entry` if queue_ms + run_ms >= threshold_ms. Returns true when
-  /// a line was written.
-  bool Record(const RequestLogEntry& entry);
+  /// a line was written. `force` bypasses the threshold — degraded-mode
+  /// events (watchdog "overdue" flags, drain cancellations) always land in
+  /// the log regardless of how fast the request was so far.
+  bool Record(const RequestLogEntry& entry, bool force = false);
 
   uint64_t lines_written() const;
 

@@ -3,10 +3,38 @@
 #include <utility>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "core/categorize.h"
 #include "obs/trace.h"
 
 namespace vadasa::serve {
+
+DatasetRegistry::DatasetRegistry() {
+  // Touch the degraded-mode counters so the Prometheus exposition carries
+  // them from the first scrape, not only after the first fault.
+  obs::MetricsRegistry::Global().counter("serve.registry.load_failures");
+  obs::MetricsRegistry::Global().counter("serve.registry.quarantined");
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::LoadUncached(
+    const std::string& path) {
+  obs::Span span("serve.registry.load");
+  VADASA_FAILPOINT("serve.registry.load");
+  VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
+  VADASA_ASSIGN_OR_RETURN(core::MicrodataTable table,
+                          core::MicrodataTable::FromCsv(path, csv, {}, ""));
+  VADASA_FAILPOINT("serve.registry.categorize");
+  core::AttributeCategorizer categorizer =
+      core::AttributeCategorizer::WithDefaultExperience();
+  auto dictionary = std::make_shared<core::MetadataDictionary>();
+  VADASA_RETURN_NOT_OK(
+      categorizer.CategorizeTable(&table, dictionary.get()).status());
+  auto loaded = std::make_shared<LoadedDataset>();
+  loaded->path = path;
+  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
+  loaded->dictionary = std::move(dictionary);
+  return std::shared_ptr<const LoadedDataset>(std::move(loaded));
+}
 
 Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::Load(
     const std::string& path) {
@@ -17,26 +45,36 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::Load(
       VADASA_METRIC_COUNT("serve.registry.hits", 1);
       return it->second;
     }
+    auto failed = failures_.find(path);
+    if (failed != failures_.end() && failed->second.quarantined) {
+      // A poisoned dataset is not retried on every request: the structured
+      // error tells the client (and the slow log) why, until Clear().
+      return Status::FailedPrecondition(
+          "dataset \"" + path + "\" quarantined after " +
+          std::to_string(failed->second.failures) +
+          " failed load(s); last error: " +
+          failed->second.last_error.ToString());
+    }
   }
   // Load outside the lock: parsing a big CSV must not serialize lookups of
   // already-cached datasets. A racing double-load is benign — last one wins
   // and both snapshots are correct.
-  obs::Span span("serve.registry.load");
-  VADASA_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
-  VADASA_ASSIGN_OR_RETURN(core::MicrodataTable table,
-                          core::MicrodataTable::FromCsv(path, csv, {}, ""));
-  core::AttributeCategorizer categorizer =
-      core::AttributeCategorizer::WithDefaultExperience();
-  auto dictionary = std::make_shared<core::MetadataDictionary>();
-  VADASA_RETURN_NOT_OK(
-      categorizer.CategorizeTable(&table, dictionary.get()).status());
-  auto loaded = std::make_shared<LoadedDataset>();
-  loaded->path = path;
-  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
-  loaded->dictionary = std::move(dictionary);
-  VADASA_METRIC_COUNT("serve.registry.loads", 1);
+  auto loaded = LoadUncached(path);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = datasets_.emplace(path, std::move(loaded));
+  if (!loaded.ok()) {
+    VADASA_METRIC_COUNT("serve.registry.load_failures", 1);
+    FailureRecord& record = failures_[path];
+    record.failures += 1;
+    record.last_error = loaded.status();
+    if (!record.quarantined && record.failures >= quarantine_after_) {
+      record.quarantined = true;
+      VADASA_METRIC_COUNT("serve.registry.quarantined", 1);
+    }
+    return loaded.status();
+  }
+  failures_.erase(path);  // A clean load ends the streak.
+  VADASA_METRIC_COUNT("serve.registry.loads", 1);
+  auto [it, inserted] = datasets_.emplace(path, std::move(*loaded));
   if (inserted) order_.push_back(path);
   return it->second;
 }
@@ -70,10 +108,17 @@ std::vector<std::string> DatasetRegistry::Catalog() const {
   return order_;
 }
 
+bool DatasetRegistry::IsQuarantined(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = failures_.find(path);
+  return it != failures_.end() && it->second.quarantined;
+}
+
 void DatasetRegistry::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   datasets_.clear();
   order_.clear();
+  failures_.clear();
 }
 
 }  // namespace vadasa::serve

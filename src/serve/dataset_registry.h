@@ -25,10 +25,18 @@ struct LoadedDataset {
 /// Loads microdata tables + metadata dictionaries once and hands out shared
 /// const snapshots, so a thousand jobs against the same CSV parse and
 /// categorize it exactly once. Thread-safe; lookups after the first load are
-/// a map hit under a mutex. Metrics: serve.registry.loads / .hits.
+/// a map hit under a mutex. Metrics: serve.registry.loads / .hits /
+/// .load_failures / .quarantined.
+///
+/// Fault containment (docs/robustness.md): a dataset whose load or
+/// categorization fails `quarantine_after` consecutive times is quarantined —
+/// further loads return a structured FailedPrecondition carrying the last
+/// error instead of re-parsing a poisoned file forever. A successful load
+/// clears the failure streak; Clear() lifts every quarantine. Failpoint
+/// sites: serve.registry.load, serve.registry.categorize.
 class DatasetRegistry {
  public:
-  DatasetRegistry() = default;
+  DatasetRegistry();
   DatasetRegistry(const DatasetRegistry&) = delete;
   DatasetRegistry& operator=(const DatasetRegistry&) = delete;
 
@@ -46,13 +54,32 @@ class DatasetRegistry {
   /// Paths/names currently cached, in load order.
   std::vector<std::string> Catalog() const;
 
-  /// Drops every cached dataset (in-flight shared_ptrs stay valid).
+  /// Drops every cached dataset (in-flight shared_ptrs stay valid) and
+  /// lifts every quarantine.
   void Clear();
 
+  /// Consecutive failures before a path is quarantined (default 3; minimum 1).
+  void set_quarantine_after(size_t n) { quarantine_after_ = n < 1 ? 1 : n; }
+  /// Whether `path` is currently quarantined.
+  bool IsQuarantined(const std::string& path) const;
+
  private:
+  /// The uncached load+categorize pipeline (no bookkeeping).
+  Result<std::shared_ptr<const LoadedDataset>> LoadUncached(
+      const std::string& path);
+
+  /// Load-failure streak for one path.
+  struct FailureRecord {
+    size_t failures = 0;
+    bool quarantined = false;
+    Status last_error;
+  };
+
   mutable std::mutex mutex_;
+  size_t quarantine_after_ = 3;
   std::vector<std::string> order_;
   std::map<std::string, std::shared_ptr<const LoadedDataset>> datasets_;
+  std::map<std::string, FailureRecord> failures_;
 };
 
 }  // namespace vadasa::serve

@@ -23,8 +23,8 @@ std::string OkLine(Json::Object fields) {
   return Json(std::move(object)).Dump();
 }
 
-std::string ErrorLine(const Status& status) {
-  Json::Object object;
+std::string ErrorLine(const Status& status, Json::Object extra = {}) {
+  Json::Object object = std::move(extra);
   object["ok"] = false;
   object["error"] = status.message();
   object["code"] = std::string(StatusCodeToString(status.code()));
@@ -91,7 +91,12 @@ api::SessionOptions OptionsFrom(const Json& request) {
 
 }  // namespace
 
-std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) {
+std::string Protocol::ErrorResponse(const Status& status) {
+  return ErrorLine(status);
+}
+
+std::string Protocol::Handle(const std::string& line, bool* shutdown_requested,
+                             ClientQuota* quota) {
   // The server installs a freshly minted trace id per request line; when the
   // protocol is embedded directly (tests, tools) Handle mints its own so
   // every response still carries one.
@@ -100,7 +105,7 @@ std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) 
   obs::Span span("serve.request");
   const auto start = std::chrono::steady_clock::now();
   std::string op;
-  std::string response = Dispatch(line, shutdown_requested, &op);
+  std::string response = Dispatch(line, shutdown_requested, &op, quota);
   const double ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
                                                 start)
@@ -114,7 +119,7 @@ std::string Protocol::Handle(const std::string& line, bool* shutdown_requested) 
 }
 
 std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested,
-                               std::string* op_out) {
+                               std::string* op_out, ClientQuota* quota) {
   auto parsed = Json::Parse(line);
   if (!parsed.ok()) {
     return ErrorLine(parsed.status());
@@ -135,7 +140,7 @@ std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested
     return OkLine({{"datasets", Json(std::move(names))}});
   }
   if (op == "submit") {
-    return HandleSubmit(request);
+    return HandleSubmit(request, quota);
   }
   if (op == "metrics") {
     auto metrics = Json::Parse(obs::MetricsRegistry::Global().ToJson());
@@ -189,7 +194,7 @@ std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested
   return OkLine({{"id", Json(id)}});
 }
 
-std::string Protocol::HandleSubmit(const Json& request) {
+std::string Protocol::HandleSubmit(const Json& request, ClientQuota* quota) {
   const std::string dataset = request.GetString("dataset", "");
   if (dataset.empty()) {
     return ErrorLine(Status::InvalidArgument("submit requires a \"dataset\""));
@@ -199,8 +204,24 @@ std::string Protocol::HandleSubmit(const Json& request) {
     return ErrorLine(Status::InvalidArgument(
         "unknown action \"" + action + "\" (want \"risk\" or \"anonymize\")"));
   }
+  // Quota admission runs before any per-request work (the session open parses
+  // CSV on a cold cache) so an abusive client cannot buy compute with
+  // rejected submits. Unavailable rejections carry a backoff hint.
+  const auto retry_hint = [this] {
+    return Json(RetryAfterMs(scheduler_->queue_depth(),
+                             scheduler_->options().workers));
+  };
+  if (quota != nullptr) {
+    Status admitted = quota->Admit();
+    if (!admitted.ok()) {
+      return ErrorLine(admitted, {{"retry_after_ms", retry_hint()}});
+    }
+  }
   auto session = registry_->OpenSession(dataset, OptionsFrom(request));
-  if (!session.ok()) return ErrorLine(session.status());
+  if (!session.ok()) {
+    if (quota != nullptr) quota->Release();
+    return ErrorLine(session.status());
+  }
 
   JobRequest job;
   job.session = std::move(*session);
@@ -211,8 +232,17 @@ std::string Protocol::HandleSubmit(const Json& request) {
   JobOptions options;
   options.priority = static_cast<int>(request.GetInt("priority", 0));
   options.timeout_seconds = request.GetDouble("timeout_seconds", 0.0);
+  if (quota != nullptr) options.quota_slot = quota->in_flight_cell();
   auto id = scheduler_->Submit(std::move(job), options);
-  if (!id.ok()) return ErrorLine(id.status());
+  if (!id.ok()) {
+    // The scheduler never saw the job (full queue, drain, injected fault):
+    // hand the in-flight slot back — FinishLocked will not run for it.
+    if (quota != nullptr) quota->Release();
+    if (id.status().code() == StatusCode::kUnavailable) {
+      return ErrorLine(id.status(), {{"retry_after_ms", retry_hint()}});
+    }
+    return ErrorLine(id.status());
+  }
   return OkLine({{"id", Json(*id)}, {"state", Json("queued")}});
 }
 

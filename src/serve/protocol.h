@@ -5,6 +5,7 @@
 
 #include "common/json.h"
 #include "serve/dataset_registry.h"
+#include "serve/quota.h"
 #include "serve/scheduler.h"
 
 namespace vadasa::serve {
@@ -40,12 +41,21 @@ class Protocol {
 
   /// Handles one request line, returning the response line (no trailing
   /// newline). Sets *shutdown_requested on {"op":"shutdown"}; never throws.
-  std::string Handle(const std::string& line, bool* shutdown_requested);
+  /// `quota` is the calling connection's admission quota (null = unmetered,
+  /// the embedded-use default): over-quota submits are rejected with
+  /// Unavailable plus a "retry_after_ms" backoff hint scaled by the
+  /// scheduler's backlog (docs/robustness.md).
+  std::string Handle(const std::string& line, bool* shutdown_requested,
+                     ClientQuota* quota = nullptr);
+
+  /// One response line for a failure detected outside Handle (e.g. an
+  /// oversized request line the server refuses to buffer further).
+  static std::string ErrorResponse(const Status& status);
 
  private:
   std::string Dispatch(const std::string& line, bool* shutdown_requested,
-                       std::string* op_out);
-  std::string HandleSubmit(const Json& request);
+                       std::string* op_out, ClientQuota* quota);
+  std::string HandleSubmit(const Json& request, ClientQuota* quota);
   std::string HandleResult(uint64_t id);
 
   DatasetRegistry* registry_;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "obs/trace.h"
@@ -40,6 +41,7 @@ struct ServeMeters {
   obs::Counter* expired;
   obs::Counter* warmups;
   obs::Counter* coalesce_hits;
+  obs::Counter* watchdog_flagged;
   obs::Gauge* queue_depth;
   obs::Gauge* running;
   obs::Gauge* workers;
@@ -59,6 +61,7 @@ struct ServeMeters {
       m->expired = registry.counter("serve.expired");
       m->warmups = registry.counter("serve.batch.warmups");
       m->coalesce_hits = registry.counter("serve.batch.coalesce_hits");
+      m->watchdog_flagged = registry.counter("serve.watchdog.flagged");
       m->queue_depth = registry.gauge("serve.queue_depth");
       m->running = registry.gauge("serve.running");
       m->workers = registry.gauge("serve.workers");
@@ -100,6 +103,7 @@ struct JobScheduler::Job {
   double run_seconds = 0.0;
   int64_t queued_ns = 0;
   int64_t run_ns = 0;
+  bool watchdog_flagged = false;  ///< The watchdog flags a job at most once.
 };
 
 /// One coalesced warmup per (dataset, semantics): the first job computes the
@@ -123,6 +127,9 @@ JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options_.watchdog_interval_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 JobScheduler::~JobScheduler() { Shutdown(/*drain=*/true); }
@@ -130,6 +137,9 @@ JobScheduler::~JobScheduler() { Shutdown(/*drain=*/true); }
 Result<uint64_t> JobScheduler::Submit(JobRequest request, JobOptions options) {
   auto& meters = ServeMeters::Get();
   meters.submitted->Add(1);
+  // Injected admission failure: surfaces to the client as a structured error
+  // (the protocol layer releases any quota slot it reserved), never a wedge.
+  VADASA_FAILPOINT("serve.scheduler.submit");
   auto job = std::make_shared<Job>();
   job->trace = obs::CurrentTraceId();
   job->request = std::move(request);
@@ -249,25 +259,61 @@ Status JobScheduler::Cancel(uint64_t id) {
 }
 
 void JobScheduler::Shutdown(bool drain) {
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    draining_ = true;
-    if (!drain) {
-      auto& meters = ServeMeters::Get();
-      for (auto& [key, job] : queue_) {
-        (void)key;
-        FinishLocked(job.get(), JobState::kCancelled,
-                     Status::Cancelled("cancelled at shutdown"));
-      }
-      queue_.clear();
-      meters.queue_depth->Set(0.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  if (!drain) {
+    auto& meters = ServeMeters::Get();
+    for (auto& [key, job] : queue_) {
+      (void)key;
+      FinishLocked(job.get(), JobState::kCancelled,
+                   Status::Cancelled("cancelled at shutdown"));
     }
-    shutdown_ = true;
+    queue_.clear();
+    meters.queue_depth->Set(0.0);
   }
+  JoinThreadsLocked(&lock);
+}
+
+bool JobScheduler::ShutdownWithin(std::chrono::milliseconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;    // No new admissions while we wait.
+  paused_ = false;     // A paused scheduler still has to run out its queue.
   work_cv_.notify_all();
+  const bool drained = done_cv_.wait_until(
+      lock, deadline, [&] { return queue_.empty() && running_ == 0; });
+  if (!drained) {
+    // Budget exhausted: queued jobs are cancelled outright, running jobs get
+    // a cooperative cancel and are still joined below (they unwind at their
+    // next iteration boundary).
+    auto& meters = ServeMeters::Get();
+    for (auto& [key, job] : queue_) {
+      (void)key;
+      FinishLocked(job.get(), JobState::kCancelled,
+                   Status::Cancelled("cancelled: drain budget exhausted"));
+    }
+    queue_.clear();
+    meters.queue_depth->Set(0.0);
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->state == JobState::kRunning) job->cancel.Cancel();
+    }
+  }
+  JoinThreadsLocked(&lock);
+  return drained;
+}
+
+/// Sets shutdown_, drops the lock, and joins workers + watchdog. Idempotent;
+/// `lock` must hold mutex_ on entry and is released on exit.
+void JobScheduler::JoinThreadsLocked(std::unique_lock<std::mutex>* lock) {
+  shutdown_ = true;
+  lock->unlock();
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 void JobScheduler::Resume() {
@@ -317,7 +363,49 @@ void JobScheduler::FinishLocked(Job* job, JobState state, Status status) {
     entry.outcome = JobStateToString(state);
     options_.slow_log->Record(entry);
   }
+  if (job->options.quota_slot != nullptr) {
+    // Exactly once per terminal transition: the client's in-flight slot
+    // frees the moment the job stops occupying the scheduler.
+    job->options.quota_slot->fetch_sub(1, std::memory_order_relaxed);
+    job->options.quota_slot.reset();
+  }
   done_cv_.notify_all();
+}
+
+void JobScheduler::WatchdogLoop() {
+  auto& meters = ServeMeters::Get();
+  const auto interval = std::chrono::milliseconds(options_.watchdog_interval_ms);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    watchdog_cv_.wait_for(lock, interval, [&] { return shutdown_; });
+    if (shutdown_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, job] : jobs_) {
+      (void)id;
+      if (job->state != JobState::kRunning || job->watchdog_flagged) continue;
+      if (job->options.timeout_seconds <= 0.0) continue;
+      const double overdue_s =
+          job->options.timeout_seconds * options_.watchdog_multiple;
+      const double running_s = SecondsBetween(job->started, now);
+      if (running_s < overdue_s) continue;
+      // Flag exactly once: metric, forced slow-log line, cancel escalation
+      // for jobs that stopped polling their own deadline.
+      job->watchdog_flagged = true;
+      meters.watchdog_flagged->Add(1);
+      if (options_.slow_log != nullptr) {
+        obs::RequestLogEntry entry;
+        entry.trace_id = job->trace;
+        entry.op =
+            job->request.action == JobAction::kRisk ? "risk" : "anonymize";
+        entry.dataset = job->request.label;
+        entry.queue_ms = job->queue_seconds * 1e3;
+        entry.run_ms = running_s * 1e3;
+        entry.outcome = "overdue";
+        options_.slow_log->Record(entry, /*force=*/true);
+      }
+      job->cancel.Cancel();
+    }
+  }
 }
 
 void JobScheduler::WorkerLoop() {
@@ -361,6 +449,9 @@ void JobScheduler::WorkerLoop() {
       --running_;
       meters.running->Set(static_cast<double>(running_));
     }
+    // ShutdownWithin waits for queue empty AND running == 0; the terminal
+    // FinishLocked notified before this decrement, so notify again.
+    done_cv_.notify_all();
   }
 }
 
@@ -421,6 +512,15 @@ void JobScheduler::Execute(const std::shared_ptr<Job>& job) {
   WarmUp(job.get());
 
   Status verdict = job->cancel.Check();
+  if (verdict.ok()) {
+    // Injected mid-run failure/delay: the job finishes through the normal
+    // terminal path (clean error + trace id), and a delay policy here is how
+    // tests manufacture an overdue job for the watchdog.
+    static failpoint::Failpoint* run_fp =
+        failpoint::GetFailpoint("serve.scheduler.run");
+    if (run_fp->armed()) verdict = run_fp->Eval();
+    if (verdict.ok()) verdict = job->cancel.Check();
+  }
   api::RiskReport risk;
   api::AnonymizeResponse anonymize;
   if (verdict.ok()) {

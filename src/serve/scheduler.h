@@ -1,6 +1,7 @@
 #ifndef VADASA_SERVE_SCHEDULER_H_
 #define VADASA_SERVE_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -58,6 +59,9 @@ struct JobOptions {
   int priority = 0;
   /// End-to-end deadline (queue wait + execution), seconds. 0 = none.
   double timeout_seconds = 0.0;
+  /// Per-client in-flight accounting (serve/quota.h): decremented exactly
+  /// once when the job reaches a terminal state. May be null.
+  std::shared_ptr<std::atomic<int64_t>> quota_slot;
 };
 
 /// Terminal snapshot of a job.
@@ -96,6 +100,14 @@ struct SchedulerOptions {
   /// line (trace_id, op, dataset, queue_ms, run_ms, outcome). Not owned;
   /// must outlive the scheduler.
   obs::RequestLog* slow_log = nullptr;
+  /// Watchdog scan interval, milliseconds; 0 disables the watchdog thread.
+  /// Each scan flags — exactly once per job — any running job older than
+  /// `watchdog_multiple` times its own deadline: serve.watchdog.flagged is
+  /// incremented, an "overdue" slow-log entry is written, and the job's
+  /// cancel token is flipped (cooperative-cancel escalation for jobs that
+  /// stopped polling their deadline).
+  int watchdog_interval_ms = 0;
+  double watchdog_multiple = 3.0;
 };
 
 /// A bounded, prioritized, cancellable job executor over api::Session calls —
@@ -135,6 +147,14 @@ class JobScheduler {
   /// Joins the workers. Idempotent.
   void Shutdown(bool drain = true);
 
+  /// Bounded-time drain for graceful exit (SIGTERM handling): stops
+  /// admission, lets queued + running jobs finish for up to `budget`, then
+  /// cancels whatever is left (queued jobs marked kCancelled, running jobs
+  /// cooperatively cancelled and still joined). Returns true when everything
+  /// drained inside the budget, false when the cancel path fired. Idempotent
+  /// with Shutdown().
+  bool ShutdownWithin(std::chrono::milliseconds budget);
+
   /// Starts execution after a start_paused construction. No-op otherwise.
   void Resume();
 
@@ -147,9 +167,11 @@ class JobScheduler {
   struct WarmSlot;
 
   void WorkerLoop();
+  void WatchdogLoop();
   void Execute(const std::shared_ptr<Job>& job);
   void WarmUp(Job* job);
   void FinishLocked(Job* job, JobState state, Status status);
+  void JoinThreadsLocked(std::unique_lock<std::mutex>* lock);
 
   SchedulerOptions options_;
 
@@ -169,7 +191,9 @@ class JobScheduler {
   std::mutex warm_mutex_;
   std::map<std::string, std::shared_ptr<WarmSlot>> warm_;
 
+  std::condition_variable watchdog_cv_;  ///< Wakes the watchdog early on exit.
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
 };
 
 }  // namespace vadasa::serve

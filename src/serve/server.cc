@@ -8,6 +8,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,14 +16,24 @@ namespace vadasa::serve {
 
 namespace {
 
-/// Writes the whole buffer, riding out EINTR and short writes.
+/// Writes the whole buffer, riding out EINTR and short writes. Failpoints:
+/// serve.sock.write (a fire is an injected EPIPE — the caller must treat the
+/// connection as dead), serve.sock.write.short (a fire truncates this pass
+/// to one byte, exercising the resume-from-short-write path).
 bool WriteAll(int fd, const char* data, size_t size) {
+  static failpoint::Failpoint* fp_write =
+      failpoint::GetFailpoint("serve.sock.write");
+  static failpoint::Failpoint* fp_short =
+      failpoint::GetFailpoint("serve.sock.write.short");
   size_t written = 0;
   while (written < size) {
-    ssize_t n = ::write(fd, data + written, size - written);
+    if (fp_write->armed() && fp_write->Fires()) return false;
+    size_t want = size - written;
+    if (want > 1 && fp_short->armed() && fp_short->Fires()) want = 1;
+    ssize_t n = ::write(fd, data + written, want);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return false;  // EPIPE/ECONNRESET: the peer is gone.
     }
     written += static_cast<size_t>(n);
   }
@@ -35,6 +46,11 @@ Status Server::Start() {
   if (options_.socket_path.empty()) {
     return Status::InvalidArgument("server needs a socket path");
   }
+  // Touch the degraded-mode counters so scrapes carry them before any fault.
+  obs::MetricsRegistry::Global().counter("serve.conn.oversized");
+  obs::MetricsRegistry::Global().counter("serve.quota.admitted");
+  obs::MetricsRegistry::Global().counter("serve.quota.rejected.in_flight");
+  obs::MetricsRegistry::Global().counter("serve.quota.rejected.rate");
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -87,36 +103,86 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd) {
+  // Read-side failpoints: serve.sock.read (a fire is an injected
+  // ECONNRESET), serve.sock.read.eagain (a fire is an injected EAGAIN —
+  // retried, but bounded so an always-fire policy cannot spin the loop
+  // forever), serve.sock.read.short (a fire shrinks this pass's read request
+  // to one byte, exercising line reassembly across reads).
+  static failpoint::Failpoint* fp_read =
+      failpoint::GetFailpoint("serve.sock.read");
+  static failpoint::Failpoint* fp_eagain =
+      failpoint::GetFailpoint("serve.sock.read.eagain");
+  static failpoint::Failpoint* fp_rshort =
+      failpoint::GetFailpoint("serve.sock.read.short");
+  constexpr int kMaxInjectedEagainStreak = 1000;
+
+  ClientQuota quota(options_.quota);
   std::string buffer;
   char chunk[4096];
   bool shutdown_requested = false;
-  while (!shutdown_requested) {
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+  bool dead = false;       ///< Socket unusable (write failed / oversized line).
+  bool oversized = false;  ///< The line limit tripped; owed one refusal line.
+  int eagain_streak = 0;
+  while (!dead && !shutdown_requested) {
+    if (fp_read->armed() && fp_read->Fires()) break;
+    if (fp_eagain->armed() && fp_eagain->Fires()) {
+      if (++eagain_streak > kMaxInjectedEagainStreak) break;
+      continue;
+    }
+    // Shrink the *request*, not the result: truncating after the read would
+    // drop bytes the kernel already handed over.
+    size_t want = sizeof(chunk);
+    if (fp_rshort->armed() && fp_rshort->Fires()) want = 1;
+    ssize_t n = ::read(fd, chunk, want);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (n == 0) break;  // Client hung up.
+    eagain_streak = 0;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t newline;
-    while (!shutdown_requested &&
+    while (!dead && !shutdown_requested &&
            (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
       if (line.empty()) continue;
+      if (line.size() > options_.max_line_bytes) {
+        oversized = true;
+        dead = true;
+        break;
+      }
       std::string response;
       {
         // One trace id per request line: every span opened while handling —
         // including job spans re-installed on scheduler workers — and the
         // response's "trace_id" echo share it.
         obs::ScopedTraceId trace_scope(obs::MintTraceId());
-        response = protocol_->Handle(line, &shutdown_requested);
+        response = protocol_->Handle(line, &shutdown_requested, &quota);
       }
       response.push_back('\n');
       if (!WriteAll(fd, response.data(), response.size())) {
+        // The peer is gone: stop parsing — later lines in the buffer would
+        // compute answers nobody can receive.
+        dead = true;
         shutdown_requested = false;
         break;
       }
+    }
+    if (!dead && buffer.size() > options_.max_line_bytes) {
+      // A partial line already past the limit can never complete legally.
+      oversized = true;
+      dead = true;
+    }
+    if (oversized) {
+      // One structured refusal, then hang up: the client learns why instead
+      // of watching the server buffer its flood.
+      VADASA_METRIC_COUNT("serve.conn.oversized", 1);
+      std::string refusal = Protocol::ErrorResponse(Status::LimitExceeded(
+          "request line exceeds " + std::to_string(options_.max_line_bytes) +
+          " bytes (--max-line-bytes)"));
+      refusal.push_back('\n');
+      (void)WriteAll(fd, refusal.data(), refusal.size());
     }
   }
   {
@@ -134,6 +200,12 @@ void Server::HandleConnection(int fd) {
 void Server::AwaitShutdown() {
   std::unique_lock<std::mutex> lock(shutdown_mutex_);
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+bool Server::AwaitShutdownFor(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(shutdown_mutex_);
+  return shutdown_cv_.wait_for(lock, timeout,
+                               [this] { return shutdown_requested_; });
 }
 
 void Server::Stop() {

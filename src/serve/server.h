@@ -2,6 +2,7 @@
 #define VADASA_SERVE_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <set>
@@ -11,6 +12,7 @@
 
 #include "common/result.h"
 #include "serve/protocol.h"
+#include "serve/quota.h"
 
 namespace vadasa::serve {
 
@@ -20,6 +22,13 @@ struct ServerOptions {
   std::string socket_path;
   /// listen(2) backlog.
   int backlog = 16;
+  /// Per-connection admission quota (docs/robustness.md); the zero defaults
+  /// leave connections unmetered.
+  QuotaOptions quota;
+  /// Longest request line a connection may send, bytes. A connection whose
+  /// buffered line crosses this gets one structured LimitExceeded error line
+  /// and is closed (metric: serve.conn.oversized).
+  size_t max_line_bytes = 4u << 20;
 };
 
 /// A newline-delimited-JSON server over a Unix domain socket: one thread per
@@ -41,6 +50,11 @@ class Server {
 
   /// Blocks until shutdown is requested (protocol op or Stop()).
   void AwaitShutdown();
+
+  /// Like AwaitShutdown with a timeout; returns whether shutdown was
+  /// requested. Lets a signal-driven main loop poll an atomic flag between
+  /// waits (a signal handler cannot safely notify a condition variable).
+  bool AwaitShutdownFor(std::chrono::milliseconds timeout);
 
   /// Idempotent: closes the listener, joins the accept loop and every
   /// connection thread, unlinks the socket file.

@@ -1,7 +1,10 @@
 #include "testing/properties.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -9,6 +12,7 @@
 
 #include "api/vadasa.h"
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "core/anonymize.h"
 #include "core/business.h"
@@ -18,6 +22,7 @@
 #include "core/microdata.h"
 #include "core/risk.h"
 #include "core/vadalog_bridge.h"
+#include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "testing/differential.h"
 #include "testing/generators.h"
@@ -252,6 +257,198 @@ Status EvalServeConcurrentBitIdentical(const ReproCase& repro) {
   const Status status = run();
   ThreadPool::SetGlobalThreads(previous);
   return status;
+}
+
+Status EvalChaosServeNeverCorrupts(const ReproCase& repro) {
+  // Chaos harness (docs/robustness.md): one fault-free reference pass
+  // through the live protocol+scheduler stack, then `rounds` passes with
+  // random failpoint policies armed. Faults may fail any individual request,
+  // but every response must stay one well-formed JSON line, nothing may
+  // hang, and every request that still succeeds must return a payload
+  // byte-identical to the reference.
+  failpoint::DisarmAll();  // A fault leaked from elsewhere would taint the reference.
+
+  const size_t njobs = ParamU64(repro, "njobs", 3);
+  const size_t rounds = ParamU64(repro, "rounds", 3);
+  const size_t workers = ParamU64(repro, "workers", 2);
+
+  // An on-disk copy of the table: jobs alternate between the in-memory
+  // registration and this path so the registry's load/categorize failpoints
+  // and its quarantine bookkeeping see real traffic. Some generated tables
+  // do not survive a CSV round trip through the categorizer; probe once and
+  // keep those cases in-memory only.
+  const std::string csv_path = "/tmp/vadasa-chaos-" +
+                               std::to_string(repro.seed) + "-" +
+                               std::to_string(repro.case_index) + ".csv";
+  {
+    std::ofstream out(csv_path);
+    out << WriteCsv(repro.table.ToCsv());
+  }
+  bool csv_usable = false;
+  {
+    serve::DatasetRegistry probe;
+    csv_usable = probe.Load(csv_path).ok();
+  }
+  auto dataset_for = [&](size_t j) {
+    return (csv_usable && j % 3 == 2) ? csv_path : std::string("chaos-mem");
+  };
+  auto action_for = [](size_t j) { return j % 2 == 1 ? "risk" : "anonymize"; };
+  auto submit_line = [&](size_t j) {
+    Json::Object req;
+    req["op"] = "submit";
+    req["dataset"] = dataset_for(j);
+    req["action"] = action_for(j);
+    req["measure"] = Param(repro, "measure", "k-anonymity");
+    req["k"] = Json(static_cast<int64_t>(ParamU64(repro, "k", 2)));
+    req["threshold"] = ParamDouble(repro, "threshold", 0.5);
+    req["standard_nulls"] = Param(repro, "semantics", "maybe") == "standard";
+    return Json(std::move(req)).Dump();
+  };
+
+  // The response-line contract every pass must honor, faulted or not.
+  auto check_wellformed = [](const std::string& line) -> Result<Json> {
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Status::FailedPrecondition("response is not JSON: " + line);
+    }
+    if (!parsed->Has("ok") || !(*parsed)["ok"].is_bool()) {
+      return Status::FailedPrecondition("response has no boolean \"ok\": " +
+                                        line);
+    }
+    if (parsed->GetString("trace_id", "").size() != 16) {
+      return Status::FailedPrecondition("response has no trace_id: " + line);
+    }
+    return parsed;
+  };
+  // The result fields that must match across runs (timings and trace ids
+  // legitimately differ).
+  auto payload_of = [](const Json& response) {
+    Json::Object payload;
+    for (const char* key : {"csv", "audit", "risk"}) {
+      if (response.Has(key)) payload[key] = response[key];
+    }
+    return Json(std::move(payload)).Dump();
+  };
+
+  // One pass over a fresh stack; records the payload of every job that
+  // reached kDone.
+  auto run_pass = [&](serve::ClientQuota* quota,
+                      std::map<size_t, std::string>* done) -> Status {
+    serve::DatasetRegistry registry;
+    VADASA_RETURN_NOT_OK(registry.Register("chaos-mem", repro.table));
+    serve::SchedulerOptions scheduler_options;
+    scheduler_options.workers = workers;
+    scheduler_options.max_queue = njobs + 2;
+    serve::JobScheduler scheduler(scheduler_options);
+    serve::Protocol protocol(&registry, &scheduler);
+    bool shutdown_requested = false;
+
+    VADASA_RETURN_NOT_OK(
+        check_wellformed(protocol.Handle("{\"op\":\"ping\"}",
+                                         &shutdown_requested))
+            .status());
+    for (size_t j = 0; j < njobs; ++j) {
+      VADASA_ASSIGN_OR_RETURN(
+          const Json submitted,
+          check_wellformed(protocol.Handle(submit_line(j), &shutdown_requested,
+                                           quota)));
+      if (!submitted.GetBool("ok", false)) continue;  // A clean injected rejection.
+      Json::Object result_req;
+      result_req["op"] = "result";
+      result_req["id"] = submitted["id"];
+      VADASA_ASSIGN_OR_RETURN(
+          const Json result,
+          check_wellformed(protocol.Handle(Json(std::move(result_req)).Dump(),
+                                           &shutdown_requested)));
+      if (!result.GetBool("ok", false)) {
+        return Status::FailedPrecondition(
+            "result for submitted job " + std::to_string(j) +
+            " errored instead of reporting a terminal state");
+      }
+      if (result.GetString("state", "") == "done") {
+        (*done)[j] = payload_of(result);
+      }
+    }
+    // Malformed input and unknown ids must also stay clean errors mid-chaos.
+    VADASA_ASSIGN_OR_RETURN(
+        const Json unknown,
+        check_wellformed(protocol.Handle("{\"op\":\"status\",\"id\":999999999}",
+                                         &shutdown_requested)));
+    if (unknown.GetBool("ok", false)) {
+      return Status::FailedPrecondition("unknown job id did not error");
+    }
+    VADASA_ASSIGN_OR_RETURN(
+        const Json garbled,
+        check_wellformed(protocol.Handle("{not json", &shutdown_requested)));
+    if (garbled.GetBool("ok", false)) {
+      return Status::FailedPrecondition("garbled request did not error");
+    }
+    scheduler.Shutdown(/*drain=*/true);
+    return Status::OK();
+  };
+
+  // Reference pass: no faults, no quota. Every job must finish kDone — a
+  // fault-free stack that fails is itself a bug this property catches.
+  std::map<size_t, std::string> reference;
+  VADASA_RETURN_NOT_OK(run_pass(nullptr, &reference));
+  for (size_t j = 0; j < njobs; ++j) {
+    if (reference.find(j) == reference.end()) {
+      return Status::FailedPrecondition(
+          "fault-free reference pass did not finish job " + std::to_string(j));
+    }
+  }
+
+  // Chaos rounds: deterministic random policies from the case's aux stream.
+  // crash-once is deliberately excluded — aborting the test runner is the
+  // one injected behavior a property cannot observe.
+  const char* kSites[] = {"serve.registry.load", "serve.registry.categorize",
+                          "serve.scheduler.submit", "serve.scheduler.run"};
+  const char* kCodes[] = {"internal",  "io",        "unavailable",
+                          "failed",    "cancelled", "deadline"};
+  Rng aux(repro.seed);
+  for (size_t r = 0; r < rounds; ++r) {
+    std::string spec;
+    for (const char* site : kSites) {
+      const double roll = aux.NextDouble();
+      const char* code = kCodes[aux.NextBelow(6)];
+      const uint64_t arg = aux.NextBelow(8);
+      if (roll < 0.45) continue;  // This site stays healthy this round.
+      std::string policy;
+      if (roll < 0.65) {
+        policy = std::string("error(") + code + ")";
+      } else if (roll < 0.80) {
+        policy = "delay(" + std::to_string(1 + arg) + ")";
+      } else {
+        policy = std::string("every(") + std::to_string(2 + arg % 3) + "," +
+                 code + ")";
+      }
+      if (!spec.empty()) spec += ";";
+      spec += std::string(site) + "=" + policy;
+    }
+    failpoint::ScopedFailpoints armed(spec);
+    serve::QuotaOptions quota_options;
+    if (aux.NextDouble() < 0.5) {
+      quota_options.max_in_flight = 1 + aux.NextBelow(3);
+    }
+    serve::ClientQuota quota(quota_options);
+    std::map<size_t, std::string> observed;
+    Status round_status = run_pass(&quota, &observed);
+    if (!round_status.ok()) {
+      return Status::FailedPrecondition("chaos round " + std::to_string(r) +
+                                        " [" + spec + "]: " +
+                                        round_status.ToString());
+    }
+    for (const auto& [j, payload] : observed) {
+      if (payload != reference[j]) {
+        return Status::FailedPrecondition(
+            "chaos round " + std::to_string(r) + " [" + spec + "]: job " +
+            std::to_string(j) +
+            " succeeded with a payload different from the fault-free run");
+      }
+    }
+  }
+  std::remove(csv_path.c_str());
+  return Status::OK();
 }
 
 Status EvalColumnarRowBitIdentical(const ReproCase& repro) {
@@ -509,6 +706,29 @@ std::vector<Property> BuildCatalog() {
          return repro;
        },
        EvalServeConcurrentBitIdentical});
+
+  catalog.push_back(
+      {"chaos-serve-never-corrupts",
+       "random failpoint storms leave every response well-formed and every "
+       "success bit-identical to the fault-free run",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.max_rows = 16;  // Each case runs several full passes.
+         options.max_qi = 3;
+         ReproCase repro =
+             TableCase("chaos-serve-never-corrupts", rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         repro.params["njobs"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["rounds"] = std::to_string(rng->NextInt(2, 3));
+         repro.params["workers"] = std::to_string(rng->NextInt(1, 3));
+         return repro;
+       },
+       EvalChaosServeNeverCorrupts});
 
   catalog.push_back(
       {"columnar-vs-row-bit-identical",

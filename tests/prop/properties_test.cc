@@ -66,6 +66,27 @@ TEST(PropCatalogTest, ColumnarRowDifferentialWideSweep) {
       << "/" << report.cases_run << " cases" << diagnostics;
 }
 
+/// The fault-hardening acceptance bar (docs/robustness.md): 220+ generated
+/// chaos cases, each arming a random deterministic failpoint assignment over
+/// the registry/scheduler sites and rerunning a full protocol conversation.
+/// Every response must stay well-formed, nothing may hang, and the jobs that
+/// still succeed must be bit-identical to the fault-free reference pass.
+TEST(PropCatalogTest, ChaosServeNeverCorruptsWideSweep) {
+  const Property* property = FindProperty("chaos-serve-never-corrupts");
+  ASSERT_NE(property, nullptr);
+  HarnessOptions options;
+  options.cases_per_property = 220;
+  const HarnessReport report = RunProperty(*property, options);
+  EXPECT_EQ(report.cases_run, 220u);
+  std::string diagnostics;
+  for (const ReproCase& repro : report.repros) {
+    diagnostics += "\n--- shrunk repro ---\n" + ReproToString(repro);
+  }
+  EXPECT_EQ(report.failures, 0u)
+      << "faulted serving corrupted or wedged " << report.failures << "/"
+      << report.cases_run << " cases" << diagnostics;
+}
+
 /// One discovered ctest entry per property; each runs its full generated-case
 /// budget (cases × properties >= 200 per full suite run).
 class PropertyRunTest : public ::testing::TestWithParam<std::string> {};

@@ -170,7 +170,9 @@ TEST(JobSchedulerTest, PriorityRunsFirstOnASingleWorker) {
   options.workers = 1;
   options.start_paused = true;
   JobScheduler scheduler(options);
-  auto low = scheduler.Submit(RiskJob(Fig5Session()), {.priority = 0});
+  JobOptions relaxed;
+  relaxed.priority = 0;
+  auto low = scheduler.Submit(RiskJob(Fig5Session()), relaxed);
   JobOptions urgent;
   urgent.priority = 5;
   auto high = scheduler.Submit(RiskJob(Fig5Session()), urgent);

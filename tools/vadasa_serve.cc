@@ -3,7 +3,9 @@
 //   vadasa_serve --socket=/tmp/vadasa.sock [--workers=N] [--max-queue=N]
 //                [--no-coalesce] [--trace=out.json] [--metrics=out.json]
 //                [--prom=out.prom] [--slow-log=out.ndjson] [--slow-ms=MS]
-//                [--sample-ms=MS]
+//                [--sample-ms=MS] [--drain-ms=MS] [--max-in-flight=N]
+//                [--submit-rate=R] [--max-line-bytes=N] [--watchdog-ms=MS]
+//                [--watchdog-multiple=X]
 //
 // Speaks newline-delimited JSON over a Unix domain socket: submit / status /
 // result / cancel / metrics / telemetry / shutdown (see src/serve/protocol.h
@@ -15,13 +17,26 @@
 // slower than --slow-ms, --sample-ms runs the background gauge sampler
 // (0 = off), and on shutdown --trace/--metrics/--prom export.
 //
-// Exit codes: 0 clean shutdown, 1 runtime failure, 2 usage/flag error.
+// Robustness (docs/robustness.md): --max-in-flight/--submit-rate meter each
+// connection (over-quota submits get Unavailable + retry_after_ms),
+// --max-line-bytes bounds a request line, --watchdog-ms/--watchdog-multiple
+// flag overdue jobs, and SIGTERM/SIGINT trigger a graceful drain: admission
+// stops, in-flight work gets up to --drain-ms to finish (whatever remains is
+// cancelled), telemetry flushes, and the process exits 0.
+//
+// Exit codes: 0 clean shutdown (including signal-driven drain), 1 runtime
+// failure, 2 usage/flag error.
 
+#include <csignal>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 
 #include "api/flags.h"
+#include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -29,6 +44,16 @@
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
+
+namespace {
+
+// Signal handlers may only touch lock-free atomics; the main loop polls this
+// between short condition-variable waits.
+std::atomic<int> g_signal{0};
+
+void OnSignal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vadasa;
@@ -43,7 +68,19 @@ int main(int argc, char** argv) {
       .Path("prom", "write a Prometheus text exposition at shutdown")
       .Path("slow-log", "append slow-request NDJSON lines to this file")
       .Double("slow-ms", "slow-log threshold, milliseconds", 0.0, 1e9)
-      .Int("sample-ms", "telemetry sampler interval, 0 disables", 0, 3600000);
+      .Int("sample-ms", "telemetry sampler interval, 0 disables", 0, 3600000)
+      .Int("drain-ms", "graceful-shutdown drain budget, milliseconds", 0,
+           3600000)
+      .Int("max-in-flight", "per-connection unfinished-job cap, 0 disables", 0,
+           1 << 20)
+      .Double("submit-rate", "per-connection submits/second cap, 0 disables",
+              0.0, 1e9)
+      .Int("max-line-bytes", "longest request line accepted, bytes", 1,
+           1 << 30)
+      .Int("watchdog-ms", "overdue-job watchdog interval, 0 disables", 0,
+           3600000)
+      .Double("watchdog-multiple", "deadline multiple before a job is overdue",
+              1.0, 1e6);
 
   auto flags = parser.Parse(argc, argv, /*first=*/1);
   if (!flags.ok() || !flags->Has("socket") || !flags->positional().empty()) {
@@ -81,23 +118,67 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags->GetInt("max-queue", 64));
   scheduler_options.coalesce_warmup = !flags->GetBool("no-coalesce");
   scheduler_options.slow_log = slow_log.get();
+  scheduler_options.watchdog_interval_ms =
+      static_cast<int>(flags->GetInt("watchdog-ms", 1000));
+  scheduler_options.watchdog_multiple =
+      flags->GetDouble("watchdog-multiple", 3.0);
   serve::JobScheduler scheduler(scheduler_options);
   serve::Protocol protocol(&registry, &scheduler);
 
   serve::ServerOptions server_options;
   server_options.socket_path = flags->GetString("socket", "");
+  server_options.quota.max_in_flight =
+      static_cast<size_t>(flags->GetInt("max-in-flight", 0));
+  server_options.quota.submits_per_second =
+      flags->GetDouble("submit-rate", 0.0);
+  server_options.max_line_bytes =
+      static_cast<size_t>(flags->GetInt("max-line-bytes", 4 << 20));
   serve::Server server(&protocol, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
     return 1;
   }
+
+  const int drain_ms = static_cast<int>(flags->GetInt("drain-ms", 5000));
+  // Exported so operators (vadasa_top, the telemetry verb) can see the
+  // configured drain budget alongside the quarantine/watchdog counters.
+  obs::MetricsRegistry::Global().gauge("serve.drain_ms")
+      ->Set(static_cast<double>(drain_ms));
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
   std::fprintf(stderr, "vadasa_serve: listening on %s (%zu workers, queue %zu)\n",
                server.socket_path().c_str(), scheduler_options.workers,
                scheduler_options.max_queue);
 
-  server.AwaitShutdown();   // {"op":"shutdown"} from a client.
-  scheduler.Shutdown(/*drain=*/true);
+  // Wait for either {"op":"shutdown"} from a client or SIGTERM/SIGINT. The
+  // handler cannot notify a condition variable, so poll its flag between
+  // short waits.
+  int signal_seen = 0;
+  for (;;) {
+    if (server.AwaitShutdownFor(std::chrono::milliseconds(50))) break;
+    signal_seen = g_signal.load(std::memory_order_relaxed);
+    if (signal_seen != 0) break;
+  }
+  if (signal_seen != 0) {
+    std::fprintf(stderr, "vadasa_serve: signal %d, draining (up to %d ms)\n",
+                 signal_seen, drain_ms);
+  }
+
+  // Graceful drain: admission closes immediately, queued + running jobs get
+  // the budget to finish, the remainder is cancelled. Blocked `result` waits
+  // unblock as their jobs reach terminal states, which lets Stop() join the
+  // connection threads.
+  const bool drained =
+      scheduler.ShutdownWithin(std::chrono::milliseconds(drain_ms));
+  obs::MetricsRegistry::Global().gauge("serve.drain.clean")
+      ->Set(drained ? 1.0 : 0.0);
+  if (!drained) {
+    std::fprintf(stderr,
+                 "vadasa_serve: drain budget exhausted, cancelled remaining jobs\n");
+  }
   server.Stop();
   if (sample_ms > 0) obs::TelemetrySampler::Global().Stop();
 

@@ -142,6 +142,23 @@ double Last(const std::vector<double>& values) {
   return values.empty() ? 0.0 : values.back();
 }
 
+/// The value of an unlabelled counter/gauge sample in the exposition, or
+/// `fallback` when the family is absent.
+double PromValue(const std::string& prom, const std::string& family,
+                 double fallback) {
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    if (prom.compare(pos, family.size(), family) == 0 &&
+        pos + family.size() < eol && prom[pos + family.size()] == ' ') {
+      return std::strtod(prom.c_str() + pos + family.size() + 1, nullptr);
+    }
+    pos = eol + 1;
+  }
+  return fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,7 +213,19 @@ int main(int argc, char** argv) {
                 Sparkline(running, 48).c_str());
     std::printf("  workers %6.0f   rss %.1f MiB\n",
                 Last(Column(series, "workers")), Last(rss));
-    const auto ops = ParseOpTable(response.GetString("prometheus", ""));
+    const std::string prom = response.GetString("prometheus", "");
+    // Degraded-mode state (docs/robustness.md): anything non-zero here means
+    // the server is shedding or containing faults right now.
+    std::printf(
+        "  faults  quarantined=%.0f watchdog=%.0f oversized=%.0f "
+        "quota_rej=%.0f drain_ms=%.0f\n",
+        PromValue(prom, "vadasa_serve_registry_quarantined", 0),
+        PromValue(prom, "vadasa_serve_watchdog_flagged", 0),
+        PromValue(prom, "vadasa_serve_conn_oversized", 0),
+        PromValue(prom, "vadasa_serve_quota_rejected_in_flight", 0) +
+            PromValue(prom, "vadasa_serve_quota_rejected_rate", 0),
+        PromValue(prom, "vadasa_serve_drain_ms", 0));
+    const auto ops = ParseOpTable(prom);
     if (!ops.empty()) {
       std::printf("  %-10s %10s %10s %10s %10s\n", "op", "count", "p50_ms",
                   "p90_ms", "p99_ms");
