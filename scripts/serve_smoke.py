@@ -30,6 +30,18 @@ scrape must still parse. The SIGTERM/drain check rides in CI around this
 script: the workflow signals the server afterwards and asserts exit 0
 within the drain budget.
 
+With --load N it is a load harness instead (docs/serving.md): N requests
+against one dataset, half "hot" (one fixed policy, so after the first fill
+every request is a result-cache hit) and half "cold" (a unique seed per
+request busts the cache key while computing identical work). It reports
+throughput plus hot/cold p50/p99 latencies, optionally writes them as JSON
+(--json-out), compares wall time against a committed baseline with a slack
+ratio (--baseline/--max-ratio), and asserts the cache actually pays
+(--min-cache-speedup: cold p50 must be at least that multiple of hot p50).
+
+Endpoints: --socket accepts a bare Unix socket path, unix:PATH, or
+tcp:HOST:PORT — the same spellings as vadasa_serve --listen.
+
 Exit codes: 0 success, 1 any check failed.
 """
 
@@ -38,16 +50,33 @@ import concurrent.futures
 import json
 import re
 import socket
+import statistics
 import sys
+import time
 
 
-def request(sock_path, payload, timeout=120.0, raw=False):
+def connect(endpoint, timeout):
+    """Opens a socket to a bare unix path, unix:PATH, or tcp:HOST:PORT."""
+    if endpoint.startswith("tcp:"):
+        host, _, port = endpoint[4:].rpartition(":")
+        if host in ("", "0.0.0.0", "localhost"):
+            host = "127.0.0.1"
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect((host, int(port)))
+        return sock
+    path = endpoint[5:] if endpoint.startswith("unix:") else endpoint
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(path)
+    return sock
+
+
+def request(endpoint, payload, timeout=120.0, raw=False):
     """One connection, one request line, one response line. `raw` sends the
     payload string verbatim (chaos mode's malformed-line probe)."""
     line = payload if raw else json.dumps(payload)
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        sock.connect(sock_path)
+    with connect(endpoint, timeout) as sock:
         sock.sendall((line + "\n").encode())
         buf = b""
         while b"\n" not in buf:
@@ -151,6 +180,106 @@ def check_wellformed(response, context):
         fail(f"{context}: rejection without an error message: {response}")
 
 
+def percentile(samples, q):
+    """Nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def load_main(args):
+    """Load harness: a hot/cold request mix that measures what the result
+    cache buys and gates the serving stack's wall time against a baseline."""
+    ping = request(args.socket, {"op": "ping"})
+    if not ping.get("ok"):
+        fail(f"ping failed: {ping}")
+
+    # Anonymize, not risk: a full suppression cycle is compute-heavy enough
+    # that a cache hit (serialize-only) is an order of magnitude faster than
+    # the cold run, which is exactly the contrast this harness gates on.
+    hot = {"op": "submit", "dataset": args.dataset, "action": "anonymize",
+           "k": args.k}
+
+    def run_one(submit_payload):
+        """Submit + result on fresh connections; returns (seconds, cached)."""
+        start = time.monotonic()
+        submitted = request(args.socket, submit_payload)
+        if not submitted.get("ok"):
+            fail(f"load submit rejected: {submitted}")
+        result = request(args.socket, {"op": "result", "id": submitted["id"]})
+        elapsed = time.monotonic() - start
+        if not result.get("ok") or result.get("state") != "done":
+            fail(f"load job {submitted['id']} did not finish: {result}")
+        return elapsed, bool(result.get("cached"))
+
+    # Warmup fill: the first hot request is the one legitimate miss.
+    warm_seconds, warm_cached = run_one(hot)
+    if warm_cached:
+        fail("warmup request hit a cache that should have been empty")
+
+    hot_ms, cold_ms = [], []
+    wall_start = time.monotonic()
+    for i in range(args.load):
+        if i % 2 == 0:
+            seconds, cached = run_one(hot)
+            if not cached:
+                fail(f"hot request {i} missed the result cache after warmup")
+            hot_ms.append(seconds * 1000.0)
+        else:
+            # A unique seed mints a unique policy key: guaranteed miss, same
+            # computation as the hot policy (seed is unused by this measure).
+            cold = dict(hot, seed=1000 + i)
+            seconds, cached = run_one(cold)
+            if cached:
+                fail(f"cold request {i} (unique seed) claimed a cache hit")
+            cold_ms.append(seconds * 1000.0)
+    wall_seconds = time.monotonic() - wall_start
+
+    report = {
+        "bench": "serve_load",
+        "requests": args.load,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": args.load / wall_seconds if wall_seconds > 0 else 0.0,
+        "hot_p50_ms": percentile(hot_ms, 0.50),
+        "hot_p99_ms": percentile(hot_ms, 0.99),
+        "cold_p50_ms": percentile(cold_ms, 0.50),
+        "cold_p99_ms": percentile(cold_ms, 0.99),
+        "warmup_ms": warm_seconds * 1000.0,
+    }
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as out:
+            json.dump(report, out, indent=2)
+            out.write("\n")
+
+    speedup = report["cold_p50_ms"] / max(report["hot_p50_ms"], 1e-9)
+    print(f"serve_smoke: load — {args.load} requests in "
+          f"{wall_seconds:.2f}s ({report['throughput_rps']:.1f} rps); "
+          f"hot p50 {report['hot_p50_ms']:.2f}ms p99 "
+          f"{report['hot_p99_ms']:.2f}ms; cold p50 "
+          f"{report['cold_p50_ms']:.2f}ms p99 {report['cold_p99_ms']:.2f}ms; "
+          f"cache speedup {speedup:.1f}x")
+
+    if args.min_cache_speedup > 0 and speedup < args.min_cache_speedup:
+        fail(f"cache speedup {speedup:.1f}x below the "
+             f"--min-cache-speedup {args.min_cache_speedup:g}x bar")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as ref:
+            baseline = json.load(ref)
+        # Same shared-runner slack philosophy as perf_smoke: wall time is the
+        # stable aggregate; per-request percentiles are too noisy to gate.
+        scale = args.load / max(baseline.get("requests", args.load), 1)
+        budget = baseline["wall_seconds"] * scale * args.max_ratio
+        if wall_seconds > budget:
+            fail(f"wall {wall_seconds:.2f}s exceeds {args.max_ratio:g}x the "
+                 f"committed baseline ({baseline['wall_seconds']:.2f}s for "
+                 f"{baseline.get('requests')} requests => budget "
+                 f"{budget:.2f}s)")
+        print(f"serve_smoke: OK (load) — within {args.max_ratio:g}x of the "
+              f"baseline ({wall_seconds:.2f}s <= {budget:.2f}s)")
+    else:
+        print("serve_smoke: OK (load)")
+
+
 def chaos_main(args):
     """Faulted-server sweep: responses stay well-formed, no result corrupts."""
     ping = request(args.socket, {"op": "ping"})
@@ -210,10 +339,21 @@ def chaos_main(args):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--socket", required=True, help="vadasa_serve socket path")
+    parser.add_argument("--socket", required=True,
+                        help="endpoint: unix socket path, unix:PATH, or "
+                             "tcp:HOST:PORT")
     parser.add_argument("--dataset", help="CSV path to submit jobs against")
     parser.add_argument("--jobs", type=int, default=8, help="concurrent jobs")
     parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--load", type=int, default=0,
+                        help="load-harness mode: this many hot/cold requests")
+    parser.add_argument("--json-out", help="write the load report as JSON")
+    parser.add_argument("--baseline",
+                        help="committed load baseline JSON to gate against")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="wall-time slack multiple over the baseline")
+    parser.add_argument("--min-cache-speedup", type=float, default=0.0,
+                        help="require cold p50 >= this multiple of hot p50")
     parser.add_argument("--expect-csv", help="reference release CSV to compare against")
     parser.add_argument("--shutdown", action="store_true",
                         help="send {\"op\":\"shutdown\"} at the end")
@@ -234,6 +374,10 @@ def main():
 
     if not args.dataset:
         fail("--dataset is required outside --raw mode")
+
+    if args.load > 0:
+        load_main(args)
+        return
 
     if args.chaos:
         chaos_main(args)
@@ -276,7 +420,12 @@ def main():
         if result.get("job_trace_id") != accepted["trace_id"]:
             fail(f"job_trace_id {result.get('job_trace_id')!r} != submit "
                  f"trace {accepted['trace_id']!r}")
-        if result.get("queued_ns", -1) < 0 or result.get("run_ns", 0) <= 0:
+        # A result-cache hit completes at admission: it legitimately reports
+        # zero queue/run time (and "cached": true). Cold runs must not.
+        if result.get("cached"):
+            if result.get("run_ns", -1) != 0:
+                fail(f"cached result claims nonzero run_ns: {result}")
+        elif result.get("queued_ns", -1) < 0 or result.get("run_ns", 0) <= 0:
             fail(f"missing queued_ns/run_ns in {result}")
         if submit["action"] == "anonymize":
             csvs.add(result["csv"])

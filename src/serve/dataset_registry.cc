@@ -6,6 +6,7 @@
 #include "common/failpoint.h"
 #include "core/categorize.h"
 #include "obs/trace.h"
+#include "serve/result_cache.h"
 
 namespace vadasa::serve {
 
@@ -33,6 +34,7 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::LoadUncached(
   loaded->path = path;
   loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
   loaded->dictionary = std::move(dictionary);
+  loaded->fingerprint = FingerprintTable(*loaded->table);
   return std::shared_ptr<const LoadedDataset>(std::move(loaded));
 }
 
@@ -69,6 +71,10 @@ Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::Load(
     if (!record.quarantined && record.failures >= quarantine_after_) {
       record.quarantined = true;
       VADASA_METRIC_COUNT("serve.registry.quarantined", 1);
+      // A quarantined dataset stops serving, so its cached payloads (keyed
+      // to whatever fingerprint it last loaded with) stop squatting on the
+      // cache budget.
+      if (result_cache_ != nullptr) result_cache_->InvalidateDataset(path);
     }
     return loaded.status();
   }
@@ -86,6 +92,7 @@ Status DatasetRegistry::Register(const std::string& name,
   loaded->path = name;
   loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
   loaded->dictionary = std::make_shared<core::MetadataDictionary>();
+  loaded->fingerprint = FingerprintTable(*loaded->table);
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = datasets_.emplace(name, std::move(loaded));
   (void)it;
@@ -94,6 +101,40 @@ Status DatasetRegistry::Register(const std::string& name,
   }
   order_.push_back(name);
   return Status::OK();
+}
+
+Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::Reload(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    datasets_.erase(path);
+    // Keep the name's position in order_; Load re-inserts if it vanished.
+    if (result_cache_ != nullptr) result_cache_->InvalidateDataset(path);
+  }
+  return Load(path);
+}
+
+Status DatasetRegistry::Replace(const std::string& name,
+                                core::MicrodataTable table) {
+  VADASA_RETURN_NOT_OK(table.Validate());
+  auto loaded = std::make_shared<LoadedDataset>();
+  loaded->path = name;
+  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(table));
+  loaded->dictionary = std::make_shared<core::MetadataDictionary>();
+  loaded->fingerprint = FingerprintTable(*loaded->table);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.insert_or_assign(name, std::move(loaded));
+  (void)it;
+  if (inserted) order_.push_back(name);
+  // Invalidation is hygiene: jobs submitted from now on carry the new
+  // fingerprint and would miss anyway.
+  if (result_cache_ != nullptr) result_cache_->InvalidateDataset(name);
+  return Status::OK();
+}
+
+void DatasetRegistry::set_result_cache(ResultCache* cache) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  result_cache_ = cache;
 }
 
 Result<api::Session> DatasetRegistry::OpenSession(const std::string& path,
@@ -119,6 +160,7 @@ void DatasetRegistry::Clear() {
   datasets_.clear();
   order_.clear();
   failures_.clear();
+  if (result_cache_ != nullptr) result_cache_->InvalidateAll();
 }
 
 }  // namespace vadasa::serve

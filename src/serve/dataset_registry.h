@@ -14,12 +14,18 @@
 
 namespace vadasa::serve {
 
+class ResultCache;
+
 /// One loaded, categorized, immutable dataset — the unit the registry shares
 /// (refcounted) across every job that names the same path.
 struct LoadedDataset {
   std::string path;
   std::shared_ptr<const core::MicrodataTable> table;
   std::shared_ptr<const core::MetadataDictionary> dictionary;
+  /// Content fingerprint (serve/result_cache.h): schema + every cell.
+  /// Computed once per load; the result-cache key embeds it, so a reloaded
+  /// dataset with different bytes can never serve a stale cached payload.
+  uint64_t fingerprint = 0;
 };
 
 /// Loads microdata tables + metadata dictionaries once and hands out shared
@@ -47,6 +53,16 @@ class DatasetRegistry {
   /// Fails on a name collision.
   Status Register(const std::string& name, core::MicrodataTable table);
 
+  /// Drops the cached snapshot for `path` (and its result-cache entries) and
+  /// loads it fresh — the operator's "the file changed on disk" hook.
+  /// In-flight jobs keep their old snapshot refcounts.
+  Result<std::shared_ptr<const LoadedDataset>> Reload(const std::string& path);
+
+  /// Replaces (or creates) an in-memory registration, invalidating the
+  /// dataset's result-cache entries — the reload path for Register()ed
+  /// tables.
+  Status Replace(const std::string& name, core::MicrodataTable table);
+
   /// A Session over the dataset at `path` with the given policy.
   Result<api::Session> OpenSession(const std::string& path,
                                    api::SessionOptions options);
@@ -63,6 +79,12 @@ class DatasetRegistry {
   /// Whether `path` is currently quarantined.
   bool IsQuarantined(const std::string& path) const;
 
+  /// Attach the serving result cache: Reload/Replace/Clear and a quarantine
+  /// transition invalidate the affected entries (hygiene — correctness
+  /// already rides the content fingerprint in every key). Not owned; must
+  /// outlive the registry. Null detaches.
+  void set_result_cache(ResultCache* cache);
+
  private:
   /// The uncached load+categorize pipeline (no bookkeeping).
   Result<std::shared_ptr<const LoadedDataset>> LoadUncached(
@@ -76,6 +98,7 @@ class DatasetRegistry {
   };
 
   mutable std::mutex mutex_;
+  ResultCache* result_cache_ = nullptr;
   size_t quarantine_after_ = 3;
   std::vector<std::string> order_;
   std::map<std::string, std::shared_ptr<const LoadedDataset>> datasets_;

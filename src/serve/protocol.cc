@@ -9,6 +9,7 @@
 #include "obs/prometheus.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "serve/result_cache.h"
 
 namespace vadasa::serve {
 
@@ -217,7 +218,16 @@ std::string Protocol::HandleSubmit(const Json& request, ClientQuota* quota) {
       return ErrorLine(admitted, {{"retry_after_ms", retry_hint()}});
     }
   }
-  auto session = registry_->OpenSession(dataset, OptionsFrom(request));
+  // Load first (not OpenSession) so the dataset's content fingerprint is in
+  // hand for the cache key; the session still shares the same snapshot.
+  auto loaded = registry_->Load(dataset);
+  if (!loaded.ok()) {
+    if (quota != nullptr) quota->Release();
+    return ErrorLine(loaded.status());
+  }
+  auto session = api::Session::FromShared((*loaded)->table,
+                                          (*loaded)->dictionary,
+                                          OptionsFrom(request));
   if (!session.ok()) {
     if (quota != nullptr) quota->Release();
     return ErrorLine(session.status());
@@ -229,6 +239,14 @@ std::string Protocol::HandleSubmit(const Json& request, ClientQuota* quota) {
   job.action = action == "risk" ? JobAction::kRisk : JobAction::kAnonymize;
   job.quantile = request.GetDouble("quantile", -1.0);
   job.explain = request.GetBool("explain", false);
+  if (scheduler_->options().result_cache != nullptr) {
+    // Keyed on the *validated* options (JSON field order and spelled-out
+    // defaults canonicalize away) plus the dataset's content bytes.
+    job.cache_key = ResultCacheKey(
+        (*loaded)->fingerprint,
+        CanonicalPolicyKey(job.session.options(), job.action, job.quantile,
+                           job.explain));
+  }
   JobOptions options;
   options.priority = static_cast<int>(request.GetInt("priority", 0));
   options.timeout_seconds = request.GetDouble("timeout_seconds", 0.0);
@@ -258,6 +276,10 @@ std::string Protocol::HandleResult(uint64_t id) {
   fields["run_ns"] = Json(result->run_ns);
   fields["job_trace_id"] = obs::TraceIdToHex(result->trace);
   if (result->state == JobState::kDone) {
+    // Whether the payload came from the result cache. Cached or cold, the
+    // bytes below are serialized by the same code from the same structs —
+    // the cached-result-bit-identical property holds the two identical.
+    fields["cached"] = Json(result->from_cache);
     if (result->action == JobAction::kRisk) {
       fields["risk"] = RiskJson(result->risk);
     } else {

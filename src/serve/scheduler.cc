@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/request_log.h"
 #include "obs/trace.h"
+#include "serve/result_cache.h"
 
 namespace vadasa::serve {
 
@@ -104,6 +105,8 @@ struct JobScheduler::Job {
   int64_t queued_ns = 0;
   int64_t run_ns = 0;
   bool watchdog_flagged = false;  ///< The watchdog flags a job at most once.
+  bool from_cache = false;        ///< Completed from the result cache.
+  size_t shard = 0;               ///< Ready-queue shard (label-hashed).
 };
 
 /// One coalesced warmup per (dataset, semantics): the first job computes the
@@ -121,11 +124,28 @@ struct JobScheduler::WarmSlot {
 JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.max_queue < 1) options_.max_queue = 1;
+  // Every shard needs at least one dedicated worker or its queue would
+  // never drain.
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.shards > options_.workers) options_.shards = options_.workers;
   paused_ = options_.start_paused;
   ServeMeters::Get().workers->Set(static_cast<double>(options_.workers));
+  shards_.reserve(options_.shards);
+  auto& registry = obs::MetricsRegistry::Global();
+  for (size_t i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Bounded cardinality: one gauge per shard, shards <= workers.
+    shard->depth_gauge =
+        registry.gauge("serve.shard." + std::to_string(i) + ".queue_depth");
+    shard->depth_gauge->Set(0.0);
+    shards_.push_back(std::move(shard));
+  }
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Round-robin worker->shard assignment: every shard gets
+    // floor(workers/shards) threads, the first (workers % shards) one more.
+    const size_t shard_index = i % shards_.size();
+    workers_.emplace_back([this, shard_index] { WorkerLoop(shard_index); });
   }
   if (options_.watchdog_interval_ms > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
@@ -133,6 +153,35 @@ JobScheduler::JobScheduler(SchedulerOptions options) : options_(options) {
 }
 
 JobScheduler::~JobScheduler() { Shutdown(/*drain=*/true); }
+
+size_t JobScheduler::ShardForLabel(const std::string& label) const {
+  // FNV-1a of the *name*, not the content: a registry reload that changes a
+  // dataset's bytes (and so its cache fingerprint) must not migrate its
+  // in-flight traffic to a different worker pool.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : label) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return static_cast<size_t>(hash % shards_.size());
+}
+
+size_t JobScheduler::TotalQueuedLocked() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->queue.size();
+  return total;
+}
+
+void JobScheduler::UpdateDepthGaugesLocked(size_t shard_index) {
+  shards_[shard_index]->depth_gauge->Set(
+      static_cast<double>(shards_[shard_index]->queue.size()));
+  ServeMeters::Get().queue_depth->Set(
+      static_cast<double>(TotalQueuedLocked()));
+}
+
+void JobScheduler::NotifyAllShards() {
+  for (auto& shard : shards_) shard->work_cv.notify_all();
+}
 
 Result<uint64_t> JobScheduler::Submit(JobRequest request, JobOptions options) {
   auto& meters = ServeMeters::Get();
@@ -145,29 +194,60 @@ Result<uint64_t> JobScheduler::Submit(JobRequest request, JobOptions options) {
   job->request = std::move(request);
   job->options = options;
   job->submitted = std::chrono::steady_clock::now();
+  // Probe the result cache before queueing (and before arming the deadline:
+  // a hit needs neither). The payload copy happens outside the scheduler
+  // lock; byte-identity of the served response is pinned by the
+  // cached-result-bit-identical property.
+  if (options_.result_cache != nullptr && !job->request.cache_key.empty()) {
+    CachedResult hit;
+    if (options_.result_cache->Get(job->request.cache_key, &hit)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (draining_) {
+        meters.rejected->Add(1);
+        return Status::Unavailable("scheduler is shutting down");
+      }
+      job->id = next_id_++;
+      job->shard = ShardForLabel(job->request.label);
+      job->from_cache = true;
+      job->risk = std::move(hit.risk);
+      job->anonymize = std::move(hit.anonymize);
+      // Terminal immediately: never queued, never run — both phases are
+      // zero on the job's own timeline.
+      job->started = job->submitted;
+      jobs_.emplace(job->id, job);
+      meters.admitted->Add(1);
+      FinishLocked(job.get(), JobState::kDone, Status::OK());
+      return job->id;
+    }
+  }
   if (options.timeout_seconds > 0.0) {
     job->cancel.SetTimeout(std::chrono::nanoseconds(
         static_cast<int64_t>(options.timeout_seconds * 1e9)));
   }
+  size_t shard_index = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
       meters.rejected->Add(1);
       return Status::Unavailable("scheduler is shutting down");
     }
-    if (queue_.size() >= options_.max_queue) {
+    const size_t queued = TotalQueuedLocked();
+    if (queued >= options_.max_queue) {
       meters.rejected->Add(1);
       return Status::Unavailable(
-          "admission queue full (" + std::to_string(queue_.size()) + "/" +
+          "admission queue full (" + std::to_string(queued) + "/" +
           std::to_string(options_.max_queue) + " jobs queued)");
     }
     job->id = next_id_++;
-    queue_.emplace(std::make_pair(-options.priority, job->id), job);
+    shard_index = ShardForLabel(job->request.label);
+    job->shard = shard_index;
+    shards_[shard_index]->queue.emplace(
+        std::make_pair(-options.priority, job->id), job);
     jobs_.emplace(job->id, job);
     meters.admitted->Add(1);
-    meters.queue_depth->Set(static_cast<double>(queue_.size()));
+    UpdateDepthGaugesLocked(shard_index);
   }
-  work_cv_.notify_one();
+  shards_[shard_index]->work_cv.notify_one();
   return job->id;
 }
 
@@ -187,7 +267,8 @@ JobResult MakeSnapshot(uint64_t id, JobAction action, JobState state,
                        const Status& status, const api::RiskReport& risk,
                        const api::AnonymizeResponse& anonymize,
                        double queue_seconds, double run_seconds,
-                       int64_t queued_ns, int64_t run_ns, uint64_t trace) {
+                       int64_t queued_ns, int64_t run_ns, uint64_t trace,
+                       bool from_cache) {
   JobResult result;
   result.id = id;
   result.action = action;
@@ -202,6 +283,7 @@ JobResult MakeSnapshot(uint64_t id, JobAction action, JobState state,
   result.queued_ns = queued_ns;
   result.run_ns = run_ns;
   result.trace = trace;
+  result.from_cache = from_cache;
   return result;
 }
 
@@ -221,7 +303,7 @@ Result<JobResult> JobScheduler::Peek(uint64_t id) const {
   const Job& job = *it->second;
   return MakeSnapshot(id, job.request.action, job.state, job.status, job.risk,
                       job.anonymize, job.queue_seconds, job.run_seconds,
-                      job.queued_ns, job.run_ns, job.trace);
+                      job.queued_ns, job.run_ns, job.trace, job.from_cache);
 }
 
 Result<JobResult> JobScheduler::Wait(uint64_t id) {
@@ -235,7 +317,7 @@ Result<JobResult> JobScheduler::Wait(uint64_t id) {
   return MakeSnapshot(id, job->request.action, job->state, job->status,
                       job->risk, job->anonymize, job->queue_seconds,
                       job->run_seconds, job->queued_ns, job->run_ns,
-                      job->trace);
+                      job->trace, job->from_cache);
 }
 
 Status JobScheduler::Cancel(uint64_t id) {
@@ -246,8 +328,9 @@ Status JobScheduler::Cancel(uint64_t id) {
   }
   Job* job = it->second.get();
   if (job->state == JobState::kQueued) {
-    queue_.erase(std::make_pair(-job->options.priority, job->id));
-    ServeMeters::Get().queue_depth->Set(static_cast<double>(queue_.size()));
+    shards_[job->shard]->queue.erase(
+        std::make_pair(-job->options.priority, job->id));
+    UpdateDepthGaugesLocked(job->shard);
     FinishLocked(job, JobState::kCancelled,
                  Status::Cancelled("cancelled while queued"));
     return Status::OK();
@@ -262,14 +345,15 @@ void JobScheduler::Shutdown(bool drain) {
   std::unique_lock<std::mutex> lock(mutex_);
   draining_ = true;
   if (!drain) {
-    auto& meters = ServeMeters::Get();
-    for (auto& [key, job] : queue_) {
-      (void)key;
-      FinishLocked(job.get(), JobState::kCancelled,
-                   Status::Cancelled("cancelled at shutdown"));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      for (auto& [key, job] : shards_[i]->queue) {
+        (void)key;
+        FinishLocked(job.get(), JobState::kCancelled,
+                     Status::Cancelled("cancelled at shutdown"));
+      }
+      shards_[i]->queue.clear();
+      UpdateDepthGaugesLocked(i);
     }
-    queue_.clear();
-    meters.queue_depth->Set(0.0);
   }
   JoinThreadsLocked(&lock);
 }
@@ -279,21 +363,23 @@ bool JobScheduler::ShutdownWithin(std::chrono::milliseconds budget) {
   std::unique_lock<std::mutex> lock(mutex_);
   draining_ = true;    // No new admissions while we wait.
   paused_ = false;     // A paused scheduler still has to run out its queue.
-  work_cv_.notify_all();
-  const bool drained = done_cv_.wait_until(
-      lock, deadline, [&] { return queue_.empty() && running_ == 0; });
+  NotifyAllShards();
+  const bool drained = done_cv_.wait_until(lock, deadline, [&] {
+    return TotalQueuedLocked() == 0 && running_ == 0;
+  });
   if (!drained) {
     // Budget exhausted: queued jobs are cancelled outright, running jobs get
     // a cooperative cancel and are still joined below (they unwind at their
     // next iteration boundary).
-    auto& meters = ServeMeters::Get();
-    for (auto& [key, job] : queue_) {
-      (void)key;
-      FinishLocked(job.get(), JobState::kCancelled,
-                   Status::Cancelled("cancelled: drain budget exhausted"));
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      for (auto& [key, job] : shards_[i]->queue) {
+        (void)key;
+        FinishLocked(job.get(), JobState::kCancelled,
+                     Status::Cancelled("cancelled: drain budget exhausted"));
+      }
+      shards_[i]->queue.clear();
+      UpdateDepthGaugesLocked(i);
     }
-    queue_.clear();
-    meters.queue_depth->Set(0.0);
     for (auto& [id, job] : jobs_) {
       (void)id;
       if (job->state == JobState::kRunning) job->cancel.Cancel();
@@ -308,7 +394,7 @@ bool JobScheduler::ShutdownWithin(std::chrono::milliseconds budget) {
 void JobScheduler::JoinThreadsLocked(std::unique_lock<std::mutex>* lock) {
   shutdown_ = true;
   lock->unlock();
-  work_cv_.notify_all();
+  NotifyAllShards();
   watchdog_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
@@ -321,12 +407,18 @@ void JobScheduler::Resume() {
     std::lock_guard<std::mutex> lock(mutex_);
     paused_ = false;
   }
-  work_cv_.notify_all();
+  NotifyAllShards();
 }
 
 size_t JobScheduler::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return TotalQueuedLocked();
+}
+
+size_t JobScheduler::shard_queue_depth(size_t shard) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard >= shards_.size()) return 0;
+  return shards_[shard]->queue.size();
 }
 
 size_t JobScheduler::running_jobs() const {
@@ -408,23 +500,27 @@ void JobScheduler::WatchdogLoop() {
   }
 }
 
-void JobScheduler::WorkerLoop() {
+void JobScheduler::WorkerLoop(size_t shard_index) {
   auto& meters = ServeMeters::Get();
+  Shard& shard = *shards_[shard_index];
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      // shutdown_ overrides paused_ so a drain always completes.
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || (!paused_ && !queue_.empty()); });
-      if (queue_.empty()) {
+      // shutdown_ overrides paused_ so a drain always completes. Each worker
+      // only ever pops its own shard's queue — a hot dataset flooding one
+      // shard cannot consume another shard's threads.
+      shard.work_cv.wait(lock, [&] {
+        return shutdown_ || (!paused_ && !shard.queue.empty());
+      });
+      if (shard.queue.empty()) {
         if (shutdown_) return;  // Drained: nothing left to run.
         continue;
       }
-      auto it = queue_.begin();
+      auto it = shard.queue.begin();
       job = it->second;
-      queue_.erase(it);
-      meters.queue_depth->Set(static_cast<double>(queue_.size()));
+      shard.queue.erase(it);
+      UpdateDepthGaugesLocked(shard_index);
       job->started = std::chrono::steady_clock::now();
       job->queue_seconds = SecondsBetween(job->submitted, job->started);
       job->queued_ns = NsBetween(job->submitted, job->started);
@@ -542,6 +638,20 @@ void JobScheduler::Execute(const std::shared_ptr<Job>& job) {
         verdict = result.status();
       }
     }
+  }
+
+  // Fill the cache before taking the scheduler lock: ApproxResultBytes
+  // serializes the payload for the byte accounting and must not stall other
+  // workers. A failed job never fills — the cache only ever holds payloads a
+  // cold run produced successfully.
+  if (verdict.ok() && options_.result_cache != nullptr &&
+      !job->request.cache_key.empty()) {
+    CachedResult entry;
+    entry.action = job->request.action;
+    entry.risk = risk;
+    entry.anonymize = anonymize;
+    options_.result_cache->Put(job->request.cache_key, job->request.label,
+                               std::move(entry));
   }
 
   std::lock_guard<std::mutex> lock(mutex_);

@@ -17,10 +17,13 @@
 #include "common/result.h"
 
 namespace vadasa::obs {
+class Gauge;
 class RequestLog;
 }
 
 namespace vadasa::serve {
+
+class ResultCache;
 
 /// Lifecycle of a job. Terminal states: kDone, kFailed, kCancelled, kExpired.
 /// (Jobs refused at admission never get an id or a state — Submit returns
@@ -49,8 +52,15 @@ struct JobRequest {
   /// per-tuple explanations.
   double quantile = -1.0;
   bool explain = false;
-  /// Operator-facing name (dataset) carried into the slow-request log.
+  /// Operator-facing name (dataset) carried into the slow-request log; also
+  /// the shard-assignment key, so every job against one dataset lands on the
+  /// same worker pool (and stays there across registry reloads — the name is
+  /// stable even when the content fingerprint changes).
   std::string label;
+  /// Result-cache key (serve/result_cache.h): dataset content fingerprint +
+  /// canonical policy. Empty = this job never probes or fills the cache.
+  /// Ignored unless the scheduler was built with a result_cache.
+  std::string cache_key;
 };
 
 /// Per-job scheduling knobs.
@@ -80,6 +90,9 @@ struct JobResult {
   int64_t run_ns = 0;
   /// Trace id current on the submitting thread at Submit (0 = none).
   uint64_t trace = 0;
+  /// kDone only: the payload came from the result cache — the job never
+  /// entered a queue or ran. The protocol echoes this as "cached":true.
+  bool from_cache = false;
 };
 
 struct SchedulerOptions {
@@ -100,6 +113,19 @@ struct SchedulerOptions {
   /// line (trace_id, op, dataset, queue_ms, run_ms, outcome). Not owned;
   /// must outlive the scheduler.
   obs::RequestLog* slow_log = nullptr;
+  /// Worker-pool shards. Datasets are hash-assigned by label (FNV-1a of the
+  /// name, stable across registry reloads), each shard owns its own ready
+  /// queue and `workers/shards` threads, so a flood of jobs against one hot
+  /// dataset saturates only its shard instead of starving every other
+  /// dataset's queue position. Clamped to [1, workers]; 1 = the classic
+  /// single shared queue. Admission (`max_queue`) stays a global bound.
+  /// Per-shard depth gauges: serve.shard.<i>.queue_depth.
+  size_t shards = 1;
+  /// When set, Submit probes it by JobRequest::cache_key and a hit completes
+  /// the job immediately (kDone, JobResult::from_cache) without queueing;
+  /// each successful cold run fills it. Not owned; must outlive the
+  /// scheduler. Null = no caching (the default).
+  ResultCache* result_cache = nullptr;
   /// Watchdog scan interval, milliseconds; 0 disables the watchdog thread.
   /// Each scan flags — exactly once per job — any running job older than
   /// `watchdog_multiple` times its own deadline: serve.watchdog.flagged is
@@ -162,29 +188,51 @@ class JobScheduler {
   size_t running_jobs() const;
   const SchedulerOptions& options() const { return options_; }
 
+  /// Shards actually built (options().shards after clamping to workers).
+  size_t shard_count() const { return shards_.size(); }
+  /// The shard a dataset label hash-assigns to.
+  size_t ShardForLabel(const std::string& label) const;
+  /// Queued jobs on one shard (operator/test visibility; the gauges mirror
+  /// this).
+  size_t shard_queue_depth(size_t shard) const;
+
  private:
   struct Job;
   struct WarmSlot;
 
-  void WorkerLoop();
+  /// One worker pool: its own ready queue and wakeup cv (still under the
+  /// scheduler-wide mutex_ — sharding isolates *scheduling*, not locking;
+  /// queue operations are microseconds against multi-ms jobs).
+  struct Shard {
+    /// Ready queue keyed by (-priority, admission seq): begin() is next.
+    std::map<std::pair<int, uint64_t>, std::shared_ptr<Job>> queue;
+    std::condition_variable work_cv;  ///< Workers: queue non-empty / shutdown.
+    obs::Gauge* depth_gauge = nullptr;  ///< serve.shard.<i>.queue_depth.
+  };
+
+  void WorkerLoop(size_t shard_index);
   void WatchdogLoop();
   void Execute(const std::shared_ptr<Job>& job);
   void WarmUp(Job* job);
   void FinishLocked(Job* job, JobState state, Status status);
   void JoinThreadsLocked(std::unique_lock<std::mutex>* lock);
+  /// Sum of shard queue depths; caller holds mutex_.
+  size_t TotalQueuedLocked() const;
+  /// Refreshes one shard's depth gauge and the global queue-depth gauge;
+  /// caller holds mutex_.
+  void UpdateDepthGaugesLocked(size_t shard_index);
+  void NotifyAllShards();
 
   SchedulerOptions options_;
 
   mutable std::mutex mutex_;
-  std::condition_variable work_cv_;   ///< Workers: queue non-empty / shutdown.
   std::condition_variable done_cv_;   ///< Waiters: some job reached terminal.
   /// Admission order within a priority band; also the id source.
   uint64_t next_id_ = 1;
   bool draining_ = false;   ///< Admission closed.
   bool shutdown_ = false;   ///< Workers told to exit once the queue is empty.
   bool paused_ = false;     ///< Workers admit but do not pop until Resume.
-  /// Ready queue keyed by (-priority, admission seq): begin() is next to run.
-  std::map<std::pair<int, uint64_t>, std::shared_ptr<Job>> queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::map<uint64_t, std::shared_ptr<Job>> jobs_;
   size_t running_ = 0;
 

@@ -1,10 +1,14 @@
 #include "serve/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
@@ -42,55 +46,169 @@ bool WriteAll(int fd, const char* data, size_t size) {
 
 }  // namespace
 
+std::string ListenSpec::ToString() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + (host.empty() ? std::string("0.0.0.0") : host) + ":" +
+         std::to_string(port);
+}
+
+Result<ListenSpec> ParseListenSpec(const std::string& spec) {
+  ListenSpec parsed;
+  if (spec.rfind("unix:", 0) == 0) {
+    parsed.kind = ListenSpec::Kind::kUnix;
+    parsed.path = spec.substr(5);
+    if (parsed.path.empty()) {
+      return Status::InvalidArgument("listen spec \"" + spec +
+                                     "\" has an empty socket path");
+    }
+    return parsed;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    parsed.kind = ListenSpec::Kind::kTcp;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("listen spec \"" + spec +
+                                     "\" wants tcp:HOST:PORT");
+    }
+    parsed.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    if (port.empty() ||
+        port.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("listen spec \"" + spec +
+                                     "\" has a non-numeric port");
+    }
+    const long value = std::strtol(port.c_str(), nullptr, 10);
+    if (value < 0 || value > 65535) {
+      return Status::InvalidArgument("listen spec \"" + spec +
+                                     "\" port out of range");
+    }
+    parsed.port = static_cast<int>(value);
+    return parsed;
+  }
+  return Status::InvalidArgument("listen spec \"" + spec +
+                                 "\" must be unix:PATH or tcp:HOST:PORT");
+}
+
+Status Listener::Bind(const ListenSpec& spec, int backlog) {
+  if (fd_ >= 0) return Status::FailedPrecondition("listener already bound");
+  spec_ = spec;
+  if (spec.kind == ListenSpec::Kind::kUnix) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (spec.path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long: " + spec.path);
+    }
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    ::unlink(spec.path.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status status =
+          Status::IoError("bind " + spec.path + ": " + std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return status;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(spec.port));
+    if (spec.host.empty() || spec.host == "0.0.0.0") {
+      addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    } else if (spec.host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else if (::inet_pton(AF_INET, spec.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("not an IPv4 listen address: " +
+                                     spec.host);
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("socket: ") + std::strerror(errno));
+    }
+    // Restarts must not wait out TIME_WAIT on the previous instance's port.
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      Status status = Status::IoError("bind " + spec.ToString() + ": " +
+                                      std::strerror(errno));
+      ::close(fd_);
+      fd_ = -1;
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+        0) {
+      bound_port_ = static_cast<int>(ntohs(bound.sin_port));
+      spec_.port = bound_port_;
+    }
+  }
+  if (::listen(fd_, backlog) != 0) {
+    Status status =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<int> Listener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("accept: ") + std::strerror(errno));
+    }
+    if (spec_.kind == ListenSpec::Kind::kTcp) {
+      // One request line, one response line: never let Nagle sit on either.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+  }
+}
+
+void Listener::Close() {
+  if (fd_ < 0) return;
+  ::shutdown(fd_, SHUT_RDWR);
+  ::close(fd_);
+  fd_ = -1;
+  if (spec_.kind == ListenSpec::Kind::kUnix && !spec_.path.empty()) {
+    ::unlink(spec_.path.c_str());
+  }
+}
+
 Status Server::Start() {
-  if (options_.socket_path.empty()) {
-    return Status::InvalidArgument("server needs a socket path");
+  ListenSpec spec = options_.listen;
+  if (!options_.socket_path.empty()) {
+    spec.kind = ListenSpec::Kind::kUnix;
+    spec.path = options_.socket_path;
+  }
+  if (spec.kind == ListenSpec::Kind::kUnix && spec.path.empty()) {
+    return Status::InvalidArgument("server needs a socket path or listen spec");
   }
   // Touch the degraded-mode counters so scrapes carry them before any fault.
   obs::MetricsRegistry::Global().counter("serve.conn.oversized");
   obs::MetricsRegistry::Global().counter("serve.quota.admitted");
   obs::MetricsRegistry::Global().counter("serve.quota.rejected.in_flight");
   obs::MetricsRegistry::Global().counter("serve.quota.rejected.rate");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    return Status::InvalidArgument("socket path too long: " +
-                                   options_.socket_path);
-  }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IoError(std::string("socket: ") + std::strerror(errno));
-  }
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    Status status = Status::IoError("bind " + options_.socket_path + ": " +
-                                    std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
-  if (::listen(listen_fd_, options_.backlog) != 0) {
-    Status status =
-        Status::IoError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return status;
-  }
+  VADASA_RETURN_NOT_OK(listener_.Bind(spec, options_.backlog));
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void Server::AcceptLoop() {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
       return;  // Listener closed (Stop) or fatal; either way we are done.
     }
+    const int fd = *accepted;
     if (stopping_.load()) {
       ::close(fd);
       return;
@@ -213,11 +331,7 @@ void Server::Stop() {
     // Second caller still wants the joins below to have happened; the first
     // call does them, so just fall through when the thread is already gone.
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
+  listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> connections;
   {
@@ -229,9 +343,6 @@ void Server::Stop() {
   }
   for (std::thread& connection : connections) {
     if (connection.joinable()) connection.join();
-  }
-  if (!options_.socket_path.empty()) {
-    ::unlink(options_.socket_path.c_str());
   }
   {
     std::lock_guard<std::mutex> lock(shutdown_mutex_);

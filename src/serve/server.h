@@ -16,9 +16,59 @@
 
 namespace vadasa::serve {
 
+/// Where a server listens: a Unix-domain socket path or an IPv4 TCP
+/// host:port. The transports are interchangeable above the fd — one NDJSON
+/// protocol, quota, failpoint and drain path serves both.
+struct ListenSpec {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  /// kUnix: filesystem path (a stale socket file is unlinked before bind).
+  std::string path;
+  /// kTcp: an IPv4 literal, "localhost", or ""/"0.0.0.0" for any interface.
+  std::string host;
+  /// kTcp: port; 0 binds an ephemeral port (tests read it back via
+  /// Listener::bound_port).
+  int port = 0;
+
+  /// The flag spelling: "unix:PATH" or "tcp:HOST:PORT".
+  std::string ToString() const;
+};
+
+/// Parses "unix:PATH" | "tcp:HOST:PORT" (the --listen flag syntax).
+Result<ListenSpec> ParseListenSpec(const std::string& spec);
+
+/// One bound, listening socket behind either backend. Accept() blocks until
+/// a connection arrives or Close() tears the listener down (from any
+/// thread); accepted TCP sockets get TCP_NODELAY so one-line requests are
+/// not Nagle-delayed. Close() unlinks a Unix path. Single-use.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  Status Bind(const ListenSpec& spec, int backlog);
+  /// The next connection fd; an error once the listener is closed.
+  Result<int> Accept();
+  void Close();  ///< Idempotent; wakes a blocked Accept().
+
+  bool bound() const { return fd_ >= 0; }
+  const ListenSpec& spec() const { return spec_; }
+  /// TCP: the actual port after Bind (resolves an ephemeral 0). Unix: 0.
+  int bound_port() const { return bound_port_; }
+
+ private:
+  ListenSpec spec_;
+  int fd_ = -1;
+  int bound_port_ = 0;
+};
+
 struct ServerOptions {
-  /// Filesystem path of the Unix domain socket. An existing stale socket
-  /// file at this path is unlinked before binding.
+  /// Where to listen. Ignored when the legacy `socket_path` below is set.
+  ListenSpec listen;
+  /// Legacy spelling of listen={kUnix, path}: filesystem path of the Unix
+  /// domain socket. When non-empty it wins over `listen`.
   std::string socket_path;
   /// listen(2) backlog.
   int backlog = 16;
@@ -31,10 +81,11 @@ struct ServerOptions {
   size_t max_line_bytes = 4u << 20;
 };
 
-/// A newline-delimited-JSON server over a Unix domain socket: one thread per
-/// connection, each line handed to Protocol::Handle. `{"op":"shutdown"}`
-/// (or Stop()) stops the accept loop, closes the listener and joins every
-/// connection thread. Single-use: Serve() then Stop().
+/// A newline-delimited-JSON server over a Unix domain or TCP socket: one
+/// thread per connection, each line handed to Protocol::Handle.
+/// `{"op":"shutdown"}` (or Stop()) stops the accept loop, closes the
+/// listener and joins every connection thread. Single-use: Start() then
+/// Stop().
 class Server {
  public:
   Server(Protocol* protocol, ServerOptions options)
@@ -61,6 +112,11 @@ class Server {
   void Stop();
 
   const std::string& socket_path() const { return options_.socket_path; }
+  /// The resolved listen spec (after the legacy socket_path override).
+  const ListenSpec& listen_spec() const { return listener_.spec(); }
+  /// TCP: the port actually bound (an ephemeral `tcp:HOST:0` resolves here
+  /// after Start). Unix: 0.
+  int bound_port() const { return listener_.bound_port(); }
 
  private:
   void AcceptLoop();
@@ -69,7 +125,7 @@ class Server {
   Protocol* protocol_;
   ServerOptions options_;
 
-  int listen_fd_ = -1;
+  Listener listener_;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::mutex conn_mutex_;

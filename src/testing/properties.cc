@@ -22,7 +22,9 @@
 #include "core/microdata.h"
 #include "core/risk.h"
 #include "core/vadalog_bridge.h"
+#include "serve/dataset_registry.h"
 #include "serve/protocol.h"
+#include "serve/result_cache.h"
 #include "serve/scheduler.h"
 #include "testing/differential.h"
 #include "testing/generators.h"
@@ -512,6 +514,232 @@ Status EvalColumnarRowBitIdentical(const ReproCase& repro) {
   return Status::OK();
 }
 
+Status EvalCachedResultBitIdentical(const ReproCase& repro) {
+  // The result-cache coherence contract (docs/serving.md): a hit replays the
+  // exact bytes of the cold run it memoized, a primed hot policy keeps
+  // hitting across interleaved unique-policy traffic, and replacing the
+  // dataset's content can never serve a stale payload — the first hot
+  // request after a one-cell edit must miss and match the edited table's
+  // cold run. Checked through the live protocol stack on both data planes.
+  failpoint::DisarmAll();  // A leaked serve.cache.fill fault would drop fills.
+
+  const size_t storm = ParamU64(repro, "njobs", 4);
+  const size_t workers = ParamU64(repro, "workers", 2);
+  const size_t shards = ParamU64(repro, "shards", 1);
+
+  // The one-cell edit for the replace phase. Tables with no editable QI cell
+  // skip that phase; the prime/storm interleaving checks still run.
+  MicrodataTable edited = repro.table;
+  size_t edit_row = 0, edit_col = 0;
+  const bool can_edit = PickQiCell(repro, &edit_row, &edit_col);
+  if (can_edit) {
+    edited.set_cell(edit_row, edit_col,
+                    Value::String("cache-coherence-edit"));
+  }
+
+  // `seed` participates in the canonical policy key, so a nonzero per-job
+  // seed mints a unique policy (a guaranteed miss) over the same dataset.
+  auto submit_line = [&](const std::string& action, uint64_t seed) {
+    Json::Object req;
+    req["op"] = "submit";
+    req["dataset"] = "cache-mem";
+    req["action"] = action;
+    req["measure"] = Param(repro, "measure", "k-anonymity");
+    req["k"] = Json(static_cast<int64_t>(ParamU64(repro, "k", 2)));
+    req["threshold"] = ParamDouble(repro, "threshold", 0.5);
+    req["standard_nulls"] = Param(repro, "semantics", "maybe") == "standard";
+    if (seed != 0) req["seed"] = Json(static_cast<int64_t>(seed));
+    return Json(std::move(req)).Dump();
+  };
+  auto submit = [](serve::Protocol* protocol,
+                   const std::string& line) -> Result<uint64_t> {
+    bool shutdown = false;
+    VADASA_ASSIGN_OR_RETURN(const Json response,
+                            Json::Parse(protocol->Handle(line, &shutdown)));
+    if (!response.GetBool("ok", false)) {
+      return Status::FailedPrecondition("submit rejected: " +
+                                        response.GetString("error", "?"));
+    }
+    return static_cast<uint64_t>(response.GetInt("id", 0));
+  };
+  // One terminal result: the cached bit plus the payload fields that must be
+  // byte-stable (timings and trace ids legitimately differ).
+  struct Outcome {
+    bool cached = false;
+    std::string payload;
+  };
+  auto result_of = [](serve::Protocol* protocol,
+                      uint64_t id) -> Result<Outcome> {
+    Json::Object req;
+    req["op"] = "result";
+    req["id"] = Json(id);
+    bool shutdown = false;
+    VADASA_ASSIGN_OR_RETURN(
+        const Json response,
+        Json::Parse(protocol->Handle(Json(std::move(req)).Dump(), &shutdown)));
+    if (!response.GetBool("ok", false) ||
+        response.GetString("state", "") != "done") {
+      return Status::FailedPrecondition(
+          "job " + std::to_string(id) + " did not finish kDone: " +
+          response.GetString("error", response.GetString("state", "?")));
+    }
+    Outcome out;
+    out.cached = response.GetBool("cached", false);
+    Json::Object payload;
+    for (const char* key : {"csv", "audit", "risk"}) {
+      if (response.Has(key)) payload[key] = response[key];
+    }
+    out.payload = Json(std::move(payload)).Dump();
+    return out;
+  };
+  auto run_job = [&](serve::Protocol* protocol, const std::string& action,
+                     uint64_t seed) -> Result<Outcome> {
+    VADASA_ASSIGN_OR_RETURN(const uint64_t id,
+                            submit(protocol, submit_line(action, seed)));
+    return result_of(protocol, id);
+  };
+
+  const char* kActions[] = {"risk", "anonymize"};
+  auto run_on_plane = [&](core::DataPlane plane) -> Status {
+    const core::DataPlane previous = core::ActiveDataPlane();
+    core::SetDataPlane(plane);
+    auto run = [&]() -> Status {
+      // References: the identical protocol stack with caching disabled,
+      // before and after the content edit.
+      std::map<std::string, std::string> reference;
+      {
+        serve::DatasetRegistry registry;
+        VADASA_RETURN_NOT_OK(registry.Register("cache-mem", repro.table));
+        serve::SchedulerOptions scheduler_options;
+        scheduler_options.workers = workers;
+        scheduler_options.shards = shards;
+        scheduler_options.max_queue = storm + 4;
+        serve::JobScheduler scheduler(scheduler_options);
+        serve::Protocol protocol(&registry, &scheduler);
+        for (const char* action : kActions) {
+          VADASA_ASSIGN_OR_RETURN(const Outcome cold,
+                                  run_job(&protocol, action, 0));
+          if (cold.cached) {
+            return Status::FailedPrecondition(
+                "cache-free stack reported cached:true");
+          }
+          reference[action] = cold.payload;
+        }
+        if (can_edit) {
+          VADASA_RETURN_NOT_OK(registry.Replace("cache-mem", edited));
+          for (const char* action : kActions) {
+            VADASA_ASSIGN_OR_RETURN(const Outcome cold,
+                                    run_job(&protocol, action, 0));
+            reference[std::string(action) + "+edit"] = cold.payload;
+          }
+        }
+        scheduler.Shutdown(/*drain=*/true);
+      }
+      // The cached stack under test.
+      serve::ResultCache cache;
+      serve::DatasetRegistry registry;
+      registry.set_result_cache(&cache);
+      VADASA_RETURN_NOT_OK(registry.Register("cache-mem", repro.table));
+      serve::SchedulerOptions scheduler_options;
+      scheduler_options.workers = workers;
+      scheduler_options.shards = shards;
+      scheduler_options.max_queue = storm + 4;
+      scheduler_options.result_cache = &cache;
+      serve::JobScheduler scheduler(scheduler_options);
+      serve::Protocol protocol(&registry, &scheduler);
+
+      // Prime both hot policies: each first run is a miss whose payload must
+      // already match the cache-free reference.
+      for (const char* action : kActions) {
+        VADASA_ASSIGN_OR_RETURN(const Outcome prime,
+                                run_job(&protocol, action, 0));
+        if (prime.cached) {
+          return Status::FailedPrecondition(std::string(action) +
+                                            ": first run hit an empty cache");
+        }
+        if (prime.payload != reference[action]) {
+          return Status::FailedPrecondition(
+              std::string(action) +
+              ": cold run differs from the cache-free stack");
+        }
+      }
+
+      // Storm: interleave hot submits with unique-policy submits, then
+      // collect the results in a shuffled order. Primed hot policies must
+      // hit with the reference bytes; unique policies must miss.
+      Rng aux(repro.seed);
+      struct StormJob {
+        uint64_t id = 0;
+        bool hot = false;
+        std::string action;
+      };
+      std::vector<StormJob> jobs(storm);
+      for (size_t j = 0; j < storm; ++j) {
+        jobs[j].hot = aux.NextDouble() < 0.6;
+        jobs[j].action = kActions[aux.NextBelow(2)];
+        const uint64_t seed = jobs[j].hot ? 0 : 1000 + j;
+        VADASA_ASSIGN_OR_RETURN(
+            jobs[j].id, submit(&protocol, submit_line(jobs[j].action, seed)));
+      }
+      for (size_t j = storm; j > 1; --j) {
+        std::swap(jobs[j - 1], jobs[aux.NextBelow(j)]);
+      }
+      for (const StormJob& job : jobs) {
+        VADASA_ASSIGN_OR_RETURN(const Outcome outcome,
+                                result_of(&protocol, job.id));
+        if (outcome.cached != job.hot) {
+          return Status::FailedPrecondition(
+              job.action + " job " + std::to_string(job.id) + ": expected " +
+              (job.hot ? "a hit on the primed policy" :
+                         "a miss on a unique policy") +
+              ", got cached:" + (outcome.cached ? "true" : "false"));
+        }
+        if (job.hot && outcome.payload != reference[job.action]) {
+          return Status::FailedPrecondition(
+              job.action + " job " + std::to_string(job.id) +
+              ": cache hit is not byte-identical to the cold run");
+        }
+      }
+
+      // Replace the dataset's content: the very next hot request must MISS
+      // (a stale hit would serve the old table's bytes) and match the edited
+      // table's cold reference; the request after it must hit those bytes.
+      if (can_edit) {
+        VADASA_RETURN_NOT_OK(registry.Replace("cache-mem", edited));
+        for (const char* action : kActions) {
+          VADASA_ASSIGN_OR_RETURN(const Outcome first,
+                                  run_job(&protocol, action, 0));
+          if (first.cached) {
+            return Status::FailedPrecondition(
+                std::string(action) +
+                ": stale cache hit after the dataset content changed");
+          }
+          if (first.payload != reference[std::string(action) + "+edit"]) {
+            return Status::FailedPrecondition(
+                std::string(action) +
+                ": post-replace run differs from the edited table's reference");
+          }
+          VADASA_ASSIGN_OR_RETURN(const Outcome second,
+                                  run_job(&protocol, action, 0));
+          if (!second.cached || second.payload != first.payload) {
+            return Status::FailedPrecondition(
+                std::string(action) +
+                ": re-primed entry did not replay the post-replace bytes");
+          }
+        }
+      }
+      scheduler.Shutdown(/*drain=*/true);
+      return Status::OK();
+    };
+    const Status status = run();
+    core::SetDataPlane(previous);
+    return status;
+  };
+
+  VADASA_RETURN_NOT_OK(run_on_plane(core::DataPlane::kRow));
+  return run_on_plane(core::DataPlane::kColumnar);
+}
+
 vadalog::EngineOptions BoundedEngineOptions() {
   vadalog::EngineOptions options;
   options.max_rounds = 200;
@@ -747,6 +975,29 @@ std::vector<Property> BuildCatalog() {
          return repro;
        },
        EvalColumnarRowBitIdentical});
+
+  catalog.push_back(
+      {"cached-result-bit-identical",
+       "result-cache hits replay the cold run's exact bytes and a content "
+       "edit never serves a stale payload, on both data planes",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.max_rows = 18;  // Each case runs several full cycles per plane.
+         options.max_qi = 3;
+         ReproCase repro =
+             TableCase("cached-result-bit-identical", rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.5);
+         repro.params["njobs"] = std::to_string(rng->NextInt(3, 6));
+         repro.params["workers"] = std::to_string(rng->NextInt(1, 3));
+         repro.params["shards"] = std::to_string(rng->NextInt(1, 3));
+         return repro;
+       },
+       EvalCachedResultBitIdentical});
 
   catalog.push_back(
       {"vadalog-determinism",

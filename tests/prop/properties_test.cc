@@ -87,6 +87,28 @@ TEST(PropCatalogTest, ChaosServeNeverCorruptsWideSweep) {
       << report.cases_run << " cases" << diagnostics;
 }
 
+/// The result-cache coherence acceptance bar (docs/serving.md): 220+
+/// generated cases, each priming hot policies, interleaving them with
+/// unique-policy traffic, and replacing the dataset's content mid-stream —
+/// on both data planes. Every hit must replay the cold run's exact bytes,
+/// every unique policy must miss, and the first request after a one-cell
+/// edit must miss and match the edited table's cold reference.
+TEST(PropCatalogTest, CachedResultBitIdenticalWideSweep) {
+  const Property* property = FindProperty("cached-result-bit-identical");
+  ASSERT_NE(property, nullptr);
+  HarnessOptions options;
+  options.cases_per_property = 220;
+  const HarnessReport report = RunProperty(*property, options);
+  EXPECT_EQ(report.cases_run, 220u);
+  std::string diagnostics;
+  for (const ReproCase& repro : report.repros) {
+    diagnostics += "\n--- shrunk repro ---\n" + ReproToString(repro);
+  }
+  EXPECT_EQ(report.failures, 0u)
+      << "result cache served wrong or stale bytes on " << report.failures
+      << "/" << report.cases_run << " cases" << diagnostics;
+}
+
 /// One discovered ctest entry per property; each runs its full generated-case
 /// budget (cases × properties >= 200 per full suite run).
 class PropertyRunTest : public ::testing::TestWithParam<std::string> {};

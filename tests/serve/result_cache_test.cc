@@ -1,0 +1,298 @@
+// Result-cache unit tests (docs/serving.md): keying (content fingerprint +
+// canonical policy), LRU eviction against the byte budget, invalidation
+// through the registry's quarantine path, and fills raced against reads
+// under the serve.cache.fill failpoint. The end-to-end coherence contract
+// lives in the cached-result-bit-identical property.
+
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/failpoint.h"
+#include "core/datagen.h"
+#include "obs/metrics.h"
+#include "serve/dataset_registry.h"
+
+namespace vadasa::serve {
+namespace {
+
+using core::Figure5Microdata;
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name)->value();
+}
+
+/// A risk payload whose ApproxResultBytes is exactly 128 + 8 * doubles.
+CachedResult RiskResult(size_t doubles, double fill = 0.5) {
+  CachedResult result;
+  result.action = JobAction::kRisk;
+  result.risk.tuple_risks.assign(doubles, fill);
+  return result;
+}
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+// --- Keying -----------------------------------------------------------------
+
+TEST_F(ResultCacheTest, FingerprintFlipsOnAOneCellEdit) {
+  const core::MicrodataTable original = Figure5Microdata();
+  core::MicrodataTable edited = original;
+  ASSERT_GT(edited.num_rows(), 0u);
+  edited.set_cell(0, 0, Value::String("edited-cell"));
+
+  EXPECT_EQ(FingerprintTable(original), FingerprintTable(Figure5Microdata()));
+  EXPECT_NE(FingerprintTable(original), FingerprintTable(edited));
+}
+
+TEST_F(ResultCacheTest, FingerprintCoversSchemaButNotTableName) {
+  const core::MicrodataTable table = Figure5Microdata();
+
+  // Same attributes and rows under a different relation name: the registry
+  // name is not part of the content, so two names over byte-identical data
+  // share cached results.
+  core::MicrodataTable renamed("another-name", table.attributes());
+  core::MicrodataTable renamed_column("x", [&] {
+    std::vector<core::Attribute> attributes = table.attributes();
+    attributes[0].name += "_renamed";
+    return attributes;
+  }());
+  core::MicrodataTable recategorized("x", [&] {
+    std::vector<core::Attribute> attributes = table.attributes();
+    attributes[0].category =
+        attributes[0].category == core::AttributeCategory::kQuasiIdentifier
+            ? core::AttributeCategory::kNonIdentifying
+            : core::AttributeCategory::kQuasiIdentifier;
+    return attributes;
+  }());
+  core::MicrodataTable same_schema("x", table.attributes());
+  for (const auto& row : table.rows()) {
+    ASSERT_TRUE(renamed.AddRow(row).ok());
+    ASSERT_TRUE(renamed_column.AddRow(row).ok());
+    ASSERT_TRUE(recategorized.AddRow(row).ok());
+    ASSERT_TRUE(same_schema.AddRow(row).ok());
+  }
+
+  EXPECT_EQ(FingerprintTable(table), FingerprintTable(renamed));
+  EXPECT_EQ(FingerprintTable(renamed), FingerprintTable(same_schema));
+  EXPECT_NE(FingerprintTable(table), FingerprintTable(renamed_column));
+  EXPECT_NE(FingerprintTable(table), FingerprintTable(recategorized));
+}
+
+TEST_F(ResultCacheTest, CanonicalPolicyKeySeparatesEveryPolicyField) {
+  const api::SessionOptions base;
+  const std::string key =
+      CanonicalPolicyKey(base, JobAction::kRisk, -1.0, false);
+  // Two identically-spelled policies collide (that is the point of
+  // canonicalization: JSON field order and defaulted fields vanish).
+  EXPECT_EQ(key, CanonicalPolicyKey(base, JobAction::kRisk, -1.0, false));
+
+  std::vector<std::string> variants;
+  {
+    api::SessionOptions o = base;
+    o.risk_measure = "suda";
+    variants.push_back(CanonicalPolicyKey(o, JobAction::kRisk, -1.0, false));
+  }
+  {
+    api::SessionOptions o = base;
+    o.k += 1;
+    variants.push_back(CanonicalPolicyKey(o, JobAction::kRisk, -1.0, false));
+  }
+  {
+    api::SessionOptions o = base;
+    o.threshold = o.threshold * 0.5 + 0.1;
+    variants.push_back(CanonicalPolicyKey(o, JobAction::kRisk, -1.0, false));
+  }
+  {
+    api::SessionOptions o = base;
+    o.standard_nulls = !o.standard_nulls;
+    variants.push_back(CanonicalPolicyKey(o, JobAction::kRisk, -1.0, false));
+  }
+  {
+    api::SessionOptions o = base;
+    o.seed += 17;
+    variants.push_back(CanonicalPolicyKey(o, JobAction::kRisk, -1.0, false));
+  }
+  variants.push_back(CanonicalPolicyKey(base, JobAction::kAnonymize, -1.0, false));
+  variants.push_back(CanonicalPolicyKey(base, JobAction::kRisk, 0.9, false));
+  variants.push_back(CanonicalPolicyKey(base, JobAction::kRisk, -1.0, true));
+
+  for (size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_NE(variants[i], key) << "variant " << i;
+    for (size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_NE(variants[i], variants[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST_F(ResultCacheTest, CacheKeyPrefixesTheHexFingerprint) {
+  const std::string key = ResultCacheKey(0xdeadbeefull, "measure=x");
+  EXPECT_EQ(key, "00000000deadbeef|measure=x");
+  EXPECT_NE(ResultCacheKey(1, "p"), ResultCacheKey(2, "p"));
+}
+
+// --- LRU + byte budget ------------------------------------------------------
+
+TEST_F(ResultCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Three 193-byte entries fit a 600-byte budget; a fourth forces one
+  // eviction. Each key is one byte: cost = 128 + 8*8 + 1 = 193.
+  ResultCacheOptions options;
+  options.byte_budget = 600;
+  ResultCache cache(options);
+  const size_t cost = 128 + 8 * 8 + 1;
+
+  cache.Put("a", "ds", RiskResult(8, 0.1));
+  cache.Put("b", "ds", RiskResult(8, 0.2));
+  cache.Put("c", "ds", RiskResult(8, 0.3));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * cost);
+
+  // Touch "a": "b" becomes the coldest entry and must be the victim.
+  CachedResult out;
+  ASSERT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out.risk.tuple_risks[0], 0.1);
+
+  const uint64_t evictions_before = CounterValue("serve.cache.evictions");
+  cache.Put("d", "ds", RiskResult(8, 0.4));
+  EXPECT_EQ(cache.entries(), 3u);
+  EXPECT_EQ(cache.bytes(), 3 * cost);
+  EXPECT_EQ(CounterValue("serve.cache.evictions") - evictions_before, 1u);
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_TRUE(cache.Get("c", &out));
+  EXPECT_TRUE(cache.Get("d", &out));
+}
+
+TEST_F(ResultCacheTest, RefreshingAKeyReplacesItsBytesNotItsCount) {
+  ResultCache cache;
+  cache.Put("k", "ds", RiskResult(8, 0.1));
+  const size_t small = cache.bytes();
+  cache.Put("k", "ds", RiskResult(64, 0.2));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), small + (64 - 8) * 8);
+  CachedResult out;
+  ASSERT_TRUE(cache.Get("k", &out));
+  EXPECT_EQ(out.risk.tuple_risks.size(), 64u);
+  EXPECT_EQ(out.risk.tuple_risks[0], 0.2);
+}
+
+TEST_F(ResultCacheTest, OneOversizedEntryIsStillAdmitted) {
+  // A single result bigger than the whole budget must not wedge the cache
+  // into rejecting everything: it is admitted (alone) and evicted by the
+  // next insert.
+  ResultCacheOptions options;
+  options.byte_budget = 64;
+  ResultCache cache(options);
+  cache.Put("big", "ds", RiskResult(512));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.bytes(), options.byte_budget);
+  cache.Put("next", "ds", RiskResult(512));
+  EXPECT_EQ(cache.entries(), 1u);
+  CachedResult out;
+  EXPECT_FALSE(cache.Get("big", &out));
+  EXPECT_TRUE(cache.Get("next", &out));
+}
+
+// --- Invalidation -----------------------------------------------------------
+
+TEST_F(ResultCacheTest, InvalidateDatasetDropsOnlyThatDatasetsEntries) {
+  ResultCache cache;
+  cache.Put("k1", "alpha", RiskResult(4));
+  cache.Put("k2", "alpha", RiskResult(4));
+  cache.Put("k3", "beta", RiskResult(4));
+  const uint64_t invalidations_before =
+      CounterValue("serve.cache.invalidations");
+  cache.InvalidateDataset("alpha");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(CounterValue("serve.cache.invalidations") - invalidations_before,
+            2u);
+  CachedResult out;
+  EXPECT_FALSE(cache.Get("k1", &out));
+  EXPECT_TRUE(cache.Get("k3", &out));
+
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST_F(ResultCacheTest, RegistryQuarantineInvalidatesTheDatasetsEntries) {
+  const std::string csv_path =
+      ::testing::TempDir() + "cache_quarantine_fig5.csv";
+  {
+    std::ofstream out(csv_path);
+    out << WriteCsv(Figure5Microdata().ToCsv());
+  }
+  ResultCache cache;
+  DatasetRegistry registry;
+  registry.set_result_cache(&cache);
+  registry.set_quarantine_after(2);
+  cache.Put("stale|policy", csv_path, RiskResult(4));
+  cache.Put("other|policy", "unrelated", RiskResult(4));
+
+  ASSERT_TRUE(failpoint::ArmFromSpec("serve.registry.load=error(io)").ok());
+  EXPECT_FALSE(registry.Load(csv_path).ok());
+  EXPECT_EQ(cache.entries(), 2u);  // One failure: not quarantined yet.
+  EXPECT_FALSE(registry.Load(csv_path).ok());
+  ASSERT_TRUE(registry.IsQuarantined(csv_path));
+
+  // The quarantine transition dropped the poisoned dataset's entries and
+  // nothing else.
+  CachedResult out;
+  EXPECT_FALSE(cache.Get("stale|policy", &out));
+  EXPECT_TRUE(cache.Get("other|policy", &out));
+  std::remove(csv_path.c_str());
+}
+
+// --- Fills raced against reads ---------------------------------------------
+
+TEST_F(ResultCacheTest, SlowFillNeverServesAPartialEntry) {
+  // serve.cache.fill=delay(25) stretches every fill; concurrent readers must
+  // see either a clean miss or the complete entry, never a torn one.
+  ASSERT_TRUE(failpoint::ArmFromSpec("serve.cache.fill=delay(25)").ok());
+  ResultCache cache;
+  std::atomic<bool> done{false};
+  std::thread filler([&] {
+    cache.Put("hot", "ds", RiskResult(256, 0.25));
+    done.store(true);
+  });
+  size_t hits = 0;
+  for (;;) {
+    CachedResult out;
+    if (cache.Get("hot", &out)) {
+      ++hits;
+      ASSERT_EQ(out.risk.tuple_risks.size(), 256u);
+      for (double r : out.risk.tuple_risks) ASSERT_EQ(r, 0.25);
+    }
+    if (done.load() && hits > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  filler.join();
+  EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST_F(ResultCacheTest, InjectedFillFailureDropsTheFillNotTheCache) {
+  ASSERT_TRUE(failpoint::ArmFromSpec("serve.cache.fill=error").ok());
+  ResultCache cache;
+  cache.Put("dropped", "ds", RiskResult(8));
+  EXPECT_EQ(cache.entries(), 0u);
+  CachedResult out;
+  EXPECT_FALSE(cache.Get("dropped", &out));
+
+  // The cache itself stays healthy once the fault clears.
+  failpoint::DisarmAll();
+  cache.Put("kept", "ds", RiskResult(8));
+  EXPECT_TRUE(cache.Get("kept", &out));
+}
+
+}  // namespace
+}  // namespace vadasa::serve

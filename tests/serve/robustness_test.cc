@@ -3,6 +3,8 @@
 // drain, and the socket server's oversized-line / dead-peer handling driven
 // end-to-end through real failpoints and real Unix sockets.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -400,16 +402,54 @@ struct Stack {
   Protocol protocol{&registry, &scheduler};
 };
 
-TEST_F(RobustnessTest, OversizedLineGetsOneRefusalThenClose) {
+/// Runs each socket-hardening test over both transports: the Unix path and
+/// an ephemeral loopback TCP port. The NDJSON framing, quotas, failpoints
+/// and refusal behavior live above the fd, so every expectation must hold
+/// verbatim on both. The CI thread-sanitizer lane runs this binary
+/// wholesale, so both transports get the TSan treatment for free.
+class TransportTest : public RobustnessTest,
+                      public ::testing::WithParamInterface<const char*> {
+ protected:
+  bool tcp() const { return std::string(GetParam()) == "tcp"; }
+
+  ServerOptions TransportOptions(const char* tag) {
+    ServerOptions options;
+    if (tcp()) {
+      auto spec = ParseListenSpec("tcp:127.0.0.1:0");
+      EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+      options.listen = *spec;
+    } else {
+      options.socket_path = SocketPath(tag);
+    }
+    return options;
+  }
+
+  /// Connects to a started server on whichever transport it bound.
+  int Connect(const Server& server) {
+    if (!tcp()) return ConnectTo(server.listen_spec().path);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server.bound_port()));
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+    return fd;
+  }
+};
+
+TEST_P(TransportTest, OversizedLineGetsOneRefusalThenClose) {
   Stack stack;
-  ServerOptions options;
-  options.socket_path = SocketPath("oversized");
+  ServerOptions options = TransportOptions("oversized");
   options.max_line_bytes = 256;
   Server server(&stack.protocol, options);
   ASSERT_TRUE(server.Start().ok());
 
   const uint64_t oversized_before = CounterValue("serve.conn.oversized");
-  const int fd = ConnectTo(options.socket_path);
+  const int fd = Connect(server);
   std::string flood(1024, 'x');
   flood.push_back('\n');
   ASSERT_TRUE(SendAll(fd, flood));
@@ -425,7 +465,7 @@ TEST_F(RobustnessTest, OversizedLineGetsOneRefusalThenClose) {
 
   // A fresh, well-behaved connection still works: the limit is per
   // connection, not a server wedge.
-  const int fd2 = ConnectTo(options.socket_path);
+  const int fd2 = Connect(server);
   ASSERT_TRUE(SendAll(fd2, "{\"op\":\"ping\"}\n"));
   auto pong = Json::Parse(ReadLine(fd2));
   ASSERT_TRUE(pong.ok());
@@ -434,15 +474,14 @@ TEST_F(RobustnessTest, OversizedLineGetsOneRefusalThenClose) {
   server.Stop();
 }
 
-TEST_F(RobustnessTest, InjectedWriteFailureKillsOnlyThatConnection) {
+TEST_P(TransportTest, InjectedWriteFailureKillsOnlyThatConnection) {
   Stack stack;
-  ServerOptions options;
-  options.socket_path = SocketPath("deadwrite");
+  ServerOptions options = TransportOptions("deadwrite");
   Server server(&stack.protocol, options);
   ASSERT_TRUE(server.Start().ok());
 
   ASSERT_TRUE(failpoint::ArmFromSpec("serve.sock.write=error(io)").ok());
-  const int fd = ConnectTo(options.socket_path);
+  const int fd = Connect(server);
   // Two pipelined requests: the first response write fails, and the handler
   // must stop instead of computing the second on a dead socket.
   ASSERT_TRUE(SendAll(fd, "{\"op\":\"ping\"}\n{\"op\":\"ping\"}\n"));
@@ -450,7 +489,7 @@ TEST_F(RobustnessTest, InjectedWriteFailureKillsOnlyThatConnection) {
   ::close(fd);
 
   failpoint::DisarmAll();
-  const int fd2 = ConnectTo(options.socket_path);
+  const int fd2 = Connect(server);
   ASSERT_TRUE(SendAll(fd2, "{\"op\":\"ping\"}\n"));
   auto pong = Json::Parse(ReadLine(fd2));
   ASSERT_TRUE(pong.ok());
@@ -459,10 +498,9 @@ TEST_F(RobustnessTest, InjectedWriteFailureKillsOnlyThatConnection) {
   server.Stop();
 }
 
-TEST_F(RobustnessTest, ShortReadsAndWritesStillDeliverIntactLines) {
+TEST_P(TransportTest, ShortReadsAndWritesStillDeliverIntactLines) {
   Stack stack;
-  ServerOptions options;
-  options.socket_path = SocketPath("short");
+  ServerOptions options = TransportOptions("short");
   Server server(&stack.protocol, options);
   ASSERT_TRUE(server.Start().ok());
 
@@ -472,7 +510,7 @@ TEST_F(RobustnessTest, ShortReadsAndWritesStillDeliverIntactLines) {
       failpoint::ArmFromSpec(
           "serve.sock.read.short=error;serve.sock.write.short=error")
           .ok());
-  const int fd = ConnectTo(options.socket_path);
+  const int fd = Connect(server);
   ASSERT_TRUE(SendAll(fd, "{\"op\":\"ping\"}\n"));
   auto pong = Json::Parse(ReadLine(fd));
   ASSERT_TRUE(pong.ok());
@@ -482,10 +520,9 @@ TEST_F(RobustnessTest, ShortReadsAndWritesStillDeliverIntactLines) {
   server.Stop();
 }
 
-TEST_F(RobustnessTest, QuotaRidesTheSocketPath) {
+TEST_P(TransportTest, QuotaRidesTheSocketPath) {
   Stack stack;
-  ServerOptions options;
-  options.socket_path = SocketPath("quota");
+  ServerOptions options = TransportOptions("quota");
   options.quota.max_in_flight = 1;
   Server server(&stack.protocol, options);
   ASSERT_TRUE(server.Start().ok());
@@ -493,7 +530,7 @@ TEST_F(RobustnessTest, QuotaRidesTheSocketPath) {
   // Park the scheduler so the first submit holds its slot.
   ASSERT_TRUE(failpoint::ArmFromSpec("serve.scheduler.run=delay(100)").ok());
 
-  const int fd = ConnectTo(options.socket_path);
+  const int fd = Connect(server);
   const std::string submit =
       "{\"op\":\"submit\",\"dataset\":\"fig5\",\"action\":\"risk\"}\n";
   ASSERT_TRUE(SendAll(fd, submit));
@@ -507,6 +544,38 @@ TEST_F(RobustnessTest, QuotaRidesTheSocketPath) {
   EXPECT_TRUE(second->Has("retry_after_ms")) << second->Dump();
   ::close(fd);
   server.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TransportTest,
+                         ::testing::Values("unix", "tcp"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+// --- Listen-spec parsing ----------------------------------------------------
+
+TEST(ListenSpecTest, ParsesAndRoundTrips) {
+  auto unix_spec = ParseListenSpec("unix:/tmp/x.sock");
+  ASSERT_TRUE(unix_spec.ok());
+  EXPECT_EQ(unix_spec->kind, ListenSpec::Kind::kUnix);
+  EXPECT_EQ(unix_spec->path, "/tmp/x.sock");
+  EXPECT_EQ(unix_spec->ToString(), "unix:/tmp/x.sock");
+
+  auto tcp_spec = ParseListenSpec("tcp:127.0.0.1:8080");
+  ASSERT_TRUE(tcp_spec.ok());
+  EXPECT_EQ(tcp_spec->kind, ListenSpec::Kind::kTcp);
+  EXPECT_EQ(tcp_spec->host, "127.0.0.1");
+  EXPECT_EQ(tcp_spec->port, 8080);
+  EXPECT_EQ(tcp_spec->ToString(), "tcp:127.0.0.1:8080");
+
+  for (const char* bad :
+       {"", "unix:", "tcp:", "tcp:localhost", "tcp:localhost:notaport",
+        "tcp:localhost:70000", "http:host:1"}) {
+    EXPECT_FALSE(ParseListenSpec(bad).ok()) << bad;
+  }
+  // Host strings parse lazily; a bad IPv4 literal is caught at Bind.
+  Listener listener;
+  EXPECT_FALSE(listener.Bind(*ParseListenSpec("tcp:256.0.0.1:1"), 4).ok());
 }
 
 }  // namespace

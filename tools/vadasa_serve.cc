@@ -1,20 +1,28 @@
 // vadasa_serve — the long-lived anonymization job service (docs/serving.md):
 //
-//   vadasa_serve --socket=/tmp/vadasa.sock [--workers=N] [--max-queue=N]
+//   vadasa_serve --listen=unix:PATH|tcp:HOST:PORT [--socket=PATH]
+//                [--workers=N] [--shards=N] [--max-queue=N]
+//                [--cache-mb=N] [--no-cache]
 //                [--no-coalesce] [--trace=out.json] [--metrics=out.json]
 //                [--prom=out.prom] [--slow-log=out.ndjson] [--slow-ms=MS]
 //                [--sample-ms=MS] [--drain-ms=MS] [--max-in-flight=N]
 //                [--submit-rate=R] [--max-line-bytes=N] [--watchdog-ms=MS]
 //                [--watchdog-multiple=X]
 //
-// Speaks newline-delimited JSON over a Unix domain socket: submit / status /
-// result / cancel / metrics / telemetry / shutdown (see src/serve/protocol.h
-// for the wire format). Datasets are loaded once by the registry and shared
-// across jobs; the scheduler bounds admission, honors per-job priorities and
-// deadlines, and coalesces group-statistics warmup across jobs that share a
-// dataset. Telemetry (docs/observability.md): every request line gets a
-// trace id echoed in its responses, --slow-log appends NDJSON lines for jobs
-// slower than --slow-ms, --sample-ms runs the background gauge sampler
+// Speaks newline-delimited JSON over a Unix domain or TCP socket: submit /
+// status / result / cancel / metrics / telemetry / shutdown (see
+// src/serve/protocol.h for the wire format; --socket=PATH is the legacy
+// spelling of --listen=unix:PATH). Datasets are loaded once by the registry
+// and shared across jobs; the scheduler bounds admission, honors per-job
+// priorities and deadlines, shards its worker pools by dataset (--shards) so
+// one hot dataset cannot starve the rest, and coalesces group-statistics
+// warmup across jobs that share a dataset. Repeated (dataset, policy)
+// requests are answered from a bounded LRU result cache (--cache-mb budget,
+// --no-cache disables; responses carry "cached":true) keyed on the dataset's
+// content fingerprint, so a reload with different bytes can never serve a
+// stale payload. Telemetry (docs/observability.md): every request line gets
+// a trace id echoed in its responses, --slow-log appends NDJSON lines for
+// jobs slower than --slow-ms, --sample-ms runs the background gauge sampler
 // (0 = off), and on shutdown --trace/--metrics/--prom export.
 //
 // Robustness (docs/robustness.md): --max-in-flight/--submit-rate meter each
@@ -42,6 +50,7 @@
 #include "obs/trace.h"
 #include "serve/dataset_registry.h"
 #include "serve/protocol.h"
+#include "serve/result_cache.h"
 #include "serve/scheduler.h"
 #include "serve/server.h"
 
@@ -59,9 +68,13 @@ int main(int argc, char** argv) {
   using namespace vadasa;
 
   api::FlagParser parser;
-  parser.Path("socket", "Unix domain socket path to listen on (required)")
+  parser.Path("socket", "Unix socket path (legacy alias of --listen=unix:PATH)")
+      .Path("listen", "listen spec: unix:PATH or tcp:HOST:PORT (0 = ephemeral)")
       .Int("workers", "executor threads", 1, 256)
+      .Int("shards", "dataset-hashed worker-pool shards (<= workers)", 1, 256)
       .Int("max-queue", "admission queue bound (reject beyond)", 1, 1 << 20)
+      .Int("cache-mb", "result-cache byte budget, MiB", 1, 1 << 20)
+      .Bool("no-cache", "disable the result cache")
       .Bool("no-coalesce", "disable shared warmup batching")
       .Path("trace", "write a Chrome trace_event JSON file at shutdown")
       .Path("metrics", "write a metrics registry JSON dump at shutdown")
@@ -83,13 +96,25 @@ int main(int argc, char** argv) {
               1.0, 1e6);
 
   auto flags = parser.Parse(argc, argv, /*first=*/1);
-  if (!flags.ok() || !flags->Has("socket") || !flags->positional().empty()) {
+  if (!flags.ok() || (!flags->Has("socket") && !flags->Has("listen")) ||
+      !flags->positional().empty()) {
     if (!flags.ok()) {
       std::fprintf(stderr, "error: %s\n", flags.status().message().c_str());
     }
-    std::fprintf(stderr, "usage: vadasa_serve --socket=PATH [options]\noptions:\n%s",
+    std::fprintf(stderr,
+                 "usage: vadasa_serve --listen=unix:PATH|tcp:HOST:PORT "
+                 "[options]\noptions:\n%s",
                  parser.Help().c_str());
     return 2;
+  }
+  serve::ListenSpec listen_spec;
+  if (flags->Has("listen")) {
+    auto parsed = serve::ParseListenSpec(flags->GetString("listen", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().message().c_str());
+      return 2;
+    }
+    listen_spec = *parsed;
   }
 
   obs::TraceArgs trace_args;
@@ -111,12 +136,23 @@ int main(int argc, char** argv) {
   const int sample_ms = static_cast<int>(flags->GetInt("sample-ms", 100));
   if (sample_ms > 0) obs::TelemetrySampler::Global().Start(sample_ms);
 
+  // The cache outlives the registry and scheduler that point at it.
+  std::unique_ptr<serve::ResultCache> cache;
+  if (!flags->GetBool("no-cache")) {
+    serve::ResultCacheOptions cache_options;
+    cache_options.byte_budget =
+        static_cast<size_t>(flags->GetInt("cache-mb", 64)) << 20;
+    cache = std::make_unique<serve::ResultCache>(cache_options);
+  }
   serve::DatasetRegistry registry;
+  registry.set_result_cache(cache.get());
   serve::SchedulerOptions scheduler_options;
   scheduler_options.workers = static_cast<size_t>(flags->GetInt("workers", 2));
+  scheduler_options.shards = static_cast<size_t>(flags->GetInt("shards", 1));
   scheduler_options.max_queue =
       static_cast<size_t>(flags->GetInt("max-queue", 64));
   scheduler_options.coalesce_warmup = !flags->GetBool("no-coalesce");
+  scheduler_options.result_cache = cache.get();
   scheduler_options.slow_log = slow_log.get();
   scheduler_options.watchdog_interval_ms =
       static_cast<int>(flags->GetInt("watchdog-ms", 1000));
@@ -126,6 +162,7 @@ int main(int argc, char** argv) {
   serve::Protocol protocol(&registry, &scheduler);
 
   serve::ServerOptions server_options;
+  server_options.listen = listen_spec;
   server_options.socket_path = flags->GetString("socket", "");
   server_options.quota.max_in_flight =
       static_cast<size_t>(flags->GetInt("max-in-flight", 0));
@@ -149,9 +186,17 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
 
-  std::fprintf(stderr, "vadasa_serve: listening on %s (%zu workers, queue %zu)\n",
-               server.socket_path().c_str(), scheduler_options.workers,
-               scheduler_options.max_queue);
+  // Print the resolved endpoint (an ephemeral tcp:HOST:0 bind resolves to
+  // its real port) so harnesses can scrape it from stderr.
+  std::fprintf(stderr,
+               "vadasa_serve: listening on %s (%zu workers, %zu shards, "
+               "queue %zu, cache %s)\n",
+               server.listen_spec().ToString().c_str(),
+               scheduler_options.workers, scheduler.shard_count(),
+               scheduler_options.max_queue,
+               cache != nullptr
+                   ? (std::to_string(cache->byte_budget() >> 20) + " MiB").c_str()
+                   : "off");
 
   // Wait for either {"op":"shutdown"} from a client or SIGTERM/SIGINT. The
   // handler cannot notify a condition variable, so poll its flag between

@@ -1,15 +1,21 @@
 // vadasa_top — a live terminal dashboard for a running vadasa_serve:
 //
 //   vadasa_top --socket=/tmp/vadasa.sock [--interval-ms=1000] [--frames=0]
+//   vadasa_top --socket=tcp:localhost:7411 ...
 //
-// Each frame opens a connection, issues {"op":"telemetry"} and renders the
-// response: the sampler's recent gauge series (queue depth, running jobs,
-// RSS) as sparklines plus a per-op latency table decoded from the Prometheus
-// exposition. --frames bounds the number of refreshes (0 = until the server
-// goes away; CI uses --frames=1 as a scrape smoke test).
+// --socket accepts a bare Unix path, unix:PATH, or tcp:HOST:PORT — the same
+// endpoints vadasa_serve --listen binds. Each frame opens a connection,
+// issues {"op":"telemetry"} and renders the response: the sampler's recent
+// gauge series (queue depth, running jobs, RSS) as sparklines, per-shard
+// queue depths, result-cache hit/miss counters, and a per-op latency table
+// decoded from the Prometheus exposition. --frames bounds the number of
+// refreshes (0 = until the server goes away; CI uses --frames=1 as a scrape
+// smoke test).
 //
 // Exit codes: 0 clean, 1 connection/protocol failure, 2 usage error.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -27,27 +33,65 @@
 
 #include "api/flags.h"
 #include "common/json.h"
+#include "serve/server.h"
 
 namespace {
 
 using vadasa::Json;
+using vadasa::serve::ListenSpec;
+using vadasa::serve::ParseListenSpec;
+
+/// Dials a unix:PATH / tcp:HOST:PORT / bare-path endpoint; -1 on failure.
+int Connect(const std::string& endpoint) {
+  ListenSpec spec;
+  if (endpoint.rfind("unix:", 0) == 0 || endpoint.rfind("tcp:", 0) == 0) {
+    auto parsed = ParseListenSpec(endpoint);
+    if (!parsed.ok()) return -1;
+    spec = *parsed;
+  } else {
+    spec.kind = ListenSpec::Kind::kUnix;
+    spec.path = endpoint;
+  }
+  if (spec.kind == ListenSpec::Kind::kUnix) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (spec.path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return -1;
+    }
+    std::strncpy(addr.sun_path, spec.path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(spec.port));
+  const std::string host =
+      (spec.host.empty() || spec.host == "localhost" || spec.host == "0.0.0.0")
+          ? "127.0.0.1"
+          : spec.host;
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
 
 /// One request/response round trip on a fresh connection. Returns false on
 /// any socket failure.
-bool CallTelemetry(const std::string& socket_path, std::string* response) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+bool CallTelemetry(const std::string& endpoint, std::string* response) {
+  const int fd = Connect(endpoint);
   if (fd < 0) return false;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return false;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return false;
-  }
   const std::string request = "{\"op\": \"telemetry\"}\n";
   size_t written = 0;
   while (written < request.size()) {
@@ -159,13 +203,28 @@ double PromValue(const std::string& prom, const std::string& family,
   return fallback;
 }
 
+/// Queue depth per scheduler shard, scanned from the contiguous
+/// vadasa_serve_shard_<i>_queue_depth gauge families.
+std::vector<double> ShardDepths(const std::string& prom) {
+  std::vector<double> depths;
+  for (int i = 0;; ++i) {
+    const std::string family =
+        "vadasa_serve_shard_" + std::to_string(i) + "_queue_depth";
+    const double v = PromValue(prom, family, -1.0);
+    if (v < 0.0) break;
+    depths.push_back(v);
+  }
+  return depths;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace vadasa;
 
   api::FlagParser parser;
-  parser.Path("socket", "Unix domain socket of the vadasa_serve to watch")
+  parser.Path("socket",
+              "vadasa_serve endpoint: PATH, unix:PATH or tcp:HOST:PORT")
       .Int("interval-ms", "refresh interval", 50, 3600000)
       .Int("frames", "number of refreshes, 0 = until the server exits", 0,
            1 << 30);
@@ -225,6 +284,26 @@ int main(int argc, char** argv) {
         PromValue(prom, "vadasa_serve_quota_rejected_in_flight", 0) +
             PromValue(prom, "vadasa_serve_quota_rejected_rate", 0),
         PromValue(prom, "vadasa_serve_drain_ms", 0));
+    // Dataset-sharded worker pools: one hot shard with an idle neighbor is
+    // the isolation working as intended; every shard deep means saturation.
+    const std::vector<double> shard_depths = ShardDepths(prom);
+    if (shard_depths.size() > 1) {
+      std::printf("  shards ");
+      for (size_t i = 0; i < shard_depths.size(); ++i) {
+        std::printf(" %zu:%.0f", i, shard_depths[i]);
+      }
+      std::printf("\n");
+    }
+    const double cache_hits = PromValue(prom, "vadasa_serve_cache_hits", -1.0);
+    if (cache_hits >= 0.0) {
+      std::printf(
+          "  cache   hits=%.0f misses=%.0f evict=%.0f inval=%.0f "
+          "bytes=%.0f\n",
+          cache_hits, PromValue(prom, "vadasa_serve_cache_misses", 0),
+          PromValue(prom, "vadasa_serve_cache_evictions", 0),
+          PromValue(prom, "vadasa_serve_cache_invalidations", 0),
+          PromValue(prom, "vadasa_serve_cache_bytes", 0));
+    }
     const auto ops = ParseOpTable(prom);
     if (!ops.empty()) {
       std::printf("  %-10s %10s %10s %10s %10s\n", "op", "count", "p50_ms",
