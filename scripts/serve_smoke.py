@@ -95,11 +95,19 @@ def fail(message):
 TRACE_RE = re.compile(r"^[0-9a-f]{16}$")
 
 
+PROTOCOL_VERSION = 2
+
+
 def check_trace(response, context):
-    """Every protocol response echoes a non-zero 16-hex trace_id."""
+    """Every protocol response echoes a non-zero 16-hex trace_id and states
+    the server's protocol version as "v" (docs/serving.md: v2 added the
+    apply_delta verb; ok and error lines both carry it)."""
     trace = response.get("trace_id", "")
     if not TRACE_RE.match(trace) or trace == "0" * 16:
         fail(f"{context}: bad trace_id {trace!r} in {response}")
+    if response.get("v") != PROTOCOL_VERSION:
+        fail(f"{context}: response does not state protocol v{PROTOCOL_VERSION}: "
+             f"{response}")
     return trace
 
 

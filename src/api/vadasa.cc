@@ -107,16 +107,48 @@ core::RiskContext Session::MakeRiskContext() const {
 Status Session::Warm() {
   VADASA_RETURN_NOT_OK(CheckOpen());
   if (warm_ != nullptr) return Status::OK();
-  // Under the columnar plane the warmup also materializes the shared view,
-  // so the group pass below — and every later cache-less evaluation — reads
-  // interned codes instead of re-walking Values.
-  if (core::ActiveDataPlane() == core::DataPlane::kColumnar &&
-      warm_view_ == nullptr) {
-    warm_view_ = std::make_shared<core::ColumnarView>(*table_);
-  }
-  core::RiskContext ctx = MakeRiskContext();
-  VADASA_ASSIGN_OR_RETURN(warm_, core::ComputeWarmGroupStats(*table_, ctx));
+  const core::RiskContext ctx = MakeRiskContext();
+  const auto qis = ctx.ResolveQiColumns(*table_);
+  VADASA_RETURN_NOT_OK(core::ValidateQiWidth(qis, ctx.semantics));
+  // Build the incremental group index over (table, AnonSet, semantics). Its
+  // Stats() go through the same collapse/aggregation machinery in the same
+  // order as ComputeWarmGroupStats, so the warm stats are unchanged — but
+  // keeping the index makes this session a delta base: Apply() patches it
+  // instead of re-collapsing the whole table. Under the columnar plane the
+  // index also materializes the shared view every later evaluation reads.
+  auto index =
+      std::make_shared<core::GroupIndex>(*table_, qis, ctx.semantics);
+  warm_ = std::shared_ptr<const core::GroupStats>(index, &index->Stats());
+  warm_view_ = index->shared_view();
+  delta_index_ = std::move(index);
   return Status::OK();
+}
+
+Result<Session> Session::Apply(const core::DeltaBatch& batch) const {
+  obs::Span span("api.apply_delta");
+  VADASA_RETURN_NOT_OK(CheckOpen());
+  core::DeltaRowPlan plan;
+  VADASA_ASSIGN_OR_RETURN(MicrodataTable next,
+                          core::ApplyDeltaToTable(*table_, batch, &plan));
+  Session child;
+  child.table_ = std::make_shared<const MicrodataTable>(std::move(next));
+  child.dictionary_ = dictionary_;
+  child.conflicts_ = conflicts_;
+  child.options_ = options_;
+  // Incremental warm-state maintenance: a warmed parent on the active plane
+  // hands the child a delta-patched index — only groups the batch touched are
+  // re-aggregated. Stats() is forced before the child is published so the
+  // shared state is immutable from here on.
+  if (delta_index_ != nullptr &&
+      delta_index_->data_plane() == core::ActiveDataPlane()) {
+    std::shared_ptr<core::GroupIndex> next_index =
+        delta_index_->ApplyDelta(*child.table_, plan);
+    child.warm_ = std::shared_ptr<const core::GroupStats>(next_index,
+                                                          &next_index->Stats());
+    child.warm_view_ = next_index->shared_view();
+    child.delta_index_ = std::move(next_index);
+  }
+  return child;
 }
 
 Result<RiskReport> Session::Risk(double quantile, bool explain) const {

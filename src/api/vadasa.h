@@ -9,7 +9,9 @@
 #include "common/result.h"
 #include "core/business.h"
 #include "core/categorize.h"
+#include "core/delta.h"
 #include "core/global_risk.h"
+#include "core/group_index.h"
 #include "core/metadata.h"
 #include "core/microdata.h"
 #include "core/report.h"
@@ -149,6 +151,29 @@ class Session {
   /// copy of the dataset. The session itself never mutates.
   Result<AnonymizeResponse> Anonymize(const AnonymizeRequest& request = {}) const;
 
+  /// Applies a validated DeltaBatch (docs/api.md §"Streaming deltas") and
+  /// returns a NEW session over the post-delta table. Sessions stay
+  /// immutable: this session is untouched and keeps serving pre-delta
+  /// results bit-identically, so in-flight jobs holding it are never
+  /// disturbed — the returned session is a sibling snapshot, not a mutation.
+  ///
+  /// Semantics (see core/delta.h): update/delete indices address THIS
+  /// session's row numbering; updates apply first (last write per row wins),
+  /// then deletes, then appends; surviving rows keep their relative order.
+  /// The batch is validated before any state is touched — a column-count
+  /// mismatch or out-of-range row returns InvalidArgument and a non-numeric
+  /// sampling weight returns TypeError, in both cases leaving nothing to
+  /// observe.
+  ///
+  /// Warm-state maintenance: when this session is Warm()ed on the active
+  /// data plane, the child inherits a delta-patched group index — only
+  /// groups the batch touches are re-aggregated, and the child's warm stats
+  /// are bit-identical to a cold Warm() over the post-delta table (the
+  /// delta-vs-full-recompute-bit-identical property pins this on both data
+  /// planes). Otherwise the child starts cold and the next Warm() pays the
+  /// full collapse. Dictionary, conflicts and options carry over unchanged.
+  Result<Session> Apply(const core::DeltaBatch& batch) const;
+
   /// Precomputes the group statistics for this session's (table, AnonSet,
   /// semantics) and keeps them for every subsequent Risk call — the handle
   /// the serving layer shares across a batch. No-op if already warm.
@@ -171,6 +196,14 @@ class Session {
     return warm_view_;
   }
 
+  /// The incrementally maintainable group index behind the warm stats —
+  /// non-null after Warm() (not after AdoptWarmStats, whose stats arrive
+  /// without an index) and after an index-backed Apply(). Exposed for
+  /// observability and tests; treat as opaque.
+  const std::shared_ptr<const core::GroupIndex>& delta_index() const {
+    return delta_index_;
+  }
+
  private:
   Status CheckOpen() const;
   core::RiskContext MakeRiskContext() const;
@@ -181,6 +214,7 @@ class Session {
   SessionOptions options_;
   std::shared_ptr<const core::GroupStats> warm_;
   std::shared_ptr<const core::ColumnarView> warm_view_;
+  std::shared_ptr<const core::GroupIndex> delta_index_;
 };
 
 }  // namespace vadasa::api

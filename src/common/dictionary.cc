@@ -56,6 +56,16 @@ Value Dictionary::Decode(uint32_t code) const {
   return values_[code];
 }
 
+void Dictionary::CopyFrom(const Dictionary& other) {
+  if (this == &other) return;
+  std::shared_lock<std::shared_mutex> read(other.mutex_);
+  std::unique_lock<std::shared_mutex> write(mutex_);
+  value_codes_ = other.value_codes_;
+  null_codes_ = other.null_codes_;
+  values_ = other.values_;
+  null_labels_ = other.null_labels_;
+}
+
 size_t Dictionary::num_values() const {
   std::shared_lock<std::shared_mutex> read(mutex_);
   return values_.size();

@@ -40,6 +40,13 @@ class Dictionary {
   /// Code of `v`, interning it if absent.
   uint32_t Intern(const Value& v);
 
+  /// Replaces this dictionary's contents with a snapshot of `other` (the
+  /// delta-clone path of core::ColumnarView: a child view inherits the parent
+  /// column's code assignments so untouched code arrays stay valid verbatim).
+  /// Thread-safe on both sides; no output ever depends on the numeric value
+  /// of a code, only on code equality, so inherited codes are free.
+  void CopyFrom(const Dictionary& other);
+
   /// Code of `v` without interning; false when absent.
   bool TryCode(const Value& v, uint32_t* code) const;
 

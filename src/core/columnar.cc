@@ -51,6 +51,49 @@ ColumnarView::ColumnarView(const MicrodataTable& table)
   for (size_t r = 0; r < num_rows_; ++r) weights_[r] = table.RowWeight(r);
 }
 
+ColumnarView::ColumnarView(const ColumnarView& parent,
+                           const MicrodataTable& new_table,
+                           const std::vector<uint32_t>& deleted_old_rows,
+                           const std::vector<uint32_t>& changed_new_rows)
+    : num_rows_(new_table.num_rows()), columns_(new_table.num_columns()) {
+  obs::Span span("columnar.delta_clone");
+  std::lock_guard<std::mutex> lock(parent.materialize_mutex_);
+  const size_t old_rows = parent.num_rows_;
+  // Compacted copy of a parent row-array: drop deleted rows, keep order,
+  // leave zeroed tail slots for appended rows (the changed-row pass below
+  // overwrites every one of them).
+  auto compact = [&](const auto& src, auto* dst) {
+    dst->assign(num_rows_, {});
+    size_t w = 0;
+    size_t next_del = 0;
+    for (size_t r = 0; r < old_rows; ++r) {
+      if (next_del < deleted_old_rows.size() && deleted_old_rows[next_del] == r) {
+        ++next_del;
+        continue;
+      }
+      (*dst)[w++] = src[r];
+    }
+  };
+  for (size_t c = 0; c < columns_.size() && c < parent.columns_.size(); ++c) {
+    const Column& src = parent.columns_[c];
+    if (!src.materialized) continue;
+    Column& column = columns_[c];
+    column.dict.CopyFrom(src.dict);
+    compact(src.codes, &column.codes);
+    for (const uint32_t r : changed_new_rows) {
+      column.codes[r] = column.dict.Intern(new_table.cell(r, c));
+    }
+    column.materialized = true;
+    VADASA_METRIC_COUNT("columnar.codes_bytes", num_rows_ * sizeof(uint32_t));
+    VADASA_METRIC_COUNT("columnar.columns_materialized", 1);
+  }
+  compact(parent.weights_, &weights_);
+  for (const uint32_t r : changed_new_rows) {
+    weights_[r] = new_table.RowWeight(r);
+  }
+  VADASA_METRIC_COUNT("columnar.row_updates", changed_new_rows.size());
+}
+
 void ColumnarView::EnsureColumns(const MicrodataTable& table,
                                  const std::vector<size_t>& cols) const {
   std::lock_guard<std::mutex> lock(materialize_mutex_);

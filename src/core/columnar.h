@@ -47,6 +47,19 @@ class ColumnarView {
  public:
   explicit ColumnarView(const MicrodataTable& table);
 
+  /// Delta-clone: a view over `new_table` (= the parent view's table with a
+  /// delta applied, see core/delta.h) that inherits the parent's dictionaries
+  /// and code arrays instead of re-interning the whole table. Deleted rows
+  /// are compacted out preserving order, `changed_new_rows` (updated +
+  /// appended rows, as new-table indices) are re-interned from `new_table`,
+  /// and columns the parent never materialized stay unmaterialized. Codes
+  /// inherited this way keep their numeric values — harmless, since only
+  /// code equality is ever observable. Safe to race with readers of the
+  /// parent view; the clone itself is freshly owned.
+  ColumnarView(const ColumnarView& parent, const MicrodataTable& new_table,
+               const std::vector<uint32_t>& deleted_old_rows,
+               const std::vector<uint32_t>& changed_new_rows);
+
   ColumnarView(const ColumnarView&) = delete;
   ColumnarView& operator=(const ColumnarView&) = delete;
 

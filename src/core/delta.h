@@ -1,0 +1,104 @@
+#ifndef VADASA_CORE_DELTA_H_
+#define VADASA_CORE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "core/microdata.h"
+
+namespace vadasa::core {
+
+/// One row mutation of a streaming microdata feed (docs/api.md §"Streaming
+/// deltas"): append a new row, rewrite an existing row, or delete one.
+enum class DeltaOpKind {
+  kAppend,
+  kUpdate,
+  kDelete,
+};
+
+/// One validated delta operation. `row` is a *parent-table* row index
+/// (meaningful for kUpdate/kDelete); `values` is the full replacement row
+/// (kAppend/kUpdate).
+struct DeltaOp {
+  DeltaOpKind kind = DeltaOpKind::kAppend;
+  uint32_t row = 0;
+  std::vector<Value> values;
+};
+
+/// An immutable, pre-validated batch of row mutations against one table
+/// shape. Built via DeltaBatchBuilder; applied via ApplyDeltaToTable /
+/// api::Session::Apply / the serve-layer "apply_delta" verb.
+///
+/// Application semantics (fixed, documented here once): all Update/Delete
+/// row indices address the *parent* table's numbering. Updates apply first
+/// (last write per row wins), then deletes (duplicates collapse; deleting an
+/// updated row discards the update), then appends at the end of the table.
+/// Surviving rows keep their relative order (order-preserving compaction),
+/// which is what makes incremental group maintenance bit-identical to a cold
+/// rebuild — untouched groups re-accumulate their weights in the same order.
+/// Rows appended by a batch are not addressable within that same batch.
+class DeltaBatch {
+ public:
+  const std::vector<DeltaOp>& ops() const { return ops_; }
+  /// The column count every Append/Update row was validated against.
+  size_t num_columns() const { return num_columns_; }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+
+ private:
+  friend class DeltaBatchBuilder;
+  size_t num_columns_ = 0;
+  std::vector<DeltaOp> ops_;
+};
+
+/// Builder with build-time validation, mirroring ValidateSessionOptions'
+/// fail-before-any-state-is-touched contract: a row whose width does not
+/// match the declared column count poisons the builder immediately, Build()
+/// returns InvalidArgument, and nothing downstream (table, index, session)
+/// ever observes a partial batch. Row-index bounds are checked against the
+/// concrete table at apply time (the builder has no table).
+class DeltaBatchBuilder {
+ public:
+  /// `num_columns` is the schema width the batch targets (table.num_columns()).
+  explicit DeltaBatchBuilder(size_t num_columns);
+
+  DeltaBatchBuilder& Append(std::vector<Value> row);
+  DeltaBatchBuilder& Update(size_t row, std::vector<Value> values);
+  DeltaBatchBuilder& Delete(size_t row);
+
+  /// The validated batch, or the first recorded validation error.
+  Result<DeltaBatch> Build();
+
+ private:
+  DeltaBatch batch_;
+  Status error_ = Status::OK();
+};
+
+/// How a batch's row operations land in the post-delta row numbering —
+/// the contract between ApplyDeltaToTable and GroupIndex::ApplyDelta.
+struct DeltaRowPlan {
+  /// Updated rows that survived the batch's deletes, as *new-table* indices,
+  /// ascending. Their cell contents must be re-projected.
+  std::vector<uint32_t> updated_new_rows;
+  /// Deleted rows as *old-table* indices, ascending, deduplicated.
+  std::vector<uint32_t> deleted_old_rows;
+  /// Rows appended at the end of the new table.
+  size_t appended_rows = 0;
+};
+
+/// Applies `batch` to a copy of `table` under the semantics documented on
+/// DeltaBatch, returning the post-delta table. Fails with InvalidArgument
+/// (before touching anything) when the batch's column count does not match
+/// the table or any row index is out of range; fails with TypeError when a
+/// new/updated row carries a non-numeric sampling weight. `plan`, when
+/// non-null, receives the old→new row bookkeeping incremental maintenance
+/// needs.
+Result<MicrodataTable> ApplyDeltaToTable(const MicrodataTable& table,
+                                         const DeltaBatch& batch,
+                                         DeltaRowPlan* plan = nullptr);
+
+}  // namespace vadasa::core
+
+#endif  // VADASA_CORE_DELTA_H_

@@ -257,9 +257,24 @@ template <class Plane>
 typename PlaneTraits<Plane>::ProjIndex BuildProjIndex(
     const std::vector<typename PlaneTraits<Plane>::PatternInfo>& patterns,
     const std::vector<size_t>& class_ids, uint32_t union_mask) {
-  typename PlaneTraits<Plane>::ProjIndex index;
-  index.reserve(class_ids.size() * 2);
+  // Canonical accumulation order: class members sorted by their first row,
+  // patterns emptied by deletes skipped. On a cold build this is exactly the
+  // given id order (ids are assigned in first-occurrence row order and every
+  // pattern is non-empty), so it changes nothing; on an incrementally
+  // maintained core (UpdateRows / ApplyDelta) it reproduces the order a cold
+  // rebuild of the current table would use, which keeps the floating-point
+  // weight sums bit-identical to that rebuild.
+  std::vector<size_t> ordered;
+  ordered.reserve(class_ids.size());
   for (const size_t p : class_ids) {
+    if (!patterns[p].rows.empty()) ordered.push_back(p);
+  }
+  std::sort(ordered.begin(), ordered.end(), [&patterns](size_t a, size_t b) {
+    return patterns[a].rows[0] < patterns[b].rows[0];
+  });
+  typename PlaneTraits<Plane>::ProjIndex index;
+  index.reserve(ordered.size() * 2);
+  for (const size_t p : ordered) {
     auto key = ProjectOutKey(patterns[p].pattern, union_mask);
     auto& agg = index[std::move(key)];
     agg.first += patterns[p].count;
@@ -323,6 +338,7 @@ void AggregateMaybeMatch(
         for (size_t ci = lo; ci < hi; ++ci) {
           const uint32_t mask1 = masks[ci];
           for (const size_t p1 : classes.at(mask1)) {
+            if (patterns[p1].rows.empty()) continue;  // Emptied by a delta; no row maps here.
             double freq = 0.0;
             double wsum = 0.0;
             for (const uint32_t mask2 : masks) {
@@ -438,6 +454,138 @@ struct PlaneCore {
     }
     VADASA_METRIC_COUNT("group_index.proj_indexes_dropped", dropped);
     return dirty_classes;
+  }
+
+  /// Patches a core cloned from the pre-delta state into the post-delta
+  /// partition. Precondition: `plane` is already bound to the post-delta
+  /// table/view and `plan` came from the ApplyDeltaToTable call that produced
+  /// that table. Deleted rows are detached and the row numbering compacted
+  /// (order-preserving, so untouched patterns keep their ascending row lists
+  /// and therefore their exact weight sums); updated rows are re-projected
+  /// like UpdateRows; appended rows are attached at the tail. Only touched
+  /// patterns are re-aggregated and only dirty classes lose projection
+  /// indexes. Returns (patterns touched, null-mask classes dirtied).
+  std::pair<size_t, size_t> ApplyDeltaPlan(const DeltaRowPlan& plan,
+                                           NullSemantics semantics,
+                                           size_t new_num_rows) {
+    std::set<size_t> touched;
+    std::set<uint32_t> dirty_classes;
+
+    // 1. Detach deleted rows (old numbering). Aggregates are re-derived once
+    //    at the end, not per detach.
+    for (const uint32_t r : plan.deleted_old_rows) {
+      PatternInfo& pat = patterns[row_pattern[r]];
+      pat.rows.erase(std::find(pat.rows.begin(), pat.rows.end(), r));
+      touched.insert(row_pattern[r]);
+      dirty_classes.insert(pat.null_mask);
+    }
+
+    // 2. Order-preserving compaction of the row numbering. Relative order of
+    //    survivors is unchanged, so every pattern's row list stays ascending
+    //    and its weight-accumulation sequence — hence its float sum — is the
+    //    one a cold rebuild would produce.
+    if (!plan.deleted_old_rows.empty()) {
+      const size_t old_n = row_pattern.size();
+      std::vector<uint32_t> del_before(old_n, 0);
+      {
+        size_t next_del = 0;
+        uint32_t count = 0;
+        for (size_t r = 0; r < old_n; ++r) {
+          del_before[r] = count;
+          if (next_del < plan.deleted_old_rows.size() &&
+              plan.deleted_old_rows[next_del] == r) {
+            ++count;
+            ++next_del;
+          }
+        }
+      }
+      std::vector<size_t> compacted;
+      compacted.reserve(new_num_rows);
+      size_t next_del = 0;
+      for (size_t r = 0; r < old_n; ++r) {
+        if (next_del < plan.deleted_old_rows.size() &&
+            plan.deleted_old_rows[next_del] == r) {
+          ++next_del;
+          continue;
+        }
+        compacted.push_back(row_pattern[r]);
+      }
+      row_pattern = std::move(compacted);
+      for (PatternInfo& pat : patterns) {
+        for (uint32_t& r : pat.rows) r -= del_before[r];
+      }
+    }
+    row_pattern.resize(new_num_rows, 0);
+
+    // 3. Re-project updated rows (new numbering). Unlike UpdateRows, a
+    //    key-preserving update still dirties its pattern: a delta may change
+    //    the row's sampling weight without changing its QI projection.
+    for (const uint32_t r : plan.updated_new_rows) {
+      const size_t old_id = row_pattern[r];
+      touched.insert(old_id);
+      dirty_classes.insert(patterns[old_id].null_mask);
+      Key p = plane.MakeKey(r);
+      if (typename Plane::Eq{}(p, patterns[old_id].pattern)) continue;
+      PatternInfo& old_pat = patterns[old_id];
+      old_pat.rows.erase(std::find(old_pat.rows.begin(), old_pat.rows.end(), r));
+      const size_t id = AttachKey(std::move(p), r, semantics, /*at_tail=*/false);
+      touched.insert(id);
+      dirty_classes.insert(patterns[id].null_mask);
+      row_pattern[r] = id;
+    }
+
+    // 4. Attach appended rows at the tail, in ascending row order.
+    for (size_t r = new_num_rows - plan.appended_rows; r < new_num_rows; ++r) {
+      const size_t id = AttachKey(plane.MakeKey(r), static_cast<uint32_t>(r),
+                                  semantics, /*at_tail=*/true);
+      touched.insert(id);
+      dirty_classes.insert(patterns[id].null_mask);
+      row_pattern[r] = id;
+    }
+
+    // 5. Re-derive aggregates of touched patterns only — the delta's savings:
+    //    every other pattern keeps its rows, count and weight sum verbatim.
+    for (const size_t id : touched) RecomputePatternAggregates(&patterns[id]);
+
+    // 6. Dirty-group invalidation, exactly as in UpdateRows.
+    size_t dropped = 0;
+    for (auto it = proj_indexes.begin(); it != proj_indexes.end();) {
+      if (dirty_classes.count(it->first.first) > 0) {
+        it = proj_indexes.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    VADASA_METRIC_COUNT("group_index.proj_indexes_dropped", dropped);
+    return {touched.size(), dirty_classes.size()};
+  }
+
+  /// Finds or creates the pattern of `p` and inserts row `r` into its list
+  /// (push_back when `at_tail` — appends carry the largest indices).
+  size_t AttachKey(Key p, uint32_t r, NullSemantics semantics, bool at_tail) {
+    const uint32_t mask =
+        semantics == NullSemantics::kMaybeMatch ? NullMaskOfKey<Plane>(p) : 0;
+    auto it = pattern_ids.find(p);
+    size_t id;
+    if (it == pattern_ids.end()) {
+      id = patterns.size();
+      PatternInfo info;
+      info.null_mask = mask;
+      info.pattern = std::move(p);
+      patterns.push_back(std::move(info));
+      pattern_ids.emplace(patterns.back().pattern, id);
+      classes[mask].push_back(id);
+    } else {
+      id = it->second;
+    }
+    PatternInfo& pat = patterns[id];
+    if (at_tail) {
+      pat.rows.push_back(r);
+    } else {
+      pat.rows.insert(std::upper_bound(pat.rows.begin(), pat.rows.end(), r), r);
+    }
+    return id;
   }
 
   void RecomputeStats(size_t num_rows, NullSemantics semantics,
@@ -629,6 +777,24 @@ struct GroupIndex::Impl {
   virtual PatternMass QueryPattern(const std::vector<Value>& pattern) const = 0;
   virtual size_t pattern_count() const = 0;
   virtual void AdoptSharedView(std::shared_ptr<ColumnarView> view) { (void)view; }
+  /// A patched copy of this impl over the post-delta table (see
+  /// GroupIndex::ApplyDelta). Never mutates *this.
+  virtual std::unique_ptr<Impl> CloneForDelta(const MicrodataTable& new_table,
+                                              const DeltaRowPlan& plan) const = 0;
+  virtual std::shared_ptr<const ColumnarView> SharedViewHandle() const { return nullptr; }
+
+ protected:
+  /// Shared bookkeeping of CloneForDelta: copies the plane-independent fields
+  /// onto `clone` and counts the delta as one absorbed incremental update.
+  void CopyMetaTo(Impl* clone, size_t new_num_rows) const {
+    clone->qi_columns = qi_columns;
+    clone->semantics = semantics;
+    clone->plane = plane;
+    clone->num_rows = new_num_rows;
+    clone->stats_dirty = true;
+    clone->full_builds = full_builds;
+    clone->incremental_updates = incremental_updates + 1;
+  }
 };
 
 namespace {
@@ -662,6 +828,20 @@ struct RowImpl final : GroupIndex::Impl {
   }
 
   size_t pattern_count() const override { return core.patterns.size(); }
+
+  std::unique_ptr<GroupIndex::Impl> CloneForDelta(
+      const MicrodataTable& new_table, const DeltaRowPlan& plan) const override {
+    auto clone = std::make_unique<RowImpl>();
+    CopyMetaTo(clone.get(), new_table.num_rows());
+    clone->core = core;
+    clone->core.plane.Bind(new_table, clone->qi_columns);
+    const auto [dirtied, classes_dirtied] =
+        clone->core.ApplyDeltaPlan(plan, semantics, clone->num_rows);
+    VADASA_METRIC_COUNT("delta.groups_dirtied", dirtied);
+    VADASA_METRIC_COUNT("delta.groups_recomputed", dirtied);
+    VADASA_METRIC_COUNT("delta.classes_dirtied", classes_dirtied);
+    return clone;
+  }
 };
 
 struct ColumnarImpl final : GroupIndex::Impl {
@@ -720,6 +900,37 @@ struct ColumnarImpl final : GroupIndex::Impl {
   void AdoptSharedView(std::shared_ptr<ColumnarView> v) override {
     view = std::move(v);
   }
+
+  std::shared_ptr<const ColumnarView> SharedViewHandle() const override {
+    return view;
+  }
+
+  std::unique_ptr<GroupIndex::Impl> CloneForDelta(
+      const MicrodataTable& new_table, const DeltaRowPlan& plan) const override {
+    auto clone = std::make_unique<ColumnarImpl>();
+    CopyMetaTo(clone.get(), new_table.num_rows());
+    clone->core = core;
+    // Delta-clone the view: inherited dictionaries and code arrays, deleted
+    // rows compacted out, changed rows re-interned (see columnar.h). Updated
+    // rows are already in new-table numbering; appends occupy the tail.
+    std::vector<uint32_t> changed = plan.updated_new_rows;
+    changed.reserve(changed.size() + plan.appended_rows);
+    for (size_t r = new_table.num_rows() - plan.appended_rows;
+         r < new_table.num_rows(); ++r) {
+      changed.push_back(static_cast<uint32_t>(r));
+    }
+    clone->view = std::make_shared<ColumnarView>(*view, new_table,
+                                                 plan.deleted_old_rows, changed);
+    clone->owns_view = true;
+    clone->core.plane.view = clone->view;
+    clone->core.plane.Bind(new_table, clone->qi_columns);
+    const auto [dirtied, classes_dirtied] =
+        clone->core.ApplyDeltaPlan(plan, semantics, clone->num_rows);
+    VADASA_METRIC_COUNT("delta.groups_dirtied", dirtied);
+    VADASA_METRIC_COUNT("delta.groups_recomputed", dirtied);
+    VADASA_METRIC_COUNT("delta.classes_dirtied", classes_dirtied);
+    return clone;
+  }
 };
 
 }  // namespace
@@ -765,6 +976,15 @@ void GroupIndex::UpdateRows(const MicrodataTable& table,
   im.Update(table, rows);
 }
 
+std::unique_ptr<GroupIndex> GroupIndex::ApplyDelta(const MicrodataTable& new_table,
+                                                   const DeltaRowPlan& plan) const {
+  obs::Span span("group_index.apply_delta");
+  VADASA_METRIC_COUNT("delta.index_applies", 1);
+  auto out = std::unique_ptr<GroupIndex>(new GroupIndex());
+  out->impl_ = impl_->CloneForDelta(new_table, plan);
+  return out;
+}
+
 const GroupStats& GroupIndex::Stats() const {
   if (impl_->stats_dirty) impl_->Recompute();
   return impl_->stats;
@@ -782,6 +1002,9 @@ size_t GroupIndex::num_patterns() const { return impl_->pattern_count(); }
 DataPlane GroupIndex::data_plane() const { return impl_->plane; }
 void GroupIndex::AdoptView(std::shared_ptr<ColumnarView> view) {
   impl_->AdoptSharedView(std::move(view));
+}
+std::shared_ptr<const ColumnarView> GroupIndex::shared_view() const {
+  return impl_->SharedViewHandle();
 }
 size_t GroupIndex::full_builds() const { return impl_->full_builds; }
 size_t GroupIndex::incremental_updates() const { return impl_->incremental_updates; }

@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/value.h"
 #include "core/columnar.h"
+#include "core/delta.h"
 #include "core/microdata.h"
 
 namespace vadasa::core {
@@ -138,10 +139,12 @@ class PatternUniverse : public PatternOracle {
 /// anonymizer suppresses or recodes cells. Updates move only the touched rows
 /// between patterns and mark the affected null-mask classes dirty; Stats()
 /// and Query() re-aggregate lazily, rebuilding only projection indexes of
-/// dirty classes (dirty-group invalidation). Frequencies are integer sums and
-/// match a from-scratch rebuild exactly; weight sums may differ from a
-/// rebuild in the last floating-point bits because pattern insertion order
-/// differs (see docs/performance.md).
+/// dirty classes (dirty-group invalidation). Both frequencies and weight sums
+/// are bit-identical to a from-scratch rebuild: per-pattern aggregates are
+/// re-derived in ascending row order and projection indexes accumulate class
+/// members in canonical first-row order, so incremental maintenance never
+/// drifts from the cold answer (see docs/performance.md and the
+/// delta-vs-full-recompute-bit-identical property).
 class GroupIndex : public PatternOracle {
  public:
   GroupIndex(const MicrodataTable& table, std::vector<size_t> qi_columns,
@@ -164,6 +167,22 @@ class GroupIndex : public PatternOracle {
   /// the index was built from.
   void UpdateRows(const MicrodataTable& table, const std::vector<uint32_t>& rows);
 
+  /// Copy-on-write delta maintenance (docs/api.md §"Streaming deltas"): a new
+  /// index over `new_table`, which must be this index's table with a
+  /// DeltaBatch applied (ApplyDeltaToTable produced both `new_table` and
+  /// `plan`). The pattern partition is cloned and patched — deleted rows are
+  /// detached and the numbering compacted, updated and appended rows are
+  /// re-projected — so only patterns the delta touches are re-aggregated and
+  /// only their null-mask classes lose memoized projection indexes; everything
+  /// else (pattern keys, row lists, warm projection indexes, the columnar
+  /// dictionaries) is inherited. The result is bit-identical to building a
+  /// fresh index from `new_table` (enforced end to end by the
+  /// delta-vs-full-recompute-bit-identical property). This index is not
+  /// modified and stays fully usable — in-flight readers of pre-delta state
+  /// are unaffected. `new_table` must outlive the returned index.
+  std::unique_ptr<GroupIndex> ApplyDelta(const MicrodataTable& new_table,
+                                         const DeltaRowPlan& plan) const;
+
   /// Per-row group statistics; re-aggregated lazily after updates.
   const GroupStats& Stats() const;
 
@@ -183,6 +202,11 @@ class GroupIndex : public PatternOracle {
   /// detects the swap and rebuilds from the new view. No-op on the row plane.
   void AdoptView(std::shared_ptr<ColumnarView> view);
 
+  /// The columnar view backing this index — what api::Session shares with
+  /// risk evaluation as the warm view after an ApplyDelta. Null on the row
+  /// plane.
+  std::shared_ptr<const ColumnarView> shared_view() const;
+
   /// Observability: how many times the index was built from scratch (1 unless
   /// the table shape changed under us) and how many incremental row updates
   /// it absorbed.
@@ -194,6 +218,9 @@ class GroupIndex : public PatternOracle {
   struct Impl;
 
  private:
+  /// Uninitialized shell for ApplyDelta to graft a cloned impl onto.
+  GroupIndex() = default;
+
   std::unique_ptr<Impl> impl_;
 };
 

@@ -34,7 +34,7 @@ Status MicrodataTable::AddRow(std::vector<Value> row) {
                                    " cells, schema has " +
                                    std::to_string(attributes_.size()));
   }
-  rows_.push_back(std::move(row));
+  rows_.push_back(std::make_shared<std::vector<Value>>(std::move(row)));
   return Status::OK();
 }
 
@@ -78,7 +78,7 @@ std::vector<size_t> MicrodataTable::ColumnsWithCategory(
 double MicrodataTable::RowWeight(size_t row) const {
   const int w = weight_column_;
   if (w < 0) return 1.0;
-  const Value& v = rows_[row][static_cast<size_t>(w)];
+  const Value& v = (*rows_[row])[static_cast<size_t>(w)];
   return v.is_numeric() ? v.as_double() : 1.0;
 }
 
@@ -87,7 +87,7 @@ size_t MicrodataTable::CountNullCells() const {
   const auto qis = QuasiIdentifierColumns();
   for (const auto& row : rows_) {
     for (const size_t c : qis) {
-      if (row[c].is_null()) ++count;
+      if ((*row)[c].is_null()) ++count;
     }
   }
   return count;
@@ -104,10 +104,10 @@ Status MicrodataTable::Validate() const {
   }
   const int w = WeightColumn();
   for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].size() != attributes_.size()) {
+    if (rows_[i]->size() != attributes_.size()) {
       return Status::FailedPrecondition("row " + std::to_string(i) + " has wrong width");
     }
-    if (w >= 0 && !rows_[i][static_cast<size_t>(w)].is_numeric()) {
+    if (w >= 0 && !(*rows_[i])[static_cast<size_t>(w)].is_numeric()) {
       return Status::TypeError("row " + std::to_string(i) +
                                " has a non-numeric sampling weight");
     }
@@ -149,8 +149,8 @@ CsvTable MicrodataTable::ToCsv() const {
   for (const Attribute& a : attributes_) csv.header.push_back(a.name);
   for (const auto& row : rows_) {
     std::vector<std::string> cells;
-    cells.reserve(row.size());
-    for (const Value& v : row) {
+    cells.reserve(row->size());
+    for (const Value& v : *row) {
       cells.push_back(v.is_null() ? "NULL_" + std::to_string(v.null_label())
                                   : v.ToString());
     }
@@ -168,7 +168,7 @@ std::string MicrodataTable::ToText(size_t max_rows) const {
   std::vector<std::vector<std::string>> cells(shown);
   for (size_t r = 0; r < shown; ++r) {
     for (size_t c = 0; c < attributes_.size(); ++c) {
-      std::string s = rows_[r][c].ToString();
+      std::string s = (*rows_[r])[c].ToString();
       widths[c] = std::max(widths[c], s.size());
       cells[r].push_back(std::move(s));
     }

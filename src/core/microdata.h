@@ -2,6 +2,7 @@
 #define VADASA_CORE_MICRODATA_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -46,10 +47,17 @@ class MicrodataTable {
   size_t num_columns() const { return attributes_.size(); }
   size_t num_rows() const { return rows_.size(); }
 
-  const std::vector<std::vector<Value>>& rows() const { return rows_; }
-  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
-  const Value& cell(size_t row, size_t col) const { return rows_[row][col]; }
-  void set_cell(size_t row, size_t col, Value v) { rows_[row][col] = std::move(v); }
+  const std::vector<Value>& row(size_t i) const { return *rows_[i]; }
+  const Value& cell(size_t row, size_t col) const { return (*rows_[row])[col]; }
+
+  /// Overwrites one cell. Rows are structurally shared between table copies
+  /// (copying a table is O(rows) refcount bumps, not a deep copy — the delta
+  /// rebuild in ApplyDeltaToTable leans on this), so a write to a shared row
+  /// first detaches a private copy of that row. References returned by row()
+  /// for the same index before the write may therefore dangle after it.
+  void set_cell(size_t row, size_t col, Value v) {
+    MutableRow(row)[col] = std::move(v);
+  }
 
   /// Appends a row; must match the column count.
   Status AddRow(std::vector<Value> row);
@@ -104,9 +112,26 @@ class MicrodataTable {
   /// always current, so const readers need no lazy state or locking.
   void ReindexSchema();
 
+  /// Copy-on-write access: detaches a private copy of the row when other
+  /// table copies still share it, then returns the (now exclusive) storage.
+  std::vector<Value>& MutableRow(size_t i) {
+    if (rows_[i].use_count() > 1) {
+      rows_[i] = std::make_shared<std::vector<Value>>(*rows_[i]);
+    }
+    return *rows_[i];
+  }
+
+  // The delta rebuild aliases unchanged rows from the source table instead
+  // of copying them; it needs the shared handles, not just the cell values.
+  friend Result<MicrodataTable> ApplyDeltaToTable(const MicrodataTable& table,
+                                                  const class DeltaBatch& batch,
+                                                  struct DeltaRowPlan* plan);
+
   std::string name_;
   std::vector<Attribute> attributes_;
-  std::vector<std::vector<Value>> rows_;
+  /// Row storage. shared_ptr per row so copies of the table (snapshots,
+  /// delta generations) share unchanged rows; set_cell copy-on-writes.
+  std::vector<std::shared_ptr<std::vector<Value>>> rows_;
   std::unordered_map<std::string, int> name_index_;
   int weight_column_ = -1;
 };

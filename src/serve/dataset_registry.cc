@@ -132,6 +132,31 @@ Status DatasetRegistry::Replace(const std::string& name,
   return Status::OK();
 }
 
+Result<std::shared_ptr<const LoadedDataset>> DatasetRegistry::ApplyDelta(
+    const std::string& name, const core::DeltaBatch& batch) {
+  obs::Span span("serve.registry.apply_delta");
+  VADASA_ASSIGN_OR_RETURN(const auto base, Load(name));
+  // The table rebuild happens outside the lock, like Load(): a delta against
+  // a wide dataset must not serialize lookups of other datasets.
+  VADASA_ASSIGN_OR_RETURN(core::MicrodataTable next,
+                          core::ApplyDeltaToTable(*base->table, batch));
+  auto loaded = std::make_shared<LoadedDataset>();
+  loaded->path = name;
+  loaded->table = std::make_shared<const core::MicrodataTable>(std::move(next));
+  loaded->dictionary = base->dictionary;  // Schema unchanged by a delta.
+  loaded->fingerprint = FingerprintTable(*loaded->table);
+  loaded->version = base->version + 1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = datasets_.insert_or_assign(name, std::move(loaded));
+  if (inserted) order_.push_back(name);
+  // Invalidation is hygiene: jobs submitted from now on carry the post-delta
+  // fingerprint and would miss anyway, but the pre-delta payloads stop
+  // squatting on the cache budget.
+  if (result_cache_ != nullptr) result_cache_->InvalidateDataset(name);
+  VADASA_METRIC_COUNT("serve.registry.delta_applies", 1);
+  return it->second;
+}
+
 void DatasetRegistry::set_result_cache(ResultCache* cache) {
   std::lock_guard<std::mutex> lock(mutex_);
   result_cache_ = cache;

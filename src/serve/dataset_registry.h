@@ -9,6 +9,7 @@
 
 #include "api/vadasa.h"
 #include "common/result.h"
+#include "core/delta.h"
 #include "core/metadata.h"
 #include "core/microdata.h"
 
@@ -26,6 +27,11 @@ struct LoadedDataset {
   /// Computed once per load; the result-cache key embeds it, so a reloaded
   /// dataset with different bytes can never serve a stale cached payload.
   uint64_t fingerprint = 0;
+  /// Monotonic dataset version: 1 at first load/registration, +1 per applied
+  /// delta (ApplyDelta). Purely informational — cache correctness rides the
+  /// fingerprint; the version lets clients confirm which generation of a
+  /// streamed dataset served their job.
+  uint64_t version = 1;
 };
 
 /// Loads microdata tables + metadata dictionaries once and hands out shared
@@ -62,6 +68,17 @@ class DatasetRegistry {
   /// dataset's result-cache entries — the reload path for Register()ed
   /// tables.
   Status Replace(const std::string& name, core::MicrodataTable table);
+
+  /// Applies a validated DeltaBatch to the dataset's current snapshot and
+  /// publishes the post-delta generation under the same name: version + 1,
+  /// fresh content fingerprint (so ResultCache keys stay coherent — a job
+  /// submitted after the delta can never hit a pre-delta payload), result
+  /// cache invalidated as hygiene. In-flight jobs keep their pre-delta
+  /// snapshot refcounts and serve bit-identical pre-delta results. Concurrent
+  /// ApplyDelta calls against one name are last-write-wins; serialize on the
+  /// caller side when deltas must compose. Returns the new snapshot.
+  Result<std::shared_ptr<const LoadedDataset>> ApplyDelta(
+      const std::string& name, const core::DeltaBatch& batch);
 
   /// A Session over the dataset at `path` with the given policy.
   Result<api::Session> OpenSession(const std::string& path,

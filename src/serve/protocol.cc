@@ -1,10 +1,12 @@
 #include "serve/protocol.h"
 
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
 #include "common/csv.h"
+#include "core/delta.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "obs/sampler.h"
@@ -15,11 +17,16 @@ namespace vadasa::serve {
 
 namespace {
 
+/// The protocol version this server speaks, echoed as "v" in every response.
+/// v2 added dataset versioning and the "apply_delta" verb.
+constexpr int64_t kProtocolVersion = 2;
+
 /// Every response line echoes the trace id installed on the handling thread,
 /// joining it to the request's spans and slow-log line.
 std::string OkLine(Json::Object fields) {
   Json::Object object = std::move(fields);
   object["ok"] = true;
+  object["v"] = kProtocolVersion;
   object["trace_id"] = obs::TraceIdToHex(obs::CurrentTraceId());
   return Json(std::move(object)).Dump();
 }
@@ -27,18 +34,26 @@ std::string OkLine(Json::Object fields) {
 std::string ErrorLine(const Status& status, Json::Object extra = {}) {
   Json::Object object = std::move(extra);
   object["ok"] = false;
+  object["v"] = kProtocolVersion;
   object["error"] = status.message();
   object["code"] = std::string(StatusCodeToString(status.code()));
   object["trace_id"] = obs::TraceIdToHex(obs::CurrentTraceId());
   return Json(std::move(object)).Dump();
 }
 
+/// 16-hex-digit rendering of a content fingerprint (same shape as trace ids).
+std::string FingerprintHex(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
 /// Latency histograms keyed by verb. Only known verbs get a metric —
 /// arbitrary op strings must not mint unbounded registry entries.
 bool IsKnownOp(const std::string& op) {
   return op == "ping" || op == "datasets" || op == "submit" || op == "status" ||
-         op == "result" || op == "cancel" || op == "metrics" ||
-         op == "telemetry" || op == "shutdown";
+         op == "result" || op == "cancel" || op == "apply_delta" ||
+         op == "metrics" || op == "telemetry" || op == "shutdown";
 }
 
 Json RiskJson(const api::RiskReport& report) {
@@ -132,6 +147,25 @@ std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested
     return ErrorLine(Status::InvalidArgument("request has no \"op\" field"));
   }
 
+  // Version negotiation: no "v" means v1 (every pre-delta verb is accepted);
+  // a "v" the server does not speak fails loudly, before any verb runs.
+  int64_t version = 1;
+  if (request.Has("v")) {
+    if (!request["v"].is_number()) {
+      return ErrorLine(
+          Status::InvalidArgument("\"v\" must be a protocol version number"));
+    }
+    version = request.GetInt("v", 1);
+    if (version < 1 || version > kProtocolVersion) {
+      return ErrorLine(
+          Status::InvalidArgument(
+              "unsupported protocol version " + std::to_string(version) +
+              " (this server speaks 1.." + std::to_string(kProtocolVersion) +
+              ")"),
+          {{"supported_max", kProtocolVersion}});
+    }
+  }
+
   if (op == "ping") {
     return OkLine({{"op", Json("ping")}});
   }
@@ -142,6 +176,13 @@ std::string Protocol::Dispatch(const std::string& line, bool* shutdown_requested
   }
   if (op == "submit") {
     return HandleSubmit(request, quota);
+  }
+  if (op == "apply_delta") {
+    if (version < 2) {
+      return ErrorLine(Status::InvalidArgument(
+          "\"apply_delta\" requires protocol v2: send \"v\":2"));
+    }
+    return HandleApplyDelta(request);
   }
   if (op == "metrics") {
     auto metrics = Json::Parse(obs::MetricsRegistry::Global().ToJson());
@@ -262,6 +303,73 @@ std::string Protocol::HandleSubmit(const Json& request, ClientQuota* quota) {
     return ErrorLine(id.status());
   }
   return OkLine({{"id", Json(*id)}, {"state", Json("queued")}});
+}
+
+std::string Protocol::HandleApplyDelta(const Json& request) {
+  const std::string dataset = request.GetString("dataset", "");
+  if (dataset.empty()) {
+    return ErrorLine(
+        Status::InvalidArgument("apply_delta requires a \"dataset\""));
+  }
+  if (!request.Has("ops") || !request["ops"].is_array()) {
+    return ErrorLine(
+        Status::InvalidArgument("apply_delta requires an \"ops\" array"));
+  }
+  // The current snapshot pins the expected row width. All validation — op
+  // shape here, arity in the builder, row bounds and weight types in
+  // ApplyDeltaToTable — completes before any registry state changes.
+  auto loaded = registry_->Load(dataset);
+  if (!loaded.ok()) return ErrorLine(loaded.status());
+  core::DeltaBatchBuilder builder((*loaded)->table->num_columns());
+  for (const Json& op_json : request["ops"].AsArray()) {
+    const std::string kind = op_json.GetString("kind", "");
+    if (kind != "append" && kind != "update" && kind != "delete") {
+      return ErrorLine(Status::InvalidArgument(
+          "unknown delta op kind \"" + kind +
+          "\" (want \"append\", \"update\" or \"delete\")"));
+    }
+    uint32_t row = 0;
+    if (kind != "append") {
+      if (!op_json.Has("row") || !op_json["row"].is_number() ||
+          op_json.GetInt("row", -1) < 0) {
+        return ErrorLine(Status::InvalidArgument(
+            "delta op \"" + kind +
+            "\" requires a non-negative numeric \"row\""));
+      }
+      row = static_cast<uint32_t>(op_json.GetInt("row", 0));
+    }
+    std::vector<Value> values;
+    if (kind != "delete") {
+      if (!op_json.Has("values") || !op_json["values"].is_array()) {
+        return ErrorLine(Status::InvalidArgument(
+            "delta op \"" + kind + "\" requires a \"values\" array"));
+      }
+      for (const Json& cell : op_json["values"].AsArray()) {
+        if (!cell.is_string()) {
+          return ErrorLine(Status::InvalidArgument(
+              "delta cells are CSV-format strings (e.g. \"12\", \"Roma\", "
+              "\"NULL_3\")"));
+        }
+        values.push_back(CellToValue(cell.AsString()));
+      }
+    }
+    if (kind == "append") {
+      builder.Append(std::move(values));
+    } else if (kind == "update") {
+      builder.Update(row, std::move(values));
+    } else {
+      builder.Delete(row);
+    }
+  }
+  auto batch = builder.Build();
+  if (!batch.ok()) return ErrorLine(batch.status());
+  auto applied = registry_->ApplyDelta(dataset, *batch);
+  if (!applied.ok()) return ErrorLine(applied.status());
+  return OkLine(
+      {{"dataset", Json(dataset)},
+       {"version", Json((*applied)->version)},
+       {"rows", Json(static_cast<int64_t>((*applied)->table->num_rows()))},
+       {"fingerprint", Json(FingerprintHex((*applied)->fingerprint))}});
 }
 
 std::string Protocol::HandleResult(uint64_t id) {

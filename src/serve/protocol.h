@@ -16,6 +16,14 @@ namespace vadasa::serve {
 /// failures carry "error" and "code", job-level failures arrive as terminal
 /// job states inside an ok:true envelope.
 ///
+/// Versioning: every response states the server's protocol version as "v"
+/// (currently 2). Requests may carry "v"; absent means 1 (the pre-delta
+/// protocol, fully accepted). A "v" the server does not speak is rejected
+/// with a structured InvalidArgument carrying "supported_max", so old servers
+/// fail new clients loudly instead of mis-parsing their requests. The
+/// "apply_delta" verb is v2-only: a request must say "v":2 (or higher, up to
+/// the server's version) to use it.
+///
 /// Operations:
 ///   {"op":"ping"}
 ///   {"op":"datasets"}
@@ -23,6 +31,15 @@ namespace vadasa::serve {
 ///   {"op":"status","id":N}
 ///   {"op":"result","id":N}        — blocks until the job is terminal
 ///   {"op":"cancel","id":N}
+///   {"op":"apply_delta","v":2,"dataset":PATH,"ops":[...]}
+///       — streams a DeltaBatch into the registry (docs/serving.md:
+///         "Streaming deltas"). Each element of "ops" is
+///         {"kind":"append","values":[CELLS]} |
+///         {"kind":"update","row":N,"values":[CELLS]} |
+///         {"kind":"delete","row":N}, cells in the CSV cell format
+///         ("12", "3.5", "Roma", "NULL_7"). Responds with the dataset's new
+///         monotonic "version", "rows" and content "fingerprint"; in-flight
+///         jobs keep serving the pre-delta snapshot bit-identically.
 ///   {"op":"metrics"}              — serve.* / cycle.* metrics snapshot
 ///   {"op":"telemetry"}            — Prometheus exposition + sampler series
 ///   {"op":"shutdown"}
@@ -56,6 +73,7 @@ class Protocol {
   std::string Dispatch(const std::string& line, bool* shutdown_requested,
                        std::string* op_out, ClientQuota* quota);
   std::string HandleSubmit(const Json& request, ClientQuota* quota);
+  std::string HandleApplyDelta(const Json& request);
   std::string HandleResult(uint64_t id);
 
   DatasetRegistry* registry_;

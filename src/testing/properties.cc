@@ -18,6 +18,7 @@
 #include "core/business.h"
 #include "core/columnar.h"
 #include "core/cycle.h"
+#include "core/delta.h"
 #include "core/group_index.h"
 #include "core/microdata.h"
 #include "core/risk.h"
@@ -514,6 +515,112 @@ Status EvalColumnarRowBitIdentical(const ReproCase& repro) {
   return Status::OK();
 }
 
+/// Builds a random DeltaBatch against `table`'s current shape from `aux`.
+/// Appended/updated rows usually copy an existing row and perturb one cell,
+/// sometimes to a labelled null — the suppression-shaped mutations a
+/// streaming feed actually carries. Deterministic in (aux state, table).
+Result<core::DeltaBatch> RandomDelta(Rng* aux, const MicrodataTable& table) {
+  auto random_row = [&]() {
+    std::vector<Value> row;
+    if (table.num_rows() > 0 && aux->NextDouble() < 0.8) {
+      row = table.row(aux->NextBelow(table.num_rows()));
+    } else {
+      for (const auto& attribute : table.attributes()) {
+        row.push_back(attribute.category == AttributeCategory::kWeight
+                          ? Value::Double(1.0 + aux->NextBelow(4))
+                          : Value::String("d" + std::to_string(aux->NextBelow(6))));
+      }
+    }
+    // Perturb one non-weight cell so deltas actually move groups around.
+    const size_t c = aux->NextBelow(table.num_columns());
+    if (table.attributes()[c].category != AttributeCategory::kWeight) {
+      row[c] = aux->NextDouble() < 0.3
+                   ? Value::Null(static_cast<int>(aux->NextBelow(50)))
+                   : Value::String("delta-" + std::to_string(aux->NextBelow(8)));
+    }
+    return row;
+  };
+  core::DeltaBatchBuilder builder(table.num_columns());
+  const size_t nops = 1 + aux->NextBelow(4);
+  for (size_t o = 0; o < nops; ++o) {
+    const double roll = aux->NextDouble();
+    if (table.num_rows() == 0 || roll < 0.4) {
+      builder.Append(random_row());
+    } else if (roll < 0.75) {
+      builder.Update(aux->NextBelow(table.num_rows()), random_row());
+    } else {
+      builder.Delete(aux->NextBelow(table.num_rows()));
+    }
+  }
+  return builder.Build();
+}
+
+Status EvalDeltaVsFullRecompute(const ReproCase& repro) {
+  // The incremental-maintenance contract (docs/api.md §"Streaming deltas"):
+  // a session maintained through Session::Apply must be indistinguishable —
+  // risk vectors, released bytes, audit text — from a cold session built
+  // from scratch over the exact post-delta table, on both data planes and
+  // across chained delta steps.
+  api::SessionOptions options;
+  options.risk_measure = Param(repro, "measure", "k-anonymity");
+  options.k = static_cast<int>(ParamU64(repro, "k", 2));
+  options.threshold = ParamDouble(repro, "threshold", 0.5);
+  options.standard_nulls = Param(repro, "semantics", "maybe") == "standard";
+  const size_t steps = ParamU64(repro, "steps", 2);
+
+  auto run_on_plane = [&](core::DataPlane plane) -> Status {
+    const core::DataPlane previous = core::ActiveDataPlane();
+    core::SetDataPlane(plane);
+    auto run = [&]() -> Status {
+      Rng aux(repro.seed);
+      const auto shared = std::make_shared<const MicrodataTable>(repro.table);
+      VADASA_ASSIGN_OR_RETURN(
+          api::Session session,
+          api::Session::FromShared(shared, nullptr, options));
+      VADASA_RETURN_NOT_OK(session.Warm());
+      for (size_t s = 0; s < steps; ++s) {
+        VADASA_ASSIGN_OR_RETURN(const core::DeltaBatch batch,
+                                RandomDelta(&aux, *session.shared_table()));
+        VADASA_ASSIGN_OR_RETURN(api::Session child, session.Apply(batch));
+        VADASA_ASSIGN_OR_RETURN(
+            api::Session cold,
+            api::Session::FromShared(child.shared_table(), nullptr, options));
+        VADASA_RETURN_NOT_OK(cold.Warm());
+        VADASA_ASSIGN_OR_RETURN(const api::RiskReport incremental, child.Risk());
+        VADASA_ASSIGN_OR_RETURN(const api::RiskReport reference, cold.Risk());
+        if (incremental.tuple_risks != reference.tuple_risks) {
+          return Status::FailedPrecondition(
+              "step " + std::to_string(s) +
+              ": incremental risks differ from the cold rebuild");
+        }
+        VADASA_ASSIGN_OR_RETURN(const api::AnonymizeResponse inc_release,
+                                child.Anonymize());
+        VADASA_ASSIGN_OR_RETURN(const api::AnonymizeResponse ref_release,
+                                cold.Anonymize());
+        if (WriteCsv(inc_release.table.ToCsv()) !=
+            WriteCsv(ref_release.table.ToCsv())) {
+          return Status::FailedPrecondition(
+              "step " + std::to_string(s) +
+              ": incremental release is not byte-identical to the cold rebuild");
+        }
+        if (inc_release.ToText() != ref_release.ToText()) {
+          return Status::FailedPrecondition(
+              "step " + std::to_string(s) +
+              ": incremental audit text differs from the cold rebuild");
+        }
+        session = std::move(child);
+      }
+      return Status::OK();
+    };
+    const Status status = run();
+    core::SetDataPlane(previous);
+    return status;
+  };
+
+  VADASA_RETURN_NOT_OK(run_on_plane(core::DataPlane::kRow));
+  return run_on_plane(core::DataPlane::kColumnar);
+}
+
 Status EvalCachedResultBitIdentical(const ReproCase& repro) {
   // The result-cache coherence contract (docs/serving.md): a hit replays the
   // exact bytes of the cold run it memoized, a primed hot policy keeps
@@ -975,6 +1082,28 @@ std::vector<Property> BuildCatalog() {
          return repro;
        },
        EvalColumnarRowBitIdentical});
+
+  catalog.push_back(
+      {"delta-vs-full-recompute-bit-identical",
+       "incrementally maintained sessions match a cold rebuild of the "
+       "post-delta table byte-for-byte, on both data planes",
+       false,
+       [](Rng* rng, uint64_t i) {
+         TableGenOptions options;
+         options.max_rows = 18;  // Each case runs `steps` full cycles per plane.
+         options.max_qi = 3;
+         options.null_probability = 0.1;
+         ReproCase repro = TableCase("delta-vs-full-recompute-bit-identical",
+                                     rng, i, options);
+         repro.params["measure"] = PickMeasure(rng);
+         repro.params["k"] = std::to_string(rng->NextInt(2, 4));
+         repro.params["threshold"] =
+             std::to_string(rng->NextDouble() < 0.5 ? 0.34 : 0.5);
+         repro.params["semantics"] = PickSemantics(rng, 0.6);
+         repro.params["steps"] = std::to_string(rng->NextInt(1, 3));
+         return repro;
+       },
+       EvalDeltaVsFullRecompute});
 
   catalog.push_back(
       {"cached-result-bit-identical",

@@ -174,6 +174,134 @@ TEST(SessionTest, ExpiredDeadlineShortCircuitsAnonymize) {
             StatusCode::kDeadlineExceeded);
 }
 
+core::DeltaBatch Fig5Delta(const MicrodataTable& t) {
+  core::DeltaBatchBuilder builder(t.num_columns());
+  std::vector<Value> updated = t.row(1);
+  updated[2] = Value::Null(77);
+  builder.Update(1, std::move(updated));
+  builder.Delete(4);
+  builder.Append(t.row(0));
+  auto batch = builder.Build();
+  EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  return *batch;
+}
+
+TEST(SessionTest, ApplyReturnsImmutableSibling) {
+  auto parent = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(parent.ok());
+  const std::string before = WriteCsv(parent->table().ToCsv());
+  auto child = parent->Apply(Fig5Delta(parent->table()));
+  ASSERT_TRUE(child.ok()) << child.status().ToString();
+  EXPECT_EQ(WriteCsv(parent->table().ToCsv()), before)
+      << "Apply never mutates its session";
+  EXPECT_EQ(child->table().num_rows(), parent->table().num_rows());
+  EXPECT_TRUE(child->table().cell(1, 2).is_null());
+  EXPECT_EQ(child->options().k, parent->options().k);
+  EXPECT_EQ(child->options().risk_measure, parent->options().risk_measure);
+}
+
+TEST(SessionTest, ApplyRejectsBadBatchesWithoutSideEffects) {
+  auto session = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(session.ok());
+  core::DeltaBatchBuilder builder(session->table().num_columns());
+  builder.Delete(10'000);
+  auto batch = builder.Build();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(session->Apply(*batch).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Session().Apply(*batch).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, WarmApplyMatchesColdSessionBitIdentically) {
+  auto parent = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(parent.ok());
+  ASSERT_TRUE(parent->Warm().ok());
+  ASSERT_NE(parent->delta_index(), nullptr);
+
+  auto child = parent->Apply(Fig5Delta(parent->table()));
+  ASSERT_TRUE(child.ok());
+  ASSERT_NE(child->warm_stats(), nullptr) << "warm parents hand down warm children";
+  ASSERT_NE(child->delta_index(), nullptr);
+
+  // Cold reference: a fresh warmed session over the post-delta table.
+  auto cold = Session::FromTable(child->table(), {});
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->Warm().ok());
+  EXPECT_EQ(child->warm_stats()->frequency, cold->warm_stats()->frequency);
+  EXPECT_EQ(child->warm_stats()->weight_sum, cold->warm_stats()->weight_sum);
+
+  auto child_risk = child->Risk();
+  auto cold_risk = cold->Risk();
+  ASSERT_TRUE(child_risk.ok());
+  ASSERT_TRUE(cold_risk.ok());
+  EXPECT_EQ(child_risk->tuple_risks, cold_risk->tuple_risks);
+
+  auto child_released = child->Anonymize();
+  auto cold_released = cold->Anonymize();
+  ASSERT_TRUE(child_released.ok());
+  ASSERT_TRUE(cold_released.ok());
+  EXPECT_EQ(WriteCsv(child_released->table.ToCsv()),
+            WriteCsv(cold_released->table.ToCsv()));
+}
+
+TEST(SessionTest, ParentKeepsServingPreDeltaResultsAfterApply) {
+  auto parent = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(parent.ok());
+  ASSERT_TRUE(parent->Warm().ok());
+  auto before = parent->Risk();
+  ASSERT_TRUE(before.ok());
+
+  auto child = parent->Apply(Fig5Delta(parent->table()));
+  ASSERT_TRUE(child.ok());
+
+  // The in-flight view of the parent is untouched, bit for bit.
+  auto after = parent->Risk();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->tuple_risks, before->tuple_risks);
+  auto reference = Session::FromTable(Figure5Microdata(), {});
+  ASSERT_TRUE(reference.ok());
+  auto fresh = reference->Risk();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(after->tuple_risks, fresh->tuple_risks);
+}
+
+TEST(SessionTest, FromSharedSessionsAfterParentApplyStayIndependent) {
+  auto table = std::make_shared<const MicrodataTable>(Figure5Microdata());
+  auto parent = Session::FromShared(table, nullptr, {});
+  ASSERT_TRUE(parent.ok());
+  ASSERT_TRUE(parent->Warm().ok());
+
+  // A sibling session adopting the parent's warm stats (the scheduler's
+  // coalesced-warmup path) before the delta lands.
+  auto sibling = Session::FromShared(table, nullptr, {});
+  ASSERT_TRUE(sibling.ok());
+  sibling->AdoptWarmStats(parent->warm_stats(), parent->warm_view());
+  ASSERT_EQ(sibling->delta_index(), nullptr)
+      << "adopted stats arrive without an index";
+
+  auto child = parent->Apply(Fig5Delta(parent->table()));
+  ASSERT_TRUE(child.ok());
+
+  // The sibling still serves pre-delta results bit-identically...
+  auto sibling_risk = sibling->Risk();
+  auto parent_risk = parent->Risk();
+  ASSERT_TRUE(sibling_risk.ok());
+  ASSERT_TRUE(parent_risk.ok());
+  EXPECT_EQ(sibling_risk->tuple_risks, parent_risk->tuple_risks);
+
+  // ...and an Apply from the index-less sibling still works (cold child).
+  auto cold_child = sibling->Apply(Fig5Delta(sibling->table()));
+  ASSERT_TRUE(cold_child.ok());
+  EXPECT_EQ(cold_child->warm_stats(), nullptr);
+  ASSERT_TRUE(cold_child->Warm().ok());
+  auto warm_risk = cold_child->Risk();
+  auto child_risk = child->Risk();
+  ASSERT_TRUE(warm_risk.ok());
+  ASSERT_TRUE(child_risk.ok());
+  EXPECT_EQ(warm_risk->tuple_risks, child_risk->tuple_risks)
+      << "cold and incremental children agree bit for bit";
+}
+
 TEST(SessionTest, SharedTableServesManySessions) {
   auto table = std::make_shared<const MicrodataTable>(Figure5Microdata());
   SessionOptions strict;

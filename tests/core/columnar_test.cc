@@ -106,6 +106,79 @@ TEST(ColumnarViewTest, CodeForQueryInternsAbsentPatternValues) {
   for (const uint32_t code : view.Codes(0)) EXPECT_NE(code, absent);
 }
 
+TEST(ColumnarViewTest, UpdateThenAppendInterleavingViaDeltaClone) {
+  MicrodataTable t = SmallTable();
+  ColumnarView parent(t);
+  parent.EnsureColumns(t, {0, 1});
+  const uint32_t code_a = parent.Codes(0)[0];
+  const uint32_t code_b = parent.Codes(0)[1];
+
+  // Delta: update row 1 ("b" -> "a"), append two rows, one reusing "b" and
+  // one introducing a new value — the update-then-append interleaving.
+  MicrodataTable next = t;
+  next.set_cell(1, 0, Value::String("a"));
+  ASSERT_TRUE(
+      next.AddRow({Value::String("b"), Value::Int(9), Value::Double(1.0)}).ok());
+  ASSERT_TRUE(
+      next.AddRow({Value::String("zig"), Value::Int(1), Value::Double(1.0)}).ok());
+  const ColumnarView child(parent, next, /*deleted_old_rows=*/{},
+                           /*changed_new_rows=*/{1, 3, 4});
+
+  ASSERT_EQ(child.num_rows(), 5u);
+  EXPECT_EQ(child.Codes(0)[0], code_a) << "untouched rows keep inherited codes";
+  EXPECT_EQ(child.Codes(0)[1], code_a) << "updated cell re-interns to the shared code";
+  EXPECT_EQ(child.Codes(0)[3], code_b) << "appended cell reuses the inherited dictionary";
+  EXPECT_TRUE(child.Decode(0, child.Codes(0)[4]).Equals(Value::String("zig")));
+  EXPECT_DOUBLE_EQ(child.Weights()[3], 1.0);
+  EXPECT_DOUBLE_EQ(child.Weights()[0], 2.0);
+
+  // The parent is untouched: old snapshots keep serving pre-delta codes.
+  EXPECT_EQ(parent.num_rows(), 3u);
+  EXPECT_EQ(parent.Codes(0)[1], code_b);
+}
+
+TEST(ColumnarViewTest, DeltaCloneCompactsDeletesAndReInternsLabelledNulls) {
+  MicrodataTable t = SmallTable();
+  t.set_cell(2, 0, Value::Null(5));
+  ColumnarView parent(t);
+  parent.EnsureColumns(t, {0});
+  const uint32_t null5 = parent.Codes(0)[2];
+  ASSERT_TRUE(IsNullCode(null5));
+
+  // Delete row 1 and append a row carrying the same labelled null plus a row
+  // with a fresh label: equal labels must collapse onto the inherited code,
+  // distinct labels must not.
+  MicrodataTable next("columnar-test", t.attributes());
+  ASSERT_TRUE(next.AddRow(t.row(0)).ok());
+  ASSERT_TRUE(next.AddRow(t.row(2)).ok());
+  ASSERT_TRUE(next.AddRow({Value::Null(5), Value::Int(3), Value::Double(1.0)}).ok());
+  ASSERT_TRUE(next.AddRow({Value::Null(6), Value::Int(3), Value::Double(1.0)}).ok());
+  const ColumnarView child(parent, next, /*deleted_old_rows=*/{1},
+                           /*changed_new_rows=*/{2, 3});
+
+  ASSERT_EQ(child.num_rows(), 4u);
+  EXPECT_EQ(child.Codes(0)[1], null5) << "survivors compact down preserving codes";
+  EXPECT_EQ(child.Codes(0)[2], null5) << "⊥_5 re-interns onto the inherited code";
+  EXPECT_TRUE(IsNullCode(child.Codes(0)[3]));
+  EXPECT_NE(child.Codes(0)[3], null5) << "⊥_6 stays distinct from ⊥_5";
+  EXPECT_DOUBLE_EQ(child.Weights()[1], 1.5);
+}
+
+TEST(ColumnarViewTest, DeltaCloneLeavesUnmaterializedColumnsUnmaterialized) {
+  MicrodataTable t = SmallTable();
+  ColumnarView parent(t);
+  parent.EnsureColumns(t, {0});  // Column 1 never materialized.
+  const size_t parent_bytes = parent.codes_bytes();
+  MicrodataTable next = t;
+  next.set_cell(0, 0, Value::String("b"));
+  const ColumnarView child(parent, next, {}, {0});
+  EXPECT_EQ(child.codes_bytes(), parent_bytes)
+      << "only column 0's codes (and weights) were cloned";
+  // Materializing column 1 afterwards still works against the new table.
+  child.EnsureColumns(next, {1});
+  EXPECT_EQ(child.Codes(1).size(), 3u);
+}
+
 /// End-to-end: stats computed through a shared view equal the row plane's,
 /// before and after an incremental update — the unit-sized version of the
 /// columnar-vs-row-bit-identical property.

@@ -118,5 +118,26 @@ TEST(Figure5Test, MatchesPaperShape) {
   EXPECT_EQ(t.cell(0, 0).as_string(), "099876");
 }
 
+TEST(MicrodataTest, CopiedTablesShareRowsUntilWritten) {
+  // Rows are structurally shared between table copies (the delta rebuild
+  // relies on it); set_cell must detach a private copy instead of writing
+  // through to every copy.
+  MicrodataTable original = TwoColumnTable();
+  MicrodataTable copy = original;
+  EXPECT_EQ(&copy.row(0), &original.row(0)) << "copies alias unchanged rows";
+
+  copy.set_cell(0, 1, Value::String("East"));
+  EXPECT_EQ(copy.cell(0, 1).as_string(), "East");
+  EXPECT_EQ(original.cell(0, 1).as_string(), "North")
+      << "a write to one copy must never leak into the other";
+  EXPECT_NE(&copy.row(0), &original.row(0));
+  EXPECT_EQ(&copy.row(1), &original.row(1)) << "untouched rows stay shared";
+
+  // Writing the sole owner must not detach again (no copy churn).
+  const auto* before = &copy.row(0);
+  copy.set_cell(0, 1, Value::String("West"));
+  EXPECT_EQ(&copy.row(0), before);
+}
+
 }  // namespace
 }  // namespace vadasa::core

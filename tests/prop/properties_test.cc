@@ -87,6 +87,28 @@ TEST(PropCatalogTest, ChaosServeNeverCorruptsWideSweep) {
       << report.cases_run << " cases" << diagnostics;
 }
 
+/// The incremental-maintenance acceptance bar (docs/api.md §"Streaming
+/// deltas"): 220+ generated cases, each streaming chained random delta
+/// batches (appends, updates, deletes, labelled-null suppressions) through
+/// Session::Apply on both data planes. Every step's risks, released bytes,
+/// and audit text must be byte-identical to a cold session built from
+/// scratch over the post-delta table.
+TEST(PropCatalogTest, DeltaVsFullRecomputeWideSweep) {
+  const Property* property = FindProperty("delta-vs-full-recompute-bit-identical");
+  ASSERT_NE(property, nullptr);
+  HarnessOptions options;
+  options.cases_per_property = 220;
+  const HarnessReport report = RunProperty(*property, options);
+  EXPECT_EQ(report.cases_run, 220u);
+  std::string diagnostics;
+  for (const ReproCase& repro : report.repros) {
+    diagnostics += "\n--- shrunk repro ---\n" + ReproToString(repro);
+  }
+  EXPECT_EQ(report.failures, 0u)
+      << "incremental delta maintenance diverged from the cold rebuild on "
+      << report.failures << "/" << report.cases_run << " cases" << diagnostics;
+}
+
 /// The result-cache coherence acceptance bar (docs/serving.md): 220+
 /// generated cases, each priming hot policies, interleaving them with
 /// unique-policy traffic, and replacing the dataset's content mid-stream —

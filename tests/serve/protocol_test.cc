@@ -4,6 +4,7 @@
 
 #include "common/json.h"
 #include "core/datagen.h"
+#include "serve/result_cache.h"
 
 namespace vadasa::serve {
 namespace {
@@ -100,6 +101,138 @@ TEST_F(ProtocolTest, ErrorsAreStructured) {
   const Json bad_policy =
       Call(R"({"op":"submit","dataset":"fig5","measure":"nonsense"})");
   EXPECT_FALSE(bad_policy.GetBool("ok", true));
+}
+
+TEST_F(ProtocolTest, ResponsesEchoProtocolVersionTwo) {
+  EXPECT_EQ(Call(R"({"op":"ping"})").GetInt("v", 0), 2);
+  EXPECT_EQ(Call(R"({"op":"ping","v":1})").GetInt("v", 0), 2);
+  EXPECT_EQ(Call(R"({"op":"ping","v":2})").GetInt("v", 0), 2);
+  const Json error = Call(R"({"op":"frobnicate"})");
+  EXPECT_FALSE(error.GetBool("ok", true));
+  EXPECT_EQ(error.GetInt("v", 0), 2) << "error lines carry the version too";
+}
+
+TEST_F(ProtocolTest, UnknownProtocolVersionsAreRejected) {
+  const Json future = Call(R"({"op":"ping","v":3})");
+  EXPECT_FALSE(future.GetBool("ok", true));
+  EXPECT_EQ(future.GetString("code", ""), "InvalidArgument");
+  EXPECT_EQ(future.GetInt("supported_max", 0), 2);
+  const Json zero = Call(R"({"op":"submit","dataset":"fig5","v":0})");
+  EXPECT_FALSE(zero.GetBool("ok", true));
+  const Json stringy = Call(R"({"op":"ping","v":"two"})");
+  EXPECT_FALSE(stringy.GetBool("ok", true));
+}
+
+TEST_F(ProtocolTest, ApplyDeltaIsGatedOnV2) {
+  const std::string ops = R"("ops":[{"kind":"delete","row":6}])";
+  const Json implicit_v1 =
+      Call(R"({"op":"apply_delta","dataset":"fig5",)" + ops + "}");
+  EXPECT_FALSE(implicit_v1.GetBool("ok", true));
+  EXPECT_NE(implicit_v1.GetString("error", "").find("v2"), std::string::npos);
+  const Json explicit_v1 =
+      Call(R"({"op":"apply_delta","v":1,"dataset":"fig5",)" + ops + "}");
+  EXPECT_FALSE(explicit_v1.GetBool("ok", true));
+  const Json v2 =
+      Call(R"({"op":"apply_delta","v":2,"dataset":"fig5",)" + ops + "}");
+  EXPECT_TRUE(v2.GetBool("ok", false)) << v2.Dump();
+}
+
+TEST_F(ProtocolTest, ApplyDeltaRoundTripVersionsTheDataset) {
+  const Json applied = Call(
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[)"
+      R"({"kind":"update","row":0,"values":["099876","Roma","Commerce","1000+","0-30"]},)"
+      R"({"kind":"delete","row":6},)"
+      R"({"kind":"append","values":["555555","Milano","Construction","0-200","60-90"]},)"
+      R"({"kind":"append","values":["666666","NULL_3","Commerce","1000+","0-30"]}]})");
+  ASSERT_TRUE(applied.GetBool("ok", false)) << applied.Dump();
+  EXPECT_EQ(applied.GetInt("version", 0), 2);
+  EXPECT_EQ(applied.GetInt("rows", 0), 8);
+  EXPECT_EQ(applied.GetString("fingerprint", "").size(), 16u);
+
+  // Jobs submitted after the delta run over the post-delta generation.
+  const Json submitted =
+      Call(R"({"op":"submit","dataset":"fig5","action":"risk"})");
+  ASSERT_TRUE(submitted.GetBool("ok", false));
+  const Json result = Call(R"({"op":"result","id":)" +
+                           std::to_string(submitted.GetInt("id", 0)) + "}");
+  ASSERT_TRUE(result.GetBool("ok", false)) << result.Dump();
+  EXPECT_EQ(result["risk"]["tuple_risks"].AsArray().size(), 8u);
+
+  const Json again = Call(
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"delete","row":0}]})");
+  ASSERT_TRUE(again.GetBool("ok", false));
+  EXPECT_EQ(again.GetInt("version", 0), 3) << "versions are monotonic";
+  EXPECT_NE(again.GetString("fingerprint", ""),
+            applied.GetString("fingerprint", ""));
+}
+
+TEST_F(ProtocolTest, ApplyDeltaRejectsMalformedBatches) {
+  const char* kBad[] = {
+      R"({"op":"apply_delta","v":2})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5"})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"merge"}]})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"delete"}]})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"update","row":0}]})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"append","values":["too","short"]}]})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"append","values":[1,2,3,4,5]}]})",
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"delete","row":99}]})",
+  };
+  for (const char* line : kBad) {
+    const Json response = Call(line);
+    EXPECT_FALSE(response.GetBool("ok", true)) << line;
+    EXPECT_EQ(response.GetString("code", ""), "InvalidArgument") << line;
+  }
+  // None of the rejected batches touched the dataset.
+  const Json submitted =
+      Call(R"({"op":"submit","dataset":"fig5","action":"risk"})");
+  const Json result = Call(R"({"op":"result","id":)" +
+                           std::to_string(submitted.GetInt("id", 0)) + "}");
+  EXPECT_EQ(result["risk"]["tuple_risks"].AsArray().size(), 7u);
+}
+
+/// Serve-layer coherence: a result-cache entry primed pre-delta must never
+/// be replayed for a post-delta submit — the fresh fingerprint re-keys it.
+TEST(ProtocolDeltaCacheTest, ApplyDeltaNeverServesStaleCachedResults) {
+  ResultCache cache;
+  DatasetRegistry registry;
+  registry.set_result_cache(&cache);
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  SchedulerOptions options;
+  options.result_cache = &cache;
+  JobScheduler scheduler(options);
+  Protocol protocol(&registry, &scheduler);
+  auto call = [&](const std::string& line) {
+    bool shutdown = false;
+    auto parsed = Json::Parse(protocol.Handle(line, &shutdown));
+    EXPECT_TRUE(parsed.ok());
+    return parsed.ok() ? *parsed : Json();
+  };
+  auto run_risk = [&]() {
+    const Json submitted =
+        call(R"({"op":"submit","dataset":"fig5","action":"risk"})");
+    EXPECT_TRUE(submitted.GetBool("ok", false)) << submitted.Dump();
+    return call(R"({"op":"result","id":)" +
+                std::to_string(submitted.GetInt("id", 0)) + "}");
+  };
+
+  const Json cold = run_risk();
+  EXPECT_FALSE(cold.GetBool("cached", true));
+  const Json hot = run_risk();
+  EXPECT_TRUE(hot.GetBool("cached", false));
+  EXPECT_EQ(hot["risk"].Dump(), cold["risk"].Dump());
+
+  // Delete the Torino singleton: the next submit re-keys on the post-delta
+  // fingerprint and recomputes instead of replaying the 7-row payload.
+  const Json applied = call(
+      R"({"op":"apply_delta","v":2,"dataset":"fig5","ops":[{"kind":"delete","row":6}]})");
+  ASSERT_TRUE(applied.GetBool("ok", false)) << applied.Dump();
+  const Json fresh = run_risk();
+  EXPECT_FALSE(fresh.GetBool("cached", true))
+      << "stale cache hit after a delta changed the dataset's content";
+  EXPECT_EQ(fresh["risk"]["tuple_risks"].AsArray().size(), 6u);
+  const Json rehot = run_risk();
+  EXPECT_TRUE(rehot.GetBool("cached", false));
+  EXPECT_EQ(rehot["risk"].Dump(), fresh["risk"].Dump());
 }
 
 TEST_F(ProtocolTest, CancelUnknownJobFails) {

@@ -75,6 +75,66 @@ TEST(DatasetRegistryTest, OpenSessionValidatesOptions) {
   EXPECT_FALSE(registry.OpenSession("fig5", bad).ok());
 }
 
+TEST(DatasetRegistryTest, ApplyDeltaPublishesANewGenerationAndKeepsOldSnapshots) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  auto before = registry.Load("fig5");
+  ASSERT_TRUE(before.ok());
+  // A session over the pre-delta snapshot stands in for an in-flight job.
+  auto pre = api::Session::FromShared((*before)->table, (*before)->dictionary, {});
+  ASSERT_TRUE(pre.ok());
+  auto pre_risk = pre->Risk();
+  ASSERT_TRUE(pre_risk.ok());
+
+  core::DeltaBatchBuilder builder((*before)->table->num_columns());
+  builder.Delete(6);
+  auto batch = builder.Build();
+  ASSERT_TRUE(batch.ok());
+  auto after = registry.ApplyDelta("fig5", *batch);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ((*after)->version, 2u);
+  EXPECT_EQ((*after)->table->num_rows(), 6u);
+  EXPECT_NE((*after)->fingerprint, (*before)->fingerprint);
+
+  // The snapshot this test still holds is untouched and keeps serving the
+  // exact pre-delta results.
+  EXPECT_EQ((*before)->version, 1u);
+  EXPECT_EQ((*before)->table->num_rows(), 7u);
+  auto replay = api::Session::FromShared((*before)->table, (*before)->dictionary, {});
+  ASSERT_TRUE(replay.ok());
+  auto replay_risk = replay->Risk();
+  ASSERT_TRUE(replay_risk.ok());
+  EXPECT_EQ(replay_risk->tuple_risks, pre_risk->tuple_risks);
+
+  // New loads hand out the post-delta generation.
+  auto now = registry.Load("fig5");
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->get(), after->get());
+}
+
+TEST(DatasetRegistryTest, ApplyDeltaValidationLeavesTheSnapshotUntouched) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Register("fig5", core::Figure5Microdata()).ok());
+  auto before = registry.Load("fig5");
+  ASSERT_TRUE(before.ok());
+  core::DeltaBatchBuilder builder((*before)->table->num_columns());
+  builder.Delete(99);  // Out of range for the 7-row table.
+  auto batch = builder.Build();
+  ASSERT_TRUE(batch.ok());
+  const auto applied = registry.ApplyDelta("fig5", *batch);
+  EXPECT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  auto still = registry.Load("fig5");
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(still->get(), before->get()) << "rejected deltas publish nothing";
+  EXPECT_EQ((*still)->version, 1u);
+
+  core::DeltaBatchBuilder empty_builder(5);
+  const auto missing =
+      registry.ApplyDelta("not-registered", *empty_builder.Build());
+  EXPECT_FALSE(missing.ok());
+}
+
 TEST(DatasetRegistryTest, ClearKeepsLiveSnapshotsValid) {
   TempCsv csv(kCsv);
   DatasetRegistry registry;

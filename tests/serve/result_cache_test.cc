@@ -76,7 +76,8 @@ TEST_F(ResultCacheTest, FingerprintCoversSchemaButNotTableName) {
     return attributes;
   }());
   core::MicrodataTable same_schema("x", table.attributes());
-  for (const auto& row : table.rows()) {
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const auto& row = table.row(r);
     ASSERT_TRUE(renamed.AddRow(row).ok());
     ASSERT_TRUE(renamed_column.AddRow(row).ok());
     ASSERT_TRUE(recategorized.AddRow(row).ok());
